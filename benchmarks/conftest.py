@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and checks the
+*shape* of the result (who wins, by roughly what factor) rather than the
+authors' absolute classroom seconds.  Helpers here keep the paper-vs-measured
+reporting uniform; run with ``pytest benchmarks/ --benchmark-only -s`` to see
+the comparison tables inline.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.grid.palette import MAURITIUS_STRIPES
+
+
+def print_comparison(title: str, rows) -> None:
+    """Print a labeled paper-vs-measured block (visible with -s)."""
+    from repro.viz import format_table
+    print(f"\n=== {title} ===")
+    print(format_table(["metric", "paper", "measured"], rows))
+
+
+def median(values) -> float:
+    return float(np.median(values))
+
+
+@pytest.fixture
+def team_factory():
+    """Factory for standard 4-student Mauritius teams."""
+
+    def make(seed: int, n: int = 4, **kwargs):
+        rng = np.random.default_rng(seed)
+        return make_team(f"team{seed}", n, rng,
+                         colors=list(MAURITIUS_STRIPES), **kwargs)
+
+    return make

@@ -1,0 +1,265 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+1. Contention model: duplicate implements sweep (1-4 copies per color).
+2. Decomposition strategy: stripes vs slices vs blocks vs cyclic at P=4.
+3. Fill style (Section IV advice): full vs scribble vs minimal.
+4. Acquisition policy: hold-color-run vs release-per-stroke.
+5. Dynamic chunk size: self-scheduling grain sweep.
+6. Repeating scenario 1: effect on the measured speedup baseline.
+"""
+
+import numpy as np
+
+from repro.agents.student import FillStyle
+from repro.flags import (
+    blocks,
+    compile_flag,
+    cyclic,
+    mauritius,
+    scenario_partition,
+    vertical_slices,
+)
+from repro.schedule.runner import AcquirePolicy, run_partition
+from repro.schedule.strategies import run_dynamic
+
+from conftest import median, print_comparison
+
+
+def run_part(part, team, seed, **kw):
+    return run_partition(part, team, np.random.default_rng(seed), **kw)
+
+
+def test_ablation_extra_implements(benchmark, team_factory):
+    """More copies of each implement -> monotonically less waiting."""
+    prog = compile_flag(mauritius())
+    waits = {}
+    for copies in (1, 2, 4):
+        runs = [
+            run_part(scenario_partition(prog, 4),
+                     team_factory(13_000 + 10 * copies + s, copies=copies),
+                     13_000 + 10 * copies + s)
+            for s in range(3)
+        ]
+        waits[copies] = median([r.trace.total_wait_fraction() for r in runs])
+    benchmark.pedantic(
+        lambda: run_part(scenario_partition(prog, 4),
+                         team_factory(1, copies=2), 1),
+        rounds=3, iterations=1,
+    )
+    print_comparison("Ablation: duplicate implements (scenario 4)", [
+        [f"{c} of each color", "less waiting as copies grow",
+         f"{waits[c]:.1%} wait"] for c in sorted(waits)
+    ])
+    assert waits[1] > waits[2] >= waits[4]
+    assert waits[4] < 0.05
+
+
+def test_ablation_decomposition_strategies(benchmark, team_factory):
+    """Stripes (owner-computes per color) win at P=4 with single markers;
+    cyclic thrashes implements."""
+    prog = compile_flag(mauritius())
+    times = {}
+    for name, make in (
+        ("by_stripe", lambda: scenario_partition(prog, 3)),
+        ("vertical_slices", lambda: scenario_partition(prog, 4)),
+        ("blocks_2x2", lambda: blocks(prog, 2, 2)),
+        ("cyclic", lambda: cyclic(prog, 4)),
+    ):
+        runs = [run_part(make(), team_factory(14_000 + s), 14_000 + s)
+                for s in range(3)]
+        assert all(r.correct for r in runs), name
+        times[name] = median([r.true_makespan for r in runs])
+    benchmark.pedantic(
+        lambda: run_part(scenario_partition(prog, 3), team_factory(1), 1),
+        rounds=3, iterations=1,
+    )
+    rows = [[name, "stripes fastest, cyclic slowest", f"{t:.0f}s"]
+            for name, t in sorted(times.items(), key=lambda kv: kv[1])]
+    print_comparison("Ablation: decomposition at P=4, one marker/color",
+                     rows)
+    assert times["by_stripe"] == min(times.values())
+    assert times["cyclic"] == max(times.values())
+
+
+def test_ablation_fill_style(benchmark, team_factory):
+    """Section IV: full coverage is slow, minimal is fast but sparse;
+    scribble is the middle road."""
+    from repro.flags import single
+    prog = compile_flag(mauritius())
+    stats = {}
+    for style in FillStyle:
+        runs = [
+            run_part(single(prog), team_factory(15_000 + s, n=1),
+                     15_000 + s, style=style)
+            for s in range(3)
+        ]
+        stats[style.name] = (
+            median([r.true_makespan for r in runs]),
+            median([r.canvas.mean_coverage() for r in runs]),
+        )
+    benchmark.pedantic(
+        lambda: run_part(single(prog), team_factory(1, n=1), 1,
+                         style=FillStyle.MINIMAL),
+        rounds=3, iterations=1,
+    )
+    print_comparison("Ablation: fill style (Section IV advice)", [
+        [name, "time vs coverage trade",
+         f"{t:.0f}s at {cov:.0%} coverage"]
+        for name, (t, cov) in stats.items()
+    ])
+    assert stats["FULL"][0] > stats["SCRIBBLE"][0] > stats["MINIMAL"][0]
+    assert stats["FULL"][1] > stats["SCRIBBLE"][1] > stats["MINIMAL"][1]
+
+
+def test_ablation_acquisition_policy(benchmark, team_factory):
+    """Releasing after every stroke thrashes handoffs in scenario 4."""
+    prog = compile_flag(mauritius())
+    times = {}
+    for policy in AcquirePolicy:
+        runs = [
+            run_part(scenario_partition(prog, 4),
+                     team_factory(16_000 + s), 16_000 + s, policy=policy)
+            for s in range(3)
+        ]
+        times[policy.value] = median([r.true_makespan for r in runs])
+    benchmark.pedantic(
+        lambda: run_part(scenario_partition(prog, 4), team_factory(1), 1,
+                         policy=AcquirePolicy.RELEASE_PER_STROKE),
+        rounds=3, iterations=1,
+    )
+    print_comparison("Ablation: implement acquisition policy (scenario 4)", [
+        [p, "hold-color-run wins", f"{t:.0f}s"]
+        for p, t in times.items()
+    ])
+    assert times["hold_color_run"] < times["release_per_stroke"]
+
+
+def test_ablation_dynamic_chunk(benchmark, team_factory):
+    """Self-scheduling grain: tiny chunks balance but churn implements;
+    huge chunks degenerate toward a static split."""
+    prog = compile_flag(mauritius())
+    times = {}
+    for chunk in (1, 8, 48):
+        runs = []
+        for s in range(3):
+            team = team_factory(17_000 + 10 * chunk + s)
+            runs.append(run_dynamic(prog, team, 4,
+                                    np.random.default_rng(17_000 + 10 * chunk + s),
+                                    chunk=chunk))
+        assert all(r.correct for r in runs)
+        times[chunk] = median([r.true_makespan for r in runs])
+    benchmark.pedantic(
+        lambda: run_dynamic(prog, team_factory(1), 4,
+                            np.random.default_rng(1), chunk=8),
+        rounds=3, iterations=1,
+    )
+    print_comparison("Ablation: dynamic chunk size (P=4)", [
+        [f"chunk={c}", "moderate chunks best", f"{times[c]:.0f}s"]
+        for c in sorted(times)
+    ])
+    # All chunk sizes complete correctly; the sweep documents the trend.
+    assert set(times) == {1, 8, 48}
+
+
+def test_ablation_repeat_scenario1(benchmark, team_factory):
+    """Repeating scenario 1 changes the speedup baseline students compute
+    (Section III-C's reason to repeat it)."""
+    from repro.flags import mauritius as mk
+    from repro.schedule import run_core_activity
+
+    ratios = []
+    for s in range(3):
+        rng = np.random.default_rng(18_000 + s)
+        team = team_factory(18_000 + s)
+        results = run_core_activity(mk(), team, rng, repeat_first=True)
+        cold = results["scenario1"].true_makespan
+        warm = results["scenario1_repeat"].true_makespan
+        t3 = results["scenario3"].true_makespan
+        ratios.append((cold / t3) / (warm / t3))
+    benchmark.pedantic(
+        lambda: run_core_activity(
+            mk(), team_factory(1), np.random.default_rng(1),
+            repeat_first=False),
+        rounds=1, iterations=1,
+    )
+    inflation = median(ratios)
+    print_comparison("Ablation: repeated scenario 1", [
+        ["speedup inflation from cold baseline", "> 1x",
+         f"{inflation:.2f}x"],
+    ])
+    assert inflation > 1.05
+
+
+def test_ablation_merged_team_organization(benchmark):
+    """Teams of 2-3 that merge (pooling implements) vs standard teams of
+    4 with one kit: the paper's alternative organization doubles the
+    implement supply for scenarios 3-4 and softens contention."""
+    import numpy as np
+    from repro.classroom import (
+        get_institution,
+        run_merging_session,
+        run_session,
+    )
+
+    standard = run_session(get_institution("USI"), seed=19_000, n_teams=3)
+    merging = run_merging_session(get_institution("USI"), seed=19_000,
+                                  n_pairs=3)
+    benchmark.pedantic(
+        lambda: run_merging_session(get_institution("USI"), seed=1,
+                                    n_pairs=1),
+        rounds=1, iterations=1,
+    )
+
+    def wait4(report):
+        return float(np.median([
+            t.results["scenario4"].trace.total_wait_fraction()
+            for t in report.teams
+        ]))
+
+    w_std, w_mrg = wait4(standard), wait4(merging)
+    print_comparison("Ablation: merging 2+2 teams (pooled kits)", [
+        ["scenario-4 wait, teams of 4", "higher", f"{w_std:.0%}"],
+        ["scenario-4 wait, merged 2+2", "lower (two kits)", f"{w_mrg:.0%}"],
+    ])
+    assert w_mrg < w_std
+    assert standard.all_correct() and merging.all_correct()
+
+
+def test_ablation_fill_style_frontier(benchmark):
+    """Section IV's advice as a Pareto frontier: every style trades time
+    for coverage; none is dominated."""
+    import numpy as np
+    from repro.flags import single
+    from repro.metrics.quality import grade_run, speed_quality_frontier
+
+    prog = compile_flag(mauritius())
+    reports = {}
+    runs = {}
+    for style in FillStyle:
+        team_ = make_team_for_style(style)
+        r = run_part(single(prog), team_, 23_000, style=style)
+        runs[style] = r
+        reports[style.name] = grade_run(r.canvas, r.trace)
+    benchmark.pedantic(
+        lambda: grade_run(runs[FillStyle.MINIMAL].canvas,
+                          runs[FillStyle.MINIMAL].trace),
+        rounds=3, iterations=1,
+    )
+
+    frontier = speed_quality_frontier(reports)
+    print_comparison("Ablation: fill-style speed/quality frontier", [
+        [name, "on the frontier",
+         f"{rep.mean_stroke_time:.1f}s/cell at {rep.mean_coverage:.0%}"]
+        for name, rep in sorted(reports.items(),
+                                key=lambda kv: kv[1].mean_stroke_time)
+    ])
+    assert frontier == ["MINIMAL", "SCRIBBLE", "FULL"]
+
+
+def make_team_for_style(style):
+    """A fresh single-student team (helper for the frontier ablation)."""
+    from repro.agents import make_team
+    import numpy as np
+    from repro.grid.palette import MAURITIUS_STRIPES
+    return make_team("t", 1, np.random.default_rng(int(style.value[0] * 10)),
+                     colors=list(MAURITIUS_STRIPES))

@@ -1,0 +1,71 @@
+"""Dependency-graph scheduling extension: Figure 9 meets Graham.
+
+Schedules the Jordan and Great Britain DAGs onto P processors with list
+scheduling, verifying the bounds bracket the result and that the DAG
+structure — not the processor count — caps the speedup.  The bridge from
+the unplugged drawing exercise to real scheduling theory.
+"""
+
+from repro.depgraph import (
+    flag_dag,
+    graham_bound,
+    jordan_reference_dag,
+    list_schedule,
+    lower_bound,
+    speedup_curve,
+)
+from repro.depgraph.dot import to_dot
+from repro.flags import great_britain, jordan
+
+from conftest import print_comparison
+
+
+def test_jordan_list_schedule(benchmark):
+    g = jordan_reference_dag()
+    sched = benchmark(lambda: list_schedule(g, 2))
+    sched.validate(g)
+
+    lo = lower_bound(g, 2)
+    hi = graham_bound(g, 2)
+    curve = speedup_curve(g, [1, 2, 4, 8])
+
+    print_comparison("List scheduling the Figure 9 DAG", [
+        ["makespan on P=2", f"within [{lo:.0f}, {hi:.0f}]",
+         f"{sched.makespan:.0f} cells"],
+        ["speedup P=2", "both stripes in parallel",
+         f"{curve[2]:.2f}x"],
+        ["speedup P=8", "capped by the DAG, not P",
+         f"{curve[8]:.2f}x vs ceiling {g.ideal_speedup_bound():.2f}x"],
+    ])
+
+    assert lo - 1e-9 <= sched.makespan <= hi + 1e-9
+    assert curve[2] > 1.2
+    # Beyond the DAG width, extra processors buy nothing.
+    assert curve[8] == curve[4] == curve[2]
+    assert curve[8] <= g.ideal_speedup_bound() + 1e-9
+
+
+def test_gb_chain_schedules_flat(benchmark):
+    spec = great_britain()
+    g = flag_dag(spec)
+    sched = benchmark.pedantic(lambda: list_schedule(g, 4),
+                               rounds=3, iterations=1)
+    sched.validate(g)
+    seq = list_schedule(g, 1).makespan
+    print_comparison("GB chain: processors cannot help", [
+        ["makespan P=1", "total work", f"{seq:.0f}"],
+        ["makespan P=4", "identical (pure chain)",
+         f"{sched.makespan:.0f}"],
+    ])
+    assert sched.makespan == seq
+    # Three of four processors never get a task.
+    used = {t.processor for t in sched.tasks.values()}
+    assert len(used) == 1
+
+
+def test_dot_export_renders(benchmark):
+    g = jordan_reference_dag()
+    dot = benchmark(lambda: to_dot(g, show_weights=True,
+                                   highlight_critical_path=True))
+    assert dot.startswith("digraph")
+    assert "color=red" in dot  # the critical path is marked

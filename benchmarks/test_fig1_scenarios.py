@@ -1,0 +1,93 @@
+"""Figure 1 + Section III-C: the four core scenarios on the Mauritius flag.
+
+Regenerates the whiteboard the activity produces: completion time per
+scenario across several teams, the decreasing trend through scenario 3,
+and the scenario-4 contention reversal.  Absolute seconds are simulated
+humans, not the authors' classrooms; the asserted shape is the paper's:
+
+- times fall monotonically from scenario 1 to scenario 3;
+- scenario 4 is slower than scenario 3 despite equal processor count;
+- speedups stay below linear.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flags import mauritius
+from repro.schedule import run_core_activity
+
+from conftest import median, print_comparison
+
+N_TEAMS = 4
+SCENARIOS = ["scenario1", "scenario1_repeat", "scenario2", "scenario3",
+             "scenario4"]
+
+
+def run_whiteboard(seed0: int, team_factory):
+    boards = {label: [] for label in SCENARIOS}
+    for t in range(N_TEAMS):
+        rng = np.random.default_rng(seed0 + t)
+        team = team_factory(seed0 + t)
+        results = run_core_activity(mauritius(), team, rng)
+        for label, r in results.items():
+            boards[label].append(r.measured_time)
+            assert r.correct, (label, t)
+    return {label: median(ts) for label, ts in boards.items()}
+
+
+@pytest.fixture(scope="module")
+def whiteboard_medians(request):
+    factory = None
+
+    def make(seed, n=4, **kw):
+        from repro.agents import make_team
+        from repro.grid.palette import MAURITIUS_STRIPES
+        rng = np.random.default_rng(seed)
+        return make_team(f"team{seed}", n, rng,
+                         colors=list(MAURITIUS_STRIPES), **kw)
+
+    return run_whiteboard(1000, make)
+
+
+def test_fig1_times_fall_then_contend(whiteboard_medians, benchmark):
+    med = whiteboard_medians
+
+    def one_team():
+        rng = np.random.default_rng(77)
+        from repro.agents import make_team
+        from repro.grid.palette import MAURITIUS_STRIPES
+        team = make_team("b", 4, rng, colors=list(MAURITIUS_STRIPES))
+        return run_core_activity(mauritius(), team, rng)
+
+    benchmark.pedantic(one_team, rounds=3, iterations=1)
+
+    print_comparison("Fig 1 / core activity: median times over "
+                     f"{N_TEAMS} teams", [
+        ["scenario1 (1 student)", "slowest", f"{med['scenario1']:.0f}s"],
+        ["scenario1 repeated", "faster (warmup)",
+         f"{med['scenario1_repeat']:.0f}s"],
+        ["scenario2 (2 students)", "faster", f"{med['scenario2']:.0f}s"],
+        ["scenario3 (4 students)", "fastest", f"{med['scenario3']:.0f}s"],
+        ["scenario4 (4 students, shared markers)", "slower than s3",
+         f"{med['scenario4']:.0f}s"],
+    ])
+
+    # The published classroom shape.
+    assert med["scenario1"] > med["scenario2"] > med["scenario3"]
+    assert med["scenario1_repeat"] < med["scenario1"]
+    assert med["scenario4"] > med["scenario3"]
+
+
+def test_fig1_speedups_sublinear(whiteboard_medians, benchmark):
+    med = whiteboard_medians
+    benchmark.pedantic(lambda: dict(med), rounds=1, iterations=1)
+    base = med["scenario1_repeat"]
+    s2 = base / med["scenario2"]
+    s3 = base / med["scenario3"]
+    print_comparison("Fig 1: speedups vs warmed sequential", [
+        ["2 students", "< 2x", f"{s2:.2f}x"],
+        ["4 students (by stripe)", "< 4x", f"{s3:.2f}x"],
+    ])
+    assert 1.0 < s2 < 2.0
+    assert 1.5 < s3 < 4.0
+    assert s3 > s2

@@ -1,0 +1,60 @@
+"""Figure 2: the Canadian flag's superimposed grid with the maple leaf.
+
+The paper hands students gridded paper with the leaf outlined.  This bench
+regenerates that artifact — the raster with the leaf region resolved onto
+the grid — and checks its geometry (centered, inside the pale, irregular
+row profile), then benchmarks the vectorized rasterization itself.
+"""
+
+import numpy as np
+
+from repro.flags import canada, compile_flag
+from repro.grid.palette import Color
+from repro.grid.render import to_ascii, to_svg
+
+from conftest import print_comparison
+
+
+def test_fig2_leaf_grid_geometry(benchmark):
+    spec = canada()
+    rows, cols = spec.default_rows, spec.default_cols
+
+    benchmark(lambda: spec.layer("maple_leaf").region.mask(rows, cols))
+
+    leaf = spec.layer("maple_leaf").region.mask(rows, cols)
+    img = spec.final_image()
+    n_leaf = int(leaf.sum())
+
+    print_comparison("Fig 2: Canadian flag grid", [
+        ["grid", "leaf outlined on grid", f"{rows}x{cols}"],
+        ["leaf cells", "present, centered", n_leaf],
+        ["leaf inside white pale", "yes",
+         "yes" if not leaf[:, :cols // 4].any()
+         and not leaf[:, -(cols // 4):].any() else "NO"],
+    ])
+
+    assert n_leaf > 10
+    # Leaf confined to the central pale.
+    assert not leaf[:, :cols // 4].any()
+    assert not leaf[:, -(cols // 4):].any()
+    # The final image paints the leaf red on the white field.
+    assert (img[leaf] == int(Color.RED)).all()
+    # Irregular silhouette: row widths vary (the load-imbalance source).
+    widths = leaf.sum(axis=1)
+    assert len(set(widths[widths > 0].tolist())) > 2
+
+
+def test_fig2_printable_artifacts(benchmark):
+    """The classroom handout renders: ASCII for the terminal, SVG with
+    grid lines and per-cell numbering like the paper's materials."""
+    spec = canada()
+    img = spec.final_image()
+    art = benchmark.pedantic(lambda: to_ascii(img), rounds=3, iterations=1)
+    assert len(art.splitlines()) == spec.default_rows
+
+    numbers = np.full(img.shape, -1)
+    prog = compile_flag(spec)
+    for op in prog.ops_for_layer("maple_leaf"):
+        numbers[op.cell] = op.seq
+    svg = to_svg(img, numbers=numbers)
+    assert svg.count("<text") == len(prog.ops_for_layer("maple_leaf"))

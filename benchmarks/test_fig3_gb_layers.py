@@ -1,0 +1,58 @@
+"""Figure 3: the flag of Great Britain as a layered paint program.
+
+The Knox discussion builds the Union Jack in layers: blue field, white
+diagonals, red diagonals, white cross, red cross.  This bench compiles and
+executes the layered program, verifies the painter's-algorithm result, and
+measures the cost of the layered technique vs occlusion-eliminated
+painting (the "complicated intersection tests" trade-off the paper notes).
+"""
+
+import numpy as np
+
+from repro.depgraph import great_britain_reference_dag
+from repro.flags import compile_flag, execute, great_britain, verify_program
+
+from conftest import print_comparison
+
+
+def test_fig3_layered_program(benchmark):
+    spec = great_britain()
+    prog = benchmark(lambda: compile_flag(spec))
+    assert verify_program(prog, spec)
+
+    lean = compile_flag(spec, skip_occluded=True)
+    overhead = prog.n_ops / lean.n_ops
+
+    print_comparison("Fig 3: Great Britain layered program", [
+        ["layers", "5 (blue, white diag, red diag, white cross, red cross)",
+         len(prog.layer_order)],
+        ["layered strokes", "more than cells", prog.n_ops],
+        ["occlusion-eliminated strokes", "= cells", lean.n_ops],
+        ["layering overhead", "> 1x", f"{overhead:.2f}x"],
+    ])
+
+    assert len(prog.layer_order) == 5
+    assert prog.n_ops > lean.n_ops
+    assert lean.n_ops == spec.default_rows * spec.default_cols
+
+
+def test_fig3_dependency_chain(benchmark):
+    """The GB layers form a pure chain: no two layers can run in parallel
+    (the example shown to students before the Jordan exercise)."""
+    g = benchmark.pedantic(great_britain_reference_dag, rounds=3,
+                           iterations=1)
+    print_comparison("Fig 3: GB dependency structure", [
+        ["structure", "linear chain",
+         "linear chain" if g.is_linear_chain() else "NOT a chain"],
+        ["speedup ceiling", "low (layers serialize)",
+         f"{g.ideal_speedup_bound():.2f}x"],
+    ])
+    assert g.is_linear_chain()
+    assert g.ideal_speedup_bound() < 2.0
+
+
+def test_fig3_execution_matches_painter_order(benchmark):
+    spec = great_britain()
+    prog = compile_flag(spec)
+    canvas = benchmark.pedantic(lambda: execute(prog), rounds=3, iterations=1)
+    assert np.array_equal(canvas.codes, spec.final_image())

@@ -1,0 +1,46 @@
+"""Figure 5: the 18-item student engagement survey instrument.
+
+Checks the instrument against the figure (item count, scale, the starred
+optional item, the three analysis groups) and benchmarks synthesizing one
+institution's calibrated response population.
+"""
+
+import numpy as np
+
+from repro.survey import ITEMS, Aspect, items_by_aspect
+from repro.survey.respond import synthesize_institution
+
+from conftest import print_comparison
+
+
+def test_fig5_instrument_shape(benchmark):
+    engagement = benchmark.pedantic(
+        lambda: items_by_aspect(Aspect.ENGAGEMENT), rounds=3, iterations=1,
+    )
+    understanding = items_by_aspect(Aspect.UNDERSTANDING)
+    instructor = items_by_aspect(Aspect.INSTRUCTOR)
+
+    print_comparison("Fig 5: engagement survey instrument", [
+        ["items", 18, len(ITEMS)],
+        ["scale", "1-5 Likert", "1-5 Likert"],
+        ["engagement items", "experience questions", len(engagement)],
+        ["understanding items", "comprehension questions",
+         len(understanding)],
+        ["instructor items", 4, len(instructor)],
+        ["starred optional item", 1, sum(1 for i in ITEMS if i.optional)],
+    ])
+
+    assert len(ITEMS) == 18
+    assert len(instructor) == 4
+    assert sum(1 for i in ITEMS if i.optional) == 1
+    assert len(engagement) + len(understanding) + len(instructor) == 18
+
+
+def test_fig5_population_synthesis(benchmark):
+    rs = benchmark(
+        lambda: synthesize_institution("USI", np.random.default_rng(0))
+    )
+    # Every administered item has a full response column on the 1-5 scale.
+    for item_id, answers in rs.responses.items():
+        assert answers, item_id
+        assert all(1 <= a <= 5 for a in answers)

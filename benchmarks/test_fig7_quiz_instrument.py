@@ -1,0 +1,51 @@
+"""Figure 7: the five-question pre/post test.
+
+Checks the instrument against the figure (concepts, question kinds, answer
+key) and benchmarks grading a full class's answer sheets.
+"""
+
+import numpy as np
+
+from repro.data import QUIZ_CONCEPTS
+from repro.survey import QUESTIONS, QuestionKind, grade, score
+from repro.survey.transitions import simulate_cohort
+
+from conftest import print_comparison
+
+
+def test_fig7_instrument(benchmark):
+    kinds = benchmark.pedantic(
+        lambda: {q.concept: q.kind for q in QUESTIONS},
+        rounds=3, iterations=1,
+    )
+    key = {q.concept: q.options[q.correct][:40] for q in QUESTIONS}
+
+    print_comparison("Fig 7: pre/post test instrument", [
+        ["questions", 5, len(QUESTIONS)],
+        ["concepts", ", ".join(QUIZ_CONCEPTS),
+         ", ".join(q.concept for q in QUESTIONS)],
+        ["task_decomposition answer", "(a) breaking down ...",
+         key["task_decomposition"]],
+        ["speedup answer", "True", key["speedup"]],
+        ["contention answer", "(b) competition ...", key["contention"]],
+        ["scalability answer", "True", key["scalability"]],
+        ["pipelining answer", "(b) overlapping ...", key["pipelining"]],
+    ])
+
+    assert len(QUESTIONS) == 5
+    assert kinds["speedup"] is QuestionKind.TRUE_FALSE
+    assert kinds["scalability"] is QuestionKind.TRUE_FALSE
+    assert kinds["contention"] is QuestionKind.MULTIPLE_CHOICE
+    assert key["speedup"] == "True"
+    assert key["contention"].startswith("The competition")
+    assert key["pipelining"].startswith("The technique of overlapping")
+
+
+def test_fig7_grading_benchmark(benchmark):
+    sheets = simulate_cohort("TNTech", np.random.default_rng(0))
+
+    def grade_all_sheets():
+        return [score(s) for s in sheets.pre + sheets.post]
+
+    scores = benchmark(grade_all_sheets)
+    assert all(0 <= s <= 5 for s in scores)

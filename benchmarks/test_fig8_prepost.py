@@ -1,0 +1,92 @@
+"""Figure 8: pre/post-quiz transitions at USI, TNTech and HPU.
+
+Simulates each institution's cohort through the calibrated four-state
+learning model, grades the raw answer sheets, and compares the recovered
+transition fractions against every percentage the paper prints.  Exact
+apportionment means agreement within one student (1/n) per cell.
+
+Also asserts the qualitative findings: scalability/speedup retained best,
+contention gained most, pipelining weakest with the most loss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import FIG8_TRANSITIONS, QUIZ_CONCEPTS, QUIZ_N
+from repro.survey.transitions import (
+    STATES,
+    analyze_sheets,
+    improvement_summary,
+    pre_post_correct_rates,
+    simulate_cohort,
+)
+
+from conftest import print_comparison
+
+
+@pytest.fixture(scope="module", params=sorted(FIG8_TRANSITIONS))
+def cohort_analysis(request):
+    inst = request.param
+    rng = np.random.default_rng(808)
+    sheets = simulate_cohort(inst, rng, exact=True)
+    return inst, sheets, analyze_sheets(sheets)
+
+
+def test_fig8_transitions_match(cohort_analysis, benchmark):
+    inst, sheets, analysis = cohort_analysis
+    benchmark.pedantic(lambda: analyze_sheets(sheets), rounds=1,
+                       iterations=1)
+    expected = FIG8_TRANSITIONS[inst]
+    tol = 1.0 / sheets.n + 1e-9
+
+    rows = []
+    for concept in QUIZ_CONCEPTS:
+        for state in STATES:
+            want = expected[concept][state]
+            got = analysis[concept][state]
+            rows.append([f"{concept}.{state}",
+                         f"{want:.1%}", f"{got:.1%}"])
+            assert abs(got - want) <= tol, (inst, concept, state)
+    print_comparison(f"Fig 8 @ {inst} (n={sheets.n})", rows)
+
+
+def test_fig8_qualitative_findings(benchmark):
+    """The prose conclusions of Section V-B hold in the model."""
+    benchmark.pedantic(
+        lambda: pre_post_correct_rates(
+            {c: dict(FIG8_TRANSITIONS["USI"][c]) for c in QUIZ_CONCEPTS}
+        ),
+        rounds=1, iterations=1,
+    )
+    for inst in sorted(FIG8_TRANSITIONS):
+        analysis = {c: dict(FIG8_TRANSITIONS[inst][c])
+                    for c in QUIZ_CONCEPTS}
+        rates = pre_post_correct_rates(analysis)
+        gains = improvement_summary(analysis)
+
+        # "Scalability and Speedup demonstrated strong retention."
+        assert analysis["scalability"]["retained"] >= 0.8
+        assert analysis["speedup"]["retained"] >= 0.65
+        # "Contention ... significant growth post-quiz."
+        assert gains["contention"] > 0.1
+    # "Pipelining ... the lowest initial understanding" — pooled across
+    # the three institutions (HPU alone had contention lower, n=6).
+    pooled_pre = {}
+    for concept in QUIZ_CONCEPTS:
+        num = sum(
+            QUIZ_N[i] * (FIG8_TRANSITIONS[i][concept]["retained"]
+                         + FIG8_TRANSITIONS[i][concept]["lost"])
+            for i in FIG8_TRANSITIONS
+        )
+        pooled_pre[concept] = num / sum(QUIZ_N.values())
+    assert pooled_pre["pipelining"] == min(pooled_pre.values())
+
+
+def test_fig8_simulation_benchmark(benchmark):
+    def run():
+        rng = np.random.default_rng(3)
+        sheets = simulate_cohort("TNTech", rng)
+        return analyze_sheets(sheets)
+
+    analysis = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert set(analysis) == set(QUIZ_CONCEPTS)

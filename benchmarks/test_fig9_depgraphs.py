@@ -1,0 +1,91 @@
+"""Figure 9 + Section V-C: the Jordan dependency graphs and their grading.
+
+Regenerates the reference graph from the flag's layer structure (it must
+equal Figure 9), replays the paper's 29-submission cohort through the
+rubric grader, and checks every published statistic: 34% perfect, 24%
+mostly correct, 59% at least mostly correct, 14% no learning, linear chain
+as the most common error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import DEPGRAPH_RESULTS
+from repro.depgraph import (
+    Category,
+    generate_exact_paper_cohort,
+    grade_all,
+    jordan_reference_dag,
+    simulate_collection,
+)
+
+from conftest import print_comparison
+
+
+def test_fig9_reference_graph(benchmark):
+    g = benchmark.pedantic(jordan_reference_dag, rounds=3,
+                           iterations=1)
+    print_comparison("Fig 9: reference dependency graph", [
+        ["tasks", "stripes, triangle, star", ", ".join(g.tasks)],
+        ["edges", "stripes->triangle->star", len(g.edges)],
+        ["levels", "3 (stripes | triangle | star)",
+         len(g.parallelism_profile())],
+    ])
+    assert set(g.edges) == {
+        ("black_stripe", "red_triangle"),
+        ("green_stripe", "red_triangle"),
+        ("red_triangle", "white_star"),
+    }
+    assert g.parallelism_profile() == [2, 1, 1]
+
+
+def test_secVC_grading_statistics(benchmark):
+    rng = np.random.default_rng(929)
+    cohort = generate_exact_paper_cohort(rng)
+    report = benchmark(lambda: grade_all(cohort))
+
+    frac = report.fraction
+    print_comparison("Sec V-C: grading 29 submissions", [
+        ["submissions", DEPGRAPH_RESULTS["n_submissions"], report.total],
+        ["perfect", "10 (34%)",
+         f"{report.n_perfect} ({frac(Category.PERFECT):.0%})"],
+        ["mostly correct", "7 (24%)",
+         f"{report.n_mostly} ({frac(Category.MOSTLY_CORRECT):.0%})"],
+        ["at least mostly", "59%",
+         f"{report.at_least_mostly_correct:.0%}"],
+        ["no learning", "4 (14%)",
+         f"{report.counts.get(Category.NO_LEARNING, 0)} "
+         f"({frac(Category.NO_LEARNING):.0%})"],
+    ])
+
+    assert report.total == 29
+    assert report.n_perfect == 10
+    assert report.n_mostly == 7
+    assert report.at_least_mostly_correct == pytest.approx(17 / 29)
+    assert report.counts[Category.NO_LEARNING] == 4
+    # "The most common error ... was to give a linear chain of tasks."
+    error_counts = {
+        cat: n for cat, n in report.counts.items()
+        if cat in (Category.LINEAR_CHAIN, Category.INCOMPLETE,
+                   Category.OTHER)
+    }
+    assert max(error_counts, key=error_counts.get) is Category.LINEAR_CHAIN
+
+
+def test_secVC_collection_procedure(benchmark):
+    """The voluntary collection: ~45% response from 65 students, with the
+    rushed first section suppressing the rate."""
+    benchmark.pedantic(
+        lambda: simulate_collection(np.random.default_rng(0)),
+        rounds=1, iterations=1,
+    )
+    rates = []
+    for seed in range(20):
+        coll = simulate_collection(np.random.default_rng(seed))
+        rates.append(coll.response_rate)
+    mean_rate = float(np.mean(rates))
+    print_comparison("Sec V-C: collection procedure", [
+        ["class size", 65, 65],
+        ["response rate", "45%", f"{mean_rate:.0%} (mean of 20 sims)"],
+    ])
+    assert 0.3 < mean_rate < 0.6

@@ -1,0 +1,65 @@
+"""Section III-D: the NVIDIA paintball video — extreme data parallelism.
+
+CPU = one barrel aimed and fired per pixel; GPU = one barrel per pixel.
+The sweep scales the "barrel" count from 1 to one-per-cell (with an
+implement per worker so no contention) and shows massive but saturating
+speedup: the tail is the slowest single stroke plus coordination.
+"""
+
+import numpy as np
+
+from repro.agents import make_team
+from repro.flags import compile_flag, cyclic, mauritius, single
+from repro.grid.palette import MAURITIUS_STRIPES
+from repro.schedule.runner import run_partition
+
+from conftest import median, print_comparison
+
+
+def run_p(p, seed):
+    prog = compile_flag(mauritius())
+    rng = np.random.default_rng(seed)
+    team = make_team("t", p, rng, colors=list(MAURITIUS_STRIPES), copies=p)
+    part = single(prog) if p == 1 else cyclic(prog, p)
+    return run_partition(part, team, rng)
+
+
+def test_gpu_sweep(benchmark):
+    prog = compile_flag(mauritius())
+    n_cells = prog.n_ops
+    sweep = [1, 4, 16, n_cells]
+    times = {
+        p: median([run_p(p, 11_000 + 7 * p + s).true_makespan
+                   for s in range(3)])
+        for p in sweep
+    }
+    benchmark.pedantic(lambda: run_p(16, 1), rounds=3, iterations=1)
+
+    speedups = {p: times[1] / times[p] for p in sweep}
+    print_comparison("III-D: CPU vs GPU paintball sweep "
+                     f"({n_cells}-cell flag)", [
+        ["P=1 (CPU: one barrel)", "baseline", f"{times[1]:.0f}s"],
+        ["P=4", "~3x", f"{speedups[4]:.1f}x"],
+        ["P=16", "large", f"{speedups[16]:.1f}x"],
+        [f"P={n_cells} (GPU: barrel per pixel)", "largest, sub-linear",
+         f"{speedups[n_cells]:.1f}x"],
+    ])
+
+    # Monotone improvement all the way to one worker per cell...
+    assert times[1] > times[4] > times[16] > times[n_cells]
+    # ...but far below linear at the GPU limit: the makespan floor is the
+    # slowest student's strokes, not zero.
+    assert speedups[n_cells] < n_cells * 0.6
+    assert speedups[n_cells] > 8.0
+
+
+def test_gpu_limit_floor(benchmark):
+    """At one worker per cell every worker makes exactly one stroke; the
+    makespan is the max single-stroke time — the 'single shot'."""
+    prog = compile_flag(mauritius())
+    r = benchmark.pedantic(lambda: run_p(prog.n_ops, 12_345),
+                           rounds=1, iterations=1)
+    counts = [r.trace.stroke_count(a) for a in r.trace.agents()]
+    assert all(c == 1 for c in counts)
+    strokes = r.trace.stroke_intervals()
+    assert r.true_makespan >= max(iv.duration for iv in strokes)

@@ -1,0 +1,83 @@
+"""Section III-D: the Knox follow-up — dependencies limit parallelism.
+
+Layered coloring (GB, Jordan) introduces dependencies that cap speedup:
+the DAG's work/critical-path bound predicts it, and barrier-scheduled
+simulations exhibit it.  The flat Mauritius flag has no such ceiling.
+"""
+
+import numpy as np
+
+from repro.agents import make_team
+from repro.depgraph import flag_dag
+from repro.flags import great_britain, jordan, mauritius
+from repro.schedule.depsched import run_layered
+
+from conftest import median, print_comparison
+
+
+def layered_time(spec, p, seed):
+    rng = np.random.default_rng(seed)
+    team = make_team("t", p, rng, colors=list(spec.colors_used()), copies=p)
+    return run_layered(spec, team, p, rng).true_makespan
+
+
+def test_dag_speedup_ceilings(benchmark):
+    bounds = {
+        name: flag_dag(spec).ideal_speedup_bound()
+        for name, spec in (("mauritius", mauritius()),
+                           ("great_britain", great_britain()),
+                           ("jordan", jordan()))
+    }
+    benchmark.pedantic(lambda: flag_dag(jordan()), rounds=3, iterations=1)
+
+    print_comparison("III-D: DAG speedup ceilings (work / critical path)", [
+        ["mauritius (flat)", "highest (4 independent stripes)",
+         f"{bounds['mauritius']:.2f}x"],
+        ["jordan (3 levels)", "moderate", f"{bounds['jordan']:.2f}x"],
+        ["great_britain (pure chain)", "1.0x (fully serialized layers)",
+         f"{bounds['great_britain']:.2f}x"],
+    ])
+    assert bounds["mauritius"] > bounds["jordan"] > bounds["great_britain"]
+    assert bounds["great_britain"] == 1.0
+    assert bounds["mauritius"] == 4.0
+
+
+def test_layered_scaling_flattens(benchmark):
+    """Simulated barrier schedules: Jordan's speedup saturates early."""
+    spec = jordan()
+    times = {
+        p: median([layered_time(spec, p, 10_000 + 31 * p + s)
+                   for s in range(3)])
+        for p in (1, 2, 4, 8)
+    }
+    benchmark.pedantic(lambda: layered_time(spec, 2, 1),
+                       rounds=3, iterations=1)
+
+    speedups = {p: times[1] / times[p] for p in times}
+    print_comparison("III-D: layered Jordan scaling (barrier schedule)", [
+        [f"P={p}", "diminishing returns", f"{speedups[p]:.2f}x"]
+        for p in sorted(speedups)
+    ])
+    assert speedups[2] > 1.2
+    assert speedups[4] > speedups[2]
+    # The 4 -> 8 jump gains far less than the 1 -> 2 jump.
+    gain_12 = speedups[2]
+    gain_48 = speedups[8] / speedups[4]
+    assert gain_48 < gain_12
+    # Nowhere near linear at P=8.
+    assert speedups[8] < 8 * 0.85
+
+
+def test_layer_barriers_respected(benchmark):
+    """The simulation's per-layer finish order matches the DAG's
+    topological order — dependencies were actually enforced."""
+    spec = great_britain()
+    rng = np.random.default_rng(11)
+    team = make_team("t", 4, rng, colors=list(spec.colors_used()), copies=4)
+    r = benchmark.pedantic(
+        lambda: run_layered(spec, team, 4, np.random.default_rng(11)),
+        rounds=1, iterations=1,
+    )
+    finishes = [r.extra["layer_finish"][l] for l in r.extra["layer_order"]]
+    assert finishes == sorted(finishes)
+    assert r.correct

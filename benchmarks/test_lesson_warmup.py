@@ -1,0 +1,76 @@
+"""Section III-C lesson: system warmup (repeated scenario 1).
+
+A student repeats the sequential coloring several times; the first run is
+the slowest and times settle to a steady state — the analogy the paper
+draws to caching, power modes, and JIT.  The bench also fits the library's
+exponential-decay model to the observed times, closing the loop between
+the agent model and an instructor's measurement.
+"""
+
+import numpy as np
+
+from repro.flags import compile_flag, mauritius, single
+from repro.metrics import (
+    estimate_warmup,
+    fit_exponential_decay,
+    warmup_contaminates_speedup,
+)
+from repro.schedule.runner import run_partition
+
+from conftest import median, print_comparison
+
+
+def repeated_trials(seed, team_factory, n_trials=5):
+    prog = compile_flag(mauritius())
+    team = team_factory(seed, n=1)
+    rng = np.random.default_rng(seed)
+    return [run_partition(single(prog), team, rng).true_makespan
+            for _ in range(n_trials)]
+
+
+def test_warmup_effect(benchmark, team_factory):
+    all_ratios = []
+    trials = None
+    for s in range(3):
+        times = repeated_trials(5000 + s, team_factory)
+        trials = trials or times
+        all_ratios.append(estimate_warmup(times).warmup_ratio)
+    benchmark.pedantic(lambda: repeated_trials(1, team_factory, 2),
+                       rounds=3, iterations=1)
+
+    ratio = median(all_ratios)
+    steady, a, tau = fit_exponential_decay(trials)
+    print_comparison("III-C: warmup across repeated scenario-1 runs", [
+        ["trial times", "decreasing then flat",
+         " ".join(f"{t:.0f}" for t in trials)],
+        ["first/steady ratio", "significantly > 1", f"{ratio:.2f}x"],
+        ["fitted steady time", "below first trial", f"{steady:.0f}s"],
+        ["fitted warmup amplitude", "> 0", f"{a:.2f}"],
+    ])
+    assert ratio > 1.1
+    assert trials[0] > steady
+    assert trials[0] == max(trials)
+
+
+def test_warmup_contaminates_speedup(benchmark, team_factory):
+    """Using the cold first run as the speedup baseline inflates speedup —
+    the methodology lesson hiding in the board numbers."""
+    times = repeated_trials(6000, team_factory, n_trials=2)
+    prog = compile_flag(mauritius())
+    from repro.flags import scenario_partition
+    team = team_factory(6001)
+    r3 = run_partition(scenario_partition(prog, 3), team,
+                       np.random.default_rng(6001))
+    benchmark.pedantic(
+        lambda: warmup_contaminates_speedup(times[0], times[1],
+                                            r3.true_makespan),
+        rounds=3, iterations=1,
+    )
+    optimistic, honest = warmup_contaminates_speedup(
+        times[0], times[1], r3.true_makespan
+    )
+    print_comparison("III-C: baseline choice changes the speedup", [
+        ["speedup vs cold run", "inflated", f"{optimistic:.2f}x"],
+        ["speedup vs warmed run", "honest", f"{honest:.2f}x"],
+    ])
+    assert optimistic > honest

@@ -1,0 +1,81 @@
+"""Section III-C lessons: speedup trend and the scenario 3 vs 4 gap.
+
+The central classroom numbers: processor sweep P in {1, 2, 4} on stripe
+decompositions (times fall, speedup sublinear), then scenario 4 against
+scenario 3 — same four processors, shared implements — with the wait-time
+accounting that explains the gap.
+"""
+
+import numpy as np
+
+from repro.flags import compile_flag, mauritius, scenario_partition
+from repro.grid.palette import MAURITIUS_STRIPES
+from repro.metrics import analyze_contention, contention_slowdown, efficiency
+from repro.schedule.runner import marker_name, run_partition
+
+from conftest import median, print_comparison
+
+RESOURCES = [marker_name(c) for c in MAURITIUS_STRIPES]
+
+
+def run_scenario(n, seed, team_factory):
+    prog = compile_flag(mauritius())
+    team = team_factory(seed)
+    return run_partition(scenario_partition(prog, n), team,
+                         np.random.default_rng(seed))
+
+
+def test_speedup_trend(benchmark, team_factory):
+    times = {}
+    for scenario, p in ((1, 1), (2, 2), (3, 4)):
+        times[scenario] = median([
+            run_scenario(scenario, 3000 + 10 * scenario + s,
+                         team_factory).true_makespan
+            for s in range(3)
+        ])
+    benchmark.pedantic(lambda: run_scenario(3, 1, team_factory),
+                       rounds=3, iterations=1)
+
+    s2 = times[1] / times[2]
+    s4 = times[1] / times[3]
+    print_comparison("III-C: speedup with processor count", [
+        ["T(1 student)", "baseline", f"{times[1]:.0f}s"],
+        ["T(2 students)", "lower", f"{times[2]:.0f}s"],
+        ["T(4 students)", "lowest", f"{times[3]:.0f}s"],
+        ["speedup 2", "1 < S < 2", f"{s2:.2f}x"],
+        ["speedup 4", "2 < S < 4 (sublinear)", f"{s4:.2f}x"],
+        ["efficiency 4", "< 100%", f"{efficiency(times[1], times[3], 4):.0%}"],
+    ])
+    assert times[1] > times[2] > times[3]
+    assert 1.0 < s2 < 2.0
+    assert 1.5 < s4 < 4.0
+
+
+def test_contention_scenario_3_vs_4(benchmark, team_factory):
+    r3s = [run_scenario(3, 4000 + s, team_factory) for s in range(3)]
+    r4s = [run_scenario(4, 4100 + s, team_factory) for s in range(3)]
+    benchmark.pedantic(lambda: run_scenario(4, 2, team_factory),
+                       rounds=3, iterations=1)
+
+    t3 = median([r.true_makespan for r in r3s])
+    t4 = median([r.true_makespan for r in r4s])
+    slowdown = contention_slowdown(t4, t3)
+    wait3 = median([r.trace.total_wait_fraction() for r in r3s])
+    wait4 = median([r.trace.total_wait_fraction() for r in r4s])
+
+    print_comparison("III-C: contention (scenario 4 vs 3, both P=4)", [
+        ["T(scenario 3)", "faster", f"{t3:.0f}s"],
+        ["T(scenario 4)", "slower (contention)", f"{t4:.0f}s"],
+        ["slowdown", "> 1x", f"{slowdown:.2f}x"],
+        ["wait fraction s3", "~0", f"{wait3:.1%}"],
+        ["wait fraction s4", "substantial", f"{wait4:.1%}"],
+    ])
+    assert slowdown > 1.05
+    assert wait3 == 0.0
+    assert wait4 > 0.1
+
+    report = analyze_contention(r4s[0].trace, RESOURCES)
+    # "Everyone needed the same color at the beginning": the red marker is
+    # the hottest resource early, every agent queued at least once.
+    assert report.n_waits >= 3
+    assert len(report.per_agent_wait) >= 3

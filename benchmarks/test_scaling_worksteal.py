@@ -1,0 +1,103 @@
+"""Extension benches: weak scaling (Gustafson) and work stealing.
+
+Two extensions the paper's discussion motivates:
+
+- **weak scaling** — "scalability" is one of the five quiz concepts; the
+  strong-scaling sweep is the core activity, so the weak-scaling
+  experiment (flag grows with the team) completes the picture.
+- **work stealing** — the classroom remedy for the Webster imbalance:
+  whoever finishes helps whoever is behind.
+"""
+
+import numpy as np
+
+from repro.agents import make_team
+from repro.flags import compile_flag, cyclic, mauritius, scenario_partition, single
+from repro.grid.palette import MAURITIUS_STRIPES
+from repro.metrics.scalability import strong_scaling, weak_scaling
+from repro.schedule.runner import run_partition
+from repro.schedule.worksteal import count_steals, run_work_stealing
+
+from conftest import median, print_comparison
+
+
+def sim_time(p, rows, cols, seed):
+    prog = compile_flag(mauritius(), rows=rows, cols=cols)
+    rng = np.random.default_rng(seed)
+    team = make_team("t", p, rng, colors=list(MAURITIUS_STRIPES), copies=p)
+    part = single(prog) if p == 1 else cyclic(prog, p)
+    return run_partition(part, team, rng).true_makespan
+
+
+def test_weak_scaling_gustafson(benchmark):
+    def run(p, size):
+        cols = size // 8
+        return median([sim_time(p, 8, cols, 20_000 + 13 * p + s)
+                       for s in range(3)])
+
+    curve = weak_scaling(run, [1, 2, 4], base_size=96)
+    benchmark.pedantic(lambda: sim_time(2, 8, 24, 1), rounds=3, iterations=1)
+
+    ratios = curve.scaled_time_ratio()
+    scaled = curve.speedups()
+    print_comparison("Weak scaling: flag grows with the team", [
+        ["T(P)/T(1) at P=2", "~1.0 (flat = perfect)", f"{ratios[2]:.2f}"],
+        ["T(P)/T(1) at P=4", "~1.0", f"{ratios[4]:.2f}"],
+        ["scaled speedup at P=4", "near 4 (Gustafson regime)",
+         f"{scaled[4]:.2f}x"],
+    ])
+    assert ratios[4] < 1.5
+    assert scaled[4] > 2.4
+
+
+def test_strong_vs_weak_shapes(benchmark):
+    strong = strong_scaling(
+        lambda p: median([sim_time(p, 8, 12, 21_000 + p + s)
+                          for s in range(3)]),
+        [1, 2, 4],
+    )
+    benchmark.pedantic(lambda: sim_time(4, 8, 12, 2), rounds=3, iterations=1)
+    eff = strong.efficiencies()
+    print_comparison("Strong scaling efficiency decay (fixed flag)", [
+        [f"P={p}", "decreasing efficiency", f"{e:.0%}"]
+        for p, e in sorted(eff.items())
+    ])
+    assert eff[4] < eff[2] <= 1.3  # warmup noise can push P=2 near 1
+
+
+def test_work_stealing_fixes_stragglers(benchmark):
+    prog = compile_flag(mauritius())
+
+    def build_team(seed):
+        team = make_team("t", 4, np.random.default_rng(seed),
+                         colors=list(MAURITIUS_STRIPES), copies=4)
+        team.students[-1].profile.base_cell_time *= 3.0  # a straggler
+        return team
+
+    static = median([
+        run_partition(scenario_partition(prog, 4), build_team(22_000 + s),
+                      np.random.default_rng(22_000 + s)).true_makespan
+        for s in range(4)
+    ])
+    steal_runs = [
+        run_work_stealing(scenario_partition(prog, 4), build_team(22_000 + s),
+                          np.random.default_rng(22_000 + s))
+        for s in range(4)
+    ]
+    stealing = median([r.true_makespan for r in steal_runs])
+    steals = median([count_steals(r.trace) for r in steal_runs])
+    benchmark.pedantic(
+        lambda: run_work_stealing(scenario_partition(prog, 4),
+                                  build_team(1), np.random.default_rng(1)),
+        rounds=3, iterations=1,
+    )
+
+    print_comparison("Work stealing with a 3x-slow straggler", [
+        ["static slices", "straggler-bound", f"{static:.0f}s"],
+        ["with stealing", "faster", f"{stealing:.0f}s"],
+        ["steals per run", "> 0", f"{steals:.0f}"],
+        ["improvement", "> 10%", f"{(1 - stealing / static):.0%}"],
+    ])
+    assert stealing < static
+    assert steals > 0
+    assert all(r.correct for r in steal_runs)

@@ -1,0 +1,85 @@
+"""Section V-A prose findings, regenerated from raw synthetic responses.
+
+The narrative around Tables I-III makes comparative claims; this bench
+recomputes them from the calibrated populations instead of quoting them:
+Webster/USI high engagement, Knox uniformly ~4.0, Montclair low on
+stimulated interest, HPU+TNTech at 3.0 on loops, instructor ratings at
+the ceiling everywhere but Knox.
+"""
+
+from repro.survey import (
+    Aspect,
+    consistently_low,
+    item_outliers,
+    rank_institutions,
+    struggling_concepts,
+    synthesize_all,
+)
+
+from conftest import print_comparison
+
+
+def test_secVA_prose_claims(benchmark):
+    sets_ = benchmark.pedantic(lambda: synthesize_all(seed=31),
+                               rounds=1, iterations=1)
+
+    engagement = rank_institutions(sets_, Aspect.ENGAGEMENT)
+    low_sites = consistently_low(sets_)
+    interest = item_outliers(sets_, "stimulated_interest")
+    struggles = struggling_concepts(sets_)
+    instructor = rank_institutions(sets_, Aspect.INSTRUCTOR)
+
+    print_comparison("Sec V-A: prose findings", [
+        ["highest engagement", "USI and Webster (mostly 5.0)",
+         ", ".join(f"{n}={v:.2f}" for n, v in engagement[:3])],
+        ["consistently ~4.0 site", "Knox", ", ".join(low_sites)],
+        ["stimulated-interest outlier", "Montclair lower (3.5)",
+         str(interest.get("Montclair"))],
+        ["loops struggle", "HPU and TNTech (3.0)",
+         ", ".join(struggles.get("increased_loops_understanding", []))],
+        ["instructor ratings", "mostly 5.0 except Knox 4.0",
+         ", ".join(f"{n}={v:.1f}" for n, v in instructor)],
+    ])
+
+    top3 = [n for n, _ in engagement[:3]]
+    assert "Webster" in top3 and "USI" in top3
+    assert engagement[-1][0] == "Knox"
+    assert low_sites == ["Knox"]
+    assert interest.get("Montclair") == "low"
+    assert struggles["increased_loops_understanding"] == ["HPU", "TNTech"]
+    assert instructor[-1] == ("Knox", 4.0)
+    assert all(v == 5.0 for n, v in instructor if n != "Knox")
+
+
+def test_reliability_stats_computable(benchmark):
+    """The future-work statistical analysis runs end to end on the
+    synthetic populations: alpha and item-total per aspect, spread across
+    sites."""
+    from repro.survey import (
+        cronbach_alpha,
+        inter_institution_spread,
+        item_total_correlations,
+    )
+
+    sets_ = synthesize_all(seed=32)
+
+    def analyze():
+        alphas = {}
+        for inst, rs in sets_.items():
+            alphas[inst] = cronbach_alpha(rs, Aspect.UNDERSTANDING)
+        return alphas, inter_institution_spread(sets_)
+
+    alphas, spread = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    print_comparison("Future work: reliability statistics", [
+        ["Cronbach alpha (understanding)", "computable per site",
+         ", ".join(f"{k}={v:.2f}" for k, v in sorted(alphas.items()))],
+        ["widest cross-site item", "loops (range 2.0)",
+         f"range {max(spread.values()):.1f}"],
+    ])
+    # Alpha <= 1 always; it has no lower bound for uncorrelated items
+    # (the calibrated populations answer items independently).
+    import math
+    assert all(math.isfinite(a) and a <= 1.0 for a in alphas.values())
+    assert max(spread.values()) == 2.0
+    corrs = item_total_correlations(sets_["USI"], Aspect.UNDERSTANDING)
+    assert corrs  # non-empty, computable

@@ -1,0 +1,83 @@
+"""Section III-D: the Webster variation — French vs Canadian flags.
+
+Each flag is colored by one student and by three students dividing the
+sheet.  "The speedup varied between the two flags.  The simpler French
+flag saw greater efficiency gains, while the intricate maple leaf in the
+Canadian flag slowed progress" — the load-balancing lesson.
+"""
+
+import numpy as np
+
+from repro.agents import make_team
+from repro.flags import canada, compile_flag, france, single, vertical_slices
+from repro.metrics import efficiency, imbalance_ratio, speedup
+from repro.schedule.runner import run_partition
+
+from conftest import median, print_comparison
+
+TRIALS = 5
+
+
+def run_flag(spec, n, seed):
+    rng = np.random.default_rng(seed)
+    team = make_team("t", max(n, 1), rng, colors=list(spec.colors_used()),
+                     copies=n)
+    prog = compile_flag(spec)
+    part = single(prog) if n == 1 else vertical_slices(prog, n)
+    return run_partition(part, team, rng)
+
+
+def flag_stats(spec, seed0):
+    t1 = median([run_flag(spec, 1, seed0 + s).true_makespan
+                 for s in range(TRIALS)])
+    runs3 = [run_flag(spec, 3, seed0 + 100 + s) for s in range(TRIALS)]
+    t3 = median([r.true_makespan for r in runs3])
+    imb = median([
+        imbalance_ratio([w.busy for w in r.trace.summaries()])
+        for r in runs3
+    ])
+    assert all(r.correct for r in runs3)
+    return t1, t3, imb
+
+
+def test_webster_flag_comparison(benchmark):
+    # Paired seeds: both flags get identically-drawn teams so the only
+    # difference is the flag structure, not the student lottery.
+    f1, f3, f_imb = flag_stats(france(), 9000)
+    c1, c3, c_imb = flag_stats(canada(), 9000)
+    benchmark.pedantic(lambda: run_flag(france(), 3, 1),
+                       rounds=3, iterations=1)
+
+    s_france = speedup(f1, f3)
+    s_canada = speedup(c1, c3)
+    print_comparison("III-D: Webster variation (1 vs 3 students)", [
+        ["France speedup", "higher (even split)", f"{s_france:.2f}x"],
+        ["Canada speedup", "lower (leaf imbalance)", f"{s_canada:.2f}x"],
+        ["France efficiency", ">= Canada's",
+         f"{efficiency(f1, f3, 3):.0%}"],
+        ["Canada efficiency", "reduced",
+         f"{efficiency(c1, c3, 3):.0%}"],
+        ["France busy-imbalance", "lower", f"{f_imb:.2f}"],
+        ["Canada busy-imbalance", "higher", f"{c_imb:.2f}"],
+    ])
+
+    # The published shape: the simpler flag gains more.
+    assert s_france > s_canada
+    assert s_france > 1.5
+    assert c_imb > 1.0
+
+
+def test_leaf_work_concentration(benchmark):
+    """The middle slice owns the leaf: most strokes and the intricate
+    (slow) boundary cells."""
+    r = run_flag(canada(), 3, 9900)
+    benchmark.pedantic(lambda: compile_flag(canada()),
+                       rounds=3, iterations=1)
+    counts = {a: r.trace.stroke_count(a) for a in r.trace.agents()}
+    ordered = sorted(counts.items())
+    print_comparison("III-D: stroke counts per slice (Canada, 3 slices)", [
+        [agent, "middle slice largest", n] for agent, n in ordered
+    ])
+    middle = ordered[1][1]
+    assert middle > ordered[0][1]
+    assert middle > ordered[2][1]

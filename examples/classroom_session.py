@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""A full classroom session at every pilot institution.
+
+Simulates the activity the way the paper's six sites ran it: several teams
+per class, different drawing implements across teams, scenario 1 optionally
+repeated, every completion time posted publicly — then runs the automatic
+debrief that extracts the Section III-C lessons from the evidence.
+
+Run with::
+
+    python examples/classroom_session.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.classroom import (
+    all_institutions,
+    debrief_session,
+    run_session,
+)
+from repro.viz import format_table
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+
+    rows = []
+    debriefs = {}
+    for i, profile in enumerate(all_institutions()):
+        n_teams = min(profile.n_teams, 4)
+        report = run_session(profile, seed + i, n_teams=n_teams)
+        med = report.median_times()
+        rows.append([
+            profile.name,
+            n_teams,
+            f"{med.get('scenario1', 0):.0f}s",
+            f"{med.get('scenario1_repeat', float('nan')):.0f}s"
+            if "scenario1_repeat" in med else "—",
+            f"{med.get('scenario2', 0):.0f}s",
+            f"{med.get('scenario3', 0):.0f}s",
+            f"{med.get('scenario4', 0):.0f}s",
+            "yes" if report.all_correct() else "NO",
+        ])
+        debriefs[profile.name] = debrief_session(report)
+
+    print("Median completion time per scenario, per institution:\n")
+    print(format_table(
+        ["site", "teams", "s1", "s1 rep", "s2", "s3", "s4", "correct"],
+        rows,
+    ))
+
+    print("\nAutomatic debrief (USI):")
+    for obs in debriefs["USI"]:
+        flag = "DETECTED" if obs.detected else "not seen"
+        print(f"  [{flag:8s}] {obs.lesson.value:22s} {obs.evidence}")
+
+    print("\nLessons detected at every site:")
+    for name, obs_list in debriefs.items():
+        detected = sorted(o.lesson.value for o in obs_list if o.detected)
+        print(f"  {name:10s} {', '.join(detected)}")
+
+
+if __name__ == "__main__":
+    main()

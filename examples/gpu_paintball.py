@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The NVIDIA paintball demo, simulated: CPU vs GPU flag coloring.
+
+The Webster discussion showed a video where a CPU is one paintball barrel
+aimed and fired per pixel, and a GPU is one barrel *per* pixel firing the
+Mona Lisa in a single shot.  This example sweeps the processor count from
+1 to one-student-per-cell (with enough implements to match) and plots the
+speedup curve — data parallelism taken to its extreme, plus where the
+classroom version breaks down (handoffs and slow students in the tail).
+
+Run with::
+
+    python examples/gpu_paintball.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.agents import make_team
+from repro.flags import compile_flag, mauritius, cyclic, single
+from repro.metrics import efficiency, speedup
+from repro.schedule import run_partition
+from repro.viz import hbar_chart
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    spec = mauritius()
+    prog = compile_flag(spec)
+    n_cells = prog.n_ops
+
+    def run(p, s):
+        rng = np.random.default_rng(s)
+        team = make_team("t", p, rng, colors=list(spec.colors_used()),
+                         copies=p)  # a barrel per worker: no contention
+        part = single(prog) if p == 1 else cyclic(prog, p)
+        return run_partition(part, team, rng).true_makespan
+
+    t1 = float(np.median([run(1, seed + s) for s in range(3)]))
+    print(f"flag: {n_cells} cells; sequential (CPU) time {t1:.0f}s\n")
+
+    sweep = [1, 2, 4, 8, 16, 32, 48, 96]
+    speeds = {}
+    for p in sweep:
+        tp = float(np.median([run(p, seed + 10 * p + s) for s in range(3)]))
+        speeds[f"P={p:3d}"] = speedup(t1, tp)
+        print(f"P={p:3d}  time {tp:7.1f}s  speedup {speeds[f'P={p:3d}']:6.2f}x"
+              f"  efficiency {efficiency(t1, tp, p):5.0%}")
+
+    print("\nSpeedup curve (the GPU limit is one student per cell):")
+    print(hbar_chart(speeds, width=40, fmt="{:.1f}x"))
+    print(
+        "\nEven with a marker per student, speedup saturates: every cell\n"
+        "still costs one human stroke, and the makespan becomes the\n"
+        "slowest student's single stroke plus coordination — the classroom\n"
+        "equivalent of kernel-launch overhead dominating a trivially\n"
+        "parallel workload."
+    )
+
+
+if __name__ == "__main__":
+    main()

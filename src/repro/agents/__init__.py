@@ -1,0 +1,41 @@
+"""Processor models: implements (hardware), students (processors), teams."""
+
+from .implements import (
+    CRAYON,
+    DAUBER,
+    STANDARD_KIT,
+    THICK_MARKER,
+    THIN_MARKER,
+    ImplementModel,
+    expected_speed_order,
+    get_implement,
+)
+from .student import (
+    FillStyle,
+    StudentProcessor,
+    StudentProfile,
+    TimerStudent,
+    sample_profile,
+)
+from .team import ImplementKit, Team, TeamError, make_team, merge_teams
+
+__all__ = [
+    "CRAYON",
+    "DAUBER",
+    "STANDARD_KIT",
+    "THICK_MARKER",
+    "THIN_MARKER",
+    "ImplementModel",
+    "expected_speed_order",
+    "get_implement",
+    "FillStyle",
+    "StudentProcessor",
+    "StudentProfile",
+    "TimerStudent",
+    "sample_profile",
+    "ImplementKit",
+    "Team",
+    "TeamError",
+    "make_team",
+    "merge_teams",
+]

@@ -1,0 +1,89 @@
+"""Drawing-implement "hardware" models.
+
+Section III-C/IV of the paper: *technology differences matter*.  In the
+authors' experience daubers were the fastest, then thick markers, then thin
+markers; crayons were slowest and drew complaints (and break).  Each
+implement is a small hardware model: a speed factor applied to the student's
+per-cell service time, a variability factor, and an optional fault model
+(crayon breakage with a replacement delay).
+
+The exact values are calibration constants, not measurements; what the
+benchmarks rely on — and what the tests pin — is the *ordering* and the
+rough ratios (a dauber roughly 3x a crayon per cell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ImplementModel:
+    """One kind of drawing implement.
+
+    Attributes:
+        name: implement kind ("dauber", "thick_marker", ...).
+        speed_factor: multiplier on the student's base per-cell time;
+            smaller is faster.
+        variability: extra lognormal sigma the implement adds to stroke
+            times (cheap crayons are less consistent than daubers).
+        break_prob: per-stroke probability of a fault (tip breaks, marker
+            dries) requiring a repair delay.
+        repair_time: seconds lost to one fault (peel the crayon, shake the
+            marker, fetch a spare).
+    """
+
+    name: str
+    speed_factor: float
+    variability: float = 0.0
+    break_prob: float = 0.0
+    repair_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speed_factor <= 0:
+            raise ValueError(f"{self.name}: speed_factor must be positive")
+        if not 0.0 <= self.break_prob < 1.0:
+            raise ValueError(f"{self.name}: break_prob must be in [0, 1)")
+        if self.variability < 0 or self.repair_time < 0:
+            raise ValueError(f"{self.name}: negative variability/repair_time")
+
+    def sample_fault(self, rng: np.random.Generator) -> Optional[float]:
+        """Return a repair delay if this stroke faults, else None."""
+        if self.break_prob > 0 and rng.random() < self.break_prob:
+            return self.repair_time
+        return None
+
+
+#: The standard implement kit, ordered fastest to slowest — the ordering the
+#: paper reports observing across institutions.
+DAUBER = ImplementModel("dauber", speed_factor=0.55, variability=0.05)
+THICK_MARKER = ImplementModel("thick_marker", speed_factor=1.00, variability=0.10)
+THIN_MARKER = ImplementModel("thin_marker", speed_factor=1.45, variability=0.12)
+CRAYON = ImplementModel("crayon", speed_factor=1.85, variability=0.22,
+                        break_prob=0.02, repair_time=8.0)
+
+STANDARD_KIT: Dict[str, ImplementModel] = {
+    m.name: m for m in (DAUBER, THICK_MARKER, THIN_MARKER, CRAYON)
+}
+
+
+def get_implement(name: str) -> ImplementModel:
+    """Look up a standard implement by name.
+
+    Raises:
+        KeyError: naming the known implements when the name is unknown.
+    """
+    try:
+        return STANDARD_KIT[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown implement {name!r}; known: {sorted(STANDARD_KIT)}"
+        ) from None
+
+
+def expected_speed_order() -> list:
+    """Implement names from fastest to slowest expected per-cell time."""
+    return sorted(STANDARD_KIT, key=lambda n: STANDARD_KIT[n].speed_factor)

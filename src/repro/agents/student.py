@@ -1,0 +1,211 @@
+"""The student-as-processor service-time model.
+
+A :class:`StudentProcessor` converts "color one cell" into a stochastic
+duration.  The model captures every timing phenomenon the activity turns
+into a lesson:
+
+- **warmup / learning curve** — the first run of scenario 1 is slow because
+  students are unfamiliar with the task; repeating it is markedly faster
+  (the paper's system-warmup analogy: caching, power modes, JIT).  Modeled
+  as a multiplicative penalty that decays exponentially with the number of
+  cells the student has ever colored.
+- **fill style** — Section IV: full coverage vs a scribble touching all
+  edges vs a minimal dab.  Style trades time for coverage quality, and the
+  class drifts toward minimal as it gets competitive.
+- **implement hardware** — speed/variability/faults from
+  :mod:`repro.agents.implements`.
+- **fatigue** — a mild slowdown as a student's stroke count grows within a
+  scenario (coloring is tedious).
+- **stochastic variability** — lognormal noise; humans are not clocked.
+- **handoff cost** — passing a marker to a neighbor takes time (scenario 4
+  and the pipelined rotation).
+
+All randomness flows through a ``numpy.random.Generator`` supplied by the
+caller, keeping whole-classroom simulations reproducible from one seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .implements import ImplementModel
+
+
+class FillStyle(enum.Enum):
+    """How thoroughly a student inks each cell (Section IV advice).
+
+    Values are ``(time_factor, coverage)``: FULL is slow but complete,
+    MINIMAL is fast but sparse, SCRIBBLE is the recommended middle road.
+    """
+
+    FULL = (1.6, 1.0)
+    SCRIBBLE = (1.0, 0.7)
+    MINIMAL = (0.45, 0.25)
+
+    @property
+    def time_factor(self) -> float:
+        """Multiplier on per-cell service time."""
+        return self.value[0]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the cell actually inked."""
+        return self.value[1]
+
+
+@dataclass
+class StudentProfile:
+    """Per-student constants (who the student *is*, not current state).
+
+    Attributes:
+        base_cell_time: seconds an experienced, unfatigued student needs per
+            cell with a thick marker at SCRIBBLE style.
+        sigma: lognormal sigma of the student's intrinsic variability.
+        warmup_penalty: initial multiplicative slowdown (1.0 = none); a 0.8
+            value means the very first cell takes ~1.8x base time.
+        warmup_tau: cells of experience over which the penalty decays by e.
+        fatigue_rate: fractional slowdown added per cell colored within one
+            scenario (0.0005 -> +0.05% per cell; mild boredom, not a
+            dominant effect).
+        handoff_time: seconds to pass an implement to a teammate.
+    """
+
+    base_cell_time: float = 3.0
+    sigma: float = 0.18
+    warmup_penalty: float = 0.8
+    warmup_tau: float = 25.0
+    fatigue_rate: float = 0.0005
+    handoff_time: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.base_cell_time <= 0:
+            raise ValueError("base_cell_time must be positive")
+        if self.sigma < 0 or self.warmup_penalty < 0:
+            raise ValueError("sigma and warmup_penalty must be non-negative")
+        if self.warmup_tau <= 0:
+            raise ValueError("warmup_tau must be positive")
+        if self.fatigue_rate < 0 or self.handoff_time < 0:
+            raise ValueError("fatigue_rate and handoff_time must be non-negative")
+
+
+@dataclass
+class StudentProcessor:
+    """One student acting as a processor, with persistent experience.
+
+    Experience (``lifetime_cells``) persists across scenarios within a
+    session, which is what makes scenario 1 repeated-run times drop and
+    later scenarios benefit from practice — exactly the warmup discussion
+    in Section III-C.
+    """
+
+    name: str
+    profile: StudentProfile = field(default_factory=StudentProfile)
+    lifetime_cells: int = 0
+    scenario_cells: int = 0
+
+    def begin_scenario(self) -> None:
+        """Reset within-scenario fatigue (a short rest between scenarios)."""
+        self.scenario_cells = 0
+
+    def warmup_factor(self) -> float:
+        """Current learning-curve multiplier (>= 1.0, decays to 1.0)."""
+        p = self.profile
+        return 1.0 + p.warmup_penalty * math.exp(
+            -self.lifetime_cells / p.warmup_tau
+        )
+
+    def fatigue_factor(self) -> float:
+        """Current within-scenario fatigue multiplier (>= 1.0)."""
+        return 1.0 + self.profile.fatigue_rate * self.scenario_cells
+
+    def expected_cell_time(self, implement: ImplementModel,
+                           style: FillStyle = FillStyle.SCRIBBLE) -> float:
+        """Mean per-cell time at the student's *current* experience level
+        (excluding noise and faults)."""
+        return (self.profile.base_cell_time
+                * implement.speed_factor
+                * style.time_factor
+                * self.warmup_factor()
+                * self.fatigue_factor())
+
+    def stroke_time(
+        self,
+        implement: ImplementModel,
+        rng: np.random.Generator,
+        style: FillStyle = FillStyle.SCRIBBLE,
+        complexity: float = 1.0,
+    ) -> Tuple[float, float, Optional[float]]:
+        """Sample one cell-coloring action and advance experience state.
+
+        Args:
+            complexity: per-cell difficulty multiplier from the paint
+                program (intricate outlines take longer to color inside).
+
+        Returns:
+            ``(duration, coverage, fault_delay)`` — the stroke time in
+            seconds, the coverage quality in (0, 1], and an extra repair
+            delay if the implement faulted on this stroke (None otherwise).
+        """
+        if complexity < 1.0:
+            raise ValueError(f"complexity must be >= 1.0, got {complexity}")
+        mean = self.expected_cell_time(implement, style) * complexity
+        sigma = math.hypot(self.profile.sigma, implement.variability)
+        # Lognormal with the sampled mean equal to ``mean``.
+        noise = rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma)
+        duration = mean * noise
+        fault = implement.sample_fault(rng)
+        self.lifetime_cells += 1
+        self.scenario_cells += 1
+        return duration, style.coverage, fault
+
+    def handoff_time(self, rng: np.random.Generator) -> float:
+        """Sample the time to pass an implement to a teammate."""
+        base = self.profile.handoff_time
+        if base == 0:
+            return 0.0
+        return float(base * rng.uniform(0.7, 1.3))
+
+
+@dataclass(frozen=True)
+class TimerStudent:
+    """The teammate with the cellphone stopwatch.
+
+    The times posted on the board are human measurements: a reaction delay
+    at start and stop adds noise to the true makespan.  ``measure`` returns
+    the time the timer *reports* for a true duration.
+    """
+
+    name: str
+    reaction_sigma: float = 0.25
+
+    def measure(self, true_duration: float, rng: np.random.Generator) -> float:
+        """The stopwatch reading for a true duration (never negative)."""
+        jitter = rng.normal(0.0, self.reaction_sigma) - rng.normal(
+            0.0, self.reaction_sigma
+        )
+        return max(0.0, true_duration + jitter)
+
+
+def sample_profile(rng: np.random.Generator,
+                   *, base_mean: float = 3.0,
+                   base_spread: float = 0.5) -> StudentProfile:
+    """Draw a realistic random student profile.
+
+    Students differ: per-cell base times vary around ``base_mean`` with
+    truncation away from zero, warmup penalties vary, and so do handoff
+    habits.
+    """
+    base = max(0.8, rng.normal(base_mean, base_spread))
+    return StudentProfile(
+        base_cell_time=float(base),
+        sigma=float(rng.uniform(0.12, 0.25)),
+        warmup_penalty=float(rng.uniform(0.5, 1.1)),
+        warmup_tau=float(rng.uniform(18.0, 35.0)),
+        fatigue_rate=float(rng.uniform(0.0002, 0.001)),
+        handoff_time=float(rng.uniform(1.0, 2.2)),
+    )

@@ -1,0 +1,176 @@
+"""Teams: the unit the activity organizes students into.
+
+The paper splits the class into teams of ~5 (four colorers plus a timer) or
+teams of 2-3 that merge for later scenarios.  A :class:`Team` owns its
+students, its timer, and its implement kit (one implement per color unless
+the ablation gives it duplicates), and hands the scenario runner everything
+it needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..grid.palette import Color
+from .implements import ImplementModel, THICK_MARKER
+from .student import StudentProcessor, TimerStudent, sample_profile
+
+
+class TeamError(Exception):
+    """Raised for invalid team configurations."""
+
+
+@dataclass
+class ImplementKit:
+    """The drawing implements a team was issued.
+
+    ``per_color`` maps each color to the implement model used for it;
+    ``copies`` is how many identical implements of each color the team has
+    (1 in the core activity; >1 in the extra-resources ablation).
+    """
+
+    per_color: Dict[Color, ImplementModel]
+    copies: int = 1
+
+    def __post_init__(self) -> None:
+        if self.copies < 1:
+            raise TeamError("a kit needs at least one implement per color")
+
+    @classmethod
+    def uniform(cls, colors: Sequence[Color],
+                implement: ImplementModel = THICK_MARKER,
+                copies: int = 1) -> "ImplementKit":
+        """Every color gets the same kind of implement."""
+        return cls({c: implement for c in colors}, copies=copies)
+
+    def implement_for(self, color: Color) -> ImplementModel:
+        """The implement model used for a color.
+
+        Raises:
+            TeamError: if the kit has no implement of that color.
+        """
+        try:
+            return self.per_color[color]
+        except KeyError:
+            raise TeamError(
+                f"kit has no {color.name} implement; "
+                f"has {[c.name for c in self.per_color]}"
+            ) from None
+
+    @property
+    def colors(self) -> List[Color]:
+        """Colors the kit covers."""
+        return list(self.per_color)
+
+
+@dataclass
+class Team:
+    """A group of students plus their timer and implement kit."""
+
+    name: str
+    students: List[StudentProcessor]
+    timer: TimerStudent
+    kit: ImplementKit
+    notes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.students:
+            raise TeamError(f"team {self.name!r} has no students")
+        names = [s.name for s in self.students]
+        if len(set(names)) != len(names):
+            raise TeamError(f"duplicate student names in team {self.name!r}")
+
+    @property
+    def size(self) -> int:
+        """Colorers only; the timer is extra (team of 5 = 4 + timer)."""
+        return len(self.students)
+
+    def colorers(self, n: int) -> List[StudentProcessor]:
+        """The first ``n`` students, for scenarios using fewer processors.
+
+        Raises:
+            TeamError: if the team is too small.
+        """
+        if n > len(self.students):
+            raise TeamError(
+                f"team {self.name!r} has {len(self.students)} students, "
+                f"scenario needs {n}"
+            )
+        return self.students[:n]
+
+    def begin_scenario(self) -> None:
+        """Reset per-scenario fatigue for every member."""
+        for s in self.students:
+            s.begin_scenario()
+
+
+def merge_teams(a: Team, b: Team, *, name: Optional[str] = None) -> Team:
+    """Merge two small teams into one, pooling students and implements.
+
+    The paper's alternative organization: "teams of size 2-3 that will
+    merge for the later scenarios".  The merged team keeps every student
+    (names stay unique because they carry their original team prefix),
+    team *a*'s timer, and a pooled kit: colors from both kits (*a* wins on
+    conflicting implement kinds) with the duplicate counts added — two
+    merged teams really do own two red markers, which measurably reduces
+    scenario-4 contention.
+
+    Raises:
+        TeamError: if student names collide across the two teams.
+    """
+    names = [s.name for s in a.students] + [s.name for s in b.students]
+    if len(set(names)) != len(names):
+        raise TeamError("merged teams have colliding student names")
+    per_color = dict(b.kit.per_color)
+    per_color.update(a.kit.per_color)  # a's kinds win on conflicts
+    kit = ImplementKit(per_color=per_color,
+                       copies=a.kit.copies + b.kit.copies)
+    return Team(
+        name=name or f"{a.name}+{b.name}",
+        students=list(a.students) + list(b.students),
+        timer=a.timer,
+        kit=kit,
+        notes=a.notes + b.notes + [f"merged from {a.name} and {b.name}"],
+    )
+
+
+def make_team(
+    name: str,
+    n_students: int,
+    rng: np.random.Generator,
+    *,
+    colors: Sequence[Color],
+    implement: ImplementModel = THICK_MARKER,
+    copies: int = 1,
+    base_mean: float = 3.0,
+    timer_sigma: float = 0.25,
+    kit: Optional[ImplementKit] = None,
+) -> Team:
+    """Assemble a team with randomly drawn student profiles.
+
+    Args:
+        name: team label ("team1", ...).
+        n_students: number of colorers (the timer is created in addition).
+        rng: randomness source; drives profile sampling only.
+        colors: the colors the flag needs (defines the kit).
+        implement: implement model for every color (ignored when ``kit``
+            is given).
+        copies: identical implements per color (contention ablation).
+        base_mean: mean per-cell base time across the class.
+        timer_sigma: stopwatch reaction noise of the timer student.
+        kit: fully custom kit, overriding ``implement``/``copies``.
+    """
+    if n_students < 1:
+        raise TeamError("team needs at least one colorer")
+    students = [
+        StudentProcessor(name=f"{name}.P{i + 1}",
+                         profile=sample_profile(rng, base_mean=base_mean))
+        for i in range(n_students)
+    ]
+    timer = TimerStudent(name=f"{name}.timer", reaction_sigma=timer_sigma)
+    if kit is None:
+        kit = ImplementKit.uniform(colors, implement, copies=copies)
+    return Team(name=name, students=students, timer=timer, kit=kit)

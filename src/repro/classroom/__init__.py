@@ -1,0 +1,62 @@
+"""Classroom orchestration: institutions, sessions, and debrief analysis."""
+
+from .institution import (
+    INSTITUTIONS,
+    InstitutionProfile,
+    all_institutions,
+    get_institution,
+)
+from .session import (
+    SessionReport,
+    TeamRecord,
+    run_all_institutions,
+    run_merging_session,
+    run_session,
+)
+from .reporting import compare_sessions_markdown, session_markdown
+from .materials import (
+    DryRunReport,
+    dry_run,
+    sample_cells_svg,
+    scenario_slide,
+)
+from .discussion import (
+    Lesson,
+    discussion_script,
+    Observation,
+    debrief_session,
+    debrief_team,
+    observe_contention,
+    observe_hardware,
+    observe_pipelining,
+    observe_speedup,
+    observe_warmup,
+)
+
+__all__ = [
+    "INSTITUTIONS",
+    "InstitutionProfile",
+    "all_institutions",
+    "get_institution",
+    "SessionReport",
+    "TeamRecord",
+    "run_all_institutions",
+    "run_merging_session",
+    "run_session",
+    "Lesson",
+    "Observation",
+    "debrief_session",
+    "debrief_team",
+    "discussion_script",
+    "observe_contention",
+    "observe_hardware",
+    "observe_pipelining",
+    "observe_speedup",
+    "observe_warmup",
+    "DryRunReport",
+    "dry_run",
+    "sample_cells_svg",
+    "scenario_slide",
+    "compare_sessions_markdown",
+    "session_markdown",
+]

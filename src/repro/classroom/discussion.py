@@ -1,0 +1,257 @@
+"""Automatic lesson extraction: what should the debrief discussion surface?
+
+Section III-C lists the lessons the instructor should lead students toward.
+Given a finished session (or a single team's results), these detectors
+check the evidence for each lesson and produce :class:`Observation` records
+with the supporting numbers — the machine equivalent of the instructor
+scanning the whiteboard and saying "notice anything about scenarios 3 and
+4?".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..metrics.contention import analyze_contention
+from ..metrics.speedup import speedup
+from ..metrics.warmup import estimate_warmup
+from ..schedule.pipeline import pipeline_metrics
+from ..schedule.runner import RunResult, marker_name
+from .session import SessionReport
+
+
+class Lesson(enum.Enum):
+    """The discussable lessons of Section III-C."""
+
+    SPEEDUP = "speedup"
+    SUBLINEAR_SPEEDUP = "sublinear_speedup"
+    WARMUP = "warmup"
+    HARDWARE_DIFFERENCES = "hardware_differences"
+    CONTENTION = "contention"
+    PIPELINING = "pipelining"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One detected lesson with its evidence.
+
+    Attributes:
+        lesson: which lesson the evidence supports.
+        detected: whether the run actually exhibits it.
+        evidence: human-readable supporting numbers.
+        value: the headline quantity (speedup, ratio, wait fraction, ...).
+    """
+
+    lesson: Lesson
+    detected: bool
+    evidence: str
+    value: Optional[float] = None
+
+
+def observe_speedup(results: Dict[str, RunResult]) -> List[Observation]:
+    """Times should fall from scenario 1 through 3; speedup is sublinear."""
+    out: List[Observation] = []
+    needed = ("scenario1", "scenario2", "scenario3")
+    if not all(k in results for k in needed):
+        return out
+    base_key = ("scenario1_repeat" if "scenario1_repeat" in results
+                else "scenario1")
+    t1 = results[base_key].measured_time
+    t2 = results["scenario2"].measured_time
+    t3 = results["scenario3"].measured_time
+    falling = t1 > t2 > t3
+    s3 = speedup(t1, t3)
+    out.append(Observation(
+        lesson=Lesson.SPEEDUP,
+        detected=falling,
+        evidence=(f"times {t1:.0f}s -> {t2:.0f}s -> {t3:.0f}s across "
+                  f"scenarios 1-3; speedup(4 students) = {s3:.2f}"),
+        value=s3,
+    ))
+    out.append(Observation(
+        lesson=Lesson.SUBLINEAR_SPEEDUP,
+        detected=s3 < 4.0,
+        evidence=(f"4 students achieved {s3:.2f}x, below the linear bound "
+                  f"of 4x"),
+        value=s3,
+    ))
+    return out
+
+
+def observe_warmup(results: Dict[str, RunResult]) -> List[Observation]:
+    """The repeated first scenario should be markedly faster."""
+    if "scenario1_repeat" not in results:
+        return []
+    t_first = results["scenario1"].measured_time
+    t_repeat = results["scenario1_repeat"].measured_time
+    est = estimate_warmup([t_first, t_repeat])
+    return [Observation(
+        lesson=Lesson.WARMUP,
+        detected=est.warmup_ratio > 1.05,
+        evidence=(f"first run {t_first:.0f}s vs repeat {t_repeat:.0f}s "
+                  f"({est.improvement_percent:.0f}% faster — system warmup)"),
+        value=est.warmup_ratio,
+    )]
+
+
+def observe_contention(results: Dict[str, RunResult]) -> List[Observation]:
+    """Scenario 4 should be slower than 3, with measurable implement waits."""
+    if "scenario3" not in results or "scenario4" not in results:
+        return []
+    r3, r4 = results["scenario3"], results["scenario4"]
+    resource_names = sorted({
+        str(e.data.get("resource"))
+        for e in r4.trace.events if "resource" in e.data
+    })
+    report = analyze_contention(r4.trace, resource_names)
+    slower = r4.measured_time > r3.measured_time
+    return [Observation(
+        lesson=Lesson.CONTENTION,
+        detected=slower and report.contended,
+        evidence=(f"scenario 4 took {r4.measured_time:.0f}s vs scenario 3's "
+                  f"{r3.measured_time:.0f}s with the same 4 students; "
+                  f"{report.wait_fraction * 100:.0f}% of work time was spent "
+                  f"waiting for shared implements"),
+        value=report.wait_fraction,
+    )]
+
+
+def observe_pipelining(results: Dict[str, RunResult]) -> List[Observation]:
+    """Scenario 4's first strokes form a staircase: the pipeline filling."""
+    if "scenario4" not in results:
+        return []
+    pm = pipeline_metrics(results["scenario4"].trace)
+    starts = sorted(pm.first_stroke.values())
+    staircase = len(starts) >= 3 and all(
+        b - a > 0 for a, b in zip(starts, starts[1:])
+    )
+    return [Observation(
+        lesson=Lesson.PIPELINING,
+        detected=staircase,
+        evidence=(f"workers' first strokes began at "
+                  f"{', '.join(f'{s:.0f}s' for s in starts)} — "
+                  f"the pipeline took {pm.fill_time:.0f}s to fill"),
+        value=pm.fill_time,
+    )]
+
+
+def observe_hardware(report: SessionReport,
+                     scenario: str = "scenario1") -> List[Observation]:
+    """Teams with different implements should post different times."""
+    groups = report.times_by_implement(scenario)
+    if len(groups) < 2:
+        return []
+    medians = {impl: float(np.median(ts)) for impl, ts in groups.items()}
+    ordered = sorted(medians.items(), key=lambda kv: kv[1])
+    fastest, slowest = ordered[0], ordered[-1]
+    ratio = slowest[1] / fastest[1] if fastest[1] > 0 else 1.0
+    return [Observation(
+        lesson=Lesson.HARDWARE_DIFFERENCES,
+        detected=ratio > 1.15,
+        evidence=(f"median {scenario} times by implement: "
+                  + ", ".join(f"{k}={v:.0f}s" for k, v in ordered)
+                  + f" — {slowest[0]} teams were {ratio:.1f}x slower than "
+                  f"{fastest[0]} teams"),
+        value=ratio,
+    )]
+
+
+def debrief_team(results: Dict[str, RunResult]) -> List[Observation]:
+    """All lesson detectors applicable to a single team's results."""
+    out: List[Observation] = []
+    out.extend(observe_speedup(results))
+    out.extend(observe_warmup(results))
+    out.extend(observe_contention(results))
+    out.extend(observe_pipelining(results))
+    return out
+
+
+#: Talking points per lesson: (prompt to the class, concept introduced).
+_TALKING_POINTS: Dict[Lesson, tuple] = {
+    Lesson.SPEEDUP: (
+        "Look at the board - what happened to the times as we added "
+        "people?",
+        "speedup = T(1 student) / T(N students)",
+    ),
+    Lesson.SUBLINEAR_SPEEDUP: (
+        "Four people didn't make it four times faster. What should the "
+        "speedup 'ideally' be?",
+        "linear speedup, and why real systems fall short of it",
+    ),
+    Lesson.WARMUP: (
+        "Why was the second solo run so much faster than the first?",
+        "system warmup: caching, power-saving modes, JIT compilation",
+    ),
+    Lesson.HARDWARE_DIFFERENCES: (
+        "Some teams had daubers, some had crayons - is it fair to compare "
+        "your times?",
+        "technology differences: compare identical systems or whole "
+        "systems, never mixed",
+    ),
+    Lesson.CONTENTION: (
+        "Scenarios 3 and 4 both used four people. Why was 4 slower?",
+        "contention: competition between processors for shared resources",
+    ),
+    Lesson.PIPELINING: (
+        "In scenario 4, when did each of you get to start coloring?",
+        "pipelining, and the time it takes a pipeline to fill",
+    ),
+}
+
+
+def discussion_script(observations: List[Observation]) -> str:
+    """Teaching notes for the post-activity debrief.
+
+    For each *detected* lesson: the question to pose, the evidence from
+    this very class to point at, and the concept to name — the structured
+    version of "solicit their observations, then lead them to any of
+    these ideas that the students miss" (Section III-C).
+    """
+    lines: List[str] = ["POST-ACTIVITY DISCUSSION GUIDE", ""]
+    detected = [o for o in observations if o.detected]
+    missed = [o for o in observations if not o.detected]
+    for i, obs in enumerate(detected, start=1):
+        prompt, concept = _TALKING_POINTS.get(
+            obs.lesson, ("Discuss what you observed.", obs.lesson.value)
+        )
+        lines.append(f"{i}. {obs.lesson.value.replace('_', ' ').title()}")
+        lines.append(f"   ask      : {prompt}")
+        lines.append(f"   evidence : {obs.evidence}")
+        lines.append(f"   introduce: {concept}")
+        lines.append("")
+    if missed:
+        lines.append("not observed this session (skip or mention briefly): "
+                     + ", ".join(o.lesson.value for o in missed))
+    return "\n".join(lines).rstrip()
+
+
+def debrief_session(report: SessionReport) -> List[Observation]:
+    """Class-level debrief: median team plus cross-team hardware evidence.
+
+    Per-lesson, an observation is 'detected' if a majority of teams
+    exhibit it — one noisy team shouldn't flip the classroom discussion.
+    """
+    per_team = [debrief_team(t.results) for t in report.teams]
+    out: List[Observation] = []
+    lessons = {obs.lesson for obs_list in per_team for obs in obs_list}
+    for lesson in sorted(lessons, key=lambda l: l.value):
+        instances = [obs for obs_list in per_team for obs in obs_list
+                     if obs.lesson == lesson]
+        detected = sum(1 for o in instances if o.detected)
+        majority = detected > len(instances) / 2
+        values = [o.value for o in instances if o.value is not None]
+        out.append(Observation(
+            lesson=lesson,
+            detected=majority,
+            evidence=(f"{detected}/{len(instances)} teams exhibit it; "
+                      f"median value "
+                      f"{float(np.median(values)):.2f}" if values else
+                      f"{detected}/{len(instances)} teams exhibit it"),
+            value=float(np.median(values)) if values else None,
+        ))
+    out.extend(observe_hardware(report))
+    return out

@@ -1,0 +1,116 @@
+"""Institution profiles: the six pilot sites and their variations.
+
+Each institution ran the same core activity with local differences the
+paper documents: Webster added the French/Canadian flag comparison and the
+multimedia discussion; Knox preceded the activity with the programming
+assignment and followed it with the dependency-graph exercise; teams got
+whatever implements the site had (one site's crayons drew complaints).
+A profile bundles those choices so a whole-classroom simulation can be
+configured in one line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..agents.implements import (
+    CRAYON,
+    DAUBER,
+    THICK_MARKER,
+    THIN_MARKER,
+    ImplementModel,
+)
+
+
+@dataclass(frozen=True)
+class InstitutionProfile:
+    """One pilot site's configuration.
+
+    Attributes:
+        name: the paper's abbreviation (HPU, USI, Knox, TNTech, Webster,
+            Montclair).
+        full_name: the institution's full name.
+        class_size: approximate CS1 enrollment that participated.
+        team_size: colorers per team (the timer is extra).
+        implements: the implement kinds available, cycled across teams —
+            giving teams *different* implements is the Section IV advice
+            that surfaces the hardware lesson.
+        repeat_scenario1: whether scenario 1 was run twice (warmup lesson).
+        webster_variation: ran the French/Canadian flag comparison.
+        knox_followup: ran the dependency-graph follow-up (and the survey's
+            starred tie-in item).
+        ran_prepost_quiz: administered the Figure 7 quiz.
+    """
+
+    name: str
+    full_name: str
+    class_size: int
+    team_size: int = 4
+    implements: Tuple[ImplementModel, ...] = (THICK_MARKER,)
+    repeat_scenario1: bool = True
+    webster_variation: bool = False
+    knox_followup: bool = False
+    ran_prepost_quiz: bool = False
+
+    def implement_for_team(self, team_index: int) -> ImplementModel:
+        """Which implement kind team ``team_index`` receives (cycled)."""
+        return self.implements[team_index % len(self.implements)]
+
+    @property
+    def n_teams(self) -> int:
+        """Teams of ``team_size`` colorers + 1 timer each."""
+        return max(1, self.class_size // (self.team_size + 1))
+
+
+#: The six pilot institutions.  Implement mixes are illustrative (the paper
+#: reports using a variety "by default due to a lack of sufficient supplies
+#: of a single type" and that one site's crayons drew complaints); the mix
+#: below gives every site some variety and one site crayons.
+INSTITUTIONS: Dict[str, InstitutionProfile] = {
+    "HPU": InstitutionProfile(
+        name="HPU", full_name="Hawaii Pacific University", class_size=12,
+        implements=(THICK_MARKER, DAUBER), ran_prepost_quiz=True,
+    ),
+    "USI": InstitutionProfile(
+        name="USI", full_name="University of Southern Indiana",
+        class_size=20, implements=(THICK_MARKER, THIN_MARKER, DAUBER),
+        ran_prepost_quiz=True,
+    ),
+    "Knox": InstitutionProfile(
+        name="Knox", full_name="Knox College", class_size=65,
+        implements=(THICK_MARKER, THIN_MARKER), knox_followup=True,
+    ),
+    "TNTech": InstitutionProfile(
+        name="TNTech", full_name="Tennessee Tech University", class_size=90,
+        implements=(CRAYON, THICK_MARKER), ran_prepost_quiz=True,
+    ),
+    "Webster": InstitutionProfile(
+        name="Webster", full_name="Webster University", class_size=16,
+        implements=(THICK_MARKER, DAUBER), webster_variation=True,
+    ),
+    "Montclair": InstitutionProfile(
+        name="Montclair", full_name="Montclair State University",
+        class_size=30, implements=(THIN_MARKER, THICK_MARKER),
+    ),
+}
+
+
+def get_institution(name: str) -> InstitutionProfile:
+    """Look up a profile by abbreviation.
+
+    Raises:
+        KeyError: listing the six sites when unknown.
+    """
+    try:
+        return INSTITUTIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown institution {name!r}; valid: {sorted(INSTITUTIONS)}"
+        ) from None
+
+
+def all_institutions() -> List[InstitutionProfile]:
+    """All six profiles in the tables' column order."""
+    order = ("HPU", "Knox", "Montclair", "TNTech", "USI", "Webster")
+    return [INSTITUTIONS[n] for n in order]

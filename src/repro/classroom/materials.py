@@ -1,0 +1,189 @@
+"""Classroom materials and the pre-class dry run (Section IV tooling).
+
+Section IV's practical advice, automated:
+
+- **scenario slides**: per-scenario SVG handouts with the task
+  decomposition drawn and cells numbered in coloring order ("Number the
+  cells to efficiently convey the order ... otherwise a tricky concept");
+- **sample cells**: the properly-filled-cell examples (one per fill
+  style) to show before the activity;
+- **dry run**: a checklist simulation that catches dead markers, missing
+  colors, oversized grids and over-long sessions before class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..agents.implements import ImplementModel
+from ..agents.student import FillStyle, StudentProcessor, StudentProfile
+from ..agents.team import ImplementKit
+from ..flags.compiler import compile_flag
+from ..flags.decompose import Partition, scenario_partition
+from ..flags.spec import FlagSpec
+from ..grid.render import to_svg
+
+
+def scenario_slide(
+    spec: FlagSpec,
+    scenario: int,
+    *,
+    rows: Optional[int] = None,
+    cols: Optional[int] = None,
+) -> str:
+    """SVG for one scenario's instruction slide (the Figure 1 images).
+
+    The flag is rendered with grid lines; each cell is numbered with its
+    position in the owning worker's coloring order, and the worker index
+    is encoded in the number's thousands digit (P1 cells are 1000+seq),
+    matching the "P1 through P4 ... numbers indicating the execution
+    order" convention of Figure 1.
+    """
+    program = compile_flag(spec, rows, cols)
+    partition = scenario_partition(program, scenario)
+    numbers = np.full((program.rows, program.cols), -1, dtype=int)
+    for w, ops in enumerate(partition.assignments):
+        for i, op in enumerate(ops):
+            numbers[op.cell] = (w + 1) * 1000 + i
+    return to_svg(spec.final_image(program.rows, program.cols),
+                  numbers=numbers, grid_lines=True)
+
+
+def sample_cells_svg() -> str:
+    """A strip of three demonstration cells, one per fill style.
+
+    The instructor's "examples of properly filled cells": full coverage,
+    the recommended scribble, and the minimal dab, drawn as increasingly
+    sparse hatch patterns.
+    """
+    cell = 60
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{3 * cell + 40}" '
+        f'height="{cell + 30}">'
+    ]
+    styles = [(FillStyle.FULL, "full"), (FillStyle.SCRIBBLE, "scribble"),
+              (FillStyle.MINIMAL, "minimal")]
+    for i, (style, label) in enumerate(styles):
+        x0 = 10 + i * (cell + 10)
+        parts.append(
+            f'<rect x="{x0}" y="10" width="{cell}" height="{cell}" '
+            f'fill="white" stroke="#333"/>'
+        )
+        # Hatch density proportional to coverage.
+        n_lines = max(1, int(style.coverage * 10))
+        for k in range(n_lines):
+            y = 10 + (k + 0.5) * cell / n_lines
+            parts.append(
+                f'<line x1="{x0 + 3}" y1="{y:.1f}" x2="{x0 + cell - 3}" '
+                f'y2="{y:.1f}" stroke="#d22" stroke-width="3"/>'
+            )
+        parts.append(
+            f'<text x="{x0 + cell / 2}" y="{cell + 25}" font-size="11" '
+            f'text-anchor="middle">{label} ({style.coverage:.0%})</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+@dataclass
+class DryRunReport:
+    """Outcome of the instructor's pre-class dry run.
+
+    ``ok`` is True when no blocking problem was found; ``warnings`` are
+    non-blocking, ``problems`` must be fixed before class.
+    """
+
+    estimated_minutes: Dict[str, float] = field(default_factory=dict)
+    warnings: List[str] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No blocking problems found."""
+        return not self.problems
+
+    @property
+    def total_minutes(self) -> float:
+        """Estimated coloring time across all scenarios (excluding
+        discussion and setup)."""
+        return sum(self.estimated_minutes.values())
+
+
+def dry_run(
+    spec: FlagSpec,
+    kit: ImplementKit,
+    *,
+    class_minutes: float = 50.0,
+    scenarios: Optional[List[int]] = None,
+    repeat_first: bool = True,
+    rows: Optional[int] = None,
+    cols: Optional[int] = None,
+) -> DryRunReport:
+    """Validate the planned activity before class.
+
+    Checks the kit covers the flag's colors, flags fault-prone implements
+    (crayons), estimates per-scenario coloring time from the default
+    student model, and warns when the plan exceeds the class period.
+    """
+    report = DryRunReport()
+    scenarios = scenarios or [1, 2, 3, 4]
+
+    # Kit coverage.
+    needed = set(spec.colors_used())
+    have = set(kit.per_color)
+    missing = needed - have
+    if missing:
+        report.problems.append(
+            "kit missing implements for: "
+            + ", ".join(sorted(c.name.lower() for c in missing))
+        )
+    for color in needed & have:
+        impl = kit.per_color[color]
+        if impl.break_prob > 0.01:
+            report.warnings.append(
+                f"{impl.name} ({color.name.lower()}) is fault-prone "
+                f"(breakage p={impl.break_prob}); expect complaints"
+            )
+
+    # Grid sanity.
+    program = compile_flag(spec, rows, cols)
+    if program.n_ops > 400:
+        report.warnings.append(
+            f"{program.n_ops} strokes per flag is a lot of coloring; "
+            "consider a coarser grid"
+        )
+
+    if report.problems:
+        return report
+
+    # Time estimates with a median student on the kit's implements.
+    student = StudentProcessor("dryrun", StudentProfile())
+    per_scenario_workers = {1: 1, 2: 2, 3: 4, 4: 4}
+    experience = 0
+    for scn in scenarios:
+        runs = 2 if (scn == 1 and repeat_first) else 1
+        for r in range(runs):
+            student.lifetime_cells = experience
+            workers = per_scenario_workers.get(scn, 4)
+            total = 0.0
+            for op in program.ops:
+                impl = kit.implement_for(op.color)
+                total += (student.expected_cell_time(impl)
+                          * op.complexity)
+            # Static near-even split; scenario 4 pays a contention tax.
+            est = total / workers
+            if scn == 4:
+                est *= 1.4
+            key = f"scenario{scn}" + ("_repeat" if r else "")
+            report.estimated_minutes[key] = est / 60.0
+            experience += program.n_ops // workers
+
+    if report.total_minutes > class_minutes * 0.6:
+        report.warnings.append(
+            f"estimated {report.total_minutes:.0f} min of coloring in a "
+            f"{class_minutes:.0f} min period leaves little discussion time"
+        )
+    return report

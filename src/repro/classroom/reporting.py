@@ -1,0 +1,131 @@
+"""Instructor session reports: one markdown document per class session.
+
+Bundles everything an instructor would file after running the activity:
+the whiteboard, median speedups, per-implement comparisons, the detected
+lessons with evidence, and the discussion guide — generated from a
+:class:`SessionReport` so a simulated (or, with real data entered, an
+actual) session becomes a shareable artifact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..metrics.speedup import speedup
+from ..viz.tables import format_table
+from .discussion import debrief_session, discussion_script
+from .session import SessionReport
+
+
+def session_markdown(report: SessionReport, *,
+                     include_discussion_guide: bool = True) -> str:
+    """Render a full session report as markdown.
+
+    Sections: header, whiteboard (all teams), medians + speedups,
+    implement comparison (when teams differed), detected lessons, and
+    optionally the discussion guide.
+    """
+    lines: List[str] = [
+        f"# Activity report — {report.institution}",
+        "",
+        f"Flag: **{report.flag}** · Teams: **{len(report.teams)}** · "
+        f"All flags correct: "
+        f"**{'yes' if report.all_correct() else 'NO'}**",
+        "",
+        "## Whiteboard (measured times, seconds)",
+        "",
+    ]
+
+    scenario_labels = list(report.board)
+    rows = []
+    for t in report.teams:
+        row: List[object] = [t.team_name, t.implement]
+        for label in scenario_labels:
+            r = t.results.get(label)
+            row.append(None if r is None else round(r.measured_time))
+        rows.append(row)
+    lines.append(format_table(["team", "implement"] + scenario_labels,
+                              rows, markdown=True))
+    lines.append("")
+
+    med = report.median_times()
+    base_key = ("scenario1_repeat" if "scenario1_repeat" in med
+                else "scenario1")
+    lines.append("## Median times and speedups")
+    lines.append("")
+    sp_rows = []
+    for label in scenario_labels:
+        sp_rows.append([
+            label,
+            round(med[label]),
+            f"{speedup(med[base_key], med[label]):.2f}x",
+        ])
+    lines.append(format_table(
+        ["scenario", "median time (s)", f"speedup vs {base_key}"],
+        sp_rows, markdown=True,
+    ))
+    lines.append("")
+
+    by_impl = report.times_by_implement("scenario1")
+    if len(by_impl) > 1:
+        lines.append("## Hardware comparison (scenario 1 by implement)")
+        lines.append("")
+        impl_rows = [
+            [impl, len(times), round(float(np.median(times)))]
+            for impl, times in sorted(by_impl.items())
+        ]
+        lines.append(format_table(
+            ["implement", "teams", "median time (s)"],
+            impl_rows, markdown=True,
+        ))
+        lines.append("")
+
+    observations = debrief_session(report)
+    lines.append("## Lessons detected")
+    lines.append("")
+    for obs in observations:
+        mark = "x" if obs.detected else " "
+        lines.append(f"- [{mark}] **{obs.lesson.value}** — {obs.evidence}")
+    lines.append("")
+
+    if include_discussion_guide:
+        lines.append("## Discussion guide")
+        lines.append("")
+        lines.append("```")
+        lines.append(discussion_script(observations))
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def compare_sessions_markdown(reports: List[SessionReport]) -> str:
+    """A cross-institution comparison table (median times + key ratios).
+
+    The multi-site view of the paper's pilot: one row per institution with
+    its scenario medians, warmup ratio and contention slowdown.
+    """
+    if not reports:
+        raise ValueError("no session reports to compare")
+    rows = []
+    for rep in reports:
+        med = rep.median_times()
+        warm = (med["scenario1"] / med["scenario1_repeat"]
+                if "scenario1_repeat" in med else None)
+        cont = (med["scenario4"] / med["scenario3"]
+                if "scenario3" in med and "scenario4" in med else None)
+        rows.append([
+            rep.institution,
+            len(rep.teams),
+            round(med.get("scenario1", float("nan"))),
+            round(med.get("scenario3", float("nan"))),
+            round(med.get("scenario4", float("nan"))),
+            None if warm is None else f"{warm:.2f}x",
+            None if cont is None else f"{cont:.2f}x",
+        ])
+    return format_table(
+        ["site", "teams", "s1 (s)", "s3 (s)", "s4 (s)",
+         "warmup", "s4/s3"],
+        rows, markdown=True,
+    )

@@ -1,0 +1,208 @@
+"""Whole-classroom sessions: many teams, all scenarios, a public whiteboard.
+
+This orchestrates what the instructor actually does: split the class into
+teams, hand out implements (possibly different kinds per team), run every
+scenario with all teams coloring simultaneously, collect each team's
+stopwatch time after each scenario, and post the times publicly.  The
+result object is the "whiteboard" the post-activity discussion works from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..agents.implements import ImplementModel
+from ..agents.team import Team, make_team
+from ..flags.catalog import mauritius
+from ..flags.spec import FlagSpec
+from ..metrics.speedup import ScenarioTimes, speedup, whiteboard
+from ..schedule.runner import AcquirePolicy, RunResult
+from ..schedule.scenario import run_core_activity
+from .institution import InstitutionProfile
+
+
+@dataclass
+class TeamRecord:
+    """One team's complete activity outcome."""
+
+    team_name: str
+    implement: str
+    results: Dict[str, RunResult]
+
+    def times(self) -> ScenarioTimes:
+        """The team's whiteboard row (measured stopwatch times)."""
+        return ScenarioTimes(
+            team=self.team_name,
+            times={label: r.measured_time for label, r in self.results.items()},
+        )
+
+
+@dataclass
+class SessionReport:
+    """Everything a classroom session produced.
+
+    Attributes:
+        institution: which profile ran the session.
+        flag: the flag that was colored.
+        teams: per-team records in team order.
+        board: scenario label -> list of measured times (the whiteboard).
+    """
+
+    institution: str
+    flag: str
+    teams: List[TeamRecord] = field(default_factory=list)
+
+    @property
+    def board(self) -> Dict[str, List[float]]:
+        """The public whiteboard: all teams' times per scenario."""
+        return whiteboard([t.times() for t in self.teams])
+
+    def median_times(self) -> Dict[str, float]:
+        """Class-median time per scenario."""
+        return {
+            label: float(np.median(ts)) for label, ts in self.board.items()
+        }
+
+    def median_speedups(self, baseline: str = "scenario1") -> Dict[str, float]:
+        """Median speedup per scenario against the chosen baseline."""
+        med = self.median_times()
+        t1 = med[baseline]
+        return {label: speedup(t1, t) for label, t in med.items()}
+
+    def all_correct(self) -> bool:
+        """Did every team produce a correct flag in every scenario?"""
+        return all(r.correct for t in self.teams for r in t.results.values())
+
+    def times_by_implement(self, scenario: str = "scenario1") -> Dict[str, List[float]]:
+        """Measured times of one scenario grouped by implement kind —
+        the hardware-differences discussion data."""
+        out: Dict[str, List[float]] = {}
+        for t in self.teams:
+            if scenario in t.results:
+                out.setdefault(t.implement, []).append(
+                    t.results[scenario].measured_time
+                )
+        return out
+
+
+def run_session(
+    profile: InstitutionProfile,
+    seed: int,
+    *,
+    spec: Optional[FlagSpec] = None,
+    n_teams: Optional[int] = None,
+    policy: AcquirePolicy = AcquirePolicy.HOLD_COLOR_RUN,
+) -> SessionReport:
+    """Simulate one institution's full classroom session.
+
+    Teams are assembled with the profile's team size and implement cycle;
+    every team runs the complete core activity (with the profile's
+    repeat-scenario-1 choice).  Deterministic given ``seed``.
+    """
+    spec = spec or mauritius()
+    n_teams = n_teams or profile.n_teams
+    report = SessionReport(institution=profile.name, flag=spec.name)
+    colors = list(spec.colors_used())
+    for ti in range(n_teams):
+        rng = np.random.default_rng(seed * 10_007 + ti)
+        implement = profile.implement_for_team(ti)
+        team = make_team(
+            f"{profile.name}.team{ti + 1}",
+            profile.team_size,
+            rng,
+            colors=colors,
+            implement=implement,
+        )
+        results = run_core_activity(
+            spec, team, rng,
+            repeat_first=profile.repeat_scenario1,
+            policy=policy,
+        )
+        report.teams.append(TeamRecord(
+            team_name=team.name,
+            implement=implement.name,
+            results=results,
+        ))
+    return report
+
+
+def run_merging_session(
+    profile: InstitutionProfile,
+    seed: int,
+    *,
+    spec: Optional[FlagSpec] = None,
+    n_pairs: Optional[int] = None,
+    policy: AcquirePolicy = AcquirePolicy.HOLD_COLOR_RUN,
+) -> SessionReport:
+    """The paper's alternative organization: small teams that merge.
+
+    "The students are split into ... teams of size 2-3 that will merge
+    for the later scenarios": each pair of 2-student teams runs scenarios
+    1 and 2 separately, then merges (pooling students *and* implements)
+    for scenarios 3 and 4.  The merged teams' doubled implement counts
+    measurably soften scenario-4 contention — a built-in ablation.
+
+    Each merged team's record carries the scenario 1-2 times of its first
+    constituent (the whiteboard still shows one row per final team).
+    """
+    from dataclasses import replace as dc_replace
+
+    from ..agents.team import merge_teams
+    from ..flags.compiler import compile_flag
+    from ..flags.decompose import scenario_partition
+    from ..schedule.runner import run_partition
+    from ..schedule.scenario import core_scenarios, run_scenario
+
+    spec = spec or mauritius()
+    n_pairs = n_pairs if n_pairs is not None else max(1, profile.n_teams // 2)
+    colors = list(spec.colors_used())
+    scenarios = core_scenarios()
+    report = SessionReport(institution=profile.name, flag=spec.name)
+
+    for pi in range(n_pairs):
+        rng = np.random.default_rng(seed * 20_011 + pi)
+        implement = profile.implement_for_team(pi)
+        half_a = make_team(f"{profile.name}.pair{pi + 1}a", 2, rng,
+                           colors=colors, implement=implement)
+        half_b = make_team(f"{profile.name}.pair{pi + 1}b", 2, rng,
+                           colors=colors, implement=implement)
+        results = {}
+        # Scenarios 1 and 2 on the first small team.
+        results["scenario1"] = run_scenario(scenarios[0], spec, half_a, rng,
+                                            policy=policy)
+        if profile.repeat_scenario1:
+            r = run_scenario(scenarios[0], spec, half_a, rng, policy=policy)
+            r.label = "scenario1_repeat"
+            results["scenario1_repeat"] = r
+        results["scenario2"] = run_scenario(scenarios[1], spec, half_a, rng,
+                                            policy=policy)
+        # Merge for scenarios 3 and 4: four colorers, pooled implements.
+        merged = merge_teams(half_a, half_b)
+        for s in scenarios[2:]:
+            results[f"scenario{s.number}"] = run_scenario(
+                s, spec, merged, rng, policy=policy
+            )
+        report.teams.append(TeamRecord(
+            team_name=merged.name,
+            implement=implement.name,
+            results=results,
+        ))
+    return report
+
+
+def run_all_institutions(seed: int = 0, *,
+                         n_teams_cap: Optional[int] = 4) -> Dict[str, SessionReport]:
+    """Run a session at every pilot site (capped team counts keep it quick).
+
+    Returns reports keyed by institution abbreviation.
+    """
+    from .institution import all_institutions
+    out: Dict[str, SessionReport] = {}
+    for i, profile in enumerate(all_institutions()):
+        n = profile.n_teams if n_teams_cap is None else min(profile.n_teams,
+                                                            n_teams_cap)
+        out[profile.name] = run_session(profile, seed + i, n_teams=n)
+    return out

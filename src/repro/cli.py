@@ -1,0 +1,345 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives instructors the library's main flows without writing Python:
+
+- ``flags`` — list the catalog.
+- ``render FLAG`` — draw a flag (ascii/ansi/svg/ppm).
+- ``scenario FLAG N`` — simulate one core scenario.
+- ``activity`` — the full four-scenario activity with the whiteboard.
+- ``session SITE`` — a whole classroom at one pilot institution.
+- ``depgraph FLAG`` — the dependency graph (text or DOT).
+- ``dryrun FLAG`` — Section IV's pre-class checklist.
+- ``animate FLAG N`` — frame-by-frame scenario animation (Webster [34]).
+- ``slides FLAG N`` — the numbered-cell SVG instruction slide (Fig 1).
+- ``debrief SITE`` — the post-activity discussion guide.
+- ``report SITE`` — a full markdown session report.
+- ``grade`` — grade a simulated Jordan submission cohort (Sec V-C).
+- ``tables`` — regenerate Tables I-III from synthetic populations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_flags(args: argparse.Namespace) -> int:
+    from .flags import available_flags, get_flag
+    for name, desc in sorted(available_flags().items()):
+        spec = get_flag(name)
+        kind = "layered" if spec.is_layered() else "flat"
+        print(f"{name:18s} {spec.default_rows:>2}x{spec.default_cols:<3} "
+              f"{kind:7s} {desc}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from .flags import get_flag
+    from .grid.render import to_ansi, to_ascii, to_ppm, to_svg
+    spec = get_flag(args.flag)
+    img = spec.final_image(args.rows, args.cols)
+    if args.format == "ascii":
+        print(to_ascii(img))
+    elif args.format == "ansi":
+        print(to_ansi(img))
+    elif args.format == "svg":
+        sys.stdout.write(to_svg(img) + "\n")
+    elif args.format == "ppm":
+        sys.stdout.buffer.write(to_ppm(img))
+    return 0
+
+
+def _make_team(spec, seed: int, n: int, copies: int = 1):
+    from .agents import make_team
+    rng = np.random.default_rng(seed)
+    return make_team("team", n, rng, colors=list(spec.colors_used()),
+                     copies=copies)
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .flags import get_flag
+    from .schedule import get_scenario, run_scenario
+    from .viz import render_agent_loads
+    spec = get_flag(args.flag)
+    scenario = get_scenario(args.number)
+    team = _make_team(spec, args.seed, max(scenario.n_colorers, 4))
+    rng = np.random.default_rng(args.seed)
+    r = run_scenario(scenario, spec, team, rng)
+    print(f"{scenario.name}: {scenario.description}")
+    print(f"  measured time : {r.measured_time:.0f}s "
+          f"(true {r.true_makespan:.1f}s)")
+    print(f"  workers       : {r.n_workers}")
+    print(f"  correct flag  : {'yes' if r.correct else 'NO'}")
+    print(f"  waiting share : {r.trace.total_wait_fraction():.0%}")
+    print()
+    print(render_agent_loads(r.trace, width=30))
+    return 0 if r.correct else 1
+
+
+def _cmd_activity(args: argparse.Namespace) -> int:
+    from .flags import get_flag
+    from .metrics import speedup
+    from .schedule import run_core_activity
+    spec = get_flag(args.flag)
+    team = _make_team(spec, args.seed, 4)
+    rng = np.random.default_rng(args.seed)
+    results = run_core_activity(spec, team, rng,
+                                repeat_first=not args.no_repeat)
+    base_key = ("scenario1_repeat" if "scenario1_repeat" in results
+                else "scenario1")
+    t_base = results[base_key].measured_time
+    print(f"{'run':18s} {'time':>8s} {'speedup':>8s}  correct")
+    for label, r in results.items():
+        s = speedup(t_base, r.measured_time)
+        print(f"{label:18s} {r.measured_time:7.0f}s {s:7.2f}x  "
+              f"{'yes' if r.correct else 'NO'}")
+    return 0
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    from .classroom import debrief_session, get_institution, run_session
+    profile = get_institution(args.site)
+    report = run_session(profile, args.seed, n_teams=args.teams)
+    print(f"{profile.full_name}: {len(report.teams)} teams")
+    for label, times in report.board.items():
+        joined = " ".join(f"{t:6.0f}" for t in times)
+        print(f"  {label:18s} {joined}")
+    print("\ndebrief:")
+    for obs in debrief_session(report):
+        mark = "x" if obs.detected else " "
+        print(f"  [{mark}] {obs.lesson.value:22s} {obs.evidence}")
+    return 0
+
+
+def _cmd_depgraph(args: argparse.Namespace) -> int:
+    from .depgraph import flag_dag
+    from .depgraph.dot import to_dot
+    from .depgraph.schedule_dag import graham_bound, list_schedule
+    from .flags import get_flag
+    spec = get_flag(args.flag)
+    g = flag_dag(spec)
+    if args.dot:
+        print(to_dot(g, name=spec.name, show_weights=True,
+                     highlight_critical_path=True))
+        return 0
+    print(f"dependency graph for {spec.name}:")
+    for level_no, level in enumerate(g.levels()):
+        print(f"  level {level_no}: {', '.join(level)}")
+    cp, path = g.critical_path()
+    print(f"  critical path: {' -> '.join(path)} ({cp:.0f} cells)")
+    print(f"  speedup ceiling: {g.ideal_speedup_bound():.2f}x")
+    if args.processors:
+        sched = list_schedule(g, args.processors)
+        print(f"  list schedule on P={args.processors}: "
+              f"makespan {sched.makespan:.0f} "
+              f"(Graham bound {graham_bound(g, args.processors):.0f})")
+    return 0
+
+
+def _cmd_dryrun(args: argparse.Namespace) -> int:
+    from .agents import ImplementKit
+    from .agents.implements import get_implement
+    from .classroom.materials import dry_run
+    from .flags import get_flag
+    spec = get_flag(args.flag)
+    kit = ImplementKit.uniform(spec.colors_used(),
+                               get_implement(args.implement))
+    report = dry_run(spec, kit, class_minutes=args.minutes)
+    print(f"dry run for {spec.name} with {args.implement}s:")
+    for key, minutes in report.estimated_minutes.items():
+        print(f"  {key:18s} ~{minutes:4.1f} min")
+    print(f"  total coloring   ~{report.total_minutes:4.1f} min "
+          f"of a {args.minutes:.0f} min period")
+    for w in report.warnings:
+        print(f"  warning: {w}")
+    for p in report.problems:
+        print(f"  PROBLEM: {p}")
+    print("ready to run" if report.ok else "fix problems before class")
+    return 0 if report.ok else 1
+
+
+def _cmd_animate(args: argparse.Namespace) -> int:
+    from .flags import get_flag
+    from .schedule import get_scenario, run_scenario
+    from .viz import ascii_frames, progress_curve, sparkline
+    spec = get_flag(args.flag)
+    scenario = get_scenario(args.number)
+    team = _make_team(spec, args.seed, max(scenario.n_colorers, 4))
+    rng = np.random.default_rng(args.seed)
+    r = run_scenario(scenario, spec, team, rng)
+    rows, cols = r.canvas.rows, r.canvas.cols
+    for frame in ascii_frames(r.trace, rows, cols, n_frames=args.frames):
+        print(frame)
+        print()
+    curve = progress_curve(r.trace, rows, cols)
+    print("progress: " + sparkline([f for _, f in curve], vmax=1.0))
+    return 0
+
+
+def _cmd_slides(args: argparse.Namespace) -> int:
+    from .classroom.materials import scenario_slide
+    from .flags import get_flag
+    sys.stdout.write(scenario_slide(get_flag(args.flag), args.number) + "\n")
+    return 0
+
+
+def _cmd_debrief(args: argparse.Namespace) -> int:
+    from .classroom import (
+        debrief_session,
+        discussion_script,
+        get_institution,
+        run_session,
+    )
+    report = run_session(get_institution(args.site), args.seed,
+                         n_teams=args.teams)
+    print(discussion_script(debrief_session(report)))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .classroom import get_institution, run_session, session_markdown
+    report = run_session(get_institution(args.site), args.seed,
+                         n_teams=args.teams)
+    sys.stdout.write(session_markdown(report))
+    return 0
+
+
+def _cmd_grade(args: argparse.Namespace) -> int:
+    from .depgraph import Category, generate_exact_paper_cohort, grade_all
+    rng = np.random.default_rng(args.seed)
+    report = grade_all(generate_exact_paper_cohort(rng))
+    for cat in Category:
+        n = report.counts.get(cat, 0)
+        if n:
+            print(f"{cat.value:16s} {n:3d}  ({report.fraction(cat):.0%})")
+    print(f"at least mostly correct: {report.at_least_mostly_correct:.0%}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .data import INSTITUTIONS
+    from .survey.respond import (
+        recompute_table,
+        synthesize_all,
+        table_discrepancies,
+    )
+    from .viz import format_table
+    sets_ = synthesize_all(seed=args.seed)
+    ok = True
+    for tid in ("I", "II", "III"):
+        table = recompute_table(tid, sets_)
+        rows = [[q[:55]] + [table[q][i] for i in INSTITUTIONS]
+                for q in table]
+        print(f"Table {tid}:")
+        print(format_table(["question"] + list(INSTITUTIONS), rows))
+        diffs = table_discrepancies(tid, sets_)
+        ok = ok and not diffs
+        print(f"  vs paper: {'exact' if not diffs else diffs}\n")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="flagsim: the unplugged PDC flag-coloring activity, "
+                    "simulated.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("flags", help="list the flag catalog")
+
+    p = sub.add_parser("render", help="draw a flag")
+    p.add_argument("flag")
+    p.add_argument("--rows", type=int, default=None)
+    p.add_argument("--cols", type=int, default=None)
+    p.add_argument("--format", choices=("ascii", "ansi", "svg", "ppm"),
+                   default="ansi")
+
+    p = sub.add_parser("scenario", help="simulate one core scenario")
+    p.add_argument("flag")
+    p.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    p.add_argument("--seed", type=int, default=42)
+
+    p = sub.add_parser("activity", help="run the full core activity")
+    p.add_argument("--flag", default="mauritius")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--no-repeat", action="store_true",
+                   help="do not repeat scenario 1")
+
+    p = sub.add_parser("session", help="simulate a whole classroom")
+    p.add_argument("site", choices=("HPU", "USI", "Knox", "TNTech",
+                                    "Webster", "Montclair"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--teams", type=int, default=3)
+
+    p = sub.add_parser("depgraph", help="show a flag's dependency graph")
+    p.add_argument("flag")
+    p.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p.add_argument("--processors", type=int, default=0,
+                   help="also list-schedule onto P processors")
+
+    p = sub.add_parser("dryrun", help="pre-class checklist (Section IV)")
+    p.add_argument("flag")
+    p.add_argument("--implement", default="thick_marker")
+    p.add_argument("--minutes", type=float, default=50.0)
+
+    p = sub.add_parser("animate", help="frame-by-frame scenario animation")
+    p.add_argument("flag")
+    p.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--frames", type=int, default=6)
+
+    p = sub.add_parser("slides", help="SVG instruction slide for a scenario")
+    p.add_argument("flag")
+    p.add_argument("number", type=int, choices=(1, 2, 3, 4))
+
+    p = sub.add_parser("debrief", help="post-activity discussion guide")
+    p.add_argument("site", choices=("HPU", "USI", "Knox", "TNTech",
+                                    "Webster", "Montclair"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--teams", type=int, default=3)
+
+    p = sub.add_parser("report", help="markdown session report")
+    p.add_argument("site", choices=("HPU", "USI", "Knox", "TNTech",
+                                    "Webster", "Montclair"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--teams", type=int, default=3)
+
+    p = sub.add_parser("grade", help="grade a simulated Jordan cohort")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("tables", help="regenerate Tables I-III")
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_COMMANDS = {
+    "flags": _cmd_flags,
+    "render": _cmd_render,
+    "scenario": _cmd_scenario,
+    "activity": _cmd_activity,
+    "session": _cmd_session,
+    "depgraph": _cmd_depgraph,
+    "dryrun": _cmd_dryrun,
+    "animate": _cmd_animate,
+    "slides": _cmd_slides,
+    "debrief": _cmd_debrief,
+    "report": _cmd_report,
+    "grade": _cmd_grade,
+    "tables": _cmd_tables,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

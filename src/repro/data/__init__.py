@@ -1,0 +1,29 @@
+"""Published numbers from the paper, as constants for paper-vs-measured rows."""
+
+from .paper_tables import (
+    ALL_TABLES,
+    DEPGRAPH_RESULTS,
+    FIG8_TRANSITIONS,
+    INSTITUTIONS,
+    QUIZ_CONCEPTS,
+    QUIZ_N,
+    SURVEY_N,
+    TABLE_I,
+    TABLE_II,
+    TABLE_III,
+    validate_transitions,
+)
+
+__all__ = [
+    "ALL_TABLES",
+    "DEPGRAPH_RESULTS",
+    "FIG8_TRANSITIONS",
+    "INSTITUTIONS",
+    "QUIZ_CONCEPTS",
+    "QUIZ_N",
+    "SURVEY_N",
+    "TABLE_I",
+    "TABLE_II",
+    "TABLE_III",
+    "validate_transitions",
+]

@@ -1,0 +1,272 @@
+"""Rubric grading of student-drawn dependency graphs (Section V-C).
+
+The paper's examiners sorted 29 Jordan-flag submissions into: perfectly
+correct (10, 34%), mostly correct (7, 24% — split triangle, merged stripes,
+or spatial layout without arrows), linear chains (the most common error),
+incomplete drawings, and "no learning demonstrated" (drew the flag or wrote
+code).  This module encodes that rubric as an executable classifier over
+:class:`Submission` objects, with the same allowances the paper grants:
+
+- the white-stripe task may be omitted (blank paper is white);
+- redundant transitive edges are forgiven (closure comparison);
+- the split triangle counts as mostly correct even though none of the
+  students got its edges exactly right.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .flag_dags import (
+    jordan_linear_chain_dag,
+    jordan_merged_stripes_dag,
+    jordan_reference_dag,
+    jordan_reference_dag_with_white,
+    jordan_split_triangle_dag,
+)
+from .graph import TaskGraph
+
+
+class SubmissionKind(enum.Enum):
+    """What the student actually handed in."""
+
+    GRAPH = "graph"
+    FLAG_DRAWING = "flag_drawing"
+    CODE = "code"
+
+
+class Category(enum.Enum):
+    """The paper's grading buckets, plus OTHER for unclassifiable graphs."""
+
+    PERFECT = "perfect"
+    MOSTLY_CORRECT = "mostly_correct"
+    LINEAR_CHAIN = "linear_chain"
+    INCOMPLETE = "incomplete"
+    NO_LEARNING = "no_learning"
+    OTHER = "other"
+
+
+@dataclass
+class Submission:
+    """One collected student artifact.
+
+    Attributes:
+        student: anonymous identifier.
+        kind: a graph, a flag drawing, or code (the latter two demonstrate
+            no learning about dependency graphs).
+        graph: the drawn graph, when kind is GRAPH.
+        has_arrows: False when the student only *implied* dependencies by
+            spatial layout (one submission did this; mostly correct).
+        complete: False when the student ran out of time mid-drawing.
+        crossed_out_white: the student started a white-stripe task and
+            struck it (evidence of the blank-paper insight; cosmetic).
+    """
+
+    student: str
+    kind: SubmissionKind
+    graph: Optional[TaskGraph] = None
+    has_arrows: bool = True
+    complete: bool = True
+    crossed_out_white: bool = False
+
+
+#: Synonyms observed in hand-drawn task labels, mapped to canonical names.
+_CANONICAL_NAMES: Dict[str, str] = {
+    "black": "black_stripe",
+    "black stripe": "black_stripe",
+    "top stripe": "black_stripe",
+    "white": "white_stripe",
+    "white stripe": "white_stripe",
+    "middle stripe": "white_stripe",
+    "green": "green_stripe",
+    "green stripe": "green_stripe",
+    "bottom stripe": "green_stripe",
+    "triangle": "red_triangle",
+    "red triangle": "red_triangle",
+    "chevron": "red_triangle",
+    "star": "white_star",
+    "dot": "white_star",
+    "white dot": "white_star",
+    "white star": "white_star",
+    "circle": "white_star",
+    "top triangle": "red_triangle_top",
+    "upper triangle": "red_triangle_top",
+    "bottom triangle": "red_triangle_bottom",
+    "lower triangle": "red_triangle_bottom",
+    "stripes": "stripes",
+    "all stripes": "stripes",
+    "background": "stripes",
+}
+
+
+def canonicalize(graph: TaskGraph) -> TaskGraph:
+    """Rename hand-written task labels to canonical names.
+
+    Unknown labels pass through lowercased with spaces collapsed to
+    underscores; canonical names are left untouched.
+    """
+    def canon(name: str) -> str:
+        key = name.strip().lower()
+        if key in _CANONICAL_NAMES:
+            return _CANONICAL_NAMES[key]
+        return key.replace(" ", "_")
+
+    g = TaskGraph()
+    for t in graph.tasks:
+        g.add_task(canon(t), graph.weight(t))
+    for u, v in graph.edges:
+        g.add_dependency(canon(u), canon(v))
+    return g
+
+
+def _drop_white(graph: TaskGraph) -> TaskGraph:
+    """Remove the white-stripe task (with its edges) if present."""
+    if "white_stripe" not in graph:
+        return graph
+    g = graph.copy()
+    g.remove_task("white_stripe")
+    return g
+
+
+def _matches_reference(graph: TaskGraph) -> bool:
+    """Perfect match against either reference (white drawn or omitted),
+    with weights ignored and redundant transitive edges forgiven."""
+    unweighted = TaskGraph.from_edges(graph.edges, isolated=graph.tasks)
+    for ref in (jordan_reference_dag(), jordan_reference_dag_with_white()):
+        ref_u = TaskGraph.from_edges(ref.edges, isolated=ref.tasks)
+        if unweighted.same_structure(ref_u):
+            return True
+    # A submission that drew white but otherwise matches the white-less
+    # reference is also perfect (white may hang anywhere harmless), as long
+    # as dropping white recovers the reference.
+    return _drop_white(unweighted).same_structure(
+        TaskGraph.from_edges(jordan_reference_dag().edges,
+                             isolated=jordan_reference_dag().tasks)
+    )
+
+
+def _is_split_triangle(graph: TaskGraph) -> bool:
+    """The split-triangle mostly-correct variant (either edge version)."""
+    g = _drop_white(TaskGraph.from_edges(graph.edges, isolated=graph.tasks))
+    for correct in (False, True):
+        ref = jordan_split_triangle_dag(correct_edges=correct)
+        if g.same_structure(ref):
+            return True
+    return False
+
+
+def _is_merged_stripes(graph: TaskGraph) -> bool:
+    """The merged-stripes mostly-correct variant."""
+    g = _drop_white(TaskGraph.from_edges(graph.edges, isolated=graph.tasks))
+    return g.same_structure(jordan_merged_stripes_dag())
+
+
+def classify(submission: Submission) -> Category:
+    """Apply the Section V-C rubric to one submission."""
+    if submission.kind is not SubmissionKind.GRAPH or submission.graph is None:
+        return Category.NO_LEARNING
+    graph = canonicalize(submission.graph)
+    if not submission.complete:
+        return Category.INCOMPLETE
+    if _matches_reference(graph):
+        if not submission.has_arrows:
+            # Right structure, dependencies only implied spatially.
+            return Category.MOSTLY_CORRECT
+        return Category.PERFECT
+    if _is_split_triangle(graph) or _is_merged_stripes(graph):
+        return Category.MOSTLY_CORRECT
+    if graph.is_linear_chain():
+        return Category.LINEAR_CHAIN
+    return Category.OTHER
+
+
+@dataclass
+class GradingReport:
+    """Aggregated grading results for one class's submissions."""
+
+    counts: Dict[Category, int] = field(default_factory=dict)
+    total: int = 0
+
+    @property
+    def n_perfect(self) -> int:
+        """Perfect submissions."""
+        return self.counts.get(Category.PERFECT, 0)
+
+    @property
+    def n_mostly(self) -> int:
+        """Mostly-correct submissions."""
+        return self.counts.get(Category.MOSTLY_CORRECT, 0)
+
+    def fraction(self, cat: Category) -> float:
+        """One category's share of all submissions (0.0 when empty)."""
+        return self.counts.get(cat, 0) / self.total if self.total else 0.0
+
+    @property
+    def at_least_mostly_correct(self) -> float:
+        """The paper's headline: perfect + mostly, as a fraction (59%)."""
+        return ((self.n_perfect + self.n_mostly) / self.total
+                if self.total else 0.0)
+
+
+def explain(submission: Submission) -> str:
+    """Human-readable grading feedback for one submission.
+
+    The note an instructor would write back: what category the work falls
+    in and *why*, with the specific observation that drove the rubric.
+    """
+    cat = classify(submission)
+    if cat is Category.NO_LEARNING:
+        what = ("a drawing of the flag" if submission.kind
+                is SubmissionKind.FLAG_DRAWING else
+                "code to draw the flag" if submission.kind
+                is SubmissionKind.CODE else "no graph")
+        return (f"no learning demonstrated: you submitted {what}; the "
+                "exercise asked for a dependency graph (tasks as boxes, "
+                "arrows for must-finish-before)")
+    graph = canonicalize(submission.graph)  # type: ignore[arg-type]
+    if cat is Category.INCOMPLETE:
+        return (f"incomplete: {graph.n_tasks} task(s) drawn before time "
+                "ran out; what you have trends toward a sequential chain "
+                "- remember independent tasks need no arrow between them")
+    if cat is Category.PERFECT:
+        extras = []
+        if "white_stripe" not in graph:
+            extras.append("omitting the white stripe is fine - blank "
+                          "paper is already white")
+        if submission.crossed_out_white:
+            extras.append("crossing out the white-stripe box shows you "
+                          "saw that yourself")
+        note = "; ".join(extras)
+        return "perfect: stripes -> triangle -> star, exactly right" + (
+            f" ({note})" if note else ""
+        )
+    if cat is Category.MOSTLY_CORRECT:
+        if not submission.has_arrows:
+            return ("mostly correct: the layout implies the right "
+                    "dependencies, but a dependency graph needs the "
+                    "arrows drawn explicitly")
+        if _is_merged_stripes(graph):
+            return ("mostly correct: merging all stripes into one task "
+                    "loses the parallelism between them - they could be "
+                    "colored simultaneously")
+        return ("mostly correct: splitting the triangle mirrors your "
+                "code, but note the top half doesn't actually depend on "
+                "the green stripe (nor the bottom on the black)")
+    if cat is Category.LINEAR_CHAIN:
+        return ("linear chain: every task waits for the previous one - "
+                "that's sequential thinking; the stripes don't overlap, "
+                "so nothing forces an order between them")
+    return ("unrecognized structure: check each arrow means 'must finish "
+            "before', pointing from the earlier task to the later one")
+
+
+def grade_all(submissions) -> GradingReport:
+    """Classify a batch of submissions and tally the rubric categories."""
+    report = GradingReport()
+    for sub in submissions:
+        cat = classify(sub)
+        report.counts[cat] = report.counts.get(cat, 0) + 1
+        report.total += 1
+    return report

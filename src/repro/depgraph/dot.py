@@ -1,0 +1,88 @@
+"""Graphviz DOT export of task graphs — the drawable form of Figure 9.
+
+No graphviz dependency: this emits the DOT text an instructor can paste
+into any renderer to produce handouts/solutions for the dependency-graph
+exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .graph import TaskGraph
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(
+    graph: TaskGraph,
+    *,
+    name: str = "depgraph",
+    rankdir: str = "TB",
+    show_weights: bool = False,
+    highlight_critical_path: bool = False,
+    node_colors: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render a task graph as Graphviz DOT text.
+
+    Args:
+        name: the graph's DOT identifier.
+        rankdir: layout direction (TB like Figure 9, or LR).
+        show_weights: append each task's weight to its label.
+        highlight_critical_path: draw the critical path in bold red.
+        node_colors: optional fill color per task name.
+
+    Raises:
+        ValueError: for an invalid rankdir.
+    """
+    if rankdir not in ("TB", "LR", "BT", "RL"):
+        raise ValueError(f"invalid rankdir {rankdir!r}")
+    cp_edges = set()
+    cp_nodes = set()
+    if highlight_critical_path:
+        _, path = graph.critical_path()
+        cp_nodes = set(path)
+        cp_edges = set(zip(path, path[1:]))
+
+    lines = [f"digraph {name} {{", f"  rankdir={rankdir};",
+             "  node [shape=box];"]
+    for task in graph.tasks:
+        label = task
+        if show_weights:
+            label += f"\\n({graph.weight(task):g})"
+        attrs = [f'label="{label}"']
+        if node_colors and task in node_colors:
+            attrs.append(f'style=filled, fillcolor="{node_colors[task]}"')
+        elif task in cp_nodes:
+            attrs.append("color=red, penwidth=2")
+        lines.append(f"  {_quote(task)} [{', '.join(attrs)}];")
+    for u, v in graph.edges:
+        attrs = ""
+        if (u, v) in cp_edges:
+            attrs = " [color=red, penwidth=2]"
+        lines.append(f"  {_quote(u)} -> {_quote(v)}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_to_dot_notes(graph: TaskGraph, schedule) -> str:
+    """DOT with each node annotated by its scheduled (proc, start-end).
+
+    ``schedule`` is a :class:`repro.depgraph.schedule_dag.DagSchedule`.
+    """
+    colors = {}
+    palette = ["#cfe8ff", "#ffd9cf", "#d6f5d6", "#fff3bf", "#e6d6ff",
+               "#ffd6eb", "#d9fff8", "#f0e0c0"]
+    labels: Dict[str, str] = {}
+    for task in graph.tasks:
+        st = schedule.tasks[task]
+        colors[task] = palette[st.processor % len(palette)]
+        labels[task] = f"P{st.processor}: {st.start:g}-{st.end:g}"
+    base = to_dot(graph, node_colors=colors)
+    # Append scheduling info as xlabels via comment lines (renderers keep
+    # comments; humans read them).
+    notes = "\n".join(f"// {t}: {labels[t]}" for t in graph.tasks)
+    return base + "\n" + notes

@@ -1,0 +1,130 @@
+"""Derive task dependency graphs from flag specifications.
+
+The layered paint order of a :class:`FlagSpec` induces a DAG: layer *B*
+depends on layer *A* exactly when their regions overlap and *A* paints
+first (the overpaint must land on top).  Transitive reduction of that graph
+for the flag of Jordan is precisely Figure 9: the three stripes, then the
+red triangle, then the white dot.
+
+The module also builds the two "mostly correct" student variants Section
+V-C describes — the split triangle and the merged stripes — so the grader
+and the synthetic-submission generator share one source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..flags.spec import FlagSpec
+from ..grid.regions import Triangle
+from .graph import TaskGraph
+
+
+def flag_dag(spec: FlagSpec, rows: Optional[int] = None,
+             cols: Optional[int] = None, *,
+             include_optional: bool = False,
+             reduce: bool = True) -> TaskGraph:
+    """The dependency graph a flag's layer structure induces.
+
+    Args:
+        spec: the flag.
+        rows, cols: grid size used to decide region overlaps.
+        include_optional: keep optional-on-blank layers (white on white) as
+            tasks; Figure 9 omits them, matching the grading allowance.
+        reduce: return the transitive reduction (the clean drawn form).
+    """
+    rows = rows or spec.default_rows
+    cols = cols or spec.default_cols
+    g = TaskGraph()
+    kept = {
+        l.name for l in spec.layers
+        if include_optional or not l.optional_on_blank
+    }
+    work = spec.work_per_layer(rows, cols)
+    for l in spec.layers:
+        if l.name in kept:
+            g.add_task(l.name, weight=float(work[l.name]))
+    for before, after in spec.overlap_pairs(rows, cols):
+        if before in kept and after in kept:
+            g.add_dependency(before, after)
+    return g.transitive_reduction() if reduce else g
+
+
+def jordan_reference_dag() -> TaskGraph:
+    """Figure 9: the intended solution for coloring the flag of Jordan.
+
+    Stripes (black, green; white omitted per the grading rule) precede the
+    red triangle, which precedes the white dot.  Weights carry the default
+    grid's cell counts.
+    """
+    from ..flags.catalog import jordan
+    return flag_dag(jordan(), include_optional=False, reduce=True)
+
+
+def jordan_reference_dag_with_white() -> TaskGraph:
+    """The full-credit alternative that *does* draw the white stripe."""
+    from ..flags.catalog import jordan
+    return flag_dag(jordan(), include_optional=True, reduce=True)
+
+
+def great_britain_reference_dag() -> TaskGraph:
+    """The worked example shown to students before the Jordan exercise."""
+    from ..flags.catalog import great_britain
+    return flag_dag(great_britain(), reduce=True)
+
+
+def jordan_split_triangle_dag(*, correct_edges: bool = False) -> TaskGraph:
+    """The split-triangle student variant (5 of 29 submissions, 14%).
+
+    Students who built the chevron from two right triangles in the
+    programming assignment mirrored that here.  With ``correct_edges=False``
+    (what every such student actually drew) both half-triangles depend on
+    *all* stripes; the truly correct version — top half independent of the
+    green stripe, bottom half independent of the black stripe — was drawn
+    by nobody, and is available with ``correct_edges=True``.
+    """
+    g = TaskGraph()
+    for t in ("black_stripe", "green_stripe",
+              "red_triangle_top", "red_triangle_bottom", "white_star"):
+        g.add_task(t)
+    if correct_edges:
+        g.add_dependency("black_stripe", "red_triangle_top")
+        g.add_dependency("green_stripe", "red_triangle_bottom")
+    else:
+        for stripe in ("black_stripe", "green_stripe"):
+            g.add_dependency(stripe, "red_triangle_top")
+            g.add_dependency(stripe, "red_triangle_bottom")
+    g.add_dependency("red_triangle_top", "white_star")
+    g.add_dependency("red_triangle_bottom", "white_star")
+    return g
+
+
+def jordan_merged_stripes_dag() -> TaskGraph:
+    """The merged-stripes variant: one task for all the stripes (1 of 29)."""
+    g = TaskGraph()
+    g.add_task("stripes")
+    g.add_task("red_triangle")
+    g.add_task("white_star")
+    g.add_dependency("stripes", "red_triangle")
+    g.add_dependency("red_triangle", "white_star")
+    return g
+
+
+def jordan_linear_chain_dag(*, include_white: bool = False) -> TaskGraph:
+    """The most common *error*: a single sequential chain of tasks.
+
+    Students who drew this were thinking in terms of sequential code —
+    every task depends on the previous one regardless of actual overlap.
+    """
+    tasks = ["black_stripe"]
+    if include_white:
+        tasks.append("white_stripe")
+    tasks += ["green_stripe", "red_triangle", "white_star"]
+    g = TaskGraph()
+    prev = None
+    for t in tasks:
+        g.add_task(t)
+        if prev is not None:
+            g.add_dependency(prev, t)
+        prev = t
+    return g

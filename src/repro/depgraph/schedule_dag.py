@@ -1,0 +1,222 @@
+"""List scheduling of task graphs onto P processors.
+
+The Knox follow-up stops at *drawing* the dependency graph; the natural
+next step — the "expand the discussion of dependencies" future work — is
+scheduling it: given the Jordan DAG and P students, when does each task
+run and how long does the whole flag take?
+
+This module implements classic greedy list scheduling with pluggable
+priorities (critical-path/HLF by default), verifies Graham's bound
+(makespan <= work/P + critical path), and reports per-processor timelines
+— the bridge from the unplugged activity to real scheduling theory.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .graph import GraphError, TaskGraph
+
+
+class ScheduleError(Exception):
+    """Raised for invalid scheduling inputs."""
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One task's placement: processor, start and end time."""
+
+    task: str
+    processor: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Task length in weight units."""
+        return self.end - self.start
+
+
+@dataclass
+class DagSchedule:
+    """A complete schedule of a task graph on P processors."""
+
+    n_processors: int
+    tasks: Dict[str, ScheduledTask] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last task (0.0 when empty)."""
+        return max((t.end for t in self.tasks.values()), default=0.0)
+
+    def processor_timeline(self, proc: int) -> List[ScheduledTask]:
+        """Tasks on one processor, in start order."""
+        return sorted(
+            (t for t in self.tasks.values() if t.processor == proc),
+            key=lambda t: t.start,
+        )
+
+    def processor_busy(self, proc: int) -> float:
+        """Total busy time of one processor."""
+        return sum(t.duration for t in self.tasks.values()
+                   if t.processor == proc)
+
+    def utilization(self) -> float:
+        """Mean processor busy fraction over the makespan."""
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        busy = sum(t.duration for t in self.tasks.values())
+        return busy / (self.n_processors * span)
+
+    def validate(self, graph: TaskGraph) -> None:
+        """Check the schedule against the graph's constraints.
+
+        Raises:
+            ScheduleError: on missing tasks, precedence violations, or
+                overlapping tasks on one processor.
+        """
+        missing = set(graph.tasks) - set(self.tasks)
+        if missing:
+            raise ScheduleError(f"unscheduled tasks: {sorted(missing)}")
+        for name, st in self.tasks.items():
+            for dep in graph.predecessors(name):
+                if self.tasks[dep].end > st.start + 1e-9:
+                    raise ScheduleError(
+                        f"{name} starts at {st.start} before its "
+                        f"dependency {dep} ends at {self.tasks[dep].end}"
+                    )
+        for p in range(self.n_processors):
+            timeline = self.processor_timeline(p)
+            for a, b in zip(timeline, timeline[1:]):
+                if a.end > b.start + 1e-9:
+                    raise ScheduleError(
+                        f"processor {p}: {a.task} and {b.task} overlap"
+                    )
+
+
+#: A priority function: higher value = scheduled earlier among ready tasks.
+Priority = Callable[[TaskGraph, str], float]
+
+
+def critical_path_priority(graph: TaskGraph, task: str) -> float:
+    """Length of the longest downstream path including the task (HLF)."""
+    memo: Dict[str, float] = {}
+
+    def downstream(n: str) -> float:
+        if n in memo:
+            return memo[n]
+        succ = graph.successors(n)
+        memo[n] = graph.weight(n) + (max(downstream(s) for s in succ)
+                                     if succ else 0.0)
+        return memo[n]
+
+    return downstream(task)
+
+
+def weight_priority(graph: TaskGraph, task: str) -> float:
+    """Largest-task-first."""
+    return graph.weight(task)
+
+
+def fifo_priority(graph: TaskGraph, task: str) -> float:
+    """No prioritization (ties broken by name for determinism)."""
+    return 0.0
+
+
+def list_schedule(
+    graph: TaskGraph,
+    n_processors: int,
+    priority: Priority = critical_path_priority,
+) -> DagSchedule:
+    """Greedy list scheduling: whenever a processor is free, give it the
+    highest-priority ready task.
+
+    Deterministic: ties break on task name, processors are assigned in
+    index order.
+
+    Raises:
+        ScheduleError: for a non-positive processor count.
+    """
+    if n_processors < 1:
+        raise ScheduleError(f"need at least one processor, got {n_processors}")
+
+    prio = {t: priority(graph, t) for t in graph.tasks}
+    indeg = {t: len(graph.predecessors(t)) for t in graph.tasks}
+    ready: List[Tuple[float, str]] = [
+        (-prio[t], t) for t in graph.tasks if indeg[t] == 0
+    ]
+    heapq.heapify(ready)
+
+    # (free_time, processor index)
+    procs: List[Tuple[float, int]] = [(0.0, i) for i in range(n_processors)]
+    heapq.heapify(procs)
+    # Earliest start of each task (dependency releases).
+    release: Dict[str, float] = {t: 0.0 for t in graph.tasks}
+
+    schedule = DagSchedule(n_processors=n_processors)
+    # Event-driven: pull the earliest-free processor; if no task is ready
+    # at that moment, advance to the next dependency completion.
+    pending_until: List[Tuple[float, str]] = []  # (available_at, task)
+
+    while ready or pending_until:
+        now, p = heapq.heappop(procs)
+        # Move newly-released tasks into the ready heap.
+        while pending_until and pending_until[0][0] <= now + 1e-12:
+            _, t = heapq.heappop(pending_until)
+            heapq.heappush(ready, (-prio[t], t))
+        if not ready:
+            if not pending_until:
+                break
+            # Idle until the next release.
+            now = max(now, pending_until[0][0])
+            heapq.heappush(procs, (now, p))
+            continue
+        _, task = heapq.heappop(ready)
+        start = max(now, release[task])
+        end = start + graph.weight(task)
+        schedule.tasks[task] = ScheduledTask(task, p, start, end)
+        heapq.heappush(procs, (end, p))
+        for succ in graph.successors(task):
+            indeg[succ] -= 1
+            release[succ] = max(release[succ], end)
+            if indeg[succ] == 0:
+                heapq.heappush(pending_until, (end, succ))
+
+    if len(schedule.tasks) != graph.n_tasks:
+        raise ScheduleError(
+            f"scheduled {len(schedule.tasks)} of {graph.n_tasks} tasks"
+        )
+    return schedule
+
+
+def graham_bound(graph: TaskGraph, n_processors: int) -> float:
+    """Graham's list-scheduling guarantee: work/P + critical path.
+
+    Any list schedule's makespan is at most this (and at least
+    max(work/P, critical path)).
+    """
+    cp, _ = graph.critical_path()
+    return graph.total_work() / n_processors + cp
+
+
+def lower_bound(graph: TaskGraph, n_processors: int) -> float:
+    """max(work / P, critical path): no schedule can beat this."""
+    cp, _ = graph.critical_path()
+    return max(graph.total_work() / n_processors, cp)
+
+
+def speedup_curve(
+    graph: TaskGraph,
+    processors: List[int],
+    priority: Priority = critical_path_priority,
+) -> Dict[int, float]:
+    """Scheduled speedup (work / makespan) per processor count."""
+    out: Dict[int, float] = {}
+    work = graph.total_work()
+    for p in processors:
+        sched = list_schedule(graph, p, priority)
+        out[p] = work / sched.makespan if sched.makespan > 0 else 1.0
+    return out

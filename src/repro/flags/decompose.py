@@ -1,0 +1,263 @@
+"""Task decomposition: splitting a paint program among P processors.
+
+The four scenarios of the core activity (Fig 1) are specific decompositions
+of the Mauritius program:
+
+1. ``single()`` — one processor does everything.
+2. ``by_color_groups(..., [[RED, BLUE], [YELLOW, GREEN]])`` — two
+   processors, split by stripe color pairs.
+3. ``by_layer(...)`` — four processors, one stripe each.
+4. ``vertical_slices(..., 4)`` — four processors, one vertical slice each;
+   every slice needs every color, creating implement contention.
+
+The module also provides generic strategies (horizontal slices, 2-D blocks,
+cyclic/round-robin) used in sweeps and ablations.  A decomposition is a
+:class:`Partition`: an ordered stroke list per worker.  Decompositions
+preserve the program's layer order *within* each worker's list, so replay
+respects the painter's algorithm locally; cross-worker layer dependencies
+are enforced by the scheduler (:mod:`repro.schedule.depsched`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..grid.palette import Color
+from .spec import PaintOp, PaintProgram
+
+
+class DecompositionError(Exception):
+    """Raised for invalid splits (zero workers, unknown layers, ...)."""
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An assignment of every stroke of a program to exactly one worker.
+
+    Attributes:
+        program: the program that was split.
+        assignments: per-worker ordered stroke tuples; index = worker id.
+        strategy: human-readable name of the decomposition used.
+    """
+
+    program: PaintProgram
+    assignments: Tuple[Tuple[PaintOp, ...], ...]
+    strategy: str
+
+    def __post_init__(self) -> None:
+        assigned = [op for ops in self.assignments for op in ops]
+        if len(assigned) != self.program.n_ops:
+            raise DecompositionError(
+                f"partition covers {len(assigned)} ops, "
+                f"program has {self.program.n_ops}"
+            )
+        if set(assigned) != set(self.program.ops):
+            raise DecompositionError("partition is not a permutation of the program")
+
+    @property
+    def n_workers(self) -> int:
+        """Number of processors the work is split across."""
+        return len(self.assignments)
+
+    def work_counts(self) -> List[int]:
+        """Strokes per worker."""
+        return [len(ops) for ops in self.assignments]
+
+    def imbalance(self) -> float:
+        """Load imbalance: max worker load / mean worker load (1.0 = perfect).
+
+        Workers with no strokes still count toward the mean; an empty
+        partition returns 1.0.
+        """
+        counts = self.work_counts()
+        if not counts or sum(counts) == 0:
+            return 1.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean
+
+    def colors_per_worker(self) -> List[Tuple[Color, ...]]:
+        """Distinct colors each worker needs, in first-use order.
+
+        Scenario 3 gives each worker one color (no sharing); scenario 4
+        gives every worker all four (maximal contention).
+        """
+        out: List[Tuple[Color, ...]] = []
+        for ops in self.assignments:
+            seen: List[Color] = []
+            for op in ops:
+                if op.color not in seen:
+                    seen.append(op.color)
+            out.append(tuple(seen))
+        return out
+
+
+def single(program: PaintProgram) -> Partition:
+    """Scenario 1: the whole program on one processor, program order."""
+    return Partition(program, (tuple(program.ops),), strategy="single")
+
+
+def by_layer(program: PaintProgram,
+             groups: Sequence[Sequence[str]] | None = None) -> Partition:
+    """Assign whole layers to workers (scenario 3 when one stripe each).
+
+    Args:
+        groups: layer-name groups, one per worker.  Defaults to one worker
+            per layer in program order.
+
+    Raises:
+        DecompositionError: if groups don't cover every layer exactly once.
+    """
+    if groups is None:
+        groups = [[name] for name in program.layer_order]
+    flat = [name for g in groups for name in g]
+    if sorted(flat) != sorted(program.layer_order):
+        raise DecompositionError(
+            f"layer groups {flat} != program layers {list(program.layer_order)}"
+        )
+    by_name: Dict[str, List[PaintOp]] = {name: [] for name in program.layer_order}
+    for op in program.ops:
+        by_name[op.layer].append(op)
+    assignments = []
+    for g in groups:
+        ops: List[PaintOp] = []
+        # Keep the program's global layer order within the group so layered
+        # flags replay correctly on a single worker.
+        for name in program.layer_order:
+            if name in g:
+                ops.extend(by_name[name])
+        assignments.append(tuple(ops))
+    return Partition(program, tuple(assignments), strategy="by_layer")
+
+
+def by_color_groups(program: PaintProgram,
+                    color_groups: Sequence[Sequence[Color]]) -> Partition:
+    """Assign strokes by color group (scenario 2: [[R, B], [Y, G]]).
+
+    Raises:
+        DecompositionError: if the groups don't cover the program's colors
+            exactly once each.
+    """
+    flat = [c for g in color_groups for c in g]
+    used = {op.color for op in program.ops}
+    if len(set(flat)) != len(flat):
+        raise DecompositionError("a color appears in more than one group")
+    if set(flat) != used:
+        raise DecompositionError(
+            f"color groups {sorted(c.name for c in flat)} != "
+            f"program colors {sorted(c.name for c in used)}"
+        )
+    assignments = []
+    for g in color_groups:
+        gs = set(g)
+        assignments.append(tuple(op for op in program.ops if op.color in gs))
+    return Partition(program, tuple(assignments), strategy="by_color_groups")
+
+
+def _slice_bounds(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Contiguous near-equal [start, stop) index ranges covering ``total``."""
+    if parts <= 0:
+        raise DecompositionError(f"need at least one worker, got {parts}")
+    base, extra = divmod(total, parts)
+    bounds = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def vertical_slices(program: PaintProgram, n: int) -> Partition:
+    """Scenario 4: contiguous vertical slices, one per worker.
+
+    Each worker receives every stroke whose cell column falls in its slice,
+    in the program's layer-then-row-major order, so each worker still
+    paints top-to-bottom through the stripes — needing all four implements
+    in sequence, the contention the paper engineers.
+    """
+    bounds = _slice_bounds(program.cols, n)
+    assignments: List[Tuple[PaintOp, ...]] = []
+    for lo, hi in bounds:
+        assignments.append(tuple(
+            op for op in program.ops if lo <= op.cell[1] < hi
+        ))
+    return Partition(program, tuple(assignments), strategy="vertical_slices")
+
+
+def horizontal_slices(program: PaintProgram, n: int) -> Partition:
+    """Contiguous horizontal slices, one per worker (row-range split)."""
+    bounds = _slice_bounds(program.rows, n)
+    assignments: List[Tuple[PaintOp, ...]] = []
+    for lo, hi in bounds:
+        assignments.append(tuple(
+            op for op in program.ops if lo <= op.cell[0] < hi
+        ))
+    return Partition(program, tuple(assignments), strategy="horizontal_slices")
+
+
+def blocks(program: PaintProgram, n_row_blocks: int, n_col_blocks: int) -> Partition:
+    """2-D block decomposition: an ``n_row_blocks x n_col_blocks`` grid of
+    workers, each owning one rectangular tile (row-major worker order)."""
+    rb = _slice_bounds(program.rows, n_row_blocks)
+    cb = _slice_bounds(program.cols, n_col_blocks)
+    assignments: List[Tuple[PaintOp, ...]] = []
+    for rlo, rhi in rb:
+        for clo, chi in cb:
+            assignments.append(tuple(
+                op for op in program.ops
+                if rlo <= op.cell[0] < rhi and clo <= op.cell[1] < chi
+            ))
+    return Partition(program, tuple(assignments), strategy="blocks")
+
+
+def cyclic(program: PaintProgram, n: int) -> Partition:
+    """Round-robin: stroke *i* goes to worker ``i % n`` in program order.
+
+    The classic cyclic distribution: near-perfect static balance but the
+    worst implement locality — adjacent strokes of one color land on
+    different workers.
+    """
+    if n <= 0:
+        raise DecompositionError(f"need at least one worker, got {n}")
+    lists: List[List[PaintOp]] = [[] for _ in range(n)]
+    for i, op in enumerate(program.ops):
+        lists[i % n].append(op)
+    return Partition(program, tuple(tuple(l) for l in lists), strategy="cyclic")
+
+
+def scenario_partition(program: PaintProgram, scenario: int) -> Partition:
+    """The paper's four core scenarios (Fig 1), generalized to any flag.
+
+    Scenario 2 uses the paper's exact color pairs (red+blue /
+    yellow+green) when the program is Mauritius-colored; for other flags
+    the distinct colors are split into two near-equal groups in first-use
+    order, preserving the "two students split the work by color" idea.
+
+    Raises:
+        DecompositionError: for scenarios outside 1-4, or a scenario-2
+            request on a single-color flag (nothing to split by color).
+    """
+    if scenario == 1:
+        return single(program)
+    if scenario == 2:
+        colors: List[Color] = []
+        for op in program.ops:
+            if op.color not in colors:
+                colors.append(op.color)
+        mauritius_pairs = [[Color.RED, Color.BLUE],
+                           [Color.YELLOW, Color.GREEN]]
+        if set(colors) == {c for g in mauritius_pairs for c in g}:
+            return by_color_groups(program, mauritius_pairs)
+        if len(colors) < 2:
+            raise DecompositionError(
+                "scenario 2 splits work by color; this flag has only "
+                f"{len(colors)} color"
+            )
+        half = (len(colors) + 1) // 2
+        return by_color_groups(program, [colors[:half], colors[half:]])
+    if scenario == 3:
+        return by_layer(program)
+    if scenario == 4:
+        return vertical_slices(program, 4)
+    raise DecompositionError(f"scenario must be 1-4, got {scenario}")

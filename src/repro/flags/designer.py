@@ -1,0 +1,194 @@
+"""A fluent flag designer: build custom flags safely.
+
+The discussion section imagines extending the activity ("more complex flag
+designs"); this builder lets an instructor — or a student — compose a new
+flag from stripes, rectangles, discs, triangles, polygons and bands, with
+validation (full coverage, reachable colors, sensible layering) before it
+becomes a :class:`FlagSpec` usable everywhere in the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..grid.palette import Color
+from ..grid.regions import (
+    Band,
+    Disc,
+    FullGrid,
+    Polygon,
+    Rect,
+    Region,
+    Triangle,
+    horizontal_stripe,
+    vertical_stripe,
+)
+from .spec import FlagSpec, FlagSpecError, Layer
+
+
+class DesignError(Exception):
+    """Raised when a design cannot become a valid flag."""
+
+
+@dataclass
+class FlagDesigner:
+    """Accumulates layers and validates them into a :class:`FlagSpec`.
+
+    Methods return ``self`` for chaining::
+
+        spec = (FlagDesigner("norway-ish", rows=12, cols=16)
+                .background(Color.RED)
+                .cross(Color.WHITE, width=0.3)
+                .cross(Color.BLUE, width=0.15)
+                .build())
+    """
+
+    name: str
+    rows: int = 10
+    cols: int = 15
+    layers: List[Layer] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DesignError("flag needs a name")
+        if self.rows <= 0 or self.cols <= 0:
+            raise DesignError("grid must be non-empty")
+
+    # -- layer builders ---------------------------------------------------
+    def _add(self, name: str, color: Color, region: Region,
+             optional_on_blank: bool = False) -> "FlagDesigner":
+        if any(l.name == name for l in self.layers):
+            raise DesignError(f"duplicate layer name {name!r}")
+        self.layers.append(Layer(name, color, region,
+                                 optional_on_blank=optional_on_blank))
+        return self
+
+    def background(self, color: Color) -> "FlagDesigner":
+        """A full-field background layer (must be first if used)."""
+        if self.layers:
+            raise DesignError("background must be the first layer")
+        return self._add("background", color, FullGrid(),
+                         optional_on_blank=(color is Color.WHITE))
+
+    def hstripes(self, colors: Sequence[Color]) -> "FlagDesigner":
+        """Equal horizontal stripes, top to bottom."""
+        if not colors:
+            raise DesignError("need at least one stripe color")
+        for i, c in enumerate(colors):
+            self._add(f"hstripe{i}_{c.name.lower()}", c,
+                      horizontal_stripe(i, len(colors)),
+                      optional_on_blank=(c is Color.WHITE))
+        return self
+
+    def vstripes(self, colors: Sequence[Color]) -> "FlagDesigner":
+        """Equal vertical stripes, left to right."""
+        if not colors:
+            raise DesignError("need at least one stripe color")
+        for i, c in enumerate(colors):
+            self._add(f"vstripe{i}_{c.name.lower()}", c,
+                      vertical_stripe(i, len(colors)),
+                      optional_on_blank=(c is Color.WHITE))
+        return self
+
+    def disc(self, color: Color, cy: float = 0.5, cx: float = 0.5,
+             radius: float = 0.25, name: Optional[str] = None) -> "FlagDesigner":
+        """A filled circle (e.g. the Japanese sun)."""
+        return self._add(name or f"disc_{color.name.lower()}", color,
+                         Disc(cy, cx, radius))
+
+    def rect(self, color: Color, y0: float, x0: float, y1: float, x1: float,
+             name: Optional[str] = None) -> "FlagDesigner":
+        """An axis-aligned rectangle (cantons, bars)."""
+        return self._add(name or f"rect_{color.name.lower()}", color,
+                         Rect(y0, x0, y1, x1))
+
+    def triangle(self, color: Color,
+                 p1: Tuple[float, float], p2: Tuple[float, float],
+                 p3: Tuple[float, float],
+                 name: Optional[str] = None) -> "FlagDesigner":
+        """A filled triangle (hoist chevrons)."""
+        return self._add(name or f"triangle_{color.name.lower()}", color,
+                         Triangle(p1, p2, p3))
+
+    def polygon(self, color: Color,
+                vertices: Sequence[Tuple[float, float]],
+                name: Optional[str] = None) -> "FlagDesigner":
+        """An arbitrary simple polygon (emblems)."""
+        return self._add(name or f"polygon_{color.name.lower()}", color,
+                         Polygon(tuple(vertices)))
+
+    def cross(self, color: Color, width: float = 0.2,
+              cy: float = 0.5, cx: float = 0.5,
+              name: Optional[str] = None) -> "FlagDesigner":
+        """A centered (or offset) cross of the given arm width."""
+        if not 0 < width < 1:
+            raise DesignError("cross width must be in (0, 1)")
+        h = Rect(cy - width / 2, 0.0, cy + width / 2, 1.0)
+        v = Rect(0.0, cx - width / 2, 1.0, cx + width / 2)
+        return self._add(name or f"cross_{color.name.lower()}", color, h | v)
+
+    def diagonal(self, color: Color, width: float = 0.15,
+                 rising: bool = False,
+                 name: Optional[str] = None) -> "FlagDesigner":
+        """A corner-to-corner diagonal band."""
+        band = (Band(1.0, -1.0, 0.0, width) if rising
+                else Band(1.0, 1.0, 1.0, width))
+        return self._add(
+            name or f"diag_{color.name.lower()}{'_r' if rising else ''}",
+            color, band,
+        )
+
+    # -- validation and build ---------------------------------------------
+    def validate(self) -> List[str]:
+        """Non-fatal design feedback (uncovered cells, invisible layers)."""
+        notes: List[str] = []
+        if not self.layers:
+            return ["design has no layers"]
+        covered = np.zeros((self.rows, self.cols), dtype=bool)
+        for l in self.layers:
+            covered |= l.region.mask(self.rows, self.cols)
+        uncovered = int((~covered).sum())
+        if uncovered:
+            notes.append(
+                f"{uncovered} cells stay blank paper; add a background "
+                "or mark that intentional"
+            )
+        # A layer completely hidden by later layers is wasted work.
+        try:
+            spec = self._spec_unchecked()
+        except FlagSpecError:
+            return notes
+        for l in self.layers:
+            if not spec.visible_cells(l.name, self.rows, self.cols).any():
+                notes.append(f"layer {l.name!r} is entirely overpainted")
+        for l in self.layers:
+            if l.region.is_empty(self.rows, self.cols):
+                notes.append(
+                    f"layer {l.name!r} covers no cells at {self.rows}x"
+                    f"{self.cols}; too small for this grid?"
+                )
+        return notes
+
+    def _spec_unchecked(self) -> FlagSpec:
+        return FlagSpec(name=self.name, layers=tuple(self.layers),
+                        default_rows=self.rows, default_cols=self.cols)
+
+    def build(self, *, strict: bool = False) -> FlagSpec:
+        """Produce the FlagSpec.
+
+        Args:
+            strict: raise if :meth:`validate` has any notes.
+
+        Raises:
+            DesignError: with the validation notes when strict and
+                imperfect, or when the design has no layers.
+        """
+        if not self.layers:
+            raise DesignError("design has no layers")
+        notes = self.validate()
+        if strict and notes:
+            raise DesignError("; ".join(notes))
+        return self._spec_unchecked()

@@ -1,0 +1,216 @@
+"""Flag specifications as layered paint programs.
+
+A :class:`FlagSpec` is an ordered list of :class:`Layer` objects, each of
+which paints one region in one color.  Layers later in the list paint *over*
+earlier ones — the painter's-algorithm technique the paper highlights for the
+flag of Great Britain ("color the entire flag blue, then add the crossing
+diagonal white lines, then the red lines").  The layer order therefore
+encodes the dependency structure the Knox follow-up activity studies.
+
+A layer may be marked ``optional_on_blank=True`` when the same visual result
+is achievable by not painting at all (white stripes on white paper) — the
+exact grading allowance of Section V-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..grid.palette import Color
+from ..grid.regions import Region
+
+
+class FlagSpecError(Exception):
+    """Raised for malformed flag specifications."""
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One painting pass: a named region filled with a single color.
+
+    Attributes:
+        name: stable identifier, unique within the spec (e.g. ``"red_stripe"``).
+        color: the paint color for the layer.
+        region: which cells the layer covers.
+        optional_on_blank: True when skipping the layer leaves an acceptable
+            result because the paper is already the layer's color (white on
+            white).  Graders and dependency classifiers honor this.
+    """
+
+    name: str
+    color: Color
+    region: Region
+    optional_on_blank: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FlagSpecError("layer name must be non-empty")
+        if self.color is Color.BLANK:
+            raise FlagSpecError(f"layer {self.name!r} cannot paint BLANK")
+
+
+@dataclass(frozen=True)
+class FlagSpec:
+    """A named flag: ordered layers plus a canonical grid size.
+
+    ``default_rows``/``default_cols`` give the gridded-paper dimensions the
+    activity used; all geometry is resolution-independent so any size works.
+    """
+
+    name: str
+    layers: Tuple[Layer, ...]
+    default_rows: int = 8
+    default_cols: int = 12
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise FlagSpecError(f"flag {self.name!r} has no layers")
+        names = [l.name for l in self.layers]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise FlagSpecError(f"duplicate layer names in {self.name!r}: {dupes}")
+        if self.default_rows <= 0 or self.default_cols <= 0:
+            raise FlagSpecError("default grid must be non-empty")
+
+    @property
+    def layer_names(self) -> Tuple[str, ...]:
+        """Layer names in paint order."""
+        return tuple(l.name for l in self.layers)
+
+    def layer(self, name: str) -> Layer:
+        """Look up a layer by name.
+
+        Raises:
+            KeyError: if no layer has that name.
+        """
+        for l in self.layers:
+            if l.name == name:
+                return l
+        raise KeyError(f"flag {self.name!r} has no layer {name!r}")
+
+    def colors_used(self) -> Tuple[Color, ...]:
+        """Distinct colors across all layers, in first-use order."""
+        seen: List[Color] = []
+        for l in self.layers:
+            if l.color not in seen:
+                seen.append(l.color)
+        return tuple(seen)
+
+    def is_layered(self, rows: Optional[int] = None,
+                   cols: Optional[int] = None) -> bool:
+        """True when any later layer overpaints an earlier one.
+
+        Single-layer-per-cell flags (Mauritius, France) can be colored in any
+        order; layered flags (Great Britain, Jordan as specified with a full
+        chevron) impose dependencies.
+        """
+        rows = rows or self.default_rows
+        cols = cols or self.default_cols
+        painted = np.zeros((rows, cols), dtype=bool)
+        for l in self.layers:
+            m = l.region.mask(rows, cols)
+            if (painted & m).any():
+                return True
+            painted |= m
+        return False
+
+    def overlap_pairs(self, rows: Optional[int] = None,
+                      cols: Optional[int] = None) -> List[Tuple[str, str]]:
+        """Ordered (earlier, later) layer-name pairs whose regions overlap.
+
+        These are exactly the direct paint-order dependencies: the later
+        layer must wait for the earlier one wherever they share cells.
+        """
+        rows = rows or self.default_rows
+        cols = cols or self.default_cols
+        masks = [(l.name, l.region.mask(rows, cols)) for l in self.layers]
+        out: List[Tuple[str, str]] = []
+        for i, (ni, mi) in enumerate(masks):
+            for nj, mj in masks[i + 1:]:
+                if (mi & mj).any():
+                    out.append((ni, nj))
+        return out
+
+    def final_image(self, rows: Optional[int] = None,
+                    cols: Optional[int] = None) -> np.ndarray:
+        """The finished flag as an int8 color-code array (painter's order)."""
+        rows = rows or self.default_rows
+        cols = cols or self.default_cols
+        img = np.zeros((rows, cols), dtype=np.int8)
+        for l in self.layers:
+            img[l.region.mask(rows, cols)] = int(l.color)
+        return img
+
+    def visible_cells(self, layer_name: str, rows: Optional[int] = None,
+                      cols: Optional[int] = None) -> np.ndarray:
+        """Mask of cells where a layer remains visible in the final image
+        (i.e. not overpainted by any later layer)."""
+        rows = rows or self.default_rows
+        cols = cols or self.default_cols
+        idx = self.layer_names.index(layer_name)
+        vis = self.layers[idx].region.mask(rows, cols).copy()
+        for later in self.layers[idx + 1:]:
+            vis &= ~later.region.mask(rows, cols)
+        return vis
+
+    def work_per_layer(self, rows: Optional[int] = None,
+                       cols: Optional[int] = None) -> Dict[str, int]:
+        """Cell count each layer paints (total strokes, including cells that
+        will later be overpainted — that work still takes time)."""
+        rows = rows or self.default_rows
+        cols = cols or self.default_cols
+        return {l.name: l.region.count(rows, cols) for l in self.layers}
+
+    def total_work(self, rows: Optional[int] = None,
+                   cols: Optional[int] = None) -> int:
+        """Total strokes to paint the flag with the layered technique."""
+        return sum(self.work_per_layer(rows, cols).values())
+
+
+@dataclass(frozen=True)
+class PaintOp:
+    """A single compiled stroke: paint ``cell`` with ``color``.
+
+    ``layer`` records provenance and ``seq`` the row-major order within the
+    layer (the "number the cells" advice of Section IV).  ``complexity``
+    multiplies the stroke's service time: boundary cells of intricate
+    regions (the maple leaf's outline, the Jordan star) are slower to color
+    carefully than interior or stripe cells.
+    """
+
+    cell: Tuple[int, int]
+    color: Color
+    layer: str
+    seq: int
+    complexity: float = 1.0
+
+
+@dataclass(frozen=True)
+class PaintProgram:
+    """A fully compiled flag: every stroke, in legal paint order.
+
+    Produced by :func:`repro.flags.compiler.compile_flag`.  Slicing a
+    program among processors is the job of :mod:`repro.flags.decompose`.
+    """
+
+    flag: str
+    rows: int
+    cols: int
+    ops: Tuple[PaintOp, ...]
+    layer_order: Tuple[str, ...] = field(default=())
+
+    @property
+    def n_ops(self) -> int:
+        """Total strokes in the program."""
+        return len(self.ops)
+
+    def ops_for_layer(self, layer: str) -> List[PaintOp]:
+        """All strokes belonging to one layer, in sequence order."""
+        return [op for op in self.ops if op.layer == layer]
+
+    def ops_for_color(self, color: Color) -> List[PaintOp]:
+        """All strokes using one color, in program order."""
+        return [op for op in self.ops if op.color == color]

@@ -1,0 +1,60 @@
+"""Raster substrate: the gridded paper students color.
+
+Public surface:
+
+- :class:`~repro.grid.palette.Color` — the closed color set.
+- :class:`~repro.grid.canvas.Canvas` — numpy-backed sheet of cells with
+  stroke history.
+- :mod:`~repro.grid.regions` — lazy vectorized region algebra (stripes,
+  rectangles, triangles, bands, discs, polygons, set ops).
+- :mod:`~repro.grid.render` — ASCII/ANSI/PPM/SVG output.
+"""
+
+from .palette import ALL_COLORS, MAURITIUS_STRIPES, Color, color_name
+from .canvas import Canvas, CanvasError, Stroke
+from .regions import (
+    Band,
+    CellSet,
+    Disc,
+    EmptyRegion,
+    FullGrid,
+    HalfPlane,
+    Polygon,
+    Rect,
+    Region,
+    Triangle,
+    horizontal_stripe,
+    iter_cells_rowmajor,
+    union_all,
+    vertical_stripe,
+)
+from .render import from_ascii, to_ansi, to_ascii, to_ppm, to_svg
+
+__all__ = [
+    "ALL_COLORS",
+    "MAURITIUS_STRIPES",
+    "Color",
+    "color_name",
+    "Canvas",
+    "CanvasError",
+    "Stroke",
+    "Band",
+    "CellSet",
+    "Disc",
+    "EmptyRegion",
+    "FullGrid",
+    "HalfPlane",
+    "Polygon",
+    "Rect",
+    "Region",
+    "Triangle",
+    "horizontal_stripe",
+    "iter_cells_rowmajor",
+    "union_all",
+    "vertical_stripe",
+    "from_ascii",
+    "to_ansi",
+    "to_ascii",
+    "to_ppm",
+    "to_svg",
+]

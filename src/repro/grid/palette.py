@@ -1,0 +1,99 @@
+"""Color palette for the flag-coloring activity.
+
+The unplugged activity equips each team with one drawing implement per color
+(red, blue, yellow, green for the flag of Mauritius).  This module defines the
+closed set of colors the library understands, together with their display
+properties (ANSI escape codes for terminal rendering, RGB triples for PPM/SVG
+export) and the integer codes used in the numpy-backed canvas.
+
+Color code 0 is reserved for *blank* (uncolored paper).  All real colors are
+strictly positive so that a canvas full of zeros means "nothing colored yet"
+and boolean coverage masks can be computed as ``canvas.codes > 0``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+
+class Color(enum.IntEnum):
+    """A drawing color, encoded as a small positive integer.
+
+    ``BLANK`` (0) represents uncolored paper.  ``WHITE`` is an explicit color
+    (white crayon/marker) distinct from blank paper even though they render
+    similarly; the distinction matters for the Jordan flag dependency graph,
+    where students may legitimately omit the white stripe because the paper is
+    already white (Section V-C of the paper).
+    """
+
+    BLANK = 0
+    RED = 1
+    BLUE = 2
+    YELLOW = 3
+    GREEN = 4
+    WHITE = 5
+    BLACK = 6
+
+    @property
+    def is_blank(self) -> bool:
+        """True for the reserved no-color value."""
+        return self is Color.BLANK
+
+    @property
+    def rgb(self) -> Tuple[int, int, int]:
+        """The display RGB triple for image export."""
+        return _RGB[self]
+
+    @property
+    def ansi(self) -> str:
+        """ANSI SGR background escape for terminal rendering."""
+        return _ANSI[self]
+
+    @classmethod
+    def from_name(cls, name: str) -> "Color":
+        """Look up a color by case-insensitive name.
+
+        Raises:
+            KeyError: if the name is not a known color.
+        """
+        try:
+            return cls[name.strip().upper()]
+        except KeyError:
+            raise KeyError(f"unknown color name: {name!r}") from None
+
+
+#: RGB display values (roughly the official flag shades).
+_RGB: Dict[Color, Tuple[int, int, int]] = {
+    Color.BLANK: (245, 245, 245),
+    Color.RED: (234, 38, 57),
+    Color.BLUE: (0, 38, 127),
+    Color.YELLOW: (255, 214, 0),
+    Color.GREEN: (0, 165, 80),
+    Color.WHITE: (255, 255, 255),
+    Color.BLACK: (20, 20, 20),
+}
+
+#: ANSI 24-bit background escapes.
+_ANSI: Dict[Color, str] = {
+    c: f"\x1b[48;2;{r};{g};{b}m" for c, (r, g, b) in _RGB.items()
+}
+
+#: The classic Mauritius four-stripe order, top to bottom.
+MAURITIUS_STRIPES: Tuple[Color, ...] = (
+    Color.RED,
+    Color.BLUE,
+    Color.YELLOW,
+    Color.GREEN,
+)
+
+#: Every non-blank color, in enum order.
+ALL_COLORS: Tuple[Color, ...] = tuple(c for c in Color if not c.is_blank)
+
+
+def color_name(code: int) -> str:
+    """Human-readable lowercase name for a color code.
+
+    Accepts raw ints (as stored in a canvas) as well as :class:`Color`.
+    """
+    return Color(code).name.lower()

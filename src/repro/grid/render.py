@@ -1,0 +1,153 @@
+"""Rendering of canvases and color-code images: ANSI, ASCII, PPM, SVG.
+
+These renderers reproduce the visual artifacts of the paper: Figure 1's
+scenario grids, Figure 2's Canadian flag grid, and the flags of Great
+Britain and Jordan.  Everything is plain-text or simple file formats so the
+library has no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .canvas import Canvas
+from .palette import Color
+
+_RESET = "\x1b[0m"
+
+#: Single-character glyphs for ASCII rendering (no color support needed).
+_GLYPH = {
+    Color.BLANK: ".",
+    Color.RED: "R",
+    Color.BLUE: "B",
+    Color.YELLOW: "Y",
+    Color.GREEN: "G",
+    Color.WHITE: "W",
+    Color.BLACK: "K",
+}
+
+
+def _codes_of(source: Union[Canvas, np.ndarray]) -> np.ndarray:
+    if isinstance(source, Canvas):
+        return source.codes
+    return np.asarray(source)
+
+
+def to_ascii(source: Union[Canvas, np.ndarray]) -> str:
+    """Plain-ASCII rendering, one glyph per cell, rows separated by newlines.
+
+    Useful in tests and docstrings: ``R`` red, ``B`` blue, ``Y`` yellow,
+    ``G`` green, ``W`` white, ``K`` black, ``.`` blank.
+    """
+    codes = _codes_of(source)
+    lines = []
+    for row in codes:
+        lines.append("".join(_GLYPH[Color(int(v))] for v in row))
+    return "\n".join(lines)
+
+
+def from_ascii(art: str) -> np.ndarray:
+    """Parse :func:`to_ascii` output back into a color-code array.
+
+    Ragged rows raise ``ValueError`` so test fixtures fail loudly.
+    """
+    glyph_to_code = {g: int(c) for c, g in _GLYPH.items()}
+    rows = [line for line in art.strip("\n").splitlines()]
+    if not rows:
+        raise ValueError("empty ascii art")
+    width = len(rows[0])
+    out = np.zeros((len(rows), width), dtype=np.int8)
+    for r, line in enumerate(rows):
+        if len(line) != width:
+            raise ValueError(f"ragged ascii art: row {r} has {len(line)} != {width}")
+        for c, ch in enumerate(line):
+            try:
+                out[r, c] = glyph_to_code[ch]
+            except KeyError:
+                raise ValueError(f"unknown glyph {ch!r} at ({r},{c})") from None
+    return out
+
+
+def to_ansi(source: Union[Canvas, np.ndarray], *, cell_width: int = 2) -> str:
+    """24-bit-color terminal rendering, ``cell_width`` spaces per cell."""
+    codes = _codes_of(source)
+    lines = []
+    for row in codes:
+        parts = []
+        for v in row:
+            parts.append(Color(int(v)).ansi + " " * cell_width)
+        lines.append("".join(parts) + _RESET)
+    return "\n".join(lines)
+
+
+def to_ppm(source: Union[Canvas, np.ndarray], *, scale: int = 16) -> bytes:
+    """Binary PPM (P6) image bytes, each cell blown up to ``scale`` pixels."""
+    codes = _codes_of(source)
+    rows, cols = codes.shape
+    rgb = np.zeros((rows, cols, 3), dtype=np.uint8)
+    for color in Color:
+        rgb[codes == int(color)] = color.rgb
+    big = np.repeat(np.repeat(rgb, scale, axis=0), scale, axis=1)
+    header = f"P6\n{cols * scale} {rows * scale}\n255\n".encode()
+    return header + big.tobytes()
+
+
+def to_svg(
+    source: Union[Canvas, np.ndarray],
+    *,
+    cell: int = 20,
+    grid_lines: bool = True,
+    numbers: Optional[np.ndarray] = None,
+) -> str:
+    """SVG rendering with optional grid lines and per-cell numbering.
+
+    The ``numbers`` argument reproduces the paper's Section IV advice to
+    number cells to convey coloring order (Figure 1): pass an int array the
+    same shape as the canvas; cells with value >= 0 get their number drawn.
+    """
+    codes = _codes_of(source)
+    rows, cols = codes.shape
+    w, h = cols * cell, rows * cell
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" '
+        f'viewBox="0 0 {w} {h}">'
+    ]
+    for r in range(rows):
+        for c in range(cols):
+            cr, cg, cb = Color(int(codes[r, c])).rgb
+            parts.append(
+                f'<rect x="{c * cell}" y="{r * cell}" width="{cell}" '
+                f'height="{cell}" fill="rgb({cr},{cg},{cb})"/>'
+            )
+    if grid_lines:
+        for r in range(rows + 1):
+            parts.append(
+                f'<line x1="0" y1="{r * cell}" x2="{w}" y2="{r * cell}" '
+                f'stroke="#888" stroke-width="1"/>'
+            )
+        for c in range(cols + 1):
+            parts.append(
+                f'<line x1="{c * cell}" y1="0" x2="{c * cell}" y2="{h}" '
+                f'stroke="#888" stroke-width="1"/>'
+            )
+    if numbers is not None:
+        numbers = np.asarray(numbers)
+        if numbers.shape != codes.shape:
+            raise ValueError(
+                f"numbers shape {numbers.shape} != canvas shape {codes.shape}"
+            )
+        fs = max(6, cell // 2)
+        for r in range(rows):
+            for c in range(cols):
+                n = int(numbers[r, c])
+                if n >= 0:
+                    parts.append(
+                        f'<text x="{c * cell + cell // 2}" '
+                        f'y="{r * cell + cell // 2 + fs // 3}" '
+                        f'font-size="{fs}" text-anchor="middle" '
+                        f'fill="#222">{n}</text>'
+                    )
+    parts.append("</svg>")
+    return "".join(parts)

@@ -1,0 +1,99 @@
+"""PDC metrics: speedup laws, load balance, contention, warmup, statistics."""
+
+from .speedup import (
+    MetricError,
+    ScenarioTimes,
+    amdahl_speedup,
+    efficiency,
+    gustafson_speedup,
+    is_superlinear,
+    karp_flatt,
+    speedup,
+    whiteboard,
+)
+from .loadbalance import (
+    coefficient_of_variation,
+    finish_time_spread,
+    imbalance_percent,
+    imbalance_ratio,
+    makespan_vs_ideal,
+    partition_stroke_imbalance,
+    per_worker_report,
+    trace_busy_imbalance,
+)
+from .contention import (
+    ContentionReport,
+    analyze_contention,
+    contention_slowdown,
+    serialization_bound,
+)
+from .warmup import (
+    WarmupEstimate,
+    estimate_warmup,
+    fit_exponential_decay,
+    warmup_contaminates_speedup,
+)
+from .quality import (
+    QualityReport,
+    drift_toward_minimal,
+    grade_run,
+    speed_quality_frontier,
+)
+from .scalability import (
+    ScalingCurve,
+    ScalingPoint,
+    fits_gustafson,
+    strong_scaling,
+    weak_scaling,
+)
+from .stats import (
+    bootstrap_ci,
+    likert_distribution_for_median,
+    likert_median,
+    median,
+    round_to_half,
+    transition_fractions,
+)
+
+__all__ = [
+    "MetricError",
+    "ScenarioTimes",
+    "amdahl_speedup",
+    "efficiency",
+    "gustafson_speedup",
+    "is_superlinear",
+    "karp_flatt",
+    "speedup",
+    "whiteboard",
+    "coefficient_of_variation",
+    "finish_time_spread",
+    "imbalance_percent",
+    "imbalance_ratio",
+    "makespan_vs_ideal",
+    "partition_stroke_imbalance",
+    "per_worker_report",
+    "trace_busy_imbalance",
+    "ContentionReport",
+    "analyze_contention",
+    "contention_slowdown",
+    "serialization_bound",
+    "WarmupEstimate",
+    "estimate_warmup",
+    "fit_exponential_decay",
+    "warmup_contaminates_speedup",
+    "bootstrap_ci",
+    "likert_distribution_for_median",
+    "likert_median",
+    "median",
+    "round_to_half",
+    "transition_fractions",
+    "ScalingCurve",
+    "ScalingPoint",
+    "fits_gustafson",
+    "strong_scaling",
+    "weak_scaling",
+    "QualityReport",
+    "drift_toward_minimal",
+    "grade_run",
+    "speed_quality_frontier",
+]

@@ -1,0 +1,87 @@
+"""Contention metrics: the scenario-3-vs-4 lesson.
+
+"When asked to explain the difference between the results for these
+scenarios, the students were readily able to identify the conflict over
+drawing implements as the main issue; everyone needed the same color at the
+beginning and only one person at a time could use it."  These functions
+quantify that conflict on simulation traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..sim.trace import Trace
+from .speedup import MetricError
+
+
+@dataclass(frozen=True)
+class ContentionReport:
+    """Per-run contention summary.
+
+    Attributes:
+        wait_fraction: total waiting / (busy + waiting) across all agents.
+        mean_wait: average duration of a non-zero wait.
+        n_waits: how many times anyone queued (non-zero waits only).
+        per_resource_utilization: implement name -> held fraction of makespan.
+        per_agent_wait: agent -> total seconds queued.
+    """
+
+    wait_fraction: float
+    mean_wait: float
+    n_waits: int
+    per_resource_utilization: Dict[str, float]
+    per_agent_wait: Dict[str, float]
+
+    @property
+    def contended(self) -> bool:
+        """A coarse flag: did sharing measurably slow anyone down?"""
+        return self.wait_fraction > 0.01
+
+
+def analyze_contention(trace: Trace, resources: List[str]) -> ContentionReport:
+    """Extract the contention story from a finished run's trace."""
+    waits = [w for w in trace.wait_intervals() if w.duration > 0]
+    mean_wait = (sum(w.duration for w in waits) / len(waits)) if waits else 0.0
+    per_agent: Dict[str, float] = {}
+    for w in waits:
+        per_agent[w.agent] = per_agent.get(w.agent, 0.0) + w.duration
+    util = {r: trace.resource_utilization(r) for r in resources}
+    return ContentionReport(
+        wait_fraction=trace.total_wait_fraction(),
+        mean_wait=mean_wait,
+        n_waits=len(waits),
+        per_resource_utilization=util,
+        per_agent_wait=per_agent,
+    )
+
+
+def contention_slowdown(t_contended: float, t_uncontended: float) -> float:
+    """How much slower the contended run was (>= 1.0 means slower).
+
+    The scenario 4 vs scenario 3 ratio the class discusses.
+
+    Raises:
+        MetricError: on non-positive times.
+    """
+    if t_contended <= 0 or t_uncontended <= 0:
+        raise MetricError("times must be positive")
+    return t_contended / t_uncontended
+
+
+def serialization_bound(n_workers: int, n_resources: int) -> float:
+    """Upper bound on speedup when every stroke needs one of ``n_resources``
+    exclusive implements: min(P, R).
+
+    With four workers and one marker of the needed color at a time, at most
+    ``n_resources`` cells are being colored simultaneously no matter how
+    many students crowd around the paper — the "extra resources would
+    reduce contention" discussion made quantitative.
+
+    Raises:
+        MetricError: on non-positive counts.
+    """
+    if n_workers <= 0 or n_resources <= 0:
+        raise MetricError("worker and resource counts must be positive")
+    return float(min(n_workers, n_resources))

@@ -1,0 +1,105 @@
+"""Load-balance metrics: the Webster lesson.
+
+Coloring the French flag with 3 students splits perfectly; the Canadian
+flag's maple leaf concentrates irregular work on whoever owns the middle —
+"the intricate maple leaf slowed progress", enabling "a discussion of load
+balancing and its effect on speedup".  These metrics quantify that on
+traces and partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..flags.decompose import Partition
+from ..sim.trace import Trace
+from .speedup import MetricError
+
+
+def imbalance_ratio(loads: Sequence[float]) -> float:
+    """max / mean of per-worker loads; 1.0 is perfect balance.
+
+    Raises:
+        MetricError: on empty input or negative loads.
+    """
+    if not loads:
+        raise MetricError("no loads given")
+    if any(l < 0 for l in loads):
+        raise MetricError(f"negative load in {list(loads)}")
+    mean = sum(loads) / len(loads)
+    if mean == 0:
+        return 1.0
+    return max(loads) / mean
+
+
+def imbalance_percent(loads: Sequence[float]) -> float:
+    """The common (max/mean - 1) * 100 formulation."""
+    return (imbalance_ratio(loads) - 1.0) * 100.0
+
+
+def coefficient_of_variation(loads: Sequence[float]) -> float:
+    """std / mean of per-worker loads (population std)."""
+    if not loads:
+        raise MetricError("no loads given")
+    mean = sum(loads) / len(loads)
+    if mean == 0:
+        return 0.0
+    var = sum((l - mean) ** 2 for l in loads) / len(loads)
+    return (var ** 0.5) / mean
+
+
+def partition_stroke_imbalance(partition: Partition) -> float:
+    """Static imbalance of a decomposition, in stroke counts.
+
+    This is the *predicted* imbalance before anyone picks up a marker;
+    compare with :func:`trace_busy_imbalance` to see how much stochastic
+    student speed adds.
+    """
+    return imbalance_ratio([float(c) for c in partition.work_counts()])
+
+
+def trace_busy_imbalance(trace: Trace) -> float:
+    """Observed imbalance of busy (stroke) time across agents in a run."""
+    summaries = trace.summaries()
+    if not summaries:
+        raise MetricError("trace has no working agents")
+    return imbalance_ratio([s.busy for s in summaries])
+
+
+def finish_time_spread(trace: Trace) -> float:
+    """Latest minus earliest agent finish — idle tail caused by imbalance."""
+    summaries = trace.summaries()
+    if not summaries:
+        raise MetricError("trace has no working agents")
+    finishes = [s.finish for s in summaries]
+    return max(finishes) - min(finishes)
+
+
+def makespan_vs_ideal(trace: Trace) -> float:
+    """Observed makespan over the perfectly-balanced bound (sum busy / P).
+
+    >= 1.0 by construction; the gap is imbalance + waiting + handoffs.
+    """
+    summaries = trace.summaries()
+    if not summaries:
+        raise MetricError("trace has no working agents")
+    total_busy = sum(s.busy for s in summaries)
+    ideal = total_busy / len(summaries)
+    if ideal <= 0:
+        raise MetricError("trace has zero busy time")
+    return trace.makespan() / ideal
+
+
+def per_worker_report(trace: Trace) -> List[Dict[str, float]]:
+    """One row per agent: strokes, busy, waiting, idle, utilization."""
+    return [
+        {
+            "agent": s.agent,  # type: ignore[dict-item]
+            "strokes": float(s.strokes),
+            "busy": s.busy,
+            "waiting": s.waiting,
+            "idle": s.idle,
+            "utilization": s.utilization,
+        }
+        for s in trace.summaries()
+    ]

@@ -1,0 +1,109 @@
+"""Coloring-quality metrics: the Section IV uniformity advice, measured.
+
+The paper recommends a "back and forth scribble that touches all edges of
+the cell ... faster than completely filling a cell while still making it
+possible to achieve uniformity of time per cell", and notes the class
+drifted toward minimal daubs as it got competitive.  These metrics grade a
+finished run on exactly those dimensions:
+
+- per-cell stroke-time uniformity (coefficient of variation),
+- coverage quality (mean and minimum cell coverage),
+- the speed-vs-quality frontier across fill styles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..grid.canvas import Canvas
+from ..sim.trace import Trace
+from .speedup import MetricError
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """How well (not just how fast) a flag got colored.
+
+    Attributes:
+        mean_coverage: average inked fraction over colored cells.
+        min_coverage: the sparsest cell (a daubed corner reads as sloppy).
+        stroke_time_cv: coefficient of variation of per-cell stroke times
+            — the paper's "uniformity of time per cell".
+        mean_stroke_time: average seconds per cell.
+        cells: number of colored cells.
+    """
+
+    mean_coverage: float
+    min_coverage: float
+    stroke_time_cv: float
+    mean_stroke_time: float
+    cells: int
+
+    @property
+    def uniform(self) -> bool:
+        """Coarse verdict: stroke times within ~50% relative spread."""
+        return self.stroke_time_cv < 0.5
+
+
+def grade_run(canvas: Canvas, trace: Trace) -> QualityReport:
+    """Grade one finished run's canvas + trace.
+
+    Raises:
+        MetricError: when nothing was colored.
+    """
+    if canvas.n_colored() == 0:
+        raise MetricError("nothing was colored")
+    coverages = [s.coverage for s in canvas.history]
+    durations = [iv.duration for iv in trace.stroke_intervals()]
+    if not durations:
+        raise MetricError("trace has no strokes")
+    mean_t = float(np.mean(durations))
+    cv = float(np.std(durations) / mean_t) if mean_t > 0 else 0.0
+    return QualityReport(
+        mean_coverage=float(np.mean(coverages)),
+        min_coverage=float(np.min(coverages)),
+        stroke_time_cv=cv,
+        mean_stroke_time=mean_t,
+        cells=canvas.n_colored(),
+    )
+
+
+def speed_quality_frontier(
+    reports: Dict[str, QualityReport],
+) -> List[str]:
+    """Pareto-optimal styles: nothing else is both faster and better
+    covered.  Input maps style name -> report; output is the frontier,
+    fastest first.
+    """
+    items = sorted(reports.items(), key=lambda kv: kv[1].mean_stroke_time)
+    frontier: List[str] = []
+    best_cov = -1.0
+    # Walk from fastest to slowest; keep styles that improve coverage.
+    for name, rep in items:
+        if rep.mean_coverage > best_cov:
+            frontier.append(name)
+            best_cov = rep.mean_coverage
+    return frontier
+
+
+def drift_toward_minimal(coverage_sequence: List[float],
+                         *, window: int = 10) -> bool:
+    """Detect the competitive drift: later cells get sparser coverage.
+
+    Compares the first and last ``window`` strokes' mean coverage —
+    "the class as a whole moved in the [minimal] direction during the
+    course of the activity".
+
+    Raises:
+        MetricError: with fewer than 2*window strokes.
+    """
+    if len(coverage_sequence) < 2 * window:
+        raise MetricError(
+            f"need at least {2 * window} strokes, got {len(coverage_sequence)}"
+        )
+    first = float(np.mean(coverage_sequence[:window]))
+    last = float(np.mean(coverage_sequence[-window:]))
+    return last < first - 1e-9

@@ -1,0 +1,123 @@
+"""Strong and weak scaling experiments — the scalability quiz concept.
+
+The pre/post test defines scalability as performance growing
+proportionally with processors.  These helpers run the two standard
+experiment shapes on any "time this configuration" callable:
+
+- **strong scaling**: fixed flag, more students (the core activity's own
+  sweep);
+- **weak scaling**: grow the flag with the team — each student always owns
+  the same number of cells (Gustafson's regime: a bigger flag in the same
+  class period).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from .speedup import MetricError, efficiency, gustafson_speedup, speedup
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One sweep point: P processors, measured time, problem size."""
+
+    p: int
+    time: float
+    size: int
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """A full sweep with derived speedups/efficiencies.
+
+    ``mode`` is "strong" (fixed size) or "weak" (size grows with P).
+    """
+
+    mode: str
+    points: List[ScalingPoint]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise MetricError("empty scaling curve")
+        if self.points[0].p != 1:
+            raise MetricError("scaling curves must start at P=1")
+
+    @property
+    def t1(self) -> float:
+        """The P=1 reference time."""
+        return self.points[0].time
+
+    def speedups(self) -> Dict[int, float]:
+        """Strong: T1/TP.  Weak: scaled speedup P * (T1 / TP)."""
+        out: Dict[int, float] = {}
+        for pt in self.points:
+            if self.mode == "strong":
+                out[pt.p] = speedup(self.t1, pt.time)
+            else:
+                # Weak scaling: if TP == T1 the system scaled perfectly,
+                # achieving speedup P on the grown problem.
+                out[pt.p] = pt.p * (self.t1 / pt.time)
+        return out
+
+    def efficiencies(self) -> Dict[int, float]:
+        """Speedup / P per point."""
+        return {p: s / p for p, s in self.speedups().items()}
+
+    def scaled_time_ratio(self) -> Dict[int, float]:
+        """Weak scaling's native metric: TP / T1 (1.0 = perfect)."""
+        return {pt.p: pt.time / self.t1 for pt in self.points}
+
+
+def strong_scaling(
+    run: Callable[[int], float],
+    processors: Sequence[int],
+) -> ScalingCurve:
+    """Sweep a fixed-size problem over processor counts.
+
+    Args:
+        run: maps P to a measured completion time.
+        processors: counts to test; must include 1 first.
+    """
+    pts = [ScalingPoint(p=p, time=float(run(p)), size=-1)
+           for p in processors]
+    return ScalingCurve(mode="strong", points=pts)
+
+
+def weak_scaling(
+    run: Callable[[int, int], float],
+    processors: Sequence[int],
+    base_size: int,
+) -> ScalingCurve:
+    """Sweep with problem size proportional to P.
+
+    Args:
+        run: maps (P, size) to a measured completion time.
+        processors: counts to test; must include 1 first.
+        base_size: per-processor problem size (cells per student).
+    """
+    pts = [
+        ScalingPoint(p=p, time=float(run(p, base_size * p)),
+                     size=base_size * p)
+        for p in processors
+    ]
+    return ScalingCurve(mode="weak", points=pts)
+
+
+def fits_gustafson(curve: ScalingCurve, serial_fraction: float,
+                   tolerance: float = 0.35) -> bool:
+    """Whether a weak-scaling curve tracks Gustafson's law within
+    a relative tolerance at every point.
+
+    Raises:
+        MetricError: when applied to a strong-scaling curve.
+    """
+    if curve.mode != "weak":
+        raise MetricError("Gustafson check applies to weak scaling curves")
+    speedups = curve.speedups()
+    for p, s in speedups.items():
+        want = gustafson_speedup(serial_fraction, p)
+        if abs(s - want) > tolerance * want:
+            return False
+    return True

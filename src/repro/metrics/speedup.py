@@ -1,0 +1,110 @@
+"""Speedup and the classical scaling laws the activity introduces.
+
+Section III-C: posting each scenario's completion times "naturally leads
+into the concept of speedup and its calculation", and asking what the
+speedup *should* be introduces linear speedup.  This module provides the
+classroom definitions plus the standard extensions (efficiency, Amdahl,
+Gustafson, Karp–Flatt) used in the follow-up discussion and the benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+class MetricError(Exception):
+    """Raised on non-positive times or processor counts."""
+
+
+def speedup(t_serial: float, t_parallel: float) -> float:
+    """S = T(1) / T(P): the ratio the students compute off the whiteboard.
+
+    Raises:
+        MetricError: on non-positive inputs.
+    """
+    if t_serial <= 0 or t_parallel <= 0:
+        raise MetricError(
+            f"times must be positive: serial={t_serial}, parallel={t_parallel}"
+        )
+    return t_serial / t_parallel
+
+
+def efficiency(t_serial: float, t_parallel: float, p: int) -> float:
+    """E = S / P: fraction of linear speedup achieved."""
+    if p <= 0:
+        raise MetricError(f"processor count must be positive, got {p}")
+    return speedup(t_serial, t_parallel) / p
+
+
+def is_superlinear(t_serial: float, t_parallel: float, p: int,
+                   tolerance: float = 0.0) -> bool:
+    """Whether S exceeds P (in the classroom: someone probably mis-timed —
+    or warmup contaminated the baseline)."""
+    return speedup(t_serial, t_parallel) > p * (1.0 + tolerance)
+
+
+def amdahl_speedup(serial_fraction: float, p: int) -> float:
+    """Amdahl's law: S(P) = 1 / (f + (1 - f)/P).
+
+    Raises:
+        MetricError: if the serial fraction is outside [0, 1] or P <= 0.
+    """
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise MetricError(f"serial fraction must be in [0,1], got {serial_fraction}")
+    if p <= 0:
+        raise MetricError(f"processor count must be positive, got {p}")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / p)
+
+
+def gustafson_speedup(serial_fraction: float, p: int) -> float:
+    """Gustafson's law: S(P) = P - f * (P - 1) (scaled-problem speedup)."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise MetricError(f"serial fraction must be in [0,1], got {serial_fraction}")
+    if p <= 0:
+        raise MetricError(f"processor count must be positive, got {p}")
+    return p - serial_fraction * (p - 1)
+
+
+def karp_flatt(t_serial: float, t_parallel: float, p: int) -> float:
+    """The experimentally determined serial fraction e = (1/S - 1/P)/(1 - 1/P).
+
+    Diagnoses whether poor scaling is inherent serialization (e constant in
+    P) or overhead (e grows with P) — useful when sweeping team sizes.
+
+    Raises:
+        MetricError: for p < 2 (undefined).
+    """
+    if p < 2:
+        raise MetricError("Karp-Flatt needs at least 2 processors")
+    s = speedup(t_serial, t_parallel)
+    return (1.0 / s - 1.0 / p) / (1.0 - 1.0 / p)
+
+
+@dataclass(frozen=True)
+class ScenarioTimes:
+    """A team's whiteboard row: measured time per scenario label."""
+
+    team: str
+    times: Dict[str, float]
+
+    def speedup_table(self, baseline: str = "scenario1") -> Dict[str, float]:
+        """Speedup of every scenario against the chosen baseline.
+
+        Raises:
+            MetricError: if the baseline label is missing.
+        """
+        if baseline not in self.times:
+            raise MetricError(f"no time recorded for baseline {baseline!r}")
+        t1 = self.times[baseline]
+        return {label: speedup(t1, t) for label, t in self.times.items()}
+
+
+def whiteboard(rows: Sequence[ScenarioTimes]) -> Dict[str, List[float]]:
+    """Transpose team rows into per-scenario time lists — the instructor's
+    public board of all groups' results."""
+    out: Dict[str, List[float]] = {}
+    for row in rows:
+        for label, t in row.times.items():
+            out.setdefault(label, []).append(t)
+    return out

@@ -1,0 +1,156 @@
+"""Small statistics toolkit: medians, bootstrap CIs, Likert aggregation.
+
+The paper's quantitative results are medians of 5-point Likert items
+(Tables I-III, Fig 6) and categorical transition fractions (Fig 8).  This
+module provides the aggregation used to regenerate them, including the
+half-point medians (4.5) that arise from even-sized response sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .speedup import MetricError
+
+
+def median(values: Sequence[float]) -> float:
+    """Standard median (average of middle two for even counts).
+
+    The paper's tables contain values like 4.5 — exactly this convention
+    on Likert responses.
+
+    Raises:
+        MetricError: on empty input.
+    """
+    if not values:
+        raise MetricError("median of empty sequence")
+    return float(np.median(np.asarray(values, dtype=float)))
+
+
+def likert_median(responses: Sequence[int]) -> float:
+    """Median of 1-5 Likert responses, validated.
+
+    Raises:
+        MetricError: on responses outside 1..5 or empty input.
+    """
+    if not responses:
+        raise MetricError("no responses")
+    arr = np.asarray(responses)
+    if arr.min() < 1 or arr.max() > 5:
+        raise MetricError(f"Likert responses must be in 1..5: {sorted(set(arr.tolist()))}")
+    return float(np.median(arr))
+
+
+def round_to_half(x: float) -> float:
+    """Round to the nearest 0.5 — the resolution of the published tables."""
+    return round(x * 2.0) / 2.0
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    stat=np.median,
+    *,
+    n_boot: int = 2000,
+    alpha: float = 0.05,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for any statistic.
+
+    Raises:
+        MetricError: on empty input.
+    """
+    if not values:
+        raise MetricError("bootstrap of empty sequence")
+    rng = np.random.default_rng(seed)
+    arr = np.asarray(values, dtype=float)
+    boots = np.empty(n_boot)
+    for i in range(n_boot):
+        boots[i] = stat(rng.choice(arr, size=len(arr), replace=True))
+    lo, hi = np.quantile(boots, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return float(lo), float(hi)
+
+
+def likert_distribution_for_median(
+    target_median: float,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    spread: float = 0.8,
+) -> List[int]:
+    """Draw ``n`` Likert responses whose median lands on ``target_median``.
+
+    Used to synthesize survey populations consistent with the published
+    medians: responses are sampled around the target and then minimally
+    adjusted (moving single responses one step at a time) until the sample
+    median matches exactly.  Raises for unreachable targets (outside 1-5 or
+    a half-point median with odd ``n``).
+    """
+    if not 1.0 <= target_median <= 5.0:
+        raise MetricError(f"target median {target_median} outside Likert range")
+    if (target_median * 2) % 1 != 0:
+        raise MetricError(f"target median {target_median} not a multiple of 0.5")
+    if target_median % 1 == 0.5 and n % 2 == 1:
+        raise MetricError(
+            f"half-point median {target_median} impossible with odd n={n}"
+        )
+    vals = np.clip(np.rint(rng.normal(target_median, spread, size=n)), 1, 5)
+    vals = vals.astype(int).tolist()
+
+    def med(v: List[int]) -> float:
+        return float(np.median(v))
+
+    # Nudge responses toward the target median until it matches exactly.
+    for _ in range(20 * n):
+        m = med(vals)
+        if m == target_median:
+            break
+        if m < target_median:
+            # Raise the smallest response below 5.
+            idx = min((i for i, v in enumerate(vals) if v < 5),
+                      key=lambda i: vals[i], default=None)
+            if idx is None:
+                raise MetricError("cannot reach target median (all 5s)")
+            vals[idx] += 1
+        else:
+            idx = max((i for i, v in enumerate(vals) if v > 1),
+                      key=lambda i: vals[i], default=None)
+            if idx is None:
+                raise MetricError("cannot reach target median (all 1s)")
+            vals[idx] -= 1
+    if med(vals) != target_median:
+        raise MetricError(
+            f"failed to hit median {target_median} with n={n}"
+        )
+    return vals
+
+
+def transition_fractions(
+    pre_correct: Sequence[bool], post_correct: Sequence[bool]
+) -> Dict[str, float]:
+    """The four-state pre/post analysis of Figure 8.
+
+    Returns fractions over all students: ``retained`` (correct -> correct),
+    ``gained`` (incorrect -> correct), ``lost`` (correct -> incorrect),
+    ``never`` (incorrect -> incorrect).
+
+    Raises:
+        MetricError: on length mismatch or empty input.
+    """
+    if len(pre_correct) != len(post_correct):
+        raise MetricError("pre/post length mismatch")
+    n = len(pre_correct)
+    if n == 0:
+        raise MetricError("no students")
+    counts = {"retained": 0, "gained": 0, "lost": 0, "never": 0}
+    for pre, post in zip(pre_correct, post_correct):
+        if pre and post:
+            counts["retained"] += 1
+        elif not pre and post:
+            counts["gained"] += 1
+        elif pre and not post:
+            counts["lost"] += 1
+        else:
+            counts["never"] += 1
+    return {k: v / n for k, v in counts.items()}

@@ -1,0 +1,111 @@
+"""Warmup-effect estimation: the repeated-scenario-1 lesson.
+
+"If the first scenario was repeated a second time, the students are also
+quick to observe that its completion times are significantly better than in
+the first trial ... The instructor can then make an analogy to system
+warmup" (caching, power-saving modes, JIT).  These helpers quantify the
+effect across trials and fit the learning curve the student model uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .speedup import MetricError
+
+
+@dataclass(frozen=True)
+class WarmupEstimate:
+    """Warmup statistics from a sequence of repeated-trial times.
+
+    Attributes:
+        first_time: trial 1 time.
+        steady_time: mean of the final half of the trials.
+        warmup_ratio: first / steady (> 1 means the first run was slower).
+        improvement_percent: (1 - steady/first) * 100.
+    """
+
+    first_time: float
+    steady_time: float
+    warmup_ratio: float
+    improvement_percent: float
+
+
+def estimate_warmup(trial_times: Sequence[float]) -> WarmupEstimate:
+    """Summarize the warmup effect over repeated identical trials.
+
+    Raises:
+        MetricError: with fewer than two trials or non-positive times.
+    """
+    if len(trial_times) < 2:
+        raise MetricError("need at least two trials to estimate warmup")
+    if any(t <= 0 for t in trial_times):
+        raise MetricError(f"non-positive trial time in {list(trial_times)}")
+    first = trial_times[0]
+    tail = trial_times[len(trial_times) // 2:]
+    steady = sum(tail) / len(tail)
+    return WarmupEstimate(
+        first_time=first,
+        steady_time=steady,
+        warmup_ratio=first / steady,
+        improvement_percent=(1.0 - steady / first) * 100.0,
+    )
+
+
+def fit_exponential_decay(trial_times: Sequence[float]) -> Tuple[float, float, float]:
+    """Fit ``t_k = steady * (1 + a * exp(-k / tau))`` to trial times.
+
+    A small grid-plus-refinement fit (no scipy dependency needed): returns
+    ``(steady, a, tau)``.  Used to recover the student model's warmup
+    parameters from observed times — closing the loop between the model
+    and what an instructor could measure.
+
+    Raises:
+        MetricError: with fewer than three trials.
+    """
+    n = len(trial_times)
+    if n < 3:
+        raise MetricError("need at least three trials to fit a decay")
+    ts = list(trial_times)
+    steady0 = min(ts[-max(1, n // 3):])
+
+    def sse(steady: float, a: float, tau: float) -> float:
+        return sum(
+            (ts[k] - steady * (1.0 + a * math.exp(-k / tau))) ** 2
+            for k in range(n)
+        )
+
+    best = (steady0, max(ts[0] / steady0 - 1.0, 1e-6), 1.0)
+    best_err = float("inf")
+    for steady in [steady0 * f for f in (0.85, 0.95, 1.0, 1.05)]:
+        for a in [0.05, 0.1, 0.2, 0.4, 0.8, 1.2, 2.0]:
+            for tau in [0.3, 0.7, 1.0, 2.0, 4.0, 8.0]:
+                err = sse(steady, a, tau)
+                if err < best_err:
+                    best_err = err
+                    best = (steady, a, tau)
+    # One refinement pass around the best grid point.
+    s0, a0, t0 = best
+    for steady in [s0 * f for f in (0.9, 0.95, 1.0, 1.05, 1.1)]:
+        for a in [a0 * f for f in (0.5, 0.75, 1.0, 1.25, 1.5)]:
+            for tau in [t0 * f for f in (0.5, 0.75, 1.0, 1.25, 1.5)]:
+                err = sse(steady, a, tau)
+                if err < best_err:
+                    best_err = err
+                    best = (steady, a, tau)
+    return best
+
+
+def warmup_contaminates_speedup(first_time: float, repeat_time: float,
+                                parallel_time: float) -> Tuple[float, float]:
+    """Speedup computed against the cold first run vs the warmed repeat.
+
+    Returns ``(optimistic, honest)`` — using the cold run as baseline
+    inflates the apparent speedup, one of the methodology lessons the
+    instructor can draw out of the board numbers.
+    """
+    if min(first_time, repeat_time, parallel_time) <= 0:
+        raise MetricError("times must be positive")
+    return first_time / parallel_time, repeat_time / parallel_time

@@ -1,0 +1,55 @@
+"""Scheduling: scenario runner, core scenarios, dynamic/pipelined/layered."""
+
+from .runner import (
+    AcquirePolicy,
+    RunResult,
+    build_resources,
+    marker_name,
+    paint_worker,
+    replay_many,
+    run_partition,
+)
+from .scenario import (
+    Scenario,
+    core_scenarios,
+    get_scenario,
+    run_core_activity,
+    run_scenario,
+)
+from .strategies import StrategyError, chunk_sweep, run_dynamic
+from .pipeline import (
+    PipelineMetrics,
+    pipeline_metrics,
+    rotate_color_order,
+    stage_occupancy,
+)
+from .depsched import layered_speedup_curve, run_layered, split_ops
+from .worksteal import WorkStealError, count_steals, run_work_stealing
+
+__all__ = [
+    "AcquirePolicy",
+    "RunResult",
+    "build_resources",
+    "marker_name",
+    "paint_worker",
+    "replay_many",
+    "run_partition",
+    "Scenario",
+    "core_scenarios",
+    "get_scenario",
+    "run_core_activity",
+    "run_scenario",
+    "StrategyError",
+    "chunk_sweep",
+    "run_dynamic",
+    "PipelineMetrics",
+    "pipeline_metrics",
+    "rotate_color_order",
+    "stage_occupancy",
+    "layered_speedup_curve",
+    "run_layered",
+    "split_ops",
+    "WorkStealError",
+    "count_steals",
+    "run_work_stealing",
+]

@@ -1,0 +1,231 @@
+"""The core scenario runner: replay a partition on the simulation engine.
+
+This module turns a static :class:`~repro.flags.decompose.Partition` plus a
+:class:`~repro.agents.team.Team` into simulator processes, runs them, and
+packages the outcome as a :class:`RunResult`.  It is the path every
+experiment goes through; the scenario wrappers, dynamic strategies and
+dependency-aware schedulers all bottom out here.
+
+Implement sharing follows the classroom physics: a team owns one implement
+per color (unless issued duplicates), an implement is a single-holder FIFO
+resource, and changing hands costs handoff time.  The acquisition *policy*
+— hold an implement through a same-color run vs. release after every
+stroke — is a modeling knob the ablations sweep.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..agents.student import FillStyle, StudentProcessor
+from ..agents.team import Team
+from ..flags.spec import PaintOp, PaintProgram
+from ..flags.decompose import Partition
+from ..grid.canvas import Canvas
+from ..grid.palette import Color
+from ..sim.engine import (
+    Acquire,
+    ProcessGen,
+    Release,
+    ResourceHandle,
+    Simulator,
+    Timeout,
+)
+from ..sim.events import EventKind
+from ..sim.trace import Trace
+
+
+class AcquirePolicy(enum.Enum):
+    """When a worker gives a shared implement back.
+
+    HOLD_COLOR_RUN: keep the implement until the next stroke needs a
+    different color — the natural classroom behavior, and the one that
+    makes scenario 4 self-organize into a pipeline (FIFO queues hand the
+    red marker down the line of waiting workers).
+
+    RELEASE_PER_STROKE: release after every cell — maximal fairness,
+    pathological handoff overhead; the thrashing baseline.
+    """
+
+    HOLD_COLOR_RUN = "hold_color_run"
+    RELEASE_PER_STROKE = "release_per_stroke"
+
+
+@dataclass
+class RunResult:
+    """Everything one simulated scenario run produced.
+
+    Attributes:
+        label: human-readable run identifier ("scenario3", ...).
+        strategy: the decomposition/schedule that was used.
+        n_workers: processors that actually colored.
+        true_makespan: simulated seconds until the last stroke/process end.
+        measured_time: what the timer student's stopwatch reported.
+        trace: the full event trace for metric extraction.
+        canvas: the colored sheet.
+        correct: whether the canvas reproduces the target image.
+    """
+
+    label: str
+    strategy: str
+    n_workers: int
+    true_makespan: float
+    measured_time: float
+    trace: Trace
+    canvas: Canvas
+    correct: bool
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+def marker_name(color: Color) -> str:
+    """Canonical resource name for a color's implement."""
+    return f"{color.name.lower()}_marker"
+
+
+def build_resources(sim: Simulator, team: Team,
+                    colors: Sequence[Color]) -> Dict[Color, ResourceHandle]:
+    """One FIFO resource per color, capacity = duplicate implements issued."""
+    return {
+        c: sim.resource(marker_name(c), capacity=team.kit.copies)
+        for c in colors
+    }
+
+
+def paint_worker(
+    sim: Simulator,
+    student: StudentProcessor,
+    ops: Sequence[PaintOp],
+    team: Team,
+    canvas: Canvas,
+    resources: Dict[Color, ResourceHandle],
+    rng: np.random.Generator,
+    *,
+    style: FillStyle = FillStyle.SCRIBBLE,
+    policy: AcquirePolicy = AcquirePolicy.HOLD_COLOR_RUN,
+    last_holder: Optional[Dict[str, str]] = None,
+) -> ProcessGen:
+    """Generator for one student working through an ordered stroke list.
+
+    Args:
+        last_holder: shared map resource-name -> last agent who held it;
+            used to charge handoff time when an implement changes hands.
+            Pass the same dict to every worker of a run.
+    """
+    if last_holder is None:
+        last_holder = {}
+    held: Optional[ResourceHandle] = None
+    for op in ops:
+        res = resources[op.color]
+        if held is not res:
+            if held is not None:
+                yield Release(held)
+            yield Acquire(res)
+            prev = last_holder.get(res.name)
+            if prev is not None and prev != student.name:
+                delay = student.handoff_time(rng)
+                sim.log(EventKind.HANDOFF, agent=student.name,
+                        resource=res.name, from_agent=prev, delay=delay)
+                yield Timeout(delay)
+            last_holder[res.name] = student.name
+            held = res
+        implement = team.kit.implement_for(op.color)
+        duration, coverage, fault = student.stroke_time(
+                implement, rng, style, complexity=op.complexity)
+        sim.log(EventKind.STROKE_START, agent=student.name, cell=op.cell,
+                color=op.color.name, layer=op.layer)
+        yield Timeout(duration)
+        canvas.paint(op.cell, op.color, agent=student.name, time=sim.now,
+                     coverage=coverage)
+        sim.log(EventKind.STROKE_END, agent=student.name, cell=op.cell,
+                color=op.color.name, layer=op.layer)
+        if fault is not None:
+            sim.log(EventKind.FAULT, agent=student.name,
+                    resource=res.name, delay=fault)
+            yield Timeout(fault)
+        if policy is AcquirePolicy.RELEASE_PER_STROKE:
+            yield Release(res)
+            held = None
+    if held is not None:
+        yield Release(held)
+
+
+def run_partition(
+    partition: Partition,
+    team: Team,
+    rng: np.random.Generator,
+    *,
+    label: Optional[str] = None,
+    style: FillStyle = FillStyle.SCRIBBLE,
+    policy: AcquirePolicy = AcquirePolicy.HOLD_COLOR_RUN,
+    target: Optional[np.ndarray] = None,
+) -> RunResult:
+    """Simulate one run of a statically-partitioned program.
+
+    Workers with empty assignments are skipped (they stand aside, like the
+    timer student).  The team must have at least as many students as
+    non-empty assignments.
+
+    Args:
+        target: expected final color-code image; defaults to replaying the
+            program sequentially (which for layered programs assumes the
+            partition preserves layer legality — use the dependency-aware
+            scheduler otherwise).
+    """
+    program = partition.program
+    team.begin_scenario()
+    sim = Simulator()
+    canvas = Canvas(program.rows, program.cols, allow_overpaint=True)
+    colors = sorted({op.color for op in program.ops}, key=int)
+    resources = build_resources(sim, team, colors)
+    last_holder: Dict[str, str] = {}
+
+    active = [(i, ops) for i, ops in enumerate(partition.assignments) if ops]
+    students = team.colorers(len(active))
+    for student, (_, ops) in zip(students, active):
+        sim.add_process(
+            student.name,
+            paint_worker(sim, student, ops, team, canvas, resources, rng,
+                         style=style, policy=policy, last_holder=last_holder),
+        )
+    true_makespan = sim.run()
+    measured = team.timer.measure(true_makespan, rng)
+    trace = Trace(sim.events)
+    if target is None:
+        from ..flags.compiler import execute
+        target = execute(program).codes
+    correct = bool(np.array_equal(canvas.codes, target)) or canvas.matches(target)
+    return RunResult(
+        label=label or f"{program.flag}/{partition.strategy}",
+        strategy=partition.strategy,
+        n_workers=len(active),
+        true_makespan=true_makespan,
+        measured_time=measured,
+        trace=trace,
+        canvas=canvas,
+        correct=correct,
+    )
+
+
+def replay_many(
+    make_partition,
+    team_factory,
+    n_trials: int,
+    seed: int,
+    **run_kwargs,
+) -> List[RunResult]:
+    """Run the same configuration ``n_trials`` times with fresh teams.
+
+    Each trial draws a new team and RNG stream from ``seed + trial``, so
+    trials are independent but the whole batch is reproducible.
+    """
+    out: List[RunResult] = []
+    for t in range(n_trials):
+        rng = np.random.default_rng(seed + t)
+        team = team_factory(rng)
+        partition = make_partition()
+        out.append(run_partition(partition, team, rng, **run_kwargs))
+    return out

@@ -1,0 +1,149 @@
+"""The four core scenarios of the activity (Fig 1), as first-class objects.
+
+Scenario 1: one student colors the whole flag (a second one times them);
+optionally repeated to expose the warmup effect.
+Scenario 2: two students split the stripes by color pairs (red+blue /
+yellow+green).
+Scenario 3: four students, one stripe each — one implement per student, no
+sharing, near-linear speedup.
+Scenario 4: four students, one vertical slice each — every slice crosses
+every stripe, so the team's four implements are shared and contended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..agents.student import FillStyle
+from ..agents.team import Team
+from ..flags.compiler import compile_flag
+from ..flags.decompose import Partition, scenario_partition
+from ..flags.spec import FlagSpec, PaintProgram
+from .runner import AcquirePolicy, RunResult, run_partition
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One scenario: a name, a description, and a partition recipe."""
+
+    number: int
+    name: str
+    description: str
+    n_colorers: int
+    make_partition: Callable[[PaintProgram], Partition]
+
+    def partition(self, program: PaintProgram) -> Partition:
+        """Build this scenario's partition of a compiled program."""
+        return self.make_partition(program)
+
+
+def core_scenarios() -> List[Scenario]:
+    """The paper's four scenarios, in the order the class runs them."""
+    return [
+        Scenario(
+            number=1,
+            name="sequential",
+            description="One student colors the entire flag; another times.",
+            n_colorers=1,
+            make_partition=lambda p: scenario_partition(p, 1),
+        ),
+        Scenario(
+            number=2,
+            name="two_by_color_pairs",
+            description=("Two students: one colors the red and blue stripes, "
+                         "the other yellow and green."),
+            n_colorers=2,
+            make_partition=lambda p: scenario_partition(p, 2),
+        ),
+        Scenario(
+            number=3,
+            name="four_by_stripe",
+            description="Four students, one stripe each.",
+            n_colorers=4,
+            make_partition=lambda p: scenario_partition(p, 3),
+        ),
+        Scenario(
+            number=4,
+            name="four_vertical_slices",
+            description=("Four students, one vertical slice each; slices "
+                         "cross all stripes so implements must be shared."),
+            n_colorers=4,
+            make_partition=lambda p: scenario_partition(p, 4),
+        ),
+    ]
+
+
+def get_scenario(number: int) -> Scenario:
+    """Look up a core scenario by its 1-based number.
+
+    Raises:
+        KeyError: outside 1-4.
+    """
+    for s in core_scenarios():
+        if s.number == number:
+            return s
+    raise KeyError(f"no core scenario {number}; valid: 1-4")
+
+
+def run_scenario(
+    scenario: Scenario,
+    spec: FlagSpec,
+    team: Team,
+    rng: np.random.Generator,
+    *,
+    rows: Optional[int] = None,
+    cols: Optional[int] = None,
+    style: FillStyle = FillStyle.SCRIBBLE,
+    policy: AcquirePolicy = AcquirePolicy.HOLD_COLOR_RUN,
+) -> RunResult:
+    """Compile the flag, apply the scenario's decomposition, and simulate."""
+    program = compile_flag(spec, rows, cols)
+    partition = scenario.partition(program)
+    result = run_partition(
+        partition, team, rng,
+        label=f"scenario{scenario.number}",
+        style=style, policy=policy,
+        target=spec.final_image(program.rows, program.cols),
+    )
+    result.extra["scenario"] = scenario.number
+    result.extra["flag"] = spec.name
+    return result
+
+
+def run_core_activity(
+    spec: FlagSpec,
+    team: Team,
+    rng: np.random.Generator,
+    *,
+    repeat_first: bool = True,
+    style: FillStyle = FillStyle.SCRIBBLE,
+    policy: AcquirePolicy = AcquirePolicy.HOLD_COLOR_RUN,
+) -> Dict[str, RunResult]:
+    """Run a team through the full core activity, in classroom order.
+
+    Args:
+        repeat_first: run scenario 1 twice (the variant Section III-C
+            recommends to surface the warmup lesson).  The repeat appears
+            under the key ``"scenario1_repeat"``.
+
+    Returns:
+        Ordered mapping of run label to result:
+        ``scenario1[, scenario1_repeat], scenario2, scenario3, scenario4``.
+    """
+    results: Dict[str, RunResult] = {}
+    scenarios = core_scenarios()
+    results["scenario1"] = run_scenario(scenarios[0], spec, team, rng,
+                                        style=style, policy=policy)
+    if repeat_first:
+        r = run_scenario(scenarios[0], spec, team, rng,
+                         style=style, policy=policy)
+        r.label = "scenario1_repeat"
+        results["scenario1_repeat"] = r
+    for s in scenarios[1:]:
+        results[f"scenario{s.number}"] = run_scenario(
+            s, spec, team, rng, style=style, policy=policy
+        )
+    return results

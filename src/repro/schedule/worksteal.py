@@ -1,0 +1,185 @@
+"""Work stealing: the classroom's "whoever finishes, helps the others".
+
+Each worker starts with their static share (a vertical slice, say), and a
+worker whose own deque empties *steals* the back half of the most-loaded
+teammate's remaining strokes.  This fixes the Canadian-flag imbalance
+without the central queue of :mod:`repro.schedule.strategies` — the
+classic distributed remedy, at the cost of occasional extra implement
+churn when the thief needs different colors.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from ..agents.student import FillStyle
+from ..agents.team import Team
+from ..flags.decompose import Partition
+from ..grid.canvas import Canvas
+from ..grid.palette import Color
+from ..sim.engine import Acquire, ProcessGen, Release, ResourceHandle, Simulator, Timeout
+from ..sim.events import EventKind
+from ..sim.trace import Trace
+from .runner import RunResult, build_resources
+
+
+class WorkStealError(Exception):
+    """Raised for invalid work-stealing configurations."""
+
+
+def _steal(queues: Dict[str, Deque], thief: str,
+           sim: Simulator) -> Optional[int]:
+    """Move the back half of the largest other queue into the thief's.
+
+    Returns the number of strokes stolen, or None when nothing remains
+    anywhere.
+    """
+    victims = [(len(q), name) for name, q in queues.items()
+               if name != thief and q]
+    if not victims:
+        return None
+    victims.sort(reverse=True)
+    _, victim = victims[0]
+    vq = queues[victim]
+    n = max(1, len(vq) // 2)
+    stolen = [vq.pop() for _ in range(n)]
+    stolen.reverse()  # keep the victim's intended order
+    queues[thief].extend(stolen)
+    sim.log(EventKind.NOTE, agent=thief, stole=n, victim=victim)
+    return n
+
+
+def _stealing_worker(
+    sim: Simulator,
+    student,
+    queues: Dict[str, Deque],
+    team: Team,
+    canvas: Canvas,
+    resources: Dict[Color, ResourceHandle],
+    rng: np.random.Generator,
+    style: FillStyle,
+    last_holder: Dict[str, str],
+    steal_overhead: float,
+) -> ProcessGen:
+    my_q = queues[student.name]
+    held: Optional[ResourceHandle] = None
+    while True:
+        if my_q:
+            op = my_q.popleft()
+        else:
+            if held is not None:
+                yield Release(held)
+                held = None
+            got = _steal(queues, student.name, sim)
+            if got is None:
+                break
+            # Take one stroke in hand *before* walking back: work in a
+            # queue can be re-stolen during the overhead delay, and
+            # without this an op could ping-pong between idle workers
+            # forever.  Holding one guarantees progress per steal.
+            op = my_q.popleft()
+            if steal_overhead > 0:
+                yield Timeout(steal_overhead)
+        res = resources[op.color]
+        if held is not res:
+            if held is not None:
+                yield Release(held)
+            yield Acquire(res)
+            prev = last_holder.get(res.name)
+            if prev is not None and prev != student.name:
+                delay = student.handoff_time(rng)
+                sim.log(EventKind.HANDOFF, agent=student.name,
+                        resource=res.name, from_agent=prev, delay=delay)
+                yield Timeout(delay)
+            last_holder[res.name] = student.name
+            held = res
+        implement = team.kit.implement_for(op.color)
+        duration, coverage, fault = student.stroke_time(
+            implement, rng, style, complexity=op.complexity)
+        sim.log(EventKind.STROKE_START, agent=student.name, cell=op.cell,
+                color=op.color.name, layer=op.layer)
+        yield Timeout(duration)
+        canvas.paint(op.cell, op.color, agent=student.name, time=sim.now,
+                     coverage=coverage)
+        sim.log(EventKind.STROKE_END, agent=student.name, cell=op.cell,
+                color=op.color.name, layer=op.layer)
+        if fault is not None:
+            sim.log(EventKind.FAULT, agent=student.name,
+                    resource=res.name, delay=fault)
+            yield Timeout(fault)
+    if held is not None:
+        yield Release(held)
+
+
+def run_work_stealing(
+    partition: Partition,
+    team: Team,
+    rng: np.random.Generator,
+    *,
+    style: FillStyle = FillStyle.SCRIBBLE,
+    steal_overhead: float = 2.0,
+    label: Optional[str] = None,
+) -> RunResult:
+    """Run a static partition with work stealing on top.
+
+    Note: stealing can reorder strokes across workers, so this runner is
+    only offered for *flat* (non-layered) programs where any stroke order
+    is legal.
+
+    Raises:
+        WorkStealError: when the program is layered (stealing could
+            violate the painter's order) or the team is too small.
+    """
+    program = partition.program
+    layers_per_cell: Dict = {}
+    for op in program.ops:
+        layers_per_cell.setdefault(op.cell, []).append(op.layer)
+    if any(len(ls) > 1 for ls in layers_per_cell.values()):
+        raise WorkStealError(
+            "work stealing supports only flat programs; "
+            "layered flags need the barrier scheduler"
+        )
+
+    team.begin_scenario()
+    sim = Simulator()
+    canvas = Canvas(program.rows, program.cols, allow_overpaint=True)
+    colors = sorted({op.color for op in program.ops}, key=int)
+    resources = build_resources(sim, team, colors)
+    last_holder: Dict[str, str] = {}
+
+    active = [(i, ops) for i, ops in enumerate(partition.assignments) if ops]
+    students = team.colorers(len(active))
+    queues: Dict[str, Deque] = {
+        student.name: deque(ops)
+        for student, (_, ops) in zip(students, active)
+    }
+    for student in students:
+        sim.add_process(
+            student.name,
+            _stealing_worker(sim, student, queues, team, canvas, resources,
+                             rng, style, last_holder, steal_overhead),
+        )
+    true_makespan = sim.run()
+    measured = team.timer.measure(true_makespan, rng)
+    from ..flags.compiler import execute
+    target = execute(program).codes
+    return RunResult(
+        label=label or f"{program.flag}/{partition.strategy}+stealing",
+        strategy=partition.strategy + "+stealing",
+        n_workers=len(active),
+        true_makespan=true_makespan,
+        measured_time=measured,
+        trace=Trace(sim.events),
+        canvas=canvas,
+        correct=canvas.matches(target),
+        extra={"steal_overhead": steal_overhead},
+    )
+
+
+def count_steals(trace: Trace) -> int:
+    """How many steal events occurred in a run."""
+    return sum(1 for e in trace.of_kind(EventKind.NOTE)
+               if "stole" in e.data)

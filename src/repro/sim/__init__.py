@@ -1,0 +1,49 @@
+"""Discrete-event simulation kernel: engine, events, traces."""
+
+from .events import Event, EventKind
+from .engine import (
+    Acquire,
+    Command,
+    ProcessGen,
+    Release,
+    ResourceHandle,
+    SimulationError,
+    Simulator,
+    Timeout,
+    WaitAll,
+)
+from .trace import AgentSummary, Interval, Trace, TraceError
+from .export import (
+    ExportError,
+    event_from_dict,
+    event_to_dict,
+    export_events,
+    export_trace,
+    import_events,
+    import_trace,
+)
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "Acquire",
+    "Command",
+    "ProcessGen",
+    "Release",
+    "ResourceHandle",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "WaitAll",
+    "AgentSummary",
+    "Interval",
+    "Trace",
+    "TraceError",
+    "ExportError",
+    "event_from_dict",
+    "event_to_dict",
+    "export_events",
+    "export_trace",
+    "import_events",
+    "import_trace",
+]

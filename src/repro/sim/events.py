@@ -1,0 +1,71 @@
+"""Typed event records emitted during a simulation run.
+
+Every observable action in the classroom simulation — a stroke starting or
+finishing, an implement being requested, granted or released, a processor
+finishing its task list — is logged as an :class:`Event` with the simulated
+timestamp.  The trace module aggregates these into timelines and metrics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+class EventKind(enum.Enum):
+    """The vocabulary of things that can happen during a run."""
+
+    PROCESS_START = "process_start"
+    PROCESS_DONE = "process_done"
+    STROKE_START = "stroke_start"
+    STROKE_END = "stroke_end"
+    RESOURCE_REQUEST = "resource_request"
+    RESOURCE_ACQUIRE = "resource_acquire"
+    RESOURCE_RELEASE = "resource_release"
+    HANDOFF = "handoff"
+    FAULT = "fault"
+    NOTE = "note"
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One timestamped occurrence.
+
+    Ordered by ``(time, seq)`` so identical-time events keep their emission
+    order — the determinism guarantee of the engine.
+
+    Attributes:
+        time: simulated seconds since the scenario started.
+        seq: global emission counter (ties broken deterministically).
+        kind: what happened.
+        agent: which processor/student it happened to (None for global).
+        data: kind-specific payload (cell, color, resource name, ...).
+    """
+
+    time: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    agent: Optional[str] = field(compare=False, default=None)
+    data: Dict[str, Any] = field(compare=False, default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        bits = [f"t={self.time:8.2f}", self.kind.value]
+        if self.agent:
+            bits.append(self.agent)
+        if self.data:
+            bits.append(str(self.data))
+        return "  ".join(bits)
+
+
+#: Events that mark the boundaries of "useful work" for utilization math.
+WORK_EVENTS: Tuple[EventKind, EventKind] = (
+    EventKind.STROKE_START,
+    EventKind.STROKE_END,
+)
+
+#: Events that mark waiting on a shared implement.
+WAIT_EVENTS: Tuple[EventKind, EventKind] = (
+    EventKind.RESOURCE_REQUEST,
+    EventKind.RESOURCE_ACQUIRE,
+)

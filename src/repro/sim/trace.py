@@ -1,0 +1,230 @@
+"""Post-run analysis of an event log: timelines, waits, utilization, Gantt.
+
+A :class:`Trace` wraps the flat event list a :class:`~repro.sim.engine.
+Simulator` produced and answers the questions the classroom debrief asks:
+how long did each scenario take, who was busy when, how long did processors
+wait for shared implements, how well-balanced was the work?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .events import Event, EventKind
+
+
+class TraceError(Exception):
+    """Raised on malformed event logs (unbalanced start/end pairs, ...)."""
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A labeled time interval on one agent's timeline."""
+
+    agent: str
+    start: float
+    end: float
+    label: str
+
+    @property
+    def duration(self) -> float:
+        """Interval length in simulated seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class AgentSummary:
+    """Aggregate time accounting for one processor.
+
+    ``busy`` is stroke time, ``waiting`` is time blocked on implements,
+    ``idle`` is everything else between the agent's first start and the
+    run's makespan (including pipeline fill/drain time).
+    """
+
+    agent: str
+    strokes: int
+    busy: float
+    waiting: float
+    finish: float
+    idle: float
+
+    @property
+    def utilization(self) -> float:
+        """busy / finish — the fraction of the run the agent did real work."""
+        return self.busy / self.finish if self.finish > 0 else 0.0
+
+
+class Trace:
+    """Structured view over a simulation's event list."""
+
+    def __init__(self, events: Sequence[Event]) -> None:
+        self.events: List[Event] = sorted(events)
+        self._strokes: Optional[List[Interval]] = None
+        self._waits: Optional[List[Interval]] = None
+
+    # -- raw access ----------------------------------------------------------
+    def of_kind(self, kind: EventKind) -> List[Event]:
+        """All events of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def agents(self) -> List[str]:
+        """Every agent that appears in the log, sorted."""
+        return sorted({e.agent for e in self.events if e.agent is not None})
+
+    def makespan(self) -> float:
+        """Time of the last event (0.0 for an empty log)."""
+        return self.events[-1].time if self.events else 0.0
+
+    def finish_time(self, agent: str) -> float:
+        """The agent's PROCESS_DONE time.
+
+        Raises:
+            TraceError: if the agent never finished.
+        """
+        for e in self.events:
+            if e.kind == EventKind.PROCESS_DONE and e.agent == agent:
+                return e.time
+        raise TraceError(f"agent {agent!r} has no PROCESS_DONE event")
+
+    # -- stroke timeline -----------------------------------------------------
+    def stroke_intervals(self) -> List[Interval]:
+        """Paired STROKE_START/STROKE_END intervals per agent, time order.
+
+        Raises:
+            TraceError: on an END without a matching START (per agent).
+        """
+        if self._strokes is not None:
+            return self._strokes
+        open_start: Dict[str, Event] = {}
+        out: List[Interval] = []
+        for e in self.events:
+            if e.kind == EventKind.STROKE_START:
+                if e.agent in open_start:
+                    raise TraceError(f"nested stroke for {e.agent!r} at {e.time}")
+                open_start[e.agent] = e
+            elif e.kind == EventKind.STROKE_END:
+                try:
+                    s = open_start.pop(e.agent)
+                except KeyError:
+                    raise TraceError(
+                        f"STROKE_END without START for {e.agent!r} at {e.time}"
+                    ) from None
+                label = str(s.data.get("color", s.data.get("label", "stroke")))
+                out.append(Interval(e.agent, s.time, e.time, label))
+        if open_start:
+            raise TraceError(f"unclosed strokes: {sorted(open_start)}")
+        self._strokes = out
+        return out
+
+    def wait_intervals(self) -> List[Interval]:
+        """REQUEST→ACQUIRE intervals (time spent queued for an implement).
+
+        Zero-length waits (immediately granted requests) are included so
+        contention statistics can count total requests.
+        """
+        if self._waits is not None:
+            return self._waits
+        pending: Dict[Tuple[str, str], Event] = {}
+        out: List[Interval] = []
+        for e in self.events:
+            if e.kind == EventKind.RESOURCE_REQUEST:
+                key = (e.agent or "", str(e.data.get("resource")))
+                pending[key] = e
+            elif e.kind == EventKind.RESOURCE_ACQUIRE:
+                key = (e.agent or "", str(e.data.get("resource")))
+                req = pending.pop(key, None)
+                if req is None:
+                    raise TraceError(
+                        f"ACQUIRE without REQUEST: {e.agent!r}/{key[1]} at {e.time}"
+                    )
+                out.append(Interval(e.agent or "", req.time, e.time, key[1]))
+        self._waits = out
+        return out
+
+    # -- aggregates ------------------------------------------------------------
+    def busy_time(self, agent: str) -> float:
+        """Total stroke time for one agent."""
+        return sum(i.duration for i in self.stroke_intervals()
+                   if i.agent == agent)
+
+    def waiting_time(self, agent: str) -> float:
+        """Total implement-queue time for one agent."""
+        return sum(i.duration for i in self.wait_intervals()
+                   if i.agent == agent)
+
+    def stroke_count(self, agent: str) -> int:
+        """Number of cells this agent colored."""
+        return sum(1 for i in self.stroke_intervals() if i.agent == agent)
+
+    def summaries(self) -> List[AgentSummary]:
+        """Per-agent time accounting against the run makespan.
+
+        Only agents that painted or waited are included (timer students and
+        pure observers have no strokes and are omitted).
+        """
+        strokes = self.stroke_intervals()
+        active = sorted({i.agent for i in strokes}
+                        | {i.agent for i in self.wait_intervals()})
+        out = []
+        for a in active:
+            busy = self.busy_time(a)
+            waiting = self.waiting_time(a)
+            try:
+                finish = self.finish_time(a)
+            except TraceError:
+                finish = self.makespan()
+            out.append(AgentSummary(
+                agent=a,
+                strokes=self.stroke_count(a),
+                busy=busy,
+                waiting=waiting,
+                finish=finish,
+                idle=max(0.0, finish - busy - waiting),
+            ))
+        return out
+
+    def total_wait_fraction(self) -> float:
+        """Waiting time as a fraction of total (busy + waiting) time.
+
+        The headline contention number: near zero for scenarios 1-3, large
+        for scenario 4 with single shared implements.
+        """
+        busy = sum(i.duration for i in self.stroke_intervals())
+        wait = sum(i.duration for i in self.wait_intervals())
+        denom = busy + wait
+        return wait / denom if denom > 0 else 0.0
+
+    def resource_holders_timeline(self, resource: str) -> List[Interval]:
+        """ACQUIRE→RELEASE holding intervals for one implement."""
+        pending: Dict[str, Event] = {}
+        out: List[Interval] = []
+        for e in self.events:
+            if str(e.data.get("resource")) != resource:
+                continue
+            if e.kind == EventKind.RESOURCE_ACQUIRE:
+                pending[e.agent or ""] = e
+            elif e.kind == EventKind.RESOURCE_RELEASE:
+                acq = pending.pop(e.agent or "", None)
+                if acq is None:
+                    raise TraceError(
+                        f"RELEASE without ACQUIRE: {e.agent!r}/{resource}"
+                    )
+                out.append(Interval(e.agent or "", acq.time, e.time, resource))
+        return out
+
+    def resource_utilization(self, resource: str) -> float:
+        """Fraction of the makespan the implement was in someone's hand."""
+        span = self.makespan()
+        if span <= 0:
+            return 0.0
+        held = sum(i.duration for i in self.resource_holders_timeline(resource))
+        return held / span
+
+    def handoffs(self) -> List[Event]:
+        """Explicit implement handoff events (pipelined rotation strategy)."""
+        return self.of_kind(EventKind.HANDOFF)
+
+    def faults(self) -> List[Event]:
+        """Fault-injection events (crayon breakage and similar)."""
+        return self.of_kind(EventKind.FAULT)

@@ -1,0 +1,138 @@
+"""Cross-institution survey analysis: the prose findings of Section V-A.
+
+The paper's narrative around Tables I-III makes comparative claims —
+"Students from USI and Webster reported the highest engagement levels",
+"Knox consistently had lower engagement scores (~4.0)", "Montclair scoring
+lower in stimulating interest", "HPU and TNTech show a lower perceived
+learning of loops (3.0)".  This module computes those comparisons from
+response sets so the claims can be regenerated (and asserted) rather than
+quoted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .aspect import Aspect, ITEMS, items_by_aspect
+from .likert import ResponseSet
+
+
+@dataclass(frozen=True)
+class InstitutionSummary:
+    """One institution's aggregate survey position.
+
+    ``aspect_medians`` pools all administered items per aspect;
+    ``overall`` pools everything.
+    """
+
+    institution: str
+    aspect_medians: Dict[Aspect, Optional[float]]
+    overall: Optional[float]
+
+
+def summarize(response_sets: Dict[str, ResponseSet]) -> List[InstitutionSummary]:
+    """Aggregate every institution's responses by aspect."""
+    out: List[InstitutionSummary] = []
+    for inst, rs in response_sets.items():
+        aspect_meds = {a: rs.aspect_median(a) for a in Aspect}
+        pooled: List[int] = []
+        for item in ITEMS:
+            pooled.extend(rs.responses.get(item.item_id, []))
+        overall = float(np.median(pooled)) if pooled else None
+        out.append(InstitutionSummary(inst, aspect_meds, overall))
+    return out
+
+
+def rank_institutions(
+    response_sets: Dict[str, ResponseSet],
+    aspect: Optional[Aspect] = None,
+) -> List[Tuple[str, float]]:
+    """Institutions sorted by mean of per-item medians, highest first.
+
+    The mean of item medians is how a reader scans Tables I-III ("mostly
+    5.0"); Likert medians alone tie too easily to rank sites.
+    Institutions that administered none of the aspect's items are omitted.
+    """
+    items = items_by_aspect(aspect) if aspect else list(ITEMS)
+    ranked: List[Tuple[str, float]] = []
+    for inst, rs in response_sets.items():
+        medians = [m for item in items
+                   if (m := rs.median(item.item_id)) is not None]
+        if medians:
+            ranked.append((inst, float(np.mean(medians))))
+    ranked.sort(key=lambda kv: (-kv[1], kv[0]))
+    return ranked
+
+
+def highest_engagement(response_sets: Dict[str, ResponseSet],
+                       top: int = 2) -> List[str]:
+    """The institutions with the highest pooled engagement medians."""
+    return [name for name, _ in
+            rank_institutions(response_sets, Aspect.ENGAGEMENT)[:top]]
+
+
+def consistently_low(
+    response_sets: Dict[str, ResponseSet],
+    *,
+    threshold: float = 4.0,
+) -> List[str]:
+    """Institutions whose *every* administered item median is <= threshold.
+
+    The paper's "Knox consistently had lower engagement scores (~4.0)"
+    claim, generalized.
+    """
+    out: List[str] = []
+    for inst, rs in response_sets.items():
+        medians = [m for m in rs.medians().values() if m is not None]
+        if medians and all(m <= threshold for m in medians):
+            out.append(inst)
+    return sorted(out)
+
+
+def item_outliers(
+    response_sets: Dict[str, ResponseSet],
+    item_id: str,
+    *,
+    margin: float = 0.5,
+) -> Dict[str, str]:
+    """Which institutions sit notably above/below the item's cross-site
+    median ("Montclair scoring lower in stimulating interest").
+
+    Returns institution -> "high" | "low" for deviations > margin.
+    """
+    values = {
+        inst: rs.median(item_id)
+        for inst, rs in response_sets.items()
+        if rs.median(item_id) is not None
+    }
+    if not values:
+        return {}
+    center = float(np.median(list(values.values())))
+    out: Dict[str, str] = {}
+    for inst, v in values.items():
+        if v is not None and v >= center + margin:
+            out[inst] = "high"
+        elif v is not None and v <= center - margin:
+            out[inst] = "low"
+    return out
+
+
+def struggling_concepts(
+    response_sets: Dict[str, ResponseSet],
+    *,
+    threshold: float = 3.5,
+) -> Dict[str, List[str]]:
+    """Per understanding item, the institutions scoring at/below threshold
+    ("HPU and TNTech show a lower perceived learning of loops (3.0)")."""
+    out: Dict[str, List[str]] = {}
+    for item in items_by_aspect(Aspect.UNDERSTANDING):
+        low = sorted(
+            inst for inst, rs in response_sets.items()
+            if (m := rs.median(item.item_id)) is not None and m <= threshold
+        )
+        if low:
+            out[item.item_id] = low
+    return out

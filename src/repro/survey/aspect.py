@@ -1,0 +1,204 @@
+"""The ASPECT-based student engagement survey instrument (Figure 5).
+
+Eighteen 5-point Likert items (1 = Strongly Disagree, 5 = Strongly Agree)
+derived from the ASPECT survey, grouped into the three aspects the paper
+analyzes: the student experience (engagement), understanding, and
+instructor effectiveness.  Items 1-17 were used at all six institutions
+(minus the NA cells of Tables I-III); item 18 is the Knox-specific tie-in
+question marked with an asterisk in the figure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class Aspect(enum.Enum):
+    """The three question groups of the paper's analysis."""
+
+    ENGAGEMENT = "engagement"
+    UNDERSTANDING = "understanding"
+    INSTRUCTOR = "instructor"
+
+
+@dataclass(frozen=True)
+class SurveyItem:
+    """One Likert question.
+
+    Attributes:
+        item_id: stable short key.
+        text: the full question wording from Figure 5.
+        aspect: which analysis group the item belongs to.
+        table_row: the (table, row-label) where its medians are published,
+            or None for the three items the tables omit.
+        optional: True for the Knox-only starred item.
+    """
+
+    item_id: str
+    text: str
+    aspect: Aspect
+    table_row: Optional[Tuple[str, str]] = None
+    optional: bool = False
+
+
+SCALE_MIN, SCALE_MAX = 1, 5
+
+ITEMS: Tuple[SurveyItem, ...] = (
+    SurveyItem(
+        "explain_to_group",
+        "Explaining the material to my group improved my understanding of it",
+        Aspect.UNDERSTANDING,
+        ("II", "Explaining material to my group improved my understanding"),
+    ),
+    SurveyItem(
+        "explained_to_me",
+        "Having the material explained to me by my group members improved "
+        "my understanding of it",
+        Aspect.UNDERSTANDING,
+        ("II", "Having material explained to me by my group improved my "
+               "understanding"),
+    ),
+    SurveyItem(
+        "group_discussion",
+        "Group discussion during the activity contributed to my "
+        "understanding of parallel computing",
+        Aspect.UNDERSTANDING,
+        ("II", "Group discussion contributed to my understanding of "
+               "parallel computing"),
+    ),
+    SurveyItem(
+        "had_fun",
+        "I had fun during the activity",
+        Aspect.ENGAGEMENT,
+        ("I", "I had fun during the activity"),
+    ),
+    SurveyItem(
+        "others_contributed",
+        "Overall, the other members of my group made valuable contributions "
+        "during the activity",
+        Aspect.ENGAGEMENT,
+        None,
+    ),
+    SurveyItem(
+        "prefer_activity_class",
+        "I would prefer to take a class that includes this group activity "
+        "over one that does not",
+        Aspect.ENGAGEMENT,
+        None,
+    ),
+    SurveyItem(
+        "confident_understanding",
+        "I am confident in my understanding of the material presented "
+        "during the activity",
+        Aspect.UNDERSTANDING,
+        ("II", "I am confident in my understanding of the material presented"),
+    ),
+    SurveyItem(
+        "increased_pc_understanding",
+        "The activity increased my understanding of parallel computing",
+        Aspect.UNDERSTANDING,
+        ("II", "The activity increased my understanding of parallel computing"),
+    ),
+    SurveyItem(
+        "stimulated_interest",
+        "The activity stimulated my interest in parallel computing",
+        Aspect.ENGAGEMENT,
+        ("I", "The activity stimulated my interest in parallel computing"),
+    ),
+    SurveyItem(
+        "increased_loops_understanding",
+        "The activity increased my understanding of loops",
+        Aspect.UNDERSTANDING,
+        ("II", "The activity increased my understanding of loops"),
+    ),
+    SurveyItem(
+        "my_contribution",
+        "I made a valuable contribution to my group during the activity",
+        Aspect.ENGAGEMENT,
+        ("I", "I made a valuable contribution to my group"),
+    ),
+    SurveyItem(
+        "focused",
+        "I was focused during the activity",
+        Aspect.ENGAGEMENT,
+        ("I", "I was focused during the activity"),
+    ),
+    SurveyItem(
+        "worked_hard",
+        "I worked hard during the activity",
+        Aspect.ENGAGEMENT,
+        ("I", "I worked hard during the activity"),
+    ),
+    SurveyItem(
+        "instructor_prepared",
+        "The instructor seemed prepared for the activity",
+        Aspect.INSTRUCTOR,
+        ("III", "The instructor seemed prepared for the activity"),
+    ),
+    SurveyItem(
+        "instructor_effort",
+        "The instructor put a good deal of effort into my learning from "
+        "the activity",
+        Aspect.INSTRUCTOR,
+        ("III", "The instructor put effort into my learning"),
+    ),
+    SurveyItem(
+        "instructor_enthusiasm",
+        "The instructor's enthusiasm made me more interested in the activity",
+        Aspect.INSTRUCTOR,
+        ("III", "The instructor's enthusiasm made me more interested in "
+                "the activity"),
+    ),
+    SurveyItem(
+        "staff_available",
+        "The instructor and/or TAs were available to answer questions "
+        "during the activity",
+        Aspect.INSTRUCTOR,
+        ("III", "The instructor and/or TAs were available to answer questions"),
+    ),
+    SurveyItem(
+        "tied_to_assignment",
+        "I like that the activity tied into the class's current "
+        "programming assignment",
+        Aspect.ENGAGEMENT,
+        None,
+        optional=True,
+    ),
+)
+
+
+def get_item(item_id: str) -> SurveyItem:
+    """Look up an item by id.
+
+    Raises:
+        KeyError: listing valid ids when unknown.
+    """
+    for item in ITEMS:
+        if item.item_id == item_id:
+            return item
+    raise KeyError(f"unknown survey item {item_id!r}; "
+                   f"valid: {[i.item_id for i in ITEMS]}")
+
+
+def items_by_aspect(aspect: Aspect) -> List[SurveyItem]:
+    """All items belonging to one analysis group, in instrument order."""
+    return [i for i in ITEMS if i.aspect == aspect]
+
+
+def item_for_table_row(table: str, row_label: str) -> SurveyItem:
+    """The instrument item behind one published table row.
+
+    Raises:
+        KeyError: if no item maps to that (table, row).
+    """
+    for item in ITEMS:
+        if item.table_row == (table, row_label):
+            return item
+    raise KeyError(f"no survey item for table {table} row {row_label!r}")
+
+
+def table_rows() -> Dict[Tuple[str, str], SurveyItem]:
+    """Mapping of every (table, row-label) to its instrument item."""
+    return {i.table_row: i for i in ITEMS if i.table_row is not None}

@@ -1,0 +1,79 @@
+"""Likert response containers: per-institution response matrices.
+
+A :class:`ResponseSet` holds one institution's answers to the engagement
+survey — respondents x items — and computes the per-item medians the
+paper's Tables I-III report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.stats import likert_median
+from .aspect import ITEMS, SCALE_MAX, SCALE_MIN, SurveyItem, get_item
+
+
+class SurveyError(Exception):
+    """Raised for invalid responses or malformed response sets."""
+
+
+@dataclass
+class ResponseSet:
+    """All collected responses for one institution.
+
+    ``responses`` maps item_id -> list of 1-5 answers.  Items an
+    institution did not administer (the tables' NA cells) are simply
+    absent.  Respondent counts may differ across items (skipped answers).
+    """
+
+    institution: str
+    responses: Dict[str, List[int]] = field(default_factory=dict)
+
+    def add(self, item_id: str, answer: int) -> None:
+        """Record one answer.
+
+        Raises:
+            SurveyError: for unknown items or out-of-scale answers.
+        """
+        get_item(item_id)  # raises KeyError for unknown items
+        if not SCALE_MIN <= answer <= SCALE_MAX:
+            raise SurveyError(
+                f"answer {answer} outside Likert scale "
+                f"{SCALE_MIN}..{SCALE_MAX}"
+            )
+        self.responses.setdefault(item_id, []).append(int(answer))
+
+    def add_many(self, item_id: str, answers: Sequence[int]) -> None:
+        """Record a batch of answers to one item."""
+        for a in answers:
+            self.add(item_id, a)
+
+    def n_respondents(self, item_id: str) -> int:
+        """How many answered one item (0 if not administered)."""
+        return len(self.responses.get(item_id, []))
+
+    def administered(self, item_id: str) -> bool:
+        """Whether the institution asked this question at all."""
+        return item_id in self.responses
+
+    def median(self, item_id: str) -> Optional[float]:
+        """The published statistic: the item's median (None when NA)."""
+        answers = self.responses.get(item_id)
+        if not answers:
+            return None
+        return likert_median(answers)
+
+    def medians(self) -> Dict[str, Optional[float]]:
+        """Median per instrument item (None for items not administered)."""
+        return {item.item_id: self.median(item.item_id) for item in ITEMS}
+
+    def aspect_median(self, aspect) -> Optional[float]:
+        """Pooled median across all administered items of one aspect."""
+        pooled: List[int] = []
+        for item in ITEMS:
+            if item.aspect == aspect:
+                pooled.extend(self.responses.get(item.item_id, []))
+        if not pooled:
+            return None
+        return likert_median(pooled)

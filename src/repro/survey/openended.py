@@ -1,0 +1,266 @@
+"""Open-ended feedback: theme coding and a synthetic comment corpus.
+
+The survey's two open questions asked for the most interesting thing
+learned and for suggested improvements.  The paper summarizes recurring
+themes (diminishing returns, contention, hands-on visualization, better
+crayons, clearer instructions, ...).  This module provides:
+
+- a keyword-based :func:`code_comment` theme coder (the qualitative-coding
+  step, automated),
+- a template-based comment generator whose output expresses known themes,
+  so the coder can be round-trip tested, and
+- :func:`theme_frequencies` to tabulate a coded corpus.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+
+class Question(enum.Enum):
+    """The two open-ended survey prompts."""
+
+    MOST_INTERESTING = "most_interesting"
+    IMPROVEMENTS = "improvements"
+
+
+class Theme(enum.Enum):
+    """Recurring themes the paper's summary identifies."""
+
+    # Most-interesting themes (Section V-A-1).
+    PARALLEL_UNDERSTANDING = "parallel_understanding"
+    DIMINISHING_RETURNS = "diminishing_returns"
+    CONTENTION = "contention"
+    HANDS_ON = "hands_on"
+    WORKLOAD_DISTRIBUTION = "workload_distribution"
+    SYNCHRONIZATION = "synchronization"
+    PLANNING_COMPLEXITY = "planning_complexity"
+    ALREADY_KNEW = "already_knew"
+    TEAMWORK_ANALOGY = "teamwork_analogy"
+    # Improvement themes (Section V-A-2).
+    BETTER_TOOLS = "better_tools"
+    MORE_PROBLEM_SOLVING = "more_problem_solving"
+    SHORTER = "shorter"
+    CLEARER_INSTRUCTIONS = "clearer_instructions"
+    VOCABULARY = "vocabulary"
+    LARGER_PAPER = "larger_paper"
+    COMPETITION = "competition"
+    NO_CHANGE = "no_change"
+
+
+#: keyword patterns per theme (case-insensitive, word-ish matching).
+_THEME_PATTERNS: Dict[Theme, Tuple[str, ...]] = {
+    Theme.PARALLEL_UNDERSTANDING: (
+        r"how parallel (computing|processing) (works|operates)",
+        r"understand.*parallel", r"multiple (cores|processors) work",
+    ),
+    Theme.DIMINISHING_RETURNS: (
+        r"diminish", r"more processors.*not always", r"not always faster",
+        r"too many (people|processors)", r"slow(ed|s)? (us|things)? ?down",
+    ),
+    Theme.CONTENTION: (
+        r"contention", r"(shar|wait).*(marker|crayon|implement|resource)",
+        r"fight.*over", r"same colou?r at the same time",
+    ),
+    Theme.HANDS_ON: (
+        r"hands.?on", r"visual", r"fun way", r"see it (happen|in action)",
+        r"engaging",
+    ),
+    Theme.WORKLOAD_DISTRIBUTION: (
+        r"workload", r"divid.*(work|task)", r"distribut", r"load balanc",
+        r"split.*(work|task)",
+    ),
+    Theme.SYNCHRONIZATION: (
+        r"synchroniz", r"coordinat", r"timing between", r"work together at",
+    ),
+    Theme.PLANNING_COMPLEXITY: (
+        r"planning", r"complex", r"careful", r"task allocation",
+        r"harder than it looks",
+    ),
+    Theme.ALREADY_KNEW: (
+        r"already (knew|familiar)", r"nothing new",
+    ),
+    Theme.TEAMWORK_ANALOGY: (
+        r"teamwork", r"team work", r"like a team", r"working as a group",
+    ),
+    Theme.BETTER_TOOLS: (
+        r"better (crayons|markers|tools)", r"crayons? (broke|break|kept)",
+        r"use markers instead", r"daubers for everyone",
+    ),
+    Theme.MORE_PROBLEM_SOLVING: (
+        r"problem.?solving", r"more challeng", r"coding exercise",
+        r"connect.*to code",
+    ),
+    Theme.SHORTER: (
+        r"shorter", r"too long", r"less repetitive", r"redundan",
+        r"fewer scenarios",
+    ),
+    Theme.CLEARER_INSTRUCTIONS: (
+        r"clear(er)? instructions", r"confus", r"explain.*(relate|connect)",
+        r"what it has to do with computing",
+    ),
+    Theme.VOCABULARY: (
+        r"vocabulary", r"terms? (like|such as)", r"define pipelining",
+        r"key ?words",
+    ),
+    Theme.LARGER_PAPER: (
+        r"larger paper", r"bigger (paper|grid)", r"small(er)? cells",
+        r"more (space|room)",
+    ),
+    Theme.COMPETITION: (
+        r"leaderboard", r"competiti", r"timed challenge", r"race",
+    ),
+    Theme.NO_CHANGE: (
+        r"no(thing)? (to )?(change|improve)", r"worked well", r"keep it as is",
+        r"it was great as",
+    ),
+}
+
+_COMPILED = {
+    theme: [re.compile(p, re.IGNORECASE) for p in pats]
+    for theme, pats in _THEME_PATTERNS.items()
+}
+
+
+def code_comment(text: str) -> Set[Theme]:
+    """Code one free-text comment into its themes (possibly several)."""
+    found: Set[Theme] = set()
+    for theme, patterns in _COMPILED.items():
+        if any(p.search(text) for p in patterns):
+            found.add(theme)
+    return found
+
+
+#: Comment templates, per question, per theme, used by the generator.
+_TEMPLATES: Dict[Question, Dict[Theme, Tuple[str, ...]]] = {
+    Question.MOST_INTERESTING: {
+        Theme.PARALLEL_UNDERSTANDING: (
+            "I finally understand how parallel computing works in practice.",
+            "Seeing how multiple processors work at once made it click.",
+        ),
+        Theme.DIMINISHING_RETURNS: (
+            "Adding more processors is not always faster - diminishing "
+            "returns are real.",
+            "Too many people on one flag actually slowed us down.",
+        ),
+        Theme.CONTENTION: (
+            "We kept waiting for the same marker - that's contention.",
+            "Everyone needed the red marker at the same time, so we had to "
+            "wait for the shared resource.",
+        ),
+        Theme.HANDS_ON: (
+            "The hands-on coloring made the ideas visual and fun.",
+            "It was an engaging, visual way to see the concepts.",
+        ),
+        Theme.WORKLOAD_DISTRIBUTION: (
+            "Dividing the work fairly mattered more than I expected - "
+            "load balancing is tricky.",
+            "How you distribute the workload changes the finish time a lot.",
+        ),
+        Theme.SYNCHRONIZATION: (
+            "Coordinating who colors when was the hard part - "
+            "synchronization matters.",
+        ),
+        Theme.PLANNING_COMPLEXITY: (
+            "Effective parallelism takes careful planning and task "
+            "allocation.",
+        ),
+        Theme.ALREADY_KNEW: (
+            "I was already familiar with parallel computing, but the "
+            "activity was a nice refresher.",
+        ),
+        Theme.TEAMWORK_ANALOGY: (
+            "It's just like teamwork - processors have to cooperate like "
+            "people in a group.",
+        ),
+    },
+    Question.IMPROVEMENTS: {
+        Theme.BETTER_TOOLS: (
+            "Please get better crayons - ours broke twice; markers would "
+            "be nicer.",
+            "The crayons kept breaking. Use markers instead.",
+        ),
+        Theme.MORE_PROBLEM_SOLVING: (
+            "Add more problem-solving or a coding exercise to connect it "
+            "to code.",
+        ),
+        Theme.SHORTER: (
+            "Make it shorter - the later scenarios felt redundant.",
+        ),
+        Theme.CLEARER_INSTRUCTIONS: (
+            "Clearer instructions on what it has to do with computing "
+            "would help.",
+            "I was confused at first; explain how it relates to pipelining.",
+        ),
+        Theme.VOCABULARY: (
+            "Introduce key vocabulary like pipelining during the activity.",
+        ),
+        Theme.LARGER_PAPER: (
+            "Use larger paper - the cells were tiny.",
+        ),
+        Theme.COMPETITION: (
+            "Add a leaderboard or a timed challenge between teams.",
+        ),
+        Theme.NO_CHANGE: (
+            "Nothing to change - it worked well as is.",
+        ),
+    },
+}
+
+
+def themes_for_question(question: Question) -> List[Theme]:
+    """Themes a question's corpus can express, in enum order."""
+    return list(_TEMPLATES[question])
+
+
+def generate_comment(question: Question, theme: Theme,
+                     rng: np.random.Generator) -> str:
+    """One synthetic comment expressing a theme.
+
+    Raises:
+        KeyError: when the theme has no templates for that question.
+    """
+    try:
+        options = _TEMPLATES[question][theme]
+    except KeyError:
+        raise KeyError(
+            f"theme {theme.value!r} has no templates for "
+            f"{question.value!r}"
+        ) from None
+    return str(options[int(rng.integers(len(options)))])
+
+
+def generate_corpus(
+    question: Question,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    weights: Dict[Theme, float] | None = None,
+) -> List[Tuple[str, Theme]]:
+    """``n`` comments with their intended themes (for round-trip tests)."""
+    themes = themes_for_question(question)
+    if weights:
+        probs = np.array([weights.get(t, 0.0) for t in themes], dtype=float)
+        if probs.sum() <= 0:
+            raise ValueError("weights assign no mass to this question's themes")
+        probs = probs / probs.sum()
+    else:
+        probs = np.full(len(themes), 1.0 / len(themes))
+    picks = rng.choice(len(themes), size=n, p=probs)
+    return [
+        (generate_comment(question, themes[int(i)], rng), themes[int(i)])
+        for i in picks
+    ]
+
+
+def theme_frequencies(comments: Sequence[str]) -> Dict[Theme, int]:
+    """Tabulate coded themes over a corpus (a comment may hit several)."""
+    out: Dict[Theme, int] = {}
+    for text in comments:
+        for theme in code_comment(text):
+            out[theme] = out.get(theme, 0) + 1
+    return out

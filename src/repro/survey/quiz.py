@@ -1,0 +1,155 @@
+"""The pre/post test instrument (Figure 7): five questions, answer key.
+
+Five multiple-choice / true-false items assessing task decomposition,
+speedup, contention, scalability and pipelining — administered identically
+before and after the activity at USI, TNTech and HPU.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class QuestionKind(enum.Enum):
+    """Multiple choice or true/false."""
+
+    MULTIPLE_CHOICE = "multiple_choice"
+    TRUE_FALSE = "true_false"
+
+
+@dataclass(frozen=True)
+class QuizQuestion:
+    """One quiz item.
+
+    Attributes:
+        concept: the PDC concept the item probes (Figure 8's row key).
+        prompt: the question stem.
+        kind: MC or T/F.
+        options: answer texts, in the lettered order (a, b, c, d).
+        correct: 0-based index of the right answer.
+    """
+
+    concept: str
+    prompt: str
+    kind: QuestionKind
+    options: Tuple[str, ...]
+    correct: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.correct < len(self.options):
+            raise ValueError(
+                f"{self.concept}: correct index {self.correct} out of range"
+            )
+
+    def is_correct(self, answer: int) -> bool:
+        """Grade one 0-based answer index.
+
+        Raises:
+            ValueError: for out-of-range answers.
+        """
+        if not 0 <= answer < len(self.options):
+            raise ValueError(
+                f"{self.concept}: answer {answer} out of range "
+                f"0..{len(self.options) - 1}"
+            )
+        return answer == self.correct
+
+
+QUESTIONS: Tuple[QuizQuestion, ...] = (
+    QuizQuestion(
+        concept="task_decomposition",
+        prompt="Which of the following best describes task decomposition?",
+        kind=QuestionKind.MULTIPLE_CHOICE,
+        options=(
+            "The process of breaking down a large task into smaller, "
+            "independent tasks that can be executed concurrently.",
+            "The method of organizing tasks in a sequential manner.",
+            "The technique of reducing the number of tasks to improve "
+            "performance.",
+            "The strategy of assigning tasks to a single processor.",
+        ),
+        correct=0,
+    ),
+    QuizQuestion(
+        concept="speedup",
+        prompt=("Speedup is defined as the ratio of the time taken to solve "
+                "a problem on a single processor to the time taken on a "
+                "parallel system."),
+        kind=QuestionKind.TRUE_FALSE,
+        options=("True", "False"),
+        correct=0,
+    ),
+    QuizQuestion(
+        concept="contention",
+        prompt="What is contention in parallel computing?",
+        kind=QuestionKind.MULTIPLE_CHOICE,
+        options=(
+            "The process of dividing a task into smaller subtasks.",
+            "The competition between multiple processors for shared "
+            "resources.",
+            "The increase in computational speed by adding more processors.",
+            "The ability of a system to handle a growing amount of work.",
+        ),
+        correct=1,
+    ),
+    QuizQuestion(
+        concept="scalability",
+        prompt=("Scalability refers to the ability of a parallel system to "
+                "increase its performance proportionally with the addition "
+                "of more processors."),
+        kind=QuestionKind.TRUE_FALSE,
+        options=("True", "False"),
+        correct=0,
+    ),
+    QuizQuestion(
+        concept="pipelining",
+        prompt="What is pipelining in the context of parallel computing?",
+        kind=QuestionKind.MULTIPLE_CHOICE,
+        options=(
+            "The process of executing multiple tasks simultaneously.",
+            "The technique of overlapping the execution of multiple "
+            "instructions to improve performance.",
+            "The method of dividing a task into smaller subtasks.",
+            "The strategy of reducing contention among processors.",
+        ),
+        correct=1,
+    ),
+)
+
+#: concept -> question, for Figure 8's per-concept analysis.
+BY_CONCEPT: Dict[str, QuizQuestion] = {q.concept: q for q in QUESTIONS}
+
+
+def get_question(concept: str) -> QuizQuestion:
+    """Look up the quiz item for a concept.
+
+    Raises:
+        KeyError: listing the five concepts when unknown.
+    """
+    try:
+        return BY_CONCEPT[concept]
+    except KeyError:
+        raise KeyError(
+            f"unknown concept {concept!r}; valid: {sorted(BY_CONCEPT)}"
+        ) from None
+
+
+def grade(answers: Dict[str, int]) -> Dict[str, bool]:
+    """Grade a full quiz: concept -> answer index in, concept -> correct out.
+
+    Missing concepts are graded as incorrect (blank answer).
+    """
+    out: Dict[str, bool] = {}
+    for q in QUESTIONS:
+        if q.concept in answers:
+            out[q.concept] = q.is_correct(answers[q.concept])
+        else:
+            out[q.concept] = False
+    return out
+
+
+def score(answers: Dict[str, int]) -> int:
+    """Number of correct answers (0-5)."""
+    return sum(grade(answers).values())

@@ -1,0 +1,107 @@
+"""Instrument reliability statistics for the engagement survey.
+
+The "more in-depth statistical analysis" the paper lists as future work:
+internal-consistency checks (Cronbach's alpha per aspect), item-total
+correlations, and inter-institution agreement — computable on any
+:class:`~repro.survey.likert.ResponseSet` population, synthetic or real.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..metrics.speedup import MetricError
+from .aspect import Aspect, ITEMS, items_by_aspect
+from .likert import ResponseSet
+
+
+def _item_matrix(rs: ResponseSet, item_ids: Sequence[str]) -> np.ndarray:
+    """Respondents x items matrix for items everyone answered.
+
+    Raises:
+        MetricError: when the items have differing respondent counts
+            (can't align rows) or fewer than 2 respondents/items.
+    """
+    cols = []
+    n = None
+    for item_id in item_ids:
+        answers = rs.responses.get(item_id)
+        if not answers:
+            continue
+        if n is None:
+            n = len(answers)
+        if len(answers) != n:
+            raise MetricError(
+                f"item {item_id} has {len(answers)} responses, others {n}"
+            )
+        cols.append(answers)
+    if not cols or n is None:
+        raise MetricError("no administered items to analyze")
+    if len(cols) < 2:
+        raise MetricError("need at least two items for reliability stats")
+    if n < 2:
+        raise MetricError("need at least two respondents")
+    return np.asarray(cols, dtype=float).T  # respondents x items
+
+
+def cronbach_alpha(rs: ResponseSet, aspect: Optional[Aspect] = None) -> float:
+    """Cronbach's alpha over an aspect's items (or the whole instrument).
+
+    alpha = k/(k-1) * (1 - sum(item variances) / variance(total score)).
+
+    Raises:
+        MetricError: if the total score has zero variance (degenerate
+            population) or items can't be aligned.
+    """
+    item_ids = [i.item_id for i in
+                (items_by_aspect(aspect) if aspect else ITEMS)]
+    x = _item_matrix(rs, item_ids)
+    k = x.shape[1]
+    item_vars = x.var(axis=0, ddof=1)
+    total_var = x.sum(axis=1).var(ddof=1)
+    if total_var == 0:
+        raise MetricError("total score has zero variance")
+    return float(k / (k - 1) * (1.0 - item_vars.sum() / total_var))
+
+
+def item_total_correlations(rs: ResponseSet,
+                            aspect: Optional[Aspect] = None) -> Dict[str, float]:
+    """Corrected item-total correlation per item (item vs rest-score).
+
+    Items with zero variance get correlation 0.0 (no discrimination).
+    """
+    item_ids = [i.item_id for i in
+                (items_by_aspect(aspect) if aspect else ITEMS)]
+    administered = [i for i in item_ids if rs.responses.get(i)]
+    x = _item_matrix(rs, administered)
+    out: Dict[str, float] = {}
+    total = x.sum(axis=1)
+    for j, item_id in enumerate(administered):
+        rest = total - x[:, j]
+        if x[:, j].std() == 0 or rest.std() == 0:
+            out[item_id] = 0.0
+        else:
+            out[item_id] = float(np.corrcoef(x[:, j], rest)[0, 1])
+    return out
+
+
+def inter_institution_spread(
+    response_sets: Dict[str, ResponseSet],
+) -> Dict[str, float]:
+    """Per-item range (max - min) of institutional medians.
+
+    The "which questions divide the sites" view: 0.0 means every
+    institution agreed (e.g. instructor preparedness), large values mark
+    site-dependent experiences (e.g. understanding of loops, range 2.0).
+    """
+    out: Dict[str, float] = {}
+    for item in ITEMS:
+        medians = [
+            rs.median(item.item_id) for rs in response_sets.values()
+            if rs.median(item.item_id) is not None
+        ]
+        if len(medians) >= 2:
+            out[item.item_id] = float(max(medians) - min(medians))
+    return out

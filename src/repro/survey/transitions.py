@@ -1,0 +1,172 @@
+"""Pre/post learning transitions: the Figure 8 model.
+
+Each (institution, concept) pair has a four-state transition distribution —
+retained (correct before and after), gained, lost, never — calibrated from
+the percentages Figure 8 reports (see
+:mod:`repro.data.paper_tables.FIG8_TRANSITIONS`).  This module simulates
+student cohorts through those transitions, produces their raw quiz answer
+sheets (with distractor choices for wrong answers), and re-derives the
+transition fractions from the graded sheets — exercising the full
+quiz-analysis pipeline rather than echoing the constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.paper_tables import FIG8_TRANSITIONS, QUIZ_CONCEPTS, QUIZ_N
+from ..metrics.stats import transition_fractions
+from .quiz import BY_CONCEPT, QuizQuestion, grade
+
+STATES: Tuple[str, ...] = ("retained", "gained", "lost", "never")
+
+
+class TransitionError(Exception):
+    """Raised for malformed transition tables or unknown institutions."""
+
+
+def _wrong_answer(q: QuizQuestion, rng: np.random.Generator) -> int:
+    """A uniformly chosen distractor (any option except the correct one)."""
+    wrong = [i for i in range(len(q.options)) if i != q.correct]
+    return int(rng.choice(wrong))
+
+
+@dataclass
+class StudentSheets:
+    """One cohort's raw pre and post answer sheets.
+
+    ``pre[i]`` and ``post[i]`` are student *i*'s concept -> answer-index
+    maps; grading them recovers the transition states.
+    """
+
+    institution: str
+    pre: List[Dict[str, int]]
+    post: List[Dict[str, int]]
+
+    @property
+    def n(self) -> int:
+        """Cohort size."""
+        return len(self.pre)
+
+
+def exact_state_counts(fractions: Dict[str, float], n: int) -> Dict[str, int]:
+    """Integer state counts for a cohort of ``n`` matching fractions as
+    closely as possible (largest-remainder apportionment).
+
+    Raises:
+        TransitionError: if fractions don't sum to ~1.
+    """
+    total = sum(fractions.get(s, 0.0) for s in STATES)
+    if abs(total - 1.0) > 1e-6:
+        raise TransitionError(f"fractions sum to {total}, expected 1.0")
+    raw = {s: fractions.get(s, 0.0) * n for s in STATES}
+    counts = {s: int(raw[s]) for s in STATES}
+    remainder = n - sum(counts.values())
+    by_frac = sorted(STATES, key=lambda s: raw[s] - counts[s], reverse=True)
+    for s in by_frac[:remainder]:
+        counts[s] += 1
+    return counts
+
+
+def simulate_cohort(
+    institution: str,
+    rng: np.random.Generator,
+    *,
+    n: Optional[int] = None,
+    exact: bool = True,
+) -> StudentSheets:
+    """Simulate one institution's cohort through pre and post quizzes.
+
+    Args:
+        exact: apportion students to transition states deterministically
+            (reproduces Figure 8's percentages up to integer rounding);
+            False draws states i.i.d. from the fractions instead.
+
+    Raises:
+        TransitionError: for institutions without Figure 8 data.
+    """
+    if institution not in FIG8_TRANSITIONS:
+        raise TransitionError(
+            f"no pre/post data for {institution!r}; "
+            f"valid: {sorted(FIG8_TRANSITIONS)}"
+        )
+    n = n or QUIZ_N[institution]
+    # Assign each student a transition state per concept.
+    states_per_concept: Dict[str, List[str]] = {}
+    for concept in QUIZ_CONCEPTS:
+        fr = FIG8_TRANSITIONS[institution][concept]
+        if exact:
+            counts = exact_state_counts(fr, n)
+            states = [s for s in STATES for _ in range(counts[s])]
+            rng.shuffle(states)
+        else:
+            probs = np.array([fr.get(s, 0.0) for s in STATES])
+            probs = probs / probs.sum()
+            states = [STATES[int(i)]
+                      for i in rng.choice(len(STATES), size=n, p=probs)]
+        states_per_concept[concept] = states
+
+    pre: List[Dict[str, int]] = []
+    post: List[Dict[str, int]] = []
+    for i in range(n):
+        pre_sheet: Dict[str, int] = {}
+        post_sheet: Dict[str, int] = {}
+        for concept in QUIZ_CONCEPTS:
+            q = BY_CONCEPT[concept]
+            state = states_per_concept[concept][i]
+            pre_ok = state in ("retained", "lost")
+            post_ok = state in ("retained", "gained")
+            pre_sheet[concept] = q.correct if pre_ok else _wrong_answer(q, rng)
+            post_sheet[concept] = q.correct if post_ok else _wrong_answer(q, rng)
+        pre.append(pre_sheet)
+        post.append(post_sheet)
+    return StudentSheets(institution=institution, pre=pre, post=post)
+
+
+def analyze_sheets(sheets: StudentSheets) -> Dict[str, Dict[str, float]]:
+    """Grade raw sheets and compute per-concept transition fractions.
+
+    This is the analysis an instructor would run on real quizzes; applied
+    to simulated sheets it should recover the calibration table.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for concept in QUIZ_CONCEPTS:
+        pre_ok = [grade(s)[concept] for s in sheets.pre]
+        post_ok = [grade(s)[concept] for s in sheets.post]
+        fr = transition_fractions(pre_ok, post_ok)
+        out[concept] = {"retained": fr["retained"], "gained": fr["gained"],
+                        "lost": fr["lost"], "never": fr["never"]}
+    return out
+
+
+def expected_fractions(institution: str) -> Dict[str, Dict[str, float]]:
+    """The calibration table itself (the model's exact expectations).
+
+    Raises:
+        TransitionError: for institutions without Figure 8 data.
+    """
+    if institution not in FIG8_TRANSITIONS:
+        raise TransitionError(
+            f"no pre/post data for {institution!r}; "
+            f"valid: {sorted(FIG8_TRANSITIONS)}"
+        )
+    return {c: dict(FIG8_TRANSITIONS[institution][c]) for c in QUIZ_CONCEPTS}
+
+
+def improvement_summary(analysis: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """Net learning per concept: gained - lost (positive = the activity
+    moved the class forward on that concept)."""
+    return {c: fr["gained"] - fr["lost"] for c, fr in analysis.items()}
+
+
+def pre_post_correct_rates(
+    analysis: Dict[str, Dict[str, float]],
+) -> Dict[str, Tuple[float, float]]:
+    """Per concept: (pre-quiz correct rate, post-quiz correct rate)."""
+    return {
+        c: (fr["retained"] + fr["lost"], fr["retained"] + fr["gained"])
+        for c, fr in analysis.items()
+    }

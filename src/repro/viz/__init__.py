@@ -1,0 +1,34 @@
+"""Text visualization: bar charts, tables, Gantt charts, flag art."""
+
+from .animate import (
+    AnimationError,
+    Frame,
+    ascii_frames,
+    canvas_at,
+    frames,
+    progress_curve,
+    svg_filmstrip,
+)
+from .bars import grouped_bar_chart, hbar_chart, sparkline
+from .tables import format_table, paper_vs_measured
+from .gantt import render_agent_loads, render_gantt
+from ..grid.render import to_ansi, to_ascii
+
+__all__ = [
+    "grouped_bar_chart",
+    "hbar_chart",
+    "sparkline",
+    "format_table",
+    "paper_vs_measured",
+    "render_agent_loads",
+    "render_gantt",
+    "to_ansi",
+    "to_ascii",
+    "AnimationError",
+    "Frame",
+    "ascii_frames",
+    "canvas_at",
+    "frames",
+    "progress_curve",
+    "svg_filmstrip",
+]

@@ -1,0 +1,178 @@
+"""Schedule animations: the Webster multimedia resource, recreated.
+
+The Webster instructor showed "custom-created animations to visualize
+schedules with different numbers of processors ... showing the efficiency
+gains and potential bottlenecks when multiple processors work together"
+[34].  This module rebuilds that artifact from a simulation trace:
+
+- :func:`canvas_at` — reconstruct the sheet's color state at any time;
+- :func:`ascii_frames` — a frame sequence (ASCII art + per-agent status
+  line) suitable for terminal playback;
+- :func:`svg_filmstrip` — a single SVG laying the frames side by side,
+  the printable version of the animation.
+
+Everything derives from STROKE_END events, so any trace the engine
+produced — any strategy, any flag — animates for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..grid.palette import Color
+from ..grid.render import to_ascii, to_svg
+from ..sim.events import EventKind
+from ..sim.trace import Trace
+
+
+class AnimationError(Exception):
+    """Raised for empty traces or invalid frame requests."""
+
+
+def _stroke_end_events(trace: Trace):
+    return [e for e in trace.events if e.kind == EventKind.STROKE_END]
+
+
+def canvas_at(trace: Trace, t: float, rows: int, cols: int) -> np.ndarray:
+    """The color-code plane as of simulated time ``t``.
+
+    Strokes are applied at their END events (a cell isn't colored until
+    the student finishes it), in event order so later layers win.
+    """
+    img = np.zeros((rows, cols), dtype=np.int8)
+    for e in _stroke_end_events(trace):
+        if e.time > t:
+            break
+        cell = e.data.get("cell")
+        color = e.data.get("color")
+        if cell is None or color is None:
+            continue
+        r, c = int(cell[0]), int(cell[1])
+        if 0 <= r < rows and 0 <= c < cols:
+            img[r, c] = int(Color[color])
+    return img
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One animation frame: time, canvas state, who is doing what."""
+
+    time: float
+    codes: np.ndarray
+    active: Dict[str, str]  # agent -> "coloring red" / "waiting for red"
+
+    @property
+    def fraction_done(self) -> float:
+        """Colored cells / total cells."""
+        return float((self.codes != 0).mean())
+
+
+def _agent_states(trace: Trace, t: float) -> Dict[str, str]:
+    """What each agent is doing at time t (coloring / waiting / idle)."""
+    states: Dict[str, str] = {}
+    for iv in trace.stroke_intervals():
+        if iv.start <= t < iv.end:
+            states[iv.agent] = f"coloring {iv.label}"
+    for iv in trace.wait_intervals():
+        if iv.duration > 0 and iv.start <= t < iv.end:
+            states.setdefault(iv.agent, f"waiting for {iv.label}")
+    for agent in trace.agents():
+        states.setdefault(agent, "idle")
+    return states
+
+
+def frames(trace: Trace, rows: int, cols: int,
+           n_frames: int = 10) -> List[Frame]:
+    """Evenly spaced frames over the run's makespan (inclusive of the end).
+
+    Raises:
+        AnimationError: on an empty trace or a non-positive frame count.
+    """
+    if n_frames < 1:
+        raise AnimationError(f"need at least one frame, got {n_frames}")
+    span = trace.makespan()
+    if span <= 0:
+        raise AnimationError("trace has no events to animate")
+    times = [span * i / max(n_frames - 1, 1) for i in range(n_frames)]
+    out: List[Frame] = []
+    for t in times:
+        out.append(Frame(
+            time=t,
+            codes=canvas_at(trace, t, rows, cols),
+            active=_agent_states(trace, t),
+        ))
+    return out
+
+
+def ascii_frames(trace: Trace, rows: int, cols: int,
+                 n_frames: int = 8) -> List[str]:
+    """Printable frames: a header, the sheet, and one status line per
+    student — paging through them is the terminal animation."""
+    out: List[str] = []
+    for fr in frames(trace, rows, cols, n_frames):
+        lines = [f"t={fr.time:7.1f}s   {fr.fraction_done:4.0%} colored"]
+        lines.append(to_ascii(fr.codes))
+        for agent in sorted(fr.active):
+            lines.append(f"  {agent}: {fr.active[agent]}")
+        out.append("\n".join(lines))
+    return out
+
+
+def svg_filmstrip(trace: Trace, rows: int, cols: int,
+                  n_frames: int = 6, *, cell: int = 10,
+                  gap: int = 12) -> str:
+    """All frames side by side in one SVG — the handout version.
+
+    Each frame is the flag at that instant with its timestamp below.
+    """
+    frs = frames(trace, rows, cols, n_frames)
+    frame_w = cols * cell
+    frame_h = rows * cell
+    total_w = n_frames * frame_w + (n_frames - 1) * gap
+    total_h = frame_h + 18
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{total_w}" '
+        f'height="{total_h}">'
+    ]
+    for i, fr in enumerate(frs):
+        x0 = i * (frame_w + gap)
+        inner = to_svg(fr.codes, cell=cell, grid_lines=False)
+        # Embed by shifting with a group transform; strip the outer tag.
+        body = inner[inner.index(">") + 1: inner.rindex("</svg>")]
+        parts.append(f'<g transform="translate({x0},0)">{body}</g>')
+        parts.append(
+            f'<text x="{x0 + frame_w / 2}" y="{frame_h + 14}" '
+            f'font-size="10" text-anchor="middle">t={fr.time:.0f}s</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def progress_curve(trace: Trace, rows: int, cols: int,
+                   n_points: int = 40) -> List[Tuple[float, float]]:
+    """(time, fraction colored) samples — the S-curve of the run.
+
+    Sequential runs rise linearly; contended runs show the pipeline-fill
+    lag at the start; the curve's knee locates the bottleneck visually.
+    """
+    span = trace.makespan()
+    if span <= 0:
+        raise AnimationError("trace has no events to animate")
+    ends = _stroke_end_events(trace)
+    total = rows * cols
+    out: List[Tuple[float, float]] = []
+    done = 0
+    idx = 0
+    seen = set()
+    for i in range(n_points + 1):
+        t = span * i / n_points
+        while idx < len(ends) and ends[idx].time <= t:
+            cell = ends[idx].data.get("cell")
+            if cell is not None:
+                seen.add((int(cell[0]), int(cell[1])))
+            idx += 1
+        out.append((t, len(seen) / total))
+    return out

@@ -1,0 +1,102 @@
+"""Unicode bar charts for terminal output (Figure 6 and friends).
+
+No plotting dependency: horizontal bars built from block characters, with
+labels and values.  Grouped mode renders one bar per (group, series) pair —
+the layout of Figure 6's per-question, per-institution medians.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    """A horizontal bar of ``value/vmax`` scaled to ``width`` characters."""
+    if vmax <= 0:
+        return ""
+    frac = max(0.0, min(1.0, value / vmax))
+    cells = frac * width
+    full = int(cells)
+    rem = cells - full
+    partial = _BLOCKS[int(rem * (len(_BLOCKS) - 1))] if full < width else ""
+    return "█" * full + partial
+
+
+def hbar_chart(
+    data: Mapping[str, float],
+    *,
+    width: int = 40,
+    vmax: Optional[float] = None,
+    fmt: str = "{:.1f}",
+    title: Optional[str] = None,
+) -> str:
+    """A labeled horizontal bar chart.
+
+    Args:
+        data: label -> value (insertion order preserved).
+        width: bar area width in characters.
+        vmax: scale maximum (defaults to the data max).
+        fmt: value format.
+        title: optional heading line.
+    """
+    if not data:
+        return title or ""
+    vmax = vmax if vmax is not None else max(data.values())
+    label_w = max(len(str(k)) for k in data)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in data.items():
+        bar = _bar(value, vmax, width)
+        lines.append(f"{str(label):<{label_w}} |{bar:<{width}}| "
+                     + fmt.format(value))
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, Optional[float]]],
+    *,
+    width: int = 30,
+    vmax: float = 5.0,
+    fmt: str = "{:.1f}",
+    na: str = "NA",
+) -> str:
+    """Grouped bars: one block per group, one bar per series within it.
+
+    ``groups`` maps group label (e.g. a survey question) to series label
+    (e.g. institution) to value; None renders as NA without a bar — the
+    shape of Figure 6.
+    """
+    lines: List[str] = []
+    series_w = max(
+        (len(str(s)) for g in groups.values() for s in g), default=0
+    )
+    for gi, (group, series) in enumerate(groups.items()):
+        if gi:
+            lines.append("")
+        lines.append(str(group))
+        for s, v in series.items():
+            if v is None:
+                lines.append(f"  {str(s):<{series_w}} |{'':<{width}}| {na}")
+            else:
+                bar = _bar(v, vmax, width)
+                lines.append(f"  {str(s):<{series_w}} |{bar:<{width}}| "
+                             + fmt.format(v))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], *, vmax: Optional[float] = None) -> str:
+    """A one-line mini-chart (used for occupancy curves)."""
+    if not values:
+        return ""
+    glyphs = "▁▂▃▄▅▆▇█"
+    vmax = vmax if vmax is not None else max(values)
+    if vmax <= 0:
+        return glyphs[0] * len(values)
+    out = []
+    for v in values:
+        frac = max(0.0, min(1.0, v / vmax))
+        out.append(glyphs[round(frac * (len(glyphs) - 1))])
+    return "".join(out)

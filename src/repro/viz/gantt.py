@@ -1,0 +1,85 @@
+"""Text Gantt charts of simulation traces.
+
+One row per agent; each stroke interval is drawn with the first letter of
+its color, waits with ``.``, idle with space.  These render the schedule
+visualizations the Webster instructor showed as animations [34] — the
+per-processor timelines with bottlenecks visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.trace import Interval, Trace
+
+
+def render_gantt(
+    trace: Trace,
+    *,
+    width: int = 80,
+    show_waits: bool = True,
+    legend: bool = True,
+) -> str:
+    """Render a trace as an ASCII Gantt chart.
+
+    Args:
+        width: number of time columns.
+        show_waits: draw implement-queue time as ``.``.
+        legend: append a legend line.
+    """
+    span = trace.makespan()
+    strokes = trace.stroke_intervals()
+    waits = trace.wait_intervals() if show_waits else []
+    agents = sorted({iv.agent for iv in strokes} | {iv.agent for iv in waits})
+    if not agents or span <= 0:
+        return "(empty trace)"
+
+    def col(t: float) -> int:
+        return min(width - 1, int(t / span * width))
+
+    rows: Dict[str, List[str]] = {a: [" "] * width for a in agents}
+    for iv in waits:
+        if iv.duration <= 0:
+            continue
+        for c in range(col(iv.start), col(iv.end) + 1):
+            rows[iv.agent][c] = "."
+    for iv in strokes:
+        glyph = iv.label[0].upper() if iv.label else "#"
+        for c in range(col(iv.start), col(iv.end) + 1):
+            rows[iv.agent][c] = glyph
+
+    label_w = max(len(a) for a in agents)
+    lines = [f"{a:<{label_w}} |{''.join(rows[a])}|" for a in agents]
+    axis = (f"{'':<{label_w}} 0{'':<{max(0, width - len(f'{span:.0f}s') - 1)}}"
+            f"{span:.0f}s")
+    lines.append(axis)
+    if legend:
+        colors = sorted({iv.label for iv in strokes})
+        lines.append(
+            "legend: " + ", ".join(f"{c[0].upper()}={c}" for c in colors)
+            + (", .=waiting" if show_waits else "")
+        )
+    return "\n".join(lines)
+
+
+def render_agent_loads(trace: Trace, *, width: int = 40) -> str:
+    """Busy/wait/idle stacked per agent as proportional character bars."""
+    summaries = trace.summaries()
+    if not summaries:
+        return "(no working agents)"
+    span = trace.makespan()
+    label_w = max(len(s.agent) for s in summaries)
+    lines = []
+    for s in summaries:
+        if span <= 0:
+            lines.append(f"{s.agent:<{label_w}} (empty)")
+            continue
+        b = round(s.busy / span * width)
+        w = round(s.waiting / span * width)
+        i = max(0, width - b - w)
+        lines.append(
+            f"{s.agent:<{label_w}} |{'#' * b}{'.' * w}{' ' * i}| "
+            f"busy={s.busy:.0f}s wait={s.waiting:.0f}s util={s.utilization:.0%}"
+        )
+    lines.append("legend: #=coloring, .=waiting for implement")
+    return "\n".join(lines)

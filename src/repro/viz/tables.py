@@ -1,0 +1,76 @@
+"""ASCII / markdown table formatting for benchmark output.
+
+The benchmark harness prints paper-vs-measured tables; these helpers keep
+that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    markdown: bool = False,
+) -> str:
+    """Render rows as an aligned text (or markdown) table.
+
+    Cells are str()-ed; None renders as "NA".
+    """
+    def cell(x: object) -> str:
+        if x is None:
+            return "NA"
+        if isinstance(x, float):
+            return f"{x:.2f}".rstrip("0").rstrip(".")
+        return str(x)
+
+    str_rows = [[cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def line(cells: Sequence[str]) -> str:
+        body = " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        return f"| {body} |" if markdown else body
+
+    out: List[str] = [line(list(headers))]
+    if markdown:
+        out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    else:
+        out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def paper_vs_measured(
+    row_labels: Sequence[str],
+    paper: Mapping[str, Optional[float]],
+    measured: Mapping[str, Optional[float]],
+    *,
+    value_fmt: str = "{:.2f}",
+) -> str:
+    """Three-column comparison: label, paper value, measured value, match.
+
+    A row matches when both are None (NA) or the values agree to the
+    format's precision.
+    """
+    rows: List[List[object]] = []
+    for label in row_labels:
+        p = paper.get(label)
+        m = measured.get(label)
+        if p is None and m is None:
+            ok = "ok"
+        elif p is None or m is None:
+            ok = "MISMATCH"
+        else:
+            ok = "ok" if value_fmt.format(p) == value_fmt.format(m) else "DIFF"
+        rows.append([
+            label,
+            None if p is None else value_fmt.format(p),
+            None if m is None else value_fmt.format(m),
+            ok,
+        ])
+    return format_table(["metric", "paper", "measured", ""], rows)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the flagsim test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.flags import compile_flag, mauritius
+from repro.grid.palette import MAURITIUS_STRIPES
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mauritius_spec():
+    """The core activity's flag."""
+    return mauritius()
+
+
+@pytest.fixture
+def mauritius_program(mauritius_spec):
+    """The compiled Mauritius paint program at the default 8x12 grid."""
+    return compile_flag(mauritius_spec)
+
+
+@pytest.fixture
+def team4(rng):
+    """A standard four-colorer team with thick markers."""
+    return make_team("team", 4, rng, colors=list(MAURITIUS_STRIPES))

@@ -1,0 +1,74 @@
+"""Tests for repro.agents.implements."""
+
+import numpy as np
+import pytest
+
+from repro.agents.implements import (
+    CRAYON,
+    DAUBER,
+    STANDARD_KIT,
+    THICK_MARKER,
+    THIN_MARKER,
+    ImplementModel,
+    expected_speed_order,
+    get_implement,
+)
+
+
+class TestStandardKit:
+    def test_paper_speed_ordering(self):
+        """Daubers fastest, then thick markers, then thin markers (III-C);
+        crayons slowest (the complaints in Section IV)."""
+        assert expected_speed_order() == [
+            "dauber", "thick_marker", "thin_marker", "crayon",
+        ]
+
+    def test_dauber_vs_crayon_ratio(self):
+        assert CRAYON.speed_factor / DAUBER.speed_factor > 2.5
+
+    def test_only_crayon_faults(self):
+        assert CRAYON.break_prob > 0
+        for m in (DAUBER, THICK_MARKER, THIN_MARKER):
+            assert m.break_prob == 0
+
+    def test_get_implement(self):
+        assert get_implement("dauber") is DAUBER
+        with pytest.raises(KeyError, match="known"):
+            get_implement("paintball_gun")
+
+    def test_kit_complete(self):
+        assert set(STANDARD_KIT) == {
+            "dauber", "thick_marker", "thin_marker", "crayon",
+        }
+
+
+class TestImplementModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ImplementModel("bad", speed_factor=0.0)
+        with pytest.raises(ValueError):
+            ImplementModel("bad", speed_factor=1.0, break_prob=1.5)
+        with pytest.raises(ValueError):
+            ImplementModel("bad", speed_factor=1.0, variability=-0.1)
+
+    def test_sample_fault_never_for_zero_prob(self):
+        rng = np.random.default_rng(0)
+        assert all(
+            THICK_MARKER.sample_fault(rng) is None for _ in range(100)
+        )
+
+    def test_sample_fault_rate_close_to_prob(self):
+        rng = np.random.default_rng(0)
+        heavy = ImplementModel("fragile", speed_factor=1.0,
+                               break_prob=0.3, repair_time=5.0)
+        faults = sum(
+            1 for _ in range(2000) if heavy.sample_fault(rng) is not None
+        )
+        assert 0.25 < faults / 2000 < 0.35
+
+    def test_fault_returns_repair_time(self):
+        rng = np.random.default_rng(1)
+        certain = ImplementModel("doomed", speed_factor=1.0,
+                                 break_prob=0.999, repair_time=7.0)
+        delays = [certain.sample_fault(rng) for _ in range(10)]
+        assert any(d == 7.0 for d in delays)

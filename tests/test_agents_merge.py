@@ -1,0 +1,81 @@
+"""Tests for team merging — the paper's 2-3 student teams that merge."""
+
+import numpy as np
+import pytest
+
+from repro.agents import ImplementKit, make_team, merge_teams
+from repro.agents.implements import CRAYON, DAUBER, THICK_MARKER
+from repro.agents.team import TeamError
+from repro.flags import compile_flag, mauritius, scenario_partition
+from repro.grid.palette import Color, MAURITIUS_STRIPES
+from repro.schedule.runner import run_partition
+
+
+def small_team(name, seed, n=2, implement=THICK_MARKER):
+    rng = np.random.default_rng(seed)
+    return make_team(name, n, rng, colors=list(MAURITIUS_STRIPES),
+                     implement=implement)
+
+
+class TestMergeTeams:
+    def test_students_pooled(self):
+        merged = merge_teams(small_team("a", 1), small_team("b", 2))
+        assert merged.size == 4
+        assert merged.name == "a+b"
+        assert "merged from a and b" in merged.notes[-1]
+
+    def test_implements_pooled(self):
+        """Two merged teams own two of each implement."""
+        merged = merge_teams(small_team("a", 1), small_team("b", 2))
+        assert merged.kit.copies == 2
+
+    def test_first_teams_kinds_win(self):
+        a = small_team("a", 1, implement=DAUBER)
+        b = small_team("b", 2, implement=CRAYON)
+        merged = merge_teams(a, b)
+        assert merged.kit.implement_for(Color.RED) is DAUBER
+
+    def test_b_fills_missing_colors(self):
+        rng = np.random.default_rng(3)
+        a = make_team("a", 2, rng, colors=[Color.RED, Color.BLUE])
+        b = make_team("b", 2, rng, colors=list(MAURITIUS_STRIPES))
+        merged = merge_teams(a, b)
+        assert set(merged.kit.per_color) == set(MAURITIUS_STRIPES)
+
+    def test_name_collision_rejected(self):
+        a = small_team("same", 1)
+        b = small_team("same", 2)
+        with pytest.raises(TeamError, match="colliding"):
+            merge_teams(a, b)
+
+    def test_custom_name(self):
+        merged = merge_teams(small_team("a", 1), small_team("b", 2),
+                             name="megateam")
+        assert merged.name == "megateam"
+
+
+class TestMergedTeamsInScenarios:
+    def test_merged_team_runs_scenario4_with_less_contention(self):
+        """The pooled implements (2 of each color) cut scenario-4 waiting
+        versus a plain 4-student team with singles."""
+        prog = compile_flag(mauritius())
+
+        plain = make_team("plain", 4, np.random.default_rng(10),
+                          colors=list(MAURITIUS_STRIPES))
+        r_plain = run_partition(scenario_partition(prog, 4), plain,
+                                np.random.default_rng(10))
+
+        merged = merge_teams(small_team("x", 10), small_team("y", 11))
+        r_merged = run_partition(scenario_partition(prog, 4), merged,
+                                 np.random.default_rng(10))
+
+        assert r_merged.correct
+        assert (r_merged.trace.total_wait_fraction()
+                < r_plain.trace.total_wait_fraction())
+
+    def test_merged_team_full_activity(self):
+        from repro.schedule import run_core_activity
+        merged = merge_teams(small_team("x", 20), small_team("y", 21))
+        rng = np.random.default_rng(20)
+        results = run_core_activity(mauritius(), merged, rng)
+        assert all(r.correct for r in results.values())

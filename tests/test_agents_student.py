@@ -1,0 +1,159 @@
+"""Tests for repro.agents.student — the service-time model."""
+
+import numpy as np
+import pytest
+
+from repro.agents.implements import CRAYON, DAUBER, THICK_MARKER
+from repro.agents.student import (
+    FillStyle,
+    StudentProcessor,
+    StudentProfile,
+    TimerStudent,
+    sample_profile,
+)
+
+
+@pytest.fixture
+def student():
+    return StudentProcessor("P1", StudentProfile())
+
+
+class TestFillStyle:
+    def test_time_coverage_tradeoff(self):
+        """Section IV: full coverage is slow, minimal is fast but sparse."""
+        assert FillStyle.FULL.time_factor > FillStyle.SCRIBBLE.time_factor
+        assert FillStyle.SCRIBBLE.time_factor > FillStyle.MINIMAL.time_factor
+        assert FillStyle.FULL.coverage > FillStyle.SCRIBBLE.coverage
+        assert FillStyle.SCRIBBLE.coverage > FillStyle.MINIMAL.coverage
+
+
+class TestProfileValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            StudentProfile(base_cell_time=0)
+        with pytest.raises(ValueError):
+            StudentProfile(sigma=-0.1)
+        with pytest.raises(ValueError):
+            StudentProfile(warmup_tau=0)
+        with pytest.raises(ValueError):
+            StudentProfile(handoff_time=-1)
+
+
+class TestWarmup:
+    def test_fresh_student_is_slow(self, student):
+        """Warmup penalty applies fully at zero experience."""
+        assert student.warmup_factor() == pytest.approx(
+            1.0 + student.profile.warmup_penalty
+        )
+
+    def test_warmup_decays_with_experience(self, student, rng):
+        t_fresh = student.expected_cell_time(THICK_MARKER)
+        for _ in range(200):
+            student.stroke_time(THICK_MARKER, rng)
+        student.begin_scenario()  # clear fatigue, keep experience
+        t_warm = student.expected_cell_time(THICK_MARKER)
+        assert t_warm < t_fresh
+        assert student.warmup_factor() < 1.01
+
+    def test_warmup_factor_monotone_nonincreasing(self, rng):
+        s = StudentProcessor("P", StudentProfile())
+        factors = []
+        for _ in range(50):
+            factors.append(s.warmup_factor())
+            s.stroke_time(THICK_MARKER, rng)
+        assert all(a >= b for a, b in zip(factors, factors[1:]))
+
+
+class TestFatigue:
+    def test_fatigue_grows_within_scenario(self, student, rng):
+        student.lifetime_cells = 10_000  # kill warmup
+        base = student.expected_cell_time(THICK_MARKER)
+        for _ in range(100):
+            student.stroke_time(THICK_MARKER, rng)
+        assert student.expected_cell_time(THICK_MARKER) > base
+
+    def test_begin_scenario_resets_fatigue(self, student, rng):
+        for _ in range(50):
+            student.stroke_time(THICK_MARKER, rng)
+        student.begin_scenario()
+        assert student.fatigue_factor() == 1.0
+        assert student.lifetime_cells == 50  # experience persists
+
+
+class TestStrokeTime:
+    def test_positive_durations(self, student, rng):
+        for _ in range(100):
+            d, cov, _ = student.stroke_time(THICK_MARKER, rng)
+            assert d > 0
+            assert 0 < cov <= 1
+
+    def test_implement_ordering_in_expectation(self, rng):
+        """Dauber strokes are faster than crayon strokes on average."""
+        means = {}
+        for impl in (DAUBER, CRAYON):
+            s = StudentProcessor("P", StudentProfile(warmup_penalty=0.0))
+            times = [s.stroke_time(impl, rng)[0] for _ in range(300)]
+            means[impl.name] = np.mean(times)
+        assert means["dauber"] < means["crayon"]
+
+    def test_sample_mean_close_to_expected(self, rng):
+        s = StudentProcessor(
+            "P", StudentProfile(warmup_penalty=0.0, fatigue_rate=0.0)
+        )
+        expected = s.expected_cell_time(THICK_MARKER)
+        times = [s.stroke_time(THICK_MARKER, rng)[0] for _ in range(3000)]
+        assert np.mean(times) == pytest.approx(expected, rel=0.05)
+
+    def test_style_affects_duration(self, rng):
+        fast = StudentProcessor("a", StudentProfile(warmup_penalty=0))
+        slow = StudentProcessor("b", StudentProfile(warmup_penalty=0))
+        t_min = np.mean([fast.stroke_time(THICK_MARKER, rng,
+                                          FillStyle.MINIMAL)[0]
+                         for _ in range(200)])
+        t_full = np.mean([slow.stroke_time(THICK_MARKER, rng,
+                                           FillStyle.FULL)[0]
+                          for _ in range(200)])
+        assert t_full > 2 * t_min
+
+    def test_crayon_faults_occur(self, rng):
+        s = StudentProcessor("P", StudentProfile())
+        faults = [s.stroke_time(CRAYON, rng)[2] for _ in range(2000)]
+        n_faults = sum(1 for f in faults if f is not None)
+        assert n_faults > 0
+        assert all(f == CRAYON.repair_time for f in faults if f is not None)
+
+
+class TestHandoff:
+    def test_handoff_time_positive(self, student, rng):
+        for _ in range(20):
+            assert student.handoff_time(rng) > 0
+
+    def test_zero_handoff_profile(self, rng):
+        s = StudentProcessor("P", StudentProfile(handoff_time=0.0))
+        assert s.handoff_time(rng) == 0.0
+
+
+class TestTimerStudent:
+    def test_measurement_noisy_but_unbiased(self, rng):
+        timer = TimerStudent("timer", reaction_sigma=0.3)
+        true = 100.0
+        readings = [timer.measure(true, rng) for _ in range(2000)]
+        assert np.mean(readings) == pytest.approx(true, abs=0.5)
+        assert np.std(readings) > 0.1
+
+    def test_never_negative(self, rng):
+        timer = TimerStudent("timer", reaction_sigma=5.0)
+        assert all(timer.measure(0.1, rng) >= 0.0 for _ in range(200))
+
+
+class TestSampleProfile:
+    def test_profiles_vary(self, rng):
+        profiles = [sample_profile(rng) for _ in range(20)]
+        base_times = {p.base_cell_time for p in profiles}
+        assert len(base_times) > 10
+
+    def test_profiles_always_valid(self, rng):
+        for _ in range(200):
+            p = sample_profile(rng)
+            assert p.base_cell_time >= 0.8
+            assert p.warmup_tau > 0

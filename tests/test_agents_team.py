@@ -1,0 +1,106 @@
+"""Tests for repro.agents.team."""
+
+import numpy as np
+import pytest
+
+from repro.agents.implements import CRAYON, DAUBER, THICK_MARKER
+from repro.agents.student import StudentProcessor, StudentProfile, TimerStudent
+from repro.agents.team import ImplementKit, Team, TeamError, make_team
+from repro.grid.palette import MAURITIUS_STRIPES, Color
+
+
+class TestImplementKit:
+    def test_uniform_kit(self):
+        kit = ImplementKit.uniform(MAURITIUS_STRIPES, THICK_MARKER)
+        assert kit.colors == list(MAURITIUS_STRIPES)
+        assert kit.implement_for(Color.RED) is THICK_MARKER
+
+    def test_missing_color_raises(self):
+        kit = ImplementKit.uniform([Color.RED])
+        with pytest.raises(TeamError, match="no BLACK"):
+            kit.implement_for(Color.BLACK)
+
+    def test_copies_validation(self):
+        with pytest.raises(TeamError):
+            ImplementKit({Color.RED: THICK_MARKER}, copies=0)
+
+    def test_mixed_kit(self):
+        kit = ImplementKit({Color.RED: DAUBER, Color.BLUE: CRAYON})
+        assert kit.implement_for(Color.RED) is DAUBER
+        assert kit.implement_for(Color.BLUE) is CRAYON
+
+
+class TestTeam:
+    def make(self, n=4):
+        students = [StudentProcessor(f"P{i}", StudentProfile())
+                    for i in range(n)]
+        return Team(
+            name="t", students=students,
+            timer=TimerStudent("t.timer"),
+            kit=ImplementKit.uniform(MAURITIUS_STRIPES),
+        )
+
+    def test_size_excludes_timer(self):
+        assert self.make(4).size == 4
+
+    def test_empty_team_rejected(self):
+        with pytest.raises(TeamError, match="no students"):
+            Team(name="t", students=[], timer=TimerStudent("x"),
+                 kit=ImplementKit.uniform([Color.RED]))
+
+    def test_duplicate_names_rejected(self):
+        s = StudentProcessor("P", StudentProfile())
+        with pytest.raises(TeamError, match="duplicate"):
+            Team(name="t", students=[s, s], timer=TimerStudent("x"),
+                 kit=ImplementKit.uniform([Color.RED]))
+
+    def test_colorers_subset(self):
+        team = self.make(4)
+        assert len(team.colorers(2)) == 2
+
+    def test_colorers_too_many_raises(self):
+        with pytest.raises(TeamError, match="needs"):
+            self.make(2).colorers(4)
+
+    def test_begin_scenario_resets_everyone(self, rng):
+        team = self.make(3)
+        for s in team.students:
+            s.scenario_cells = 42
+        team.begin_scenario()
+        assert all(s.scenario_cells == 0 for s in team.students)
+
+
+class TestMakeTeam:
+    def test_builds_requested_size(self, rng):
+        team = make_team("x", 5, rng, colors=list(MAURITIUS_STRIPES))
+        assert team.size == 5
+        assert team.timer.name == "x.timer"
+
+    def test_unique_student_names(self, rng):
+        team = make_team("x", 6, rng, colors=[Color.RED])
+        names = [s.name for s in team.students]
+        assert len(set(names)) == 6
+
+    def test_zero_students_rejected(self, rng):
+        with pytest.raises(TeamError):
+            make_team("x", 0, rng, colors=[Color.RED])
+
+    def test_custom_kit_wins(self, rng):
+        kit = ImplementKit.uniform([Color.RED], DAUBER, copies=3)
+        team = make_team("x", 2, rng, colors=[Color.BLUE], kit=kit)
+        assert team.kit is kit
+        assert team.kit.copies == 3
+
+    def test_implement_applied_to_all_colors(self, rng):
+        team = make_team("x", 2, rng, colors=list(MAURITIUS_STRIPES),
+                         implement=CRAYON)
+        for c in MAURITIUS_STRIPES:
+            assert team.kit.implement_for(c) is CRAYON
+
+    def test_deterministic_given_rng_seed(self):
+        t1 = make_team("x", 3, np.random.default_rng(5),
+                       colors=[Color.RED])
+        t2 = make_team("x", 3, np.random.default_rng(5),
+                       colors=[Color.RED])
+        for a, b in zip(t1.students, t2.students):
+            assert a.profile == b.profile

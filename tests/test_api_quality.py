@@ -1,0 +1,98 @@
+"""Repo-quality guards: public API documentation and export hygiene.
+
+Meta-tests that keep the library honest as it grows: every public
+function, class and method carries a docstring; every ``__all__`` entry
+actually exists; every subpackage is importable on its own.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.agents",
+    "repro.classroom",
+    "repro.data",
+    "repro.depgraph",
+    "repro.flags",
+    "repro.grid",
+    "repro.metrics",
+    "repro.schedule",
+    "repro.sim",
+    "repro.survey",
+    "repro.viz",
+]
+
+
+def iter_all_modules():
+    """Every repro module, recursively."""
+    out = []
+    for pkg_name in SUBPACKAGES + ["repro"]:
+        pkg = importlib.import_module(pkg_name)
+        out.append(pkg)
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                out.append(
+                    importlib.import_module(f"{pkg_name}.{info.name}")
+                )
+    return out
+
+
+class TestImportability:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_imports_standalone(self, name):
+        assert importlib.import_module(name) is not None
+
+    def test_all_exports_exist(self):
+        for module in iter_all_modules():
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), (
+                    f"{module.__name__}.__all__ lists missing {name!r}"
+                )
+
+
+class TestDocstrings:
+    def _public_members(self, module):
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if inspect.getmodule(obj) is not module:
+                continue  # re-exports documented at their source
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                yield name, obj
+
+    def test_every_module_has_docstring(self):
+        for module in iter_all_modules():
+            assert module.__doc__, f"{module.__name__} lacks a docstring"
+
+    def test_every_public_function_and_class_documented(self):
+        missing = []
+        for module in iter_all_modules():
+            for name, obj in self._public_members(module):
+                if not inspect.getdoc(obj):
+                    missing.append(f"{module.__name__}.{name}")
+        assert not missing, f"undocumented public items: {missing}"
+
+    def test_public_methods_documented(self):
+        missing = []
+        for module in iter_all_modules():
+            for cls_name, cls in self._public_members(module):
+                if not inspect.isclass(cls):
+                    continue
+                for mname, member in vars(cls).items():
+                    if mname.startswith("_"):
+                        continue
+                    func = None
+                    if inspect.isfunction(member):
+                        func = member
+                    elif isinstance(member, property):
+                        func = member.fget
+                    if func is not None and not inspect.getdoc(func):
+                        missing.append(
+                            f"{module.__name__}.{cls_name}.{mname}"
+                        )
+        assert not missing, f"undocumented public methods: {missing}"

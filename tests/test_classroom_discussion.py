@@ -1,0 +1,95 @@
+"""Tests for repro.classroom.discussion — lesson extraction."""
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.classroom.discussion import (
+    Lesson,
+    debrief_session,
+    debrief_team,
+    observe_contention,
+    observe_hardware,
+    observe_pipelining,
+    observe_speedup,
+    observe_warmup,
+)
+from repro.classroom.institution import get_institution
+from repro.classroom.session import run_session
+from repro.flags import mauritius
+from repro.grid.palette import MAURITIUS_STRIPES
+from repro.schedule.scenario import run_core_activity
+
+
+@pytest.fixture(scope="module")
+def team_results():
+    rng = np.random.default_rng(21)
+    team = make_team("t", 4, rng, colors=list(MAURITIUS_STRIPES))
+    return run_core_activity(mauritius(), team, rng)
+
+
+@pytest.fixture(scope="module")
+def session():
+    return run_session(get_institution("USI"), seed=8, n_teams=3)
+
+
+class TestTeamObservations:
+    def test_speedup_detected(self, team_results):
+        obs = observe_speedup(team_results)
+        by_lesson = {o.lesson: o for o in obs}
+        assert by_lesson[Lesson.SPEEDUP].detected
+        assert by_lesson[Lesson.SUBLINEAR_SPEEDUP].detected
+        assert 1.0 < by_lesson[Lesson.SPEEDUP].value < 4.0
+
+    def test_warmup_detected(self, team_results):
+        (obs,) = observe_warmup(team_results)
+        assert obs.detected
+        assert obs.value > 1.05
+
+    def test_contention_detected(self, team_results):
+        (obs,) = observe_contention(team_results)
+        assert obs.detected
+        assert 0.0 < obs.value < 1.0
+
+    def test_pipelining_detected(self, team_results):
+        (obs,) = observe_pipelining(team_results)
+        assert obs.detected
+        assert obs.value > 0
+
+    def test_missing_scenarios_yield_no_observations(self):
+        assert observe_warmup({}) == []
+        assert observe_speedup({}) == []
+        assert observe_contention({}) == []
+        assert observe_pipelining({}) == []
+
+    def test_debrief_team_covers_all_lessons(self, team_results):
+        lessons = {o.lesson for o in debrief_team(team_results)}
+        assert lessons == {
+            Lesson.SPEEDUP, Lesson.SUBLINEAR_SPEEDUP, Lesson.WARMUP,
+            Lesson.CONTENTION, Lesson.PIPELINING,
+        }
+
+    def test_evidence_strings_nonempty(self, team_results):
+        assert all(o.evidence for o in debrief_team(team_results))
+
+
+class TestSessionDebrief:
+    def test_majority_detection(self, session):
+        obs = debrief_session(session)
+        detected = {o.lesson for o in obs if o.detected}
+        assert Lesson.SPEEDUP in detected
+        assert Lesson.CONTENTION in detected
+        assert Lesson.WARMUP in detected
+
+    def test_hardware_lesson_needs_variety(self, session):
+        hw = observe_hardware(session)
+        assert len(hw) == 1
+        assert hw[0].lesson is Lesson.HARDWARE_DIFFERENCES
+
+    def test_hardware_absent_with_uniform_implements(self):
+        from dataclasses import replace
+        from repro.agents.implements import THICK_MARKER
+        profile = replace(get_institution("USI"),
+                          implements=(THICK_MARKER,))
+        rep = run_session(profile, seed=9, n_teams=3)
+        assert observe_hardware(rep) == []

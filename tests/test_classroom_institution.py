@@ -1,0 +1,58 @@
+"""Tests for repro.classroom.institution."""
+
+import pytest
+
+from repro.classroom.institution import (
+    INSTITUTIONS,
+    all_institutions,
+    get_institution,
+)
+
+
+class TestProfiles:
+    def test_six_institutions(self):
+        assert len(INSTITUTIONS) == 6
+        assert set(INSTITUTIONS) == {
+            "HPU", "USI", "Knox", "TNTech", "Webster", "Montclair",
+        }
+
+    def test_table_column_order(self):
+        names = [p.name for p in all_institutions()]
+        assert names == ["HPU", "Knox", "Montclair", "TNTech", "USI",
+                         "Webster"]
+
+    def test_get_institution(self):
+        assert get_institution("Knox").full_name == "Knox College"
+        with pytest.raises(KeyError, match="valid"):
+            get_institution("MIT")
+
+    def test_knox_matches_paper(self):
+        knox = get_institution("Knox")
+        assert knox.class_size == 65     # Section V-C
+        assert knox.knox_followup
+        assert not knox.ran_prepost_quiz  # "not given the pre/post test"
+
+    def test_webster_runs_variation(self):
+        assert get_institution("Webster").webster_variation
+
+    def test_quiz_sites_match_fig8(self):
+        quiz_sites = {p.name for p in all_institutions()
+                      if p.ran_prepost_quiz}
+        assert quiz_sites == {"USI", "TNTech", "HPU"}
+
+    def test_exactly_one_crayon_site(self):
+        """'The institution that used crayons got many complaints.'"""
+        crayon_sites = [
+            p.name for p in all_institutions()
+            if any(m.name == "crayon" for m in p.implements)
+        ]
+        assert len(crayon_sites) == 1
+
+    def test_implement_cycle(self):
+        usi = get_institution("USI")
+        kinds = {usi.implement_for_team(i).name for i in range(6)}
+        assert len(kinds) == len(usi.implements)
+
+    def test_n_teams_positive(self):
+        for p in all_institutions():
+            assert p.n_teams >= 1

@@ -1,0 +1,106 @@
+"""Tests for repro.classroom.materials — handouts and the dry run."""
+
+import pytest
+
+from repro.agents import ImplementKit
+from repro.agents.implements import CRAYON, DAUBER, THICK_MARKER
+from repro.classroom.materials import (
+    dry_run,
+    sample_cells_svg,
+    scenario_slide,
+)
+from repro.flags import great_britain, mauritius
+from repro.grid.palette import Color, MAURITIUS_STRIPES
+
+
+class TestScenarioSlide:
+    @pytest.mark.parametrize("scenario", [1, 2, 3, 4])
+    def test_slide_renders_for_every_scenario(self, scenario):
+        svg = scenario_slide(mauritius(), scenario)
+        assert svg.startswith("<svg")
+        assert "<text" in svg  # numbered cells
+        assert "<line" in svg  # grid lines
+
+    def test_numbers_encode_worker_and_order(self):
+        svg = scenario_slide(mauritius(), 3)
+        # Worker 1's first cell is numbered 1000, worker 4's 4000.
+        assert ">1000<" in svg
+        assert ">4000<" in svg
+
+    def test_scenario1_single_worker_numbers(self):
+        svg = scenario_slide(mauritius(), 1)
+        assert ">1000<" in svg
+        assert ">2000<" not in svg
+
+    def test_invalid_scenario_raises(self):
+        from repro.flags.decompose import DecompositionError
+        with pytest.raises(DecompositionError):
+            scenario_slide(mauritius(), 7)
+
+
+class TestSampleCells:
+    def test_three_styles_rendered(self):
+        svg = sample_cells_svg()
+        assert svg.count("<rect") == 3
+        for label in ("full", "scribble", "minimal"):
+            assert label in svg
+
+    def test_hatch_density_ordering(self):
+        svg = sample_cells_svg()
+        # More coverage => more hatch lines; FULL should dominate.
+        assert svg.count("<line") >= 3 + 7 + 2
+
+
+class TestDryRun:
+    def kit(self, implement=THICK_MARKER):
+        return ImplementKit.uniform(MAURITIUS_STRIPES, implement)
+
+    def test_good_plan_passes(self):
+        report = dry_run(mauritius(), self.kit())
+        assert report.ok
+        assert report.total_minutes > 0
+        assert "scenario1" in report.estimated_minutes
+        assert "scenario1_repeat" in report.estimated_minutes
+
+    def test_missing_color_is_a_problem(self):
+        kit = ImplementKit.uniform([Color.RED, Color.BLUE])
+        report = dry_run(mauritius(), kit)
+        assert not report.ok
+        assert any("missing" in p for p in report.problems)
+        # No time estimates when the plan is broken.
+        assert report.estimated_minutes == {}
+
+    def test_crayons_warn(self):
+        report = dry_run(mauritius(), self.kit(CRAYON))
+        assert report.ok  # warning, not blocking
+        assert any("fault-prone" in w for w in report.warnings)
+
+    def test_over_long_session_warns(self):
+        report = dry_run(mauritius(), self.kit(CRAYON), class_minutes=15.0)
+        assert any("discussion time" in w for w in report.warnings)
+
+    def test_huge_grid_warns(self):
+        report = dry_run(mauritius(), self.kit(), rows=30, cols=30)
+        assert any("coloring" in w for w in report.warnings)
+
+    def test_no_repeat_drops_the_repeat_estimate(self):
+        report = dry_run(mauritius(), self.kit(), repeat_first=False)
+        assert "scenario1_repeat" not in report.estimated_minutes
+
+    def test_warmup_makes_repeat_faster(self):
+        report = dry_run(mauritius(), self.kit())
+        assert (report.estimated_minutes["scenario1_repeat"]
+                < report.estimated_minutes["scenario1"])
+
+    def test_dauber_faster_than_crayon_estimates(self):
+        fast = dry_run(mauritius(), self.kit(DAUBER))
+        slow = dry_run(mauritius(), self.kit(CRAYON))
+        assert fast.total_minutes < slow.total_minutes
+
+    def test_layered_flag_estimates(self):
+        spec = great_britain()
+        kit = ImplementKit.uniform(spec.colors_used())
+        report = dry_run(spec, kit, scenarios=[1])
+        assert report.ok
+        assert set(report.estimated_minutes) == {"scenario1",
+                                                 "scenario1_repeat"}

@@ -1,0 +1,62 @@
+"""Tests for the merging-teams session organization."""
+
+import numpy as np
+import pytest
+
+from repro.classroom import get_institution, run_merging_session
+
+
+@pytest.fixture(scope="module")
+def merged_report():
+    return run_merging_session(get_institution("USI"), seed=9, n_pairs=3)
+
+
+class TestMergingSession:
+    def test_one_record_per_pair(self, merged_report):
+        assert len(merged_report.teams) == 3
+        assert all("+" in t.team_name for t in merged_report.teams)
+
+    def test_all_scenarios_present_and_correct(self, merged_report):
+        for t in merged_report.teams:
+            assert set(t.results) == {
+                "scenario1", "scenario1_repeat", "scenario2",
+                "scenario3", "scenario4",
+            }
+            assert all(r.correct for r in t.results.values())
+
+    def test_scenarios_3_4_use_four_colorers(self, merged_report):
+        for t in merged_report.teams:
+            assert t.results["scenario3"].n_workers == 4
+            assert t.results["scenario4"].n_workers == 4
+            assert t.results["scenario1"].n_workers == 1
+            assert t.results["scenario2"].n_workers == 2
+
+    def test_merged_implements_soften_contention(self):
+        """Pooled kits (2 markers per color) cut scenario-4 waiting vs the
+        standard single-kit organization."""
+        from repro.classroom import run_session
+
+        merged = run_merging_session(get_institution("USI"), seed=14,
+                                     n_pairs=3)
+        standard = run_session(get_institution("USI"), seed=14, n_teams=3)
+
+        def med_wait(report):
+            return float(np.median([
+                t.results["scenario4"].trace.total_wait_fraction()
+                for t in report.teams
+            ]))
+
+        assert med_wait(merged) < med_wait(standard)
+
+    def test_times_still_fall_through_scenario3(self, merged_report):
+        med = merged_report.median_times()
+        assert med["scenario1"] > med["scenario2"] > med["scenario3"]
+
+    def test_deterministic(self):
+        a = run_merging_session(get_institution("HPU"), seed=5, n_pairs=1)
+        b = run_merging_session(get_institution("HPU"), seed=5, n_pairs=1)
+        assert a.median_times() == b.median_times()
+
+    def test_default_pair_count_from_profile(self):
+        rep = run_merging_session(get_institution("HPU"), seed=6)
+        assert len(rep.teams) >= 1

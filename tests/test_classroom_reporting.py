@@ -1,0 +1,79 @@
+"""Tests for repro.classroom.reporting — instructor session reports."""
+
+import pytest
+
+from repro.classroom import (
+    compare_sessions_markdown,
+    get_institution,
+    run_session,
+    session_markdown,
+)
+
+
+@pytest.fixture(scope="module")
+def usi_report():
+    return run_session(get_institution("USI"), seed=4, n_teams=3)
+
+
+class TestSessionMarkdown:
+    def test_structure(self, usi_report):
+        md = session_markdown(usi_report)
+        assert md.startswith("# Activity report — USI")
+        for heading in ("## Whiteboard", "## Median times and speedups",
+                        "## Lessons detected", "## Discussion guide"):
+            assert heading in md
+
+    def test_all_teams_listed(self, usi_report):
+        md = session_markdown(usi_report)
+        for t in usi_report.teams:
+            assert t.team_name in md
+
+    def test_speedups_rendered(self, usi_report):
+        md = session_markdown(usi_report)
+        assert "speedup vs scenario1_repeat" in md
+        assert "x" in md
+
+    def test_hardware_section_when_implements_differ(self, usi_report):
+        md = session_markdown(usi_report)
+        assert "## Hardware comparison" in md
+
+    def test_hardware_section_absent_with_uniform_kit(self):
+        from dataclasses import replace
+
+        from repro.agents.implements import THICK_MARKER
+        profile = replace(get_institution("USI"),
+                          implements=(THICK_MARKER,))
+        rep = run_session(profile, seed=5, n_teams=2)
+        assert "## Hardware comparison" not in session_markdown(rep)
+
+    def test_discussion_guide_optional(self, usi_report):
+        md = session_markdown(usi_report, include_discussion_guide=False)
+        assert "## Discussion guide" not in md
+
+    def test_valid_markdown_tables(self, usi_report):
+        md = session_markdown(usi_report)
+        # Every table line is pipe-delimited and consistent.
+        table_lines = [l for l in md.splitlines() if l.startswith("|")]
+        assert table_lines
+        assert all(l.endswith("|") for l in table_lines)
+
+
+class TestCompareSessions:
+    def test_one_row_per_site(self):
+        reports = [
+            run_session(get_institution(name), seed=10 + i, n_teams=2)
+            for i, name in enumerate(("USI", "Knox", "HPU"))
+        ]
+        md = compare_sessions_markdown(reports)
+        for name in ("USI", "Knox", "HPU"):
+            assert name in md
+        assert md.count("\n") >= 4  # header + separator + 3 rows
+
+    def test_ratios_present(self):
+        reports = [run_session(get_institution("USI"), seed=20, n_teams=2)]
+        md = compare_sessions_markdown(reports)
+        assert "warmup" in md and "s4/s3" in md
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_sessions_markdown([])

@@ -1,0 +1,66 @@
+"""Tests for repro.classroom.session — whole-class orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.classroom.institution import get_institution
+from repro.classroom.session import run_all_institutions, run_session
+
+
+@pytest.fixture(scope="module")
+def webster_session():
+    return run_session(get_institution("Webster"), seed=4, n_teams=3)
+
+
+class TestRunSession:
+    def test_team_count(self, webster_session):
+        assert len(webster_session.teams) == 3
+
+    def test_all_flags_correct(self, webster_session):
+        assert webster_session.all_correct()
+
+    def test_whiteboard_has_all_scenarios(self, webster_session):
+        board = webster_session.board
+        assert set(board) == {
+            "scenario1", "scenario1_repeat", "scenario2",
+            "scenario3", "scenario4",
+        }
+        assert all(len(times) == 3 for times in board.values())
+
+    def test_median_times_fall_through_scenario3(self, webster_session):
+        med = webster_session.median_times()
+        assert med["scenario1"] > med["scenario2"] > med["scenario3"]
+
+    def test_median_speedups_baseline_one(self, webster_session):
+        sp = webster_session.median_speedups()
+        assert sp["scenario1"] == 1.0
+        assert sp["scenario3"] > sp["scenario2"] > 1.0
+
+    def test_scenario4_slower_than_3(self, webster_session):
+        med = webster_session.median_times()
+        assert med["scenario4"] > med["scenario3"]
+
+    def test_implement_grouping(self, webster_session):
+        groups = webster_session.times_by_implement("scenario1")
+        assert sum(len(v) for v in groups.values()) == 3
+        assert set(groups) <= {"thick_marker", "dauber"}
+
+    def test_determinism(self):
+        a = run_session(get_institution("HPU"), seed=5, n_teams=2)
+        b = run_session(get_institution("HPU"), seed=5, n_teams=2)
+        assert a.median_times() == b.median_times()
+
+    def test_no_repeat_profile(self):
+        from dataclasses import replace
+        profile = replace(get_institution("HPU"), repeat_scenario1=False)
+        rep = run_session(profile, seed=6, n_teams=1)
+        assert "scenario1_repeat" not in rep.board
+
+
+class TestRunAllInstitutions:
+    def test_all_six_run(self):
+        reports = run_all_institutions(seed=1, n_teams_cap=1)
+        assert set(reports) == {
+            "HPU", "Knox", "Montclair", "TNTech", "USI", "Webster",
+        }
+        assert all(r.all_correct() for r in reports.values())

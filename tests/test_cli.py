@@ -1,0 +1,120 @@
+"""Tests for repro.cli — the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("flags", "render", "scenario", "activity", "session",
+                    "depgraph", "dryrun", "grade", "tables", "animate",
+                    "slides", "debrief", "report"):
+            # Minimal arg sets per command.
+            argv = {
+                "flags": ["flags"],
+                "render": ["render", "mauritius"],
+                "scenario": ["scenario", "mauritius", "1"],
+                "activity": ["activity"],
+                "session": ["session", "USI"],
+                "depgraph": ["depgraph", "jordan"],
+                "dryrun": ["dryrun", "mauritius"],
+                "grade": ["grade"],
+                "tables": ["tables"],
+                "animate": ["animate", "mauritius", "1"],
+                "slides": ["slides", "mauritius", "1"],
+                "debrief": ["debrief", "USI"],
+                "report": ["report", "USI"],
+            }[cmd]
+            args = parser.parse_args(argv)
+            assert args.command == cmd
+
+
+class TestCommands:
+    def test_flags(self, capsys):
+        assert main(["flags"]) == 0
+        out = capsys.readouterr().out
+        assert "mauritius" in out and "jordan" in out
+
+    def test_render_ascii(self, capsys):
+        assert main(["render", "mauritius", "--format", "ascii"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "R" * 12
+
+    def test_render_svg(self, capsys):
+        assert main(["render", "poland", "--format", "svg"]) == 0
+        assert capsys.readouterr().out.startswith("<svg")
+
+    def test_render_custom_size(self, capsys):
+        assert main(["render", "mauritius", "--format", "ascii",
+                     "--rows", "4", "--cols", "8"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4 and len(lines[0]) == 8
+
+    def test_scenario(self, capsys):
+        assert main(["scenario", "mauritius", "3", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "four_by_stripe" in out
+        assert "correct flag  : yes" in out
+
+    def test_scenario4_shows_waiting(self, capsys):
+        assert main(["scenario", "mauritius", "4", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "waiting share" in out
+
+    def test_activity(self, capsys):
+        assert main(["activity", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario1_repeat" in out
+        assert "scenario4" in out
+
+    def test_session(self, capsys):
+        assert main(["session", "USI", "--seed", "1", "--teams", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "University of Southern Indiana" in out
+        assert "debrief:" in out
+
+    def test_depgraph_text(self, capsys):
+        assert main(["depgraph", "jordan", "--processors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "list schedule on P=2" in out
+
+    def test_depgraph_dot(self, capsys):
+        assert main(["depgraph", "jordan", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_dryrun_ok(self, capsys):
+        assert main(["dryrun", "mauritius"]) == 0
+        assert "ready to run" in capsys.readouterr().out
+
+    def test_dryrun_unknown_implement_raises(self):
+        with pytest.raises(KeyError):
+            main(["dryrun", "mauritius", "--implement", "chalk"])
+
+    def test_grade(self, capsys):
+        assert main(["grade", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "perfect" in out
+        assert "at least mostly correct: 59%" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I:" in out and "Table III:" in out
+        assert out.count("vs paper: exact") == 3
+
+    def test_report(self, capsys):
+        assert main(["report", "USI", "--teams", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Activity report")
+        assert "## Whiteboard" in out
+
+    def test_unknown_flag_raises(self):
+        with pytest.raises(KeyError):
+            main(["render", "atlantis"])

@@ -1,0 +1,112 @@
+"""Tests for repro.data.paper_tables — internal consistency of constants."""
+
+import pytest
+
+from repro.data.paper_tables import (
+    ALL_TABLES,
+    DEPGRAPH_RESULTS,
+    FIG8_TRANSITIONS,
+    INSTITUTIONS,
+    QUIZ_CONCEPTS,
+    QUIZ_N,
+    SURVEY_N,
+    TABLE_I,
+    TABLE_II,
+    TABLE_III,
+    validate_transitions,
+)
+
+
+class TestTables:
+    def test_row_counts_match_paper(self):
+        assert len(TABLE_I) == 5
+        assert len(TABLE_II) == 6
+        assert len(TABLE_III) == 4
+
+    def test_every_cell_has_all_institutions(self):
+        for table in ALL_TABLES.values():
+            for row in table.values():
+                assert set(row) == set(INSTITUTIONS)
+
+    def test_values_on_half_point_likert_scale(self):
+        for table in ALL_TABLES.values():
+            for row in table.values():
+                for v in row.values():
+                    if v is not None:
+                        assert 1.0 <= v <= 5.0
+                        assert (v * 2) % 1 == 0
+
+    def test_published_na_cells(self):
+        assert TABLE_I[
+            "The activity stimulated my interest in parallel computing"
+        ]["TNTech"] is None
+        webster_nas = sum(
+            1 for row in TABLE_III.values() if row["Webster"] is None
+        )
+        assert webster_nas == 3
+
+    def test_knox_uniform_tone(self):
+        """Knox scored 4.0 on every published row."""
+        for table in ALL_TABLES.values():
+            for row in table.values():
+                assert row["Knox"] == 4.0
+
+    def test_half_point_medians_have_even_n(self):
+        """Our assumed respondent counts make every published median
+        reachable."""
+        for table in ALL_TABLES.values():
+            for row in table.values():
+                for inst, v in row.items():
+                    if v is not None and v % 1 == 0.5:
+                        assert SURVEY_N[inst] % 2 == 0, (inst, v)
+
+
+class TestFig8:
+    def test_rows_sum_to_one(self):
+        validate_transitions()
+
+    def test_three_institutions_five_concepts(self):
+        assert set(FIG8_TRANSITIONS) == set(QUIZ_N) == {"USI", "TNTech", "HPU"}
+        for concepts in FIG8_TRANSITIONS.values():
+            assert set(concepts) == set(QUIZ_CONCEPTS)
+
+    def test_explicit_paper_numbers_preserved(self):
+        """Spot-check every percentage the paper prints verbatim."""
+        t = FIG8_TRANSITIONS
+        assert t["USI"]["task_decomposition"]["retained"] == 0.769
+        assert t["TNTech"]["task_decomposition"]["retained"] == 0.872
+        assert t["HPU"]["task_decomposition"]["retained"] == 0.833
+        assert t["HPU"]["speedup"]["retained"] == 1.0
+        assert t["USI"]["speedup"]["gained"] == 0.154
+        assert t["TNTech"]["speedup"]["gained"] == 0.180
+        assert t["USI"]["contention"]["gained"] == 0.385
+        assert t["TNTech"]["contention"]["gained"] == 0.250
+        assert t["HPU"]["contention"]["gained"] == 0.167
+        assert t["USI"]["scalability"]["retained"] == 0.923
+        assert t["TNTech"]["scalability"]["retained"] == 0.826
+        assert t["HPU"]["scalability"]["retained"] == 1.0
+        assert t["TNTech"]["pipelining"]["never"] == 0.744
+        assert t["USI"]["pipelining"]["lost"] == 0.231
+        assert t["HPU"]["pipelining"]["lost"] == 0.5
+
+    def test_usi_hpu_counts_are_integral(self):
+        """USI (n=13) and HPU (n=6) fractions correspond to whole students."""
+        for inst in ("USI", "HPU"):
+            n = QUIZ_N[inst]
+            for concept, row in FIG8_TRANSITIONS[inst].items():
+                for state, frac in row.items():
+                    count = frac * n
+                    assert abs(count - round(count)) < 0.05, (
+                        inst, concept, state, count
+                    )
+
+
+class TestDepgraphResults:
+    def test_counts_consistent(self):
+        d = DEPGRAPH_RESULTS
+        assert d["n_perfect"] + d["n_mostly_correct"] == 17
+        assert d["frac_perfect"] == pytest.approx(10 / 29, abs=0.01)
+        assert d["frac_at_least_mostly"] == pytest.approx(17 / 29, abs=0.01)
+        assert d["n_submissions"] / d["class_size"] == pytest.approx(
+            d["response_rate"], abs=0.01
+        )

@@ -1,0 +1,160 @@
+"""Tests for repro.depgraph.classify — the Section V-C rubric grader."""
+
+import pytest
+
+from repro.depgraph.classify import (
+    Category,
+    Submission,
+    SubmissionKind,
+    canonicalize,
+    classify,
+    grade_all,
+)
+from repro.depgraph.flag_dags import (
+    jordan_linear_chain_dag,
+    jordan_merged_stripes_dag,
+    jordan_reference_dag,
+    jordan_reference_dag_with_white,
+    jordan_split_triangle_dag,
+)
+from repro.depgraph.graph import TaskGraph
+
+
+def graph_submission(graph, **kwargs):
+    return Submission(student="s", kind=SubmissionKind.GRAPH, graph=graph,
+                      **kwargs)
+
+
+class TestPerfect:
+    def test_reference_without_white(self):
+        assert classify(graph_submission(jordan_reference_dag())) \
+            is Category.PERFECT
+
+    def test_reference_with_white(self):
+        assert classify(graph_submission(jordan_reference_dag_with_white())) \
+            is Category.PERFECT
+
+    def test_redundant_transitive_edge_still_perfect(self):
+        g = jordan_reference_dag().copy()
+        g.add_dependency("black_stripe", "white_star")
+        assert classify(graph_submission(g)) is Category.PERFECT
+
+    def test_hand_written_labels_canonicalized(self):
+        g = TaskGraph.from_edges([
+            ("black", "triangle"),
+            ("green", "triangle"),
+            ("triangle", "white dot"),
+        ])
+        assert classify(graph_submission(g)) is Category.PERFECT
+
+
+class TestMostlyCorrect:
+    def test_split_triangle_as_drawn(self):
+        g = jordan_split_triangle_dag(correct_edges=False)
+        assert classify(graph_submission(g)) is Category.MOSTLY_CORRECT
+
+    def test_split_triangle_truly_correct_edges(self):
+        """Nobody drew this, but the rubric still counts it mostly correct."""
+        g = jordan_split_triangle_dag(correct_edges=True)
+        assert classify(graph_submission(g)) is Category.MOSTLY_CORRECT
+
+    def test_merged_stripes(self):
+        g = jordan_merged_stripes_dag()
+        assert classify(graph_submission(g)) is Category.MOSTLY_CORRECT
+
+    def test_spatial_layout_without_arrows(self):
+        g = jordan_reference_dag()
+        sub = graph_submission(
+            TaskGraph.from_edges(g.edges, isolated=g.tasks),
+            has_arrows=False,
+        )
+        assert classify(sub) is Category.MOSTLY_CORRECT
+
+
+class TestErrors:
+    def test_linear_chain(self):
+        assert classify(graph_submission(jordan_linear_chain_dag())) \
+            is Category.LINEAR_CHAIN
+
+    def test_linear_chain_with_white(self):
+        g = jordan_linear_chain_dag(include_white=True)
+        assert classify(graph_submission(g)) is Category.LINEAR_CHAIN
+
+    def test_incomplete(self):
+        g = TaskGraph.from_edges([("black_stripe", "green_stripe")])
+        assert classify(graph_submission(g, complete=False)) \
+            is Category.INCOMPLETE
+
+    def test_no_learning_drawing(self):
+        sub = Submission(student="s", kind=SubmissionKind.FLAG_DRAWING)
+        assert classify(sub) is Category.NO_LEARNING
+
+    def test_no_learning_code(self):
+        sub = Submission(student="s", kind=SubmissionKind.CODE)
+        assert classify(sub) is Category.NO_LEARNING
+
+    def test_graph_kind_without_graph_is_no_learning(self):
+        sub = Submission(student="s", kind=SubmissionKind.GRAPH, graph=None)
+        assert classify(sub) is Category.NO_LEARNING
+
+    def test_reversed_chain_still_counts_as_linear(self):
+        """The chain bucket is about *shape* (thinking sequentially), so a
+        backwards chain is still a linear-chain error."""
+        g = TaskGraph.from_edges([
+            ("white_star", "red_triangle"),
+            ("red_triangle", "black_stripe"),
+        ])
+        assert classify(graph_submission(g)) is Category.LINEAR_CHAIN
+
+    def test_unrecognizable_graph_is_other(self):
+        g = TaskGraph.from_edges([
+            ("red_triangle", "black_stripe"),   # upside-down diamond
+            ("red_triangle", "green_stripe"),
+            ("black_stripe", "white_star"),
+            ("green_stripe", "white_star"),
+        ])
+        assert classify(graph_submission(g)) is Category.OTHER
+
+
+class TestCanonicalize:
+    def test_synonyms(self):
+        g = TaskGraph.from_edges([("chevron", "star")])
+        c = canonicalize(g)
+        assert "red_triangle" in c and "white_star" in c
+
+    def test_unknown_labels_pass_through(self):
+        g = TaskGraph.from_edges([("My Odd Task", "another thing")])
+        c = canonicalize(g)
+        assert "my_odd_task" in c
+        assert "another_thing" in c
+
+    def test_preserves_weights_and_edges(self):
+        g = TaskGraph()
+        g.add_task("black", 7.0)
+        g.add_task("triangle", 3.0)
+        g.add_dependency("black", "triangle")
+        c = canonicalize(g)
+        assert c.weight("black_stripe") == 7.0
+        assert ("black_stripe", "red_triangle") in c.edges
+
+
+class TestGradeAll:
+    def test_report_counts_and_fractions(self):
+        subs = [
+            graph_submission(jordan_reference_dag()),
+            graph_submission(jordan_linear_chain_dag()),
+            graph_submission(jordan_merged_stripes_dag()),
+            Submission(student="x", kind=SubmissionKind.CODE),
+        ]
+        report = grade_all(subs)
+        assert report.total == 4
+        assert report.n_perfect == 1
+        assert report.n_mostly == 1
+        assert report.fraction(Category.LINEAR_CHAIN) == 0.25
+        assert report.at_least_mostly_correct == 0.5
+
+    def test_empty_report(self):
+        report = grade_all([])
+        assert report.total == 0
+        assert report.at_least_mostly_correct == 0.0
+        assert report.fraction(Category.PERFECT) == 0.0

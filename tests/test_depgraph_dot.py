@@ -1,0 +1,57 @@
+"""Tests for repro.depgraph.dot — DOT export."""
+
+import pytest
+
+from repro.depgraph.dot import schedule_to_dot_notes, to_dot
+from repro.depgraph.flag_dags import jordan_reference_dag
+from repro.depgraph.graph import TaskGraph
+from repro.depgraph.schedule_dag import list_schedule
+
+
+class TestToDot:
+    def test_basic_structure(self):
+        dot = to_dot(jordan_reference_dag())
+        assert dot.startswith("digraph depgraph {")
+        assert dot.endswith("}")
+        assert '"black_stripe" -> "red_triangle";' in dot
+        assert '"red_triangle" -> "white_star";' in dot
+
+    def test_every_task_declared(self):
+        g = jordan_reference_dag()
+        dot = to_dot(g)
+        for task in g.tasks:
+            assert f'"{task}"' in dot
+
+    def test_weights_shown(self):
+        dot = to_dot(jordan_reference_dag(), show_weights=True)
+        assert "\\n(" in dot
+
+    def test_critical_path_highlighted(self):
+        dot = to_dot(jordan_reference_dag(), highlight_critical_path=True)
+        assert "color=red" in dot
+        assert "penwidth=2" in dot
+
+    def test_invalid_rankdir(self):
+        with pytest.raises(ValueError, match="rankdir"):
+            to_dot(jordan_reference_dag(), rankdir="XX")
+
+    def test_quotes_escaped(self):
+        g = TaskGraph.from_edges([('say "hi"', "b")])
+        dot = to_dot(g)
+        assert '\\"hi\\"' in dot
+
+    def test_node_colors(self):
+        dot = to_dot(jordan_reference_dag(),
+                     node_colors={"white_star": "#ff0000"})
+        assert 'fillcolor="#ff0000"' in dot
+
+
+class TestScheduleNotes:
+    def test_annotated_export(self):
+        g = jordan_reference_dag()
+        sched = list_schedule(g, 2)
+        dot = schedule_to_dot_notes(g, sched)
+        assert "digraph" in dot
+        # Every task gets a processor/time comment.
+        for task in g.tasks:
+            assert f"// {task}: P" in dot

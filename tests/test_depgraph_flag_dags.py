@@ -1,0 +1,119 @@
+"""Tests for repro.depgraph.flag_dags — flag-derived dependency graphs."""
+
+import pytest
+
+from repro.depgraph.flag_dags import (
+    flag_dag,
+    great_britain_reference_dag,
+    jordan_linear_chain_dag,
+    jordan_merged_stripes_dag,
+    jordan_reference_dag,
+    jordan_reference_dag_with_white,
+    jordan_split_triangle_dag,
+)
+from repro.flags.catalog import france, great_britain, jordan, mauritius
+
+
+class TestFlagDag:
+    def test_flat_flag_has_no_edges(self):
+        g = flag_dag(mauritius())
+        assert g.n_edges == 0
+        assert g.n_tasks == 4
+        assert g.max_parallelism() == 4
+
+    def test_france_without_optional_white(self):
+        g = flag_dag(france())
+        assert g.n_tasks == 2  # white stripe omitted
+        g_full = flag_dag(france(), include_optional=True)
+        assert g_full.n_tasks == 3
+
+    def test_weights_are_cell_counts(self):
+        spec = mauritius()
+        g = flag_dag(spec)
+        assert g.weight("red_stripe") == 24.0
+
+    def test_layered_flag_produces_edges(self):
+        g = flag_dag(great_britain())
+        assert g.n_edges > 0
+
+
+class TestJordanReference:
+    """The Figure 9 graph."""
+
+    def test_structure(self):
+        g = jordan_reference_dag()
+        assert set(g.tasks) == {
+            "black_stripe", "green_stripe", "red_triangle", "white_star",
+        }
+        assert set(g.edges) == {
+            ("black_stripe", "red_triangle"),
+            ("green_stripe", "red_triangle"),
+            ("red_triangle", "white_star"),
+        }
+
+    def test_three_levels(self):
+        g = jordan_reference_dag()
+        assert g.parallelism_profile() == [2, 1, 1]
+
+    def test_with_white_adds_stripe(self):
+        g = jordan_reference_dag_with_white()
+        assert "white_stripe" in g
+        assert ("white_stripe", "red_triangle") in g.edges
+        assert g.parallelism_profile() == [3, 1, 1]
+
+    def test_critical_path_runs_through_triangle_and_star(self):
+        _, path = jordan_reference_dag().critical_path()
+        assert path[-2:] == ["red_triangle", "white_star"]
+
+
+class TestGreatBritainReference:
+    """The worked example: a pure chain of layers."""
+
+    def test_linear_chain(self):
+        g = great_britain_reference_dag()
+        assert g.is_linear_chain()
+        assert g.n_tasks == 5
+
+    def test_chain_order_matches_layers(self):
+        g = great_britain_reference_dag()
+        order = g.topological_order()
+        assert order[0] == "blue_background"
+        assert order[-1] == "red_cross"
+
+    def test_no_parallelism(self):
+        assert great_britain_reference_dag().max_parallelism() == 1
+
+
+class TestStudentVariants:
+    def test_split_triangle_as_drawn(self):
+        g = jordan_split_triangle_dag(correct_edges=False)
+        # Both halves depend on both stripes (what students actually drew).
+        assert ("black_stripe", "red_triangle_bottom") in g.edges
+        assert ("green_stripe", "red_triangle_top") in g.edges
+
+    def test_split_triangle_truly_correct(self):
+        g = jordan_split_triangle_dag(correct_edges=True)
+        # Top half independent of green, bottom independent of black.
+        assert ("green_stripe", "red_triangle_top") not in g.edges
+        assert ("black_stripe", "red_triangle_bottom") not in g.edges
+
+    def test_variants_differ(self):
+        drawn = jordan_split_triangle_dag(correct_edges=False)
+        true = jordan_split_triangle_dag(correct_edges=True)
+        assert not drawn.same_structure(true)
+
+    def test_merged_stripes_is_chain(self):
+        assert jordan_merged_stripes_dag().is_linear_chain()
+
+    def test_linear_chain_variant(self):
+        g = jordan_linear_chain_dag()
+        assert g.is_linear_chain()
+        assert g.n_tasks == 4
+        g_w = jordan_linear_chain_dag(include_white=True)
+        assert g_w.n_tasks == 5
+        assert g_w.is_linear_chain()
+
+    def test_linear_chain_differs_from_reference(self):
+        assert not jordan_linear_chain_dag().same_structure(
+            jordan_reference_dag()
+        )

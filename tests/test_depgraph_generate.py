@@ -1,0 +1,110 @@
+"""Tests for repro.depgraph.generate — synthetic submission populations."""
+
+import numpy as np
+import pytest
+
+from repro.depgraph.classify import Category, classify, grade_all
+from repro.depgraph.generate import (
+    PAPER_MIXTURE,
+    generate_exact_paper_cohort,
+    generate_submissions,
+    make_submission,
+    simulate_collection,
+)
+
+
+class TestMixture:
+    def test_paper_mixture_sums_to_one(self):
+        assert sum(PAPER_MIXTURE.values()) == pytest.approx(1.0)
+
+    def test_mixture_matches_paper_counts(self):
+        assert PAPER_MIXTURE["perfect"] == pytest.approx(10 / 29)
+        assert PAPER_MIXTURE["no_learning"] == pytest.approx(4 / 29)
+
+
+class TestMakeSubmission:
+    """Generator-classifier round trip per category."""
+
+    EXPECTED = {
+        "perfect": Category.PERFECT,
+        "split_triangle": Category.MOSTLY_CORRECT,
+        "merged_stripes": Category.MOSTLY_CORRECT,
+        "spatial_no_arrows": Category.MOSTLY_CORRECT,
+        "linear_chain": Category.LINEAR_CHAIN,
+        "incomplete": Category.INCOMPLETE,
+        "no_learning": Category.NO_LEARNING,
+    }
+
+    @pytest.mark.parametrize("key,expected", sorted(EXPECTED.items()))
+    def test_round_trip(self, key, expected, rng):
+        for _ in range(20):
+            sub = make_submission(key, "s", rng)
+            assert classify(sub) is expected, key
+
+    def test_unknown_category_raises(self, rng):
+        with pytest.raises(KeyError, match="valid"):
+            make_submission("telepathic", "s", rng)
+
+
+class TestExactCohort:
+    def test_reproduces_paper_exactly(self, rng):
+        report = grade_all(generate_exact_paper_cohort(rng))
+        assert report.total == 29
+        assert report.n_perfect == 10
+        assert report.n_mostly == 7
+        assert report.counts[Category.LINEAR_CHAIN] == 6
+        assert report.counts[Category.INCOMPLETE] == 2
+        assert report.counts[Category.NO_LEARNING] == 4
+        assert report.at_least_mostly_correct == pytest.approx(17 / 29)
+
+    def test_shuffled_but_deterministic(self):
+        a = [s.student for s in
+             generate_exact_paper_cohort(np.random.default_rng(1))]
+        b = [s.student for s in
+             generate_exact_paper_cohort(np.random.default_rng(1))]
+        assert a == b
+        c = [s.student for s in
+             generate_exact_paper_cohort(np.random.default_rng(2))]
+        assert a != c
+
+
+class TestGenerateSubmissions:
+    def test_large_sample_matches_mixture(self):
+        rng = np.random.default_rng(0)
+        subs = generate_submissions(2000, rng)
+        report = grade_all(subs)
+        assert report.fraction(Category.PERFECT) == pytest.approx(
+            10 / 29, abs=0.05
+        )
+        assert report.fraction(Category.NO_LEARNING) == pytest.approx(
+            4 / 29, abs=0.05
+        )
+
+    def test_custom_mixture(self, rng):
+        subs = generate_submissions(
+            50, rng, mixture={"perfect": 1.0}
+        )
+        assert all(classify(s) is Category.PERFECT for s in subs)
+
+
+class TestSimulateCollection:
+    def test_response_rate_plausible(self):
+        rng = np.random.default_rng(7)
+        coll = simulate_collection(rng)
+        assert coll.class_size == 65
+        assert 0.2 < coll.response_rate < 0.7
+
+    def test_rushed_section_suppresses_rate(self):
+        rates_rushed, rates_normal = [], []
+        for seed in range(30):
+            rng = np.random.default_rng(seed)
+            c1 = simulate_collection(rng, rushed_response_rate=0.05)
+            rng = np.random.default_rng(seed)
+            c2 = simulate_collection(rng, rushed_response_rate=0.55)
+            rates_rushed.append(c1.response_rate)
+            rates_normal.append(c2.response_rate)
+        assert np.mean(rates_rushed) < np.mean(rates_normal)
+
+    def test_invalid_rushed_section(self):
+        with pytest.raises(ValueError):
+            simulate_collection(np.random.default_rng(0), rushed_section=9)

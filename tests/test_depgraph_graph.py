@@ -1,0 +1,247 @@
+"""Tests for repro.depgraph.graph — the TaskGraph DAG, incl. properties."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.depgraph.graph import GraphError, TaskGraph
+
+
+def diamond():
+    """a -> {b, c} -> d."""
+    g = TaskGraph()
+    for t in "abcd":
+        g.add_task(t)
+    g.add_dependency("a", "b")
+    g.add_dependency("a", "c")
+    g.add_dependency("b", "d")
+    g.add_dependency("c", "d")
+    return g
+
+
+class TestConstruction:
+    def test_add_task_validation(self):
+        g = TaskGraph()
+        with pytest.raises(GraphError):
+            g.add_task("")
+        with pytest.raises(GraphError):
+            g.add_task("x", weight=-1)
+
+    def test_self_dependency_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(GraphError, match="self"):
+            g.add_dependency("a", "a")
+
+    def test_cycle_rejected(self):
+        g = TaskGraph()
+        g.add_dependency("a", "b")
+        g.add_dependency("b", "c")
+        with pytest.raises(GraphError, match="cycle"):
+            g.add_dependency("c", "a")
+
+    def test_edges_auto_add_nodes(self):
+        g = TaskGraph()
+        g.add_dependency("x", "y")
+        assert g.tasks == ["x", "y"]
+
+    def test_remove_task_cleans_edges(self):
+        g = diamond()
+        g.remove_task("b")
+        assert "b" not in g
+        assert ("a", "b") not in g.edges
+        assert ("b", "d") not in g.edges
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(GraphError):
+            TaskGraph().remove_task("ghost")
+
+    def test_weight_update_idempotent(self):
+        g = TaskGraph()
+        g.add_task("a", 2.0)
+        g.add_task("a", 5.0)
+        assert g.weight("a") == 5.0
+
+    def test_weight_unknown_raises(self):
+        with pytest.raises(GraphError):
+            TaskGraph().weight("ghost")
+
+
+class TestQueries:
+    def test_sources_and_sinks(self):
+        g = diamond()
+        assert g.sources() == ["a"]
+        assert g.sinks() == ["d"]
+
+    def test_successors_predecessors(self):
+        g = diamond()
+        assert g.successors("a") == ["b", "c"]
+        assert g.predecessors("d") == ["b", "c"]
+        with pytest.raises(GraphError):
+            g.successors("ghost")
+
+    def test_topological_order_valid(self):
+        g = diamond()
+        order = g.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for u, v in g.edges:
+            assert pos[u] < pos[v]
+
+    def test_topological_order_deterministic(self):
+        assert diamond().topological_order() == ["a", "b", "c", "d"]
+
+    def test_levels_and_profile(self):
+        g = diamond()
+        assert g.levels() == [["a"], ["b", "c"], ["d"]]
+        assert g.parallelism_profile() == [1, 2, 1]
+        assert g.max_parallelism() == 2
+
+    def test_linear_chain_detection(self):
+        chain = TaskGraph.from_edges([("a", "b"), ("b", "c")])
+        assert chain.is_linear_chain()
+        assert not diamond().is_linear_chain()
+
+    def test_single_node_is_chain(self):
+        g = TaskGraph()
+        g.add_task("only")
+        assert g.is_linear_chain()
+
+    def test_empty_graph_not_chain(self):
+        assert not TaskGraph().is_linear_chain()
+
+    def test_two_isolated_nodes_not_chain(self):
+        g = TaskGraph()
+        g.add_task("a")
+        g.add_task("b")
+        assert not g.is_linear_chain()
+
+
+class TestScheduleBounds:
+    def test_critical_path_weighted(self):
+        g = TaskGraph()
+        g.add_task("a", 10)
+        g.add_task("b", 1)
+        g.add_task("c", 5)
+        g.add_dependency("a", "c")
+        g.add_dependency("b", "c")
+        length, path = g.critical_path()
+        assert length == 15
+        assert path == ["a", "c"]
+
+    def test_total_work_and_speedup_bound(self):
+        g = diamond()  # all weight 1; critical path a->b->d = 3
+        assert g.total_work() == 4
+        cp, _ = g.critical_path()
+        assert cp == 3
+        assert g.ideal_speedup_bound() == pytest.approx(4 / 3)
+
+    def test_empty_graph_bounds(self):
+        g = TaskGraph()
+        assert g.critical_path() == (0.0, [])
+        assert g.ideal_speedup_bound() == 1.0
+
+
+class TestTransforms:
+    def test_transitive_reduction_removes_redundant_edge(self):
+        g = TaskGraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        reduced = g.transitive_reduction()
+        assert ("a", "c") not in reduced.edges
+        assert reduced.same_structure(g)
+
+    def test_reduction_preserves_diamond(self):
+        g = diamond()
+        assert g.transitive_reduction().edges == g.edges
+
+    def test_closure_edges(self):
+        g = TaskGraph.from_edges([("a", "b"), ("b", "c")])
+        assert g.transitive_closure_edges() == {
+            ("a", "b"), ("b", "c"), ("a", "c"),
+        }
+
+    def test_copy_independent(self):
+        g = diamond()
+        h = g.copy()
+        h.remove_task("d")
+        assert "d" in g
+
+    def test_same_structure_ignores_redundant_edges(self):
+        a = TaskGraph.from_edges([("a", "b"), ("b", "c")])
+        b = TaskGraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        assert a.same_structure(b)
+
+    def test_same_structure_detects_direction_flip(self):
+        a = TaskGraph.from_edges([("a", "b")])
+        b = TaskGraph.from_edges([("b", "a")])
+        assert not a.same_structure(b)
+
+    def test_same_structure_detects_missing_node(self):
+        a = TaskGraph.from_edges([("a", "b")])
+        b = TaskGraph.from_edges([("a", "b")], isolated=["c"])
+        assert not a.same_structure(b)
+
+
+class TestNetworkxBridge:
+    def test_round_trip(self):
+        g = diamond()
+        nxg = g.to_networkx()
+        assert isinstance(nxg, nx.DiGraph)
+        back = TaskGraph.from_networkx(nxg)
+        assert back.same_structure(g)
+        assert back.weight("a") == g.weight("a")
+
+    def test_cyclic_networkx_rejected(self):
+        nxg = nx.DiGraph([("a", "b"), ("b", "a")])
+        with pytest.raises(GraphError):
+            TaskGraph.from_networkx(nxg)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: random DAGs built by only-forward edges.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    names = [f"t{i}" for i in range(n)]
+    g = TaskGraph()
+    for name in names:
+        g.add_task(name, draw(st.floats(min_value=0.1, max_value=10.0)))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                g.add_dependency(names[i], names[j])
+    return g
+
+
+class TestDagProperties:
+    @given(g=random_dags())
+    @settings(max_examples=50, deadline=None)
+    def test_topo_order_respects_all_edges(self, g):
+        pos = {n: i for i, n in enumerate(g.topological_order())}
+        assert all(pos[u] < pos[v] for u, v in g.edges)
+
+    @given(g=random_dags())
+    @settings(max_examples=50, deadline=None)
+    def test_critical_path_bounds(self, g):
+        cp, path = g.critical_path()
+        assert 0 < cp <= g.total_work() + 1e-9
+        # The path itself must be a chain of dependencies.
+        for u, v in zip(path, path[1:]):
+            assert v in g.successors(u)
+
+    @given(g=random_dags())
+    @settings(max_examples=50, deadline=None)
+    def test_reduction_preserves_reachability(self, g):
+        reduced = g.transitive_reduction()
+        assert reduced.same_structure(g)
+        assert reduced.n_edges <= g.n_edges
+
+    @given(g=random_dags())
+    @settings(max_examples=50, deadline=None)
+    def test_profile_sums_to_task_count(self, g):
+        assert sum(g.parallelism_profile()) == g.n_tasks
+
+    @given(g=random_dags())
+    @settings(max_examples=50, deadline=None)
+    def test_speedup_bound_at_least_one(self, g):
+        assert g.ideal_speedup_bound() >= 1.0 - 1e-9

@@ -1,0 +1,181 @@
+"""Tests for repro.depgraph.schedule_dag — list scheduling on DAGs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.depgraph.flag_dags import (
+    great_britain_reference_dag,
+    jordan_reference_dag,
+)
+from repro.depgraph.graph import TaskGraph
+from repro.depgraph.schedule_dag import (
+    DagSchedule,
+    ScheduleError,
+    critical_path_priority,
+    fifo_priority,
+    graham_bound,
+    list_schedule,
+    lower_bound,
+    speedup_curve,
+    weight_priority,
+)
+
+
+def chain(n=4, w=1.0):
+    g = TaskGraph()
+    prev = None
+    for i in range(n):
+        name = f"t{i}"
+        g.add_task(name, w)
+        if prev:
+            g.add_dependency(prev, name)
+        prev = name
+    return g
+
+
+def independent(n=6, w=1.0):
+    g = TaskGraph()
+    for i in range(n):
+        g.add_task(f"t{i}", w)
+    return g
+
+
+class TestListSchedule:
+    def test_independent_tasks_pack_evenly(self):
+        g = independent(6)
+        sched = list_schedule(g, 3)
+        sched.validate(g)
+        assert sched.makespan == 2.0
+        assert sched.utilization() == pytest.approx(1.0)
+
+    def test_chain_cannot_parallelize(self):
+        g = chain(5)
+        sched = list_schedule(g, 4)
+        sched.validate(g)
+        assert sched.makespan == 5.0
+
+    def test_single_processor_is_total_work(self):
+        g = jordan_reference_dag()
+        sched = list_schedule(g, 1)
+        sched.validate(g)
+        assert sched.makespan == pytest.approx(g.total_work())
+
+    def test_jordan_two_processors(self):
+        """Both stripes run in parallel; triangle and star serialize."""
+        g = jordan_reference_dag()
+        sched = list_schedule(g, 2)
+        sched.validate(g)
+        stripes = [sched.tasks["black_stripe"], sched.tasks["green_stripe"]]
+        assert stripes[0].start == stripes[1].start == 0.0
+        assert (sched.tasks["red_triangle"].start
+                >= max(s.end for s in stripes))
+        assert sched.tasks["white_star"].start \
+            >= sched.tasks["red_triangle"].end
+
+    def test_gb_chain_gains_nothing(self):
+        g = great_britain_reference_dag()
+        s1 = list_schedule(g, 1).makespan
+        s4 = list_schedule(g, 4).makespan
+        assert s1 == s4
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ScheduleError):
+            list_schedule(chain(), 0)
+
+    def test_priorities_change_placement_not_correctness(self):
+        g = TaskGraph()
+        g.add_task("small", 1)
+        g.add_task("big", 10)
+        g.add_task("tail", 5)
+        g.add_dependency("big", "tail")
+        for prio in (critical_path_priority, weight_priority, fifo_priority):
+            sched = list_schedule(g, 2, prio)
+            sched.validate(g)
+        # Critical-path priority starts 'big' immediately.
+        cp_sched = list_schedule(g, 2, critical_path_priority)
+        assert cp_sched.tasks["big"].start == 0.0
+
+    def test_deterministic(self):
+        g = jordan_reference_dag()
+        a = list_schedule(g, 3)
+        b = list_schedule(g, 3)
+        assert a.tasks == b.tasks
+
+
+class TestBounds:
+    def test_lower_and_graham_bracket_makespan(self):
+        g = jordan_reference_dag()
+        for p in (1, 2, 3, 4):
+            sched = list_schedule(g, p)
+            assert lower_bound(g, p) - 1e-9 <= sched.makespan
+            assert sched.makespan <= graham_bound(g, p) + 1e-9
+
+    def test_speedup_curve_monotone(self):
+        g = jordan_reference_dag()
+        curve = speedup_curve(g, [1, 2, 4, 8])
+        vals = [curve[p] for p in (1, 2, 4, 8)]
+        assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+        # Never exceeds the DAG's ideal bound.
+        assert max(vals) <= g.ideal_speedup_bound() + 1e-9
+
+
+class TestValidation:
+    def test_validate_catches_precedence_violation(self):
+        g = chain(2)
+        sched = DagSchedule(n_processors=1)
+        from repro.depgraph.schedule_dag import ScheduledTask
+        sched.tasks["t0"] = ScheduledTask("t0", 0, 1.0, 2.0)
+        sched.tasks["t1"] = ScheduledTask("t1", 0, 0.0, 1.0)  # before dep!
+        with pytest.raises(ScheduleError, match="before its"):
+            sched.validate(g)
+
+    def test_validate_catches_overlap(self):
+        g = independent(2)
+        from repro.depgraph.schedule_dag import ScheduledTask
+        sched = DagSchedule(n_processors=1)
+        sched.tasks["t0"] = ScheduledTask("t0", 0, 0.0, 1.0)
+        sched.tasks["t1"] = ScheduledTask("t1", 0, 0.5, 1.5)
+        with pytest.raises(ScheduleError, match="overlap"):
+            sched.validate(g)
+
+    def test_validate_catches_missing(self):
+        g = independent(2)
+        sched = DagSchedule(n_processors=1)
+        with pytest.raises(ScheduleError, match="unscheduled"):
+            sched.validate(g)
+
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(min_value=1, max_value=9))
+    g = TaskGraph()
+    names = [f"t{i}" for i in range(n)]
+    for name in names:
+        g.add_task(name, draw(st.floats(min_value=0.5, max_value=5.0)))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                g.add_dependency(names[i], names[j])
+    return g
+
+
+class TestScheduleProperties:
+    @given(g=random_dags(), p=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_valid_and_within_bounds(self, g, p):
+        sched = list_schedule(g, p)
+        sched.validate(g)
+        assert lower_bound(g, p) - 1e-6 <= sched.makespan
+        assert sched.makespan <= graham_bound(g, p) + 1e-6
+
+    @given(g=random_dags(), p=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_never_worse_than_sequential(self, g, p):
+        """Work-conserving schedules never exceed the P=1 makespan.
+
+        (Strict monotonicity in P is *not* asserted: Graham's anomalies
+        make it false in general for list scheduling.)
+        """
+        assert (list_schedule(g, p).makespan
+                <= list_schedule(g, 1).makespan + 1e-9)

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs clean end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script), "7"],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "classroom_session.py",
+        "webster_flags.py",
+        "dependency_analysis.py",
+        "gpu_paintball.py",
+        "assessment_pipeline.py",
+        "animations_and_merging.py",
+    } <= names
+
+
+class TestExampleContent:
+    """Each example demonstrates its promised phenomenon in its output."""
+
+    def run(self, name):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name), "7"],
+            capture_output=True, text=True, timeout=180,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        return result.stdout
+
+    def test_quickstart_shows_whiteboard_and_speedups(self):
+        out = self.run("quickstart.py")
+        assert "whiteboard" in out.lower()
+        assert "scenario4" in out
+        assert "x" in out  # speedup values
+
+    def test_dependency_analysis_shows_fig9(self):
+        out = self.run("dependency_analysis.py")
+        assert "red_triangle -> white_star" in out
+        assert "at least mostly correct" in out
+
+    def test_webster_shows_both_flags(self):
+        out = self.run("webster_flags.py")
+        assert "france" in out
+        assert "canada" in out
+        assert "speedup" in out
+
+    def test_gpu_paintball_sweeps(self):
+        out = self.run("gpu_paintball.py")
+        assert "P= 96" in out or "P=96" in out
+
+    def test_assessment_reproduces_tables(self):
+        out = self.run("assessment_pipeline.py")
+        assert out.count("NONE - exact") == 3

@@ -1,0 +1,186 @@
+"""Tests for repro.flags.catalog — every flag the paper uses."""
+
+import numpy as np
+import pytest
+
+from repro.flags.catalog import (
+    available_flags,
+    canada,
+    france,
+    get_flag,
+    great_britain,
+    jordan,
+    mauritius,
+)
+from repro.grid.palette import Color
+
+
+class TestMauritius:
+    """The core-activity flag: 4 equal horizontal stripes (Fig 1)."""
+
+    def test_four_stripes_in_flag_order(self):
+        spec = mauritius()
+        assert spec.colors_used() == (
+            Color.RED, Color.BLUE, Color.YELLOW, Color.GREEN,
+        )
+
+    def test_stripes_equal_size(self):
+        spec = mauritius()
+        work = spec.work_per_layer()
+        assert len(set(work.values())) == 1
+
+    def test_not_layered(self):
+        assert not mauritius().is_layered()
+
+    def test_stripe_geometry_top_to_bottom(self):
+        img = mauritius().final_image()
+        assert (img[0] == int(Color.RED)).all()
+        assert (img[-1] == int(Color.GREEN)).all()
+
+    def test_divides_for_two_and_four(self):
+        # "it provides a natural subdivision ... for two and four people"
+        spec = mauritius()
+        total = spec.total_work()
+        assert total % 2 == 0 and total % 4 == 0
+
+
+class TestFrance:
+    """The Webster variation's simple flag: vertical thirds."""
+
+    def test_vertical_thirds(self):
+        img = france().final_image()
+        assert (img[:, 0] == int(Color.BLUE)).all()
+        assert (img[:, -1] == int(Color.RED)).all()
+
+    def test_white_stripe_optional(self):
+        assert france().layer("white_stripe").optional_on_blank
+
+    def test_flat(self):
+        assert not france().is_layered()
+
+
+class TestCanada:
+    """The Webster variation's complex flag (Fig 2)."""
+
+    def test_layered_because_of_leaf(self):
+        assert canada().is_layered()
+
+    def test_leaf_paints_over_white_field(self):
+        assert ("white_field", "maple_leaf") in canada().overlap_pairs()
+
+    def test_red_bands_on_sides(self):
+        img = canada().final_image()
+        assert (img[:, 0] == int(Color.RED)).all()
+        assert (img[:, -1] == int(Color.RED)).all()
+
+    def test_leaf_in_center(self):
+        spec = canada()
+        rows, cols = spec.default_rows, spec.default_cols
+        leaf = spec.layer("maple_leaf").region.mask(rows, cols)
+        assert leaf.any()
+        # Leaf stays inside the white pale (middle half of the width).
+        assert not leaf[:, : cols // 4].any()
+        assert not leaf[:, -(cols // 4):].any()
+
+    def test_leaf_roughly_symmetric(self):
+        spec = canada()
+        leaf = spec.layer("maple_leaf").region.mask(24, 48)
+        flipped = leaf[:, ::-1]
+        agreement = (leaf == flipped).mean()
+        assert agreement > 0.9
+
+    def test_irregular_leaf_rows(self):
+        # The leaf's per-row cell counts vary - the load-imbalance source.
+        spec = canada()
+        leaf = spec.layer("maple_leaf").region.mask(24, 48)
+        row_counts = leaf.sum(axis=1)
+        nonzero = row_counts[row_counts > 0]
+        assert len(set(nonzero.tolist())) > 2
+
+
+class TestGreatBritain:
+    """The Knox dependency example (Fig 3)."""
+
+    def test_five_layers_in_painting_order(self):
+        assert great_britain().layer_names == (
+            "blue_background", "white_diagonals", "red_diagonals",
+            "white_cross", "red_cross",
+        )
+
+    def test_every_layer_overlaps_background(self):
+        pairs = great_britain().overlap_pairs()
+        laters = {b for a, b in pairs if a == "blue_background"}
+        assert laters == {"white_diagonals", "red_diagonals",
+                          "white_cross", "red_cross"}
+
+    def test_final_image_has_all_three_colors(self):
+        img = great_britain().final_image()
+        present = set(np.unique(img).tolist())
+        assert {int(Color.RED), int(Color.WHITE), int(Color.BLUE)} <= present
+
+    def test_center_is_red_cross(self):
+        spec = great_britain()
+        img = spec.final_image()
+        r, c = spec.default_rows // 2, spec.default_cols // 2
+        assert img[r, c] == int(Color.RED)
+
+    def test_corners_are_blue(self):
+        img = great_britain().final_image()
+        for corner in ((0, 0), (0, -1), (-1, 0), (-1, -1)):
+            assert img[corner] in (int(Color.BLUE), int(Color.RED),
+                                   int(Color.WHITE))
+        # At least the field between features is blue somewhere.
+        assert (img == int(Color.BLUE)).sum() > 0
+
+
+class TestJordan:
+    """The dependency-graph assessment flag (Fig 4)."""
+
+    def test_layer_order_matches_fig9(self):
+        assert jordan().layer_names == (
+            "black_stripe", "white_stripe", "green_stripe",
+            "red_triangle", "white_star",
+        )
+
+    def test_white_stripe_optional(self):
+        assert jordan().layer("white_stripe").optional_on_blank
+
+    def test_triangle_at_hoist(self):
+        img = jordan().final_image()
+        rows = img.shape[0]
+        assert img[rows // 2, 0] == int(Color.RED)
+        assert img[rows // 2, -1] == int(Color.WHITE)
+
+    def test_star_inside_triangle(self):
+        spec = jordan()
+        rows, cols = spec.default_rows, spec.default_cols
+        star = spec.layer("white_star").region.mask(rows, cols)
+        tri = spec.layer("red_triangle").region.mask(rows, cols)
+        assert star.any()
+        assert (star <= tri).all()
+
+    def test_triangle_spans_all_three_stripes(self):
+        pairs = jordan().overlap_pairs()
+        earlier = {a for a, b in pairs if b == "red_triangle"}
+        assert earlier == {"black_stripe", "white_stripe", "green_stripe"}
+
+
+class TestCatalogAccess:
+    def test_get_flag_known(self):
+        assert get_flag("mauritius").name == "mauritius"
+
+    def test_get_flag_unknown_raises_with_list(self):
+        with pytest.raises(KeyError, match="known flags"):
+            get_flag("atlantis")
+
+    def test_available_flags_has_descriptions(self):
+        flags = available_flags()
+        assert "mauritius" in flags
+        assert all(desc for desc in flags.values())
+
+    @pytest.mark.parametrize("name", sorted(available_flags()))
+    def test_every_flag_builds_and_renders(self, name):
+        spec = get_flag(name)
+        img = spec.final_image()
+        assert img.shape == (spec.default_rows, spec.default_cols)
+        assert (img != 0).any()

@@ -1,0 +1,206 @@
+"""Tests for repro.flags.decompose, including partition property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flags.catalog import great_britain, jordan, mauritius
+from repro.flags.compiler import compile_flag
+from repro.flags.decompose import (
+    DecompositionError,
+    Partition,
+    blocks,
+    by_color_groups,
+    by_layer,
+    cyclic,
+    horizontal_slices,
+    scenario_partition,
+    single,
+    vertical_slices,
+)
+from repro.grid.palette import Color
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return compile_flag(mauritius())
+
+
+class TestScenarios:
+    """The four Figure 1 decompositions."""
+
+    def test_scenario1_single_worker(self, prog):
+        p = scenario_partition(prog, 1)
+        assert p.n_workers == 1
+        assert p.work_counts() == [96]
+
+    def test_scenario2_color_pairs(self, prog):
+        p = scenario_partition(prog, 2)
+        assert p.n_workers == 2
+        assert p.work_counts() == [48, 48]
+        colors = p.colors_per_worker()
+        assert set(colors[0]) == {Color.RED, Color.BLUE}
+        assert set(colors[1]) == {Color.YELLOW, Color.GREEN}
+
+    def test_scenario3_one_stripe_each(self, prog):
+        p = scenario_partition(prog, 3)
+        assert p.n_workers == 4
+        assert p.work_counts() == [24, 24, 24, 24]
+        # No implement sharing: each worker uses exactly one color.
+        assert all(len(c) == 1 for c in p.colors_per_worker())
+
+    def test_scenario4_slices_need_every_color(self, prog):
+        p = scenario_partition(prog, 4)
+        assert p.n_workers == 4
+        assert p.work_counts() == [24, 24, 24, 24]
+        # Maximal contention: every worker needs all four implements.
+        assert all(len(c) == 4 for c in p.colors_per_worker())
+
+    def test_scenario2_generalizes_to_other_flags(self):
+        """Non-Mauritius flags split their colors into two near-equal
+        groups (France: blue+white / red)."""
+        from repro.flags.catalog import france
+        fr_prog = compile_flag(france())
+        p = scenario_partition(fr_prog, 2)
+        assert p.n_workers == 2
+        assert sum(p.work_counts()) == fr_prog.n_ops
+        groups = p.colors_per_worker()
+        assert len(groups[0]) == 2 and len(groups[1]) == 1
+
+    def test_scenario2_single_color_flag_rejected(self):
+        from repro.flags.spec import FlagSpec, Layer
+        from repro.grid.regions import FullGrid
+        mono = FlagSpec("mono", (Layer("all", Color.RED, FullGrid()),),
+                        default_rows=4, default_cols=4)
+        mono_prog = compile_flag(mono)
+        with pytest.raises(DecompositionError, match="only"):
+            scenario_partition(mono_prog, 2)
+
+    def test_invalid_scenario_raises(self, prog):
+        with pytest.raises(DecompositionError, match="1-4"):
+            scenario_partition(prog, 5)
+
+    def test_scenario4_slices_are_contiguous_columns(self, prog):
+        p = scenario_partition(prog, 4)
+        for ops in p.assignments:
+            cols = {op.cell[1] for op in ops}
+            assert cols == set(range(min(cols), max(cols) + 1))
+
+
+class TestByLayer:
+    def test_default_one_worker_per_layer(self, prog):
+        p = by_layer(prog)
+        assert p.n_workers == 4
+
+    def test_custom_groups(self, prog):
+        p = by_layer(prog, [["red_stripe", "green_stripe"],
+                            ["blue_stripe", "yellow_stripe"]])
+        assert p.n_workers == 2
+        assert p.work_counts() == [48, 48]
+
+    def test_groups_must_cover_exactly(self, prog):
+        with pytest.raises(DecompositionError):
+            by_layer(prog, [["red_stripe"]])
+        with pytest.raises(DecompositionError):
+            by_layer(prog, [["red_stripe", "red_stripe"],
+                            ["blue_stripe", "yellow_stripe", "green_stripe"]])
+
+    def test_group_preserves_global_layer_order(self):
+        gb_prog = compile_flag(great_britain())
+        p = by_layer(gb_prog, [list(gb_prog.layer_order)])
+        layers_seen = [op.layer for op in p.assignments[0]]
+        # The single worker's ops follow the painting order exactly.
+        boundaries = [layers_seen.index(l) for l in gb_prog.layer_order]
+        assert boundaries == sorted(boundaries)
+
+
+class TestByColorGroups:
+    def test_duplicate_color_rejected(self, prog):
+        with pytest.raises(DecompositionError, match="more than one group"):
+            by_color_groups(prog, [[Color.RED, Color.BLUE],
+                                   [Color.RED, Color.GREEN, Color.YELLOW]])
+
+    def test_missing_color_rejected(self, prog):
+        with pytest.raises(DecompositionError):
+            by_color_groups(prog, [[Color.RED], [Color.BLUE]])
+
+
+class TestSlices:
+    def test_vertical_slices_cover_columns(self, prog):
+        p = vertical_slices(prog, 3)
+        all_cols = set()
+        for ops in p.assignments:
+            all_cols |= {op.cell[1] for op in ops}
+        assert all_cols == set(range(prog.cols))
+
+    def test_horizontal_slices_cover_rows(self, prog):
+        p = horizontal_slices(prog, 2)
+        assert p.work_counts() == [48, 48]
+
+    def test_uneven_split_near_equal(self, prog):
+        p = vertical_slices(prog, 5)  # 12 cols over 5 workers
+        counts = p.work_counts()
+        assert max(counts) - min(counts) <= 8  # one column of 8 rows
+
+    def test_zero_workers_rejected(self, prog):
+        with pytest.raises(DecompositionError):
+            vertical_slices(prog, 0)
+
+
+class TestBlocksAndCyclic:
+    def test_blocks_grid(self, prog):
+        p = blocks(prog, 2, 2)
+        assert p.n_workers == 4
+        assert sum(p.work_counts()) == 96
+
+    def test_cyclic_near_perfect_balance(self, prog):
+        p = cyclic(prog, 5)
+        counts = p.work_counts()
+        assert max(counts) - min(counts) <= 1
+
+    def test_cyclic_round_robin_order(self, prog):
+        p = cyclic(prog, 3)
+        assert p.assignments[0][0] == prog.ops[0]
+        assert p.assignments[1][0] == prog.ops[1]
+        assert p.assignments[2][0] == prog.ops[2]
+
+    def test_cyclic_zero_workers_rejected(self, prog):
+        with pytest.raises(DecompositionError):
+            cyclic(prog, 0)
+
+
+class TestPartitionInvariants:
+    def test_partition_must_cover_program(self, prog):
+        with pytest.raises(DecompositionError, match="covers"):
+            Partition(prog, (prog.ops[:10],), strategy="bad")
+
+    def test_partition_must_be_permutation(self, prog):
+        doubled = prog.ops[:48] + prog.ops[:48]
+        with pytest.raises(DecompositionError):
+            Partition(prog, (doubled,), strategy="bad")
+
+    def test_imbalance_of_perfect_split(self, prog):
+        assert scenario_partition(prog, 3).imbalance() == 1.0
+
+    def test_imbalance_of_skewed_split(self, prog):
+        p = Partition(prog, (prog.ops[:90], prog.ops[90:]), strategy="skew")
+        assert p.imbalance() == pytest.approx(90 / 48)
+
+    @given(n=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_every_strategy_is_a_permutation(self, n):
+        # The Partition constructor enforces this; building must not raise.
+        program = compile_flag(mauritius())
+        for strat in (vertical_slices, horizontal_slices, cyclic):
+            p = strat(program, n)
+            assert sum(p.work_counts()) == program.n_ops
+
+    @given(n=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_layered_flag_slices_preserve_layer_order_per_worker(self, n):
+        program = compile_flag(jordan())
+        p = vertical_slices(program, n)
+        layer_index = {name: i for i, name in enumerate(program.layer_order)}
+        for ops in p.assignments:
+            indices = [layer_index[op.layer] for op in ops]
+            assert indices == sorted(indices)

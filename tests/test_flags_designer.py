@@ -1,0 +1,129 @@
+"""Tests for repro.flags.designer — the custom flag builder."""
+
+import numpy as np
+import pytest
+
+from repro.flags import compile_flag, verify_program
+from repro.flags.designer import DesignError, FlagDesigner
+from repro.grid.palette import Color
+
+
+class TestBuilders:
+    def test_hstripes_flag(self):
+        spec = (FlagDesigner("tricolor", rows=9, cols=12)
+                .hstripes([Color.RED, Color.WHITE, Color.BLUE])
+                .build())
+        img = spec.final_image()
+        assert (img[0] == int(Color.RED)).all()
+        assert (img[-1] == int(Color.BLUE)).all()
+
+    def test_white_stripes_marked_optional(self):
+        spec = (FlagDesigner("x").hstripes([Color.RED, Color.WHITE]).build())
+        white = [l for l in spec.layers if l.color is Color.WHITE][0]
+        assert white.optional_on_blank
+
+    def test_nordic_cross_style(self):
+        spec = (FlagDesigner("nordic", rows=12, cols=18)
+                .background(Color.RED)
+                .cross(Color.WHITE, width=0.3, cx=0.4)
+                .cross(Color.BLUE, width=0.14, cx=0.4)
+                .build())
+        assert spec.is_layered()
+        prog = compile_flag(spec)
+        assert verify_program(prog, spec)
+
+    def test_japan_equivalent(self):
+        spec = (FlagDesigner("sun", rows=10, cols=15)
+                .background(Color.WHITE)
+                .disc(Color.RED, radius=0.3)
+                .build())
+        img = spec.final_image()
+        assert img[5, 7] == int(Color.RED)
+        assert img[0, 0] == int(Color.WHITE)
+
+    def test_diagonal_and_polygon(self):
+        spec = (FlagDesigner("fancy", rows=10, cols=16)
+                .background(Color.GREEN)
+                .diagonal(Color.YELLOW, width=0.2)
+                .polygon(Color.BLACK,
+                         [(0.1, 0.1), (0.1, 0.3), (0.3, 0.2)])
+                .build())
+        prog = compile_flag(spec)
+        assert verify_program(prog, spec)
+
+    def test_chaining_returns_self(self):
+        d = FlagDesigner("chain")
+        assert d.background(Color.BLUE) is d
+
+
+class TestValidation:
+    def test_empty_design_cannot_build(self):
+        with pytest.raises(DesignError, match="no layers"):
+            FlagDesigner("empty").build()
+
+    def test_background_must_be_first(self):
+        d = FlagDesigner("x").disc(Color.RED)
+        with pytest.raises(DesignError, match="first"):
+            d.background(Color.WHITE)
+
+    def test_duplicate_layer_names_rejected(self):
+        d = FlagDesigner("x").disc(Color.RED, name="dot")
+        with pytest.raises(DesignError, match="duplicate"):
+            d.disc(Color.BLUE, name="dot")
+
+    def test_uncovered_cells_noted(self):
+        d = FlagDesigner("partial").disc(Color.RED, radius=0.2)
+        notes = d.validate()
+        assert any("blank paper" in n for n in notes)
+
+    def test_hidden_layer_noted(self):
+        d = (FlagDesigner("hidden")
+             .disc(Color.RED, radius=0.2, name="under")
+             .disc(Color.BLUE, radius=0.3, name="over"))
+        notes = d.validate()
+        assert any("entirely overpainted" in n for n in notes)
+
+    def test_too_small_feature_noted(self):
+        # Off-center so the speck misses every cell center on a 3x3 grid
+        # (a centered disc always catches the middle cell).
+        d = (FlagDesigner("tiny", rows=3, cols=3)
+             .background(Color.BLUE)
+             .disc(Color.RED, cy=0.4, cx=0.4, radius=0.01, name="speck"))
+        notes = d.validate()
+        assert any("covers no cells" in n for n in notes)
+
+    def test_strict_build_raises_on_notes(self):
+        d = FlagDesigner("partial").disc(Color.RED, radius=0.2)
+        with pytest.raises(DesignError, match="blank paper"):
+            d.build(strict=True)
+
+    def test_clean_design_builds_strict(self):
+        spec = (FlagDesigner("clean", rows=8, cols=12)
+                .hstripes([Color.RED, Color.BLUE])
+                .build(strict=True))
+        assert spec.name == "clean"
+
+    def test_invalid_cross_width(self):
+        with pytest.raises(DesignError, match="width"):
+            FlagDesigner("x").cross(Color.RED, width=1.5)
+
+    def test_invalid_grid(self):
+        with pytest.raises(DesignError):
+            FlagDesigner("x", rows=0)
+
+
+class TestDesignedFlagsRunEndToEnd:
+    def test_designed_flag_through_full_pipeline(self):
+        """A designer flag works in the simulator like catalog flags."""
+        from repro.agents import make_team
+        from repro.schedule import run_layered
+
+        spec = (FlagDesigner("custom", rows=8, cols=12)
+                .background(Color.GREEN)
+                .disc(Color.YELLOW, radius=0.25)
+                .build())
+        rng = np.random.default_rng(5)
+        team = make_team("t", 2, rng, colors=list(spec.colors_used()),
+                         copies=2)
+        r = run_layered(spec, team, 2, rng)
+        assert r.correct

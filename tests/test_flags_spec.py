@@ -1,0 +1,109 @@
+"""Tests for repro.flags.spec."""
+
+import numpy as np
+import pytest
+
+from repro.flags.spec import FlagSpec, FlagSpecError, Layer, PaintProgram
+from repro.grid.palette import Color
+from repro.grid.regions import FullGrid, Rect, horizontal_stripe
+
+
+def two_layer_spec():
+    """A tiny layered flag: full blue background, red top half on top."""
+    return FlagSpec(
+        name="test",
+        layers=(
+            Layer("bg", Color.BLUE, FullGrid()),
+            Layer("top", Color.RED, Rect(0.0, 0.0, 0.5, 1.0)),
+        ),
+        default_rows=4,
+        default_cols=4,
+    )
+
+
+class TestLayer:
+    def test_rejects_blank_color(self):
+        with pytest.raises(FlagSpecError, match="BLANK"):
+            Layer("x", Color.BLANK, FullGrid())
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(FlagSpecError, match="non-empty"):
+            Layer("", Color.RED, FullGrid())
+
+
+class TestFlagSpec:
+    def test_rejects_no_layers(self):
+        with pytest.raises(FlagSpecError, match="no layers"):
+            FlagSpec(name="empty", layers=())
+
+    def test_rejects_duplicate_layer_names(self):
+        l = Layer("a", Color.RED, FullGrid())
+        with pytest.raises(FlagSpecError, match="duplicate"):
+            FlagSpec(name="dup", layers=(l, l))
+
+    def test_rejects_empty_default_grid(self):
+        with pytest.raises(FlagSpecError):
+            FlagSpec(name="bad",
+                     layers=(Layer("a", Color.RED, FullGrid()),),
+                     default_rows=0)
+
+    def test_layer_lookup(self):
+        spec = two_layer_spec()
+        assert spec.layer("bg").color is Color.BLUE
+        with pytest.raises(KeyError):
+            spec.layer("nope")
+
+    def test_colors_used_order(self):
+        assert two_layer_spec().colors_used() == (Color.BLUE, Color.RED)
+
+    def test_is_layered_detects_overlap(self):
+        assert two_layer_spec().is_layered()
+
+    def test_flat_spec_not_layered(self):
+        spec = FlagSpec(
+            name="flat",
+            layers=(
+                Layer("a", Color.RED, horizontal_stripe(0, 2)),
+                Layer("b", Color.BLUE, horizontal_stripe(1, 2)),
+            ),
+            default_rows=4, default_cols=4,
+        )
+        assert not spec.is_layered()
+
+    def test_overlap_pairs(self):
+        assert two_layer_spec().overlap_pairs() == [("bg", "top")]
+
+    def test_final_image_painter_order(self):
+        img = two_layer_spec().final_image()
+        assert (img[:2] == int(Color.RED)).all()
+        assert (img[2:] == int(Color.BLUE)).all()
+
+    def test_visible_cells_excludes_overpainted(self):
+        spec = two_layer_spec()
+        vis = spec.visible_cells("bg")
+        assert not vis[:2].any()
+        assert vis[2:].all()
+
+    def test_work_per_layer_counts_hidden_work(self):
+        spec = two_layer_spec()
+        work = spec.work_per_layer()
+        assert work == {"bg": 16, "top": 8}
+        assert spec.total_work() == 24
+
+
+class TestPaintProgram:
+    def test_ops_filters(self, mauritius_program):
+        red_ops = mauritius_program.ops_for_color(Color.RED)
+        assert len(red_ops) == 24
+        layer_ops = mauritius_program.ops_for_layer("blue_stripe")
+        assert len(layer_ops) == 24
+        assert all(op.layer == "blue_stripe" for op in layer_ops)
+
+    def test_n_ops(self, mauritius_program):
+        assert mauritius_program.n_ops == 96
+
+    def test_seq_is_rowmajor_within_layer(self, mauritius_program):
+        ops = mauritius_program.ops_for_layer("red_stripe")
+        assert [op.seq for op in ops] == list(range(24))
+        cells = [op.cell for op in ops]
+        assert cells == sorted(cells)

@@ -1,0 +1,128 @@
+"""Tests for grading feedback (explain) and the discussion script."""
+
+import numpy as np
+import pytest
+
+from repro.classroom import (
+    debrief_session,
+    discussion_script,
+    get_institution,
+    run_session,
+)
+from repro.classroom.discussion import Lesson, Observation
+from repro.depgraph import (
+    Submission,
+    SubmissionKind,
+    explain,
+    generate_exact_paper_cohort,
+    jordan_linear_chain_dag,
+    jordan_merged_stripes_dag,
+    jordan_reference_dag,
+    jordan_split_triangle_dag,
+)
+from repro.depgraph.graph import TaskGraph
+
+
+def graph_sub(graph, **kw):
+    return Submission(student="s", kind=SubmissionKind.GRAPH, graph=graph,
+                      **kw)
+
+
+class TestExplain:
+    def test_perfect_feedback(self):
+        msg = explain(graph_sub(jordan_reference_dag()))
+        assert msg.startswith("perfect")
+        assert "blank paper" in msg  # the white-omission note
+
+    def test_crossed_out_white_acknowledged(self):
+        msg = explain(graph_sub(jordan_reference_dag(),
+                                crossed_out_white=True))
+        assert "crossing out" in msg
+
+    def test_linear_chain_feedback_names_the_error(self):
+        msg = explain(graph_sub(jordan_linear_chain_dag()))
+        assert msg.startswith("linear chain")
+        assert "sequential" in msg
+
+    def test_split_triangle_feedback(self):
+        msg = explain(graph_sub(jordan_split_triangle_dag()))
+        assert msg.startswith("mostly correct")
+        assert "green stripe" in msg
+
+    def test_merged_stripes_feedback(self):
+        msg = explain(graph_sub(jordan_merged_stripes_dag()))
+        assert "merging all stripes" in msg
+
+    def test_no_arrows_feedback(self):
+        ref = jordan_reference_dag()
+        msg = explain(graph_sub(
+            TaskGraph.from_edges(ref.edges, isolated=ref.tasks),
+            has_arrows=False,
+        ))
+        assert "arrows" in msg
+
+    def test_no_learning_feedback(self):
+        msg = explain(Submission(student="s",
+                                 kind=SubmissionKind.FLAG_DRAWING))
+        assert "no learning" in msg
+        assert "drawing of the flag" in msg
+
+    def test_incomplete_feedback(self):
+        g = TaskGraph.from_edges([("black_stripe", "green_stripe")])
+        msg = explain(graph_sub(g, complete=False))
+        assert msg.startswith("incomplete")
+
+    def test_every_cohort_member_explainable(self):
+        for sub in generate_exact_paper_cohort(np.random.default_rng(1)):
+            msg = explain(sub)
+            assert isinstance(msg, str) and len(msg) > 20
+
+
+class TestDiscussionScript:
+    @pytest.fixture(scope="class")
+    def script(self):
+        report = run_session(get_institution("USI"), seed=7, n_teams=2)
+        return discussion_script(debrief_session(report))
+
+    def test_header_and_structure(self, script):
+        assert script.startswith("POST-ACTIVITY DISCUSSION GUIDE")
+        assert "ask      :" in script
+        assert "evidence :" in script
+        assert "introduce:" in script
+
+    def test_core_lessons_present(self, script):
+        for word in ("speedup", "contention", "warmup"):
+            assert word.lower() in script.lower()
+
+    def test_missed_lessons_listed_separately(self):
+        obs = [
+            Observation(Lesson.SPEEDUP, True, "times fell", 2.5),
+            Observation(Lesson.PIPELINING, False, "no staircase", None),
+        ]
+        script = discussion_script(obs)
+        assert "not observed this session" in script
+        assert "pipelining" in script
+
+    def test_empty_observations(self):
+        script = discussion_script([])
+        assert script.startswith("POST-ACTIVITY DISCUSSION GUIDE")
+
+
+class TestNewCliCommands:
+    def test_animate_command(self, capsys):
+        from repro.cli import main
+        assert main(["animate", "mauritius", "3", "--frames", "3",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "progress:" in out
+        assert out.count("t=") >= 3
+
+    def test_slides_command(self, capsys):
+        from repro.cli import main
+        assert main(["slides", "mauritius", "2"]) == 0
+        assert capsys.readouterr().out.startswith("<svg")
+
+    def test_debrief_command(self, capsys):
+        from repro.cli import main
+        assert main(["debrief", "USI", "--teams", "2", "--seed", "2"]) == 0
+        assert "DISCUSSION GUIDE" in capsys.readouterr().out

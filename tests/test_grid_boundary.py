@@ -1,0 +1,120 @@
+"""Tests for region boundaries and intricacy — the complexity model's base."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.regions import (
+    Band,
+    Disc,
+    FullGrid,
+    Polygon,
+    Rect,
+    Triangle,
+    horizontal_stripe,
+)
+
+
+class TestBoundaryMask:
+    def test_full_grid_has_no_boundary(self):
+        """Paper edges don't count: a full sheet has no outline to trace."""
+        assert not FullGrid().boundary_mask(6, 8).any()
+
+    def test_stripe_boundary_is_inner_edges_only(self):
+        stripe = horizontal_stripe(1, 4)  # rows 2-3 of an 8-row grid
+        b = stripe.boundary_mask(8, 12)
+        m = stripe.mask(8, 12)
+        # Both stripe rows touch a non-member row, so all cells are
+        # boundary here; the point is boundary stays within the mask.
+        assert (b <= m).all()
+        assert b.any()
+
+    def test_thick_rect_has_interior(self):
+        r = Rect(0.1, 0.1, 0.9, 0.9)
+        m = r.mask(10, 10)
+        b = r.boundary_mask(10, 10)
+        interior = m & ~b
+        assert interior.any()
+        # Interior cells have all 4 neighbors inside the region.
+        rs, cs = np.nonzero(interior)
+        for i, j in zip(rs.tolist(), cs.tolist()):
+            for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                ni, nj = i + di, j + dj
+                if 0 <= ni < 10 and 0 <= nj < 10:
+                    assert m[ni, nj]
+
+    def test_disc_boundary_ring(self):
+        d = Disc(0.5, 0.5, 0.35)
+        m = d.mask(16, 16)
+        b = d.boundary_mask(16, 16)
+        assert b.any()
+        assert (b <= m).all()
+        # The center is interior, not boundary.
+        assert m[8, 8] and not b[8, 8]
+
+    def test_single_cell_region_is_all_boundary(self):
+        d = Disc(0.5, 0.5, 0.05)
+        m = d.mask(5, 5)
+        assert m.sum() == 1
+        assert np.array_equal(d.boundary_mask(5, 5), m)
+
+    @given(
+        y0=st.floats(0.0, 0.4), x0=st.floats(0.0, 0.4),
+        rows=st.integers(3, 15), cols=st.integers(3, 15),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_boundary_subset_of_mask(self, y0, x0, rows, cols):
+        r = Rect(y0, x0, y0 + 0.5, x0 + 0.5)
+        assert (r.boundary_mask(rows, cols) <= r.mask(rows, cols)).all()
+
+    @given(rows=st.integers(4, 16), cols=st.integers(4, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_interior_plus_boundary_is_mask(self, rows, cols):
+        d = Disc(0.5, 0.5, 0.4)
+        m = d.mask(rows, cols)
+        b = d.boundary_mask(rows, cols)
+        interior = m & ~b
+        assert np.array_equal(interior | b, m)
+        assert not (interior & b).any()
+
+
+class TestIntricacy:
+    def test_simple_shapes_are_trivial(self):
+        assert Rect(0, 0, 1, 1).intricacy() == 1.0
+        assert FullGrid().intricacy() == 1.0
+        assert horizontal_stripe(0, 4).intricacy() == 1.0
+
+    def test_curvy_shapes_cost_more(self):
+        assert Disc(0.5, 0.5, 0.3).intricacy() > 1.0
+        assert Band(1, 1, 1, 0.2).intricacy() > 1.0
+        assert Triangle((0, 0), (1, 0), (0.5, 1)).intricacy() > 1.0
+        assert Polygon(((0, 0), (0, 1), (1, 0.5))).intricacy() > 1.0
+
+    def test_polygon_is_the_most_intricate(self):
+        """The maple leaf (polygon) outranks discs and bands — the
+        Webster 'intricate maple leaf' calibration."""
+        assert (Polygon(((0, 0), (0, 1), (1, 0.5))).intricacy()
+                > Disc(0.5, 0.5, 0.3).intricacy()
+                > Band(1, 1, 1, 0.2).intricacy())
+
+    def test_combinators_take_the_max(self):
+        rect = Rect(0, 0, 0.5, 0.5)
+        disc = Disc(0.5, 0.5, 0.3)
+        assert (rect | disc).intricacy() == disc.intricacy()
+        assert (rect & disc).intricacy() == disc.intricacy()
+        assert (disc - rect).intricacy() == disc.intricacy()
+        assert (~disc).intricacy() == disc.intricacy()
+
+    def test_compiled_complexity_uses_boundary_and_intricacy(self):
+        """End to end: canada's leaf ops carry complexity equal to the
+        polygon's intricacy exactly on boundary cells."""
+        from repro.flags import canada, compile_flag
+
+        spec = canada()
+        prog = compile_flag(spec)
+        leaf = spec.layer("maple_leaf")
+        boundary = leaf.region.boundary_mask(prog.rows, prog.cols)
+        for op in prog.ops_for_layer("maple_leaf"):
+            want = leaf.region.intricacy() if boundary[op.cell] else 1.0
+            assert op.complexity == want

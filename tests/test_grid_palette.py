@@ -1,0 +1,67 @@
+"""Tests for repro.grid.palette."""
+
+import pytest
+
+from repro.grid.palette import (
+    ALL_COLORS,
+    MAURITIUS_STRIPES,
+    Color,
+    color_name,
+)
+
+
+class TestColor:
+    def test_blank_is_zero(self):
+        assert Color.BLANK == 0
+        assert Color.BLANK.is_blank
+
+    def test_real_colors_positive(self):
+        for c in ALL_COLORS:
+            assert int(c) > 0
+            assert not c.is_blank
+
+    def test_from_name_case_insensitive(self):
+        assert Color.from_name("red") is Color.RED
+        assert Color.from_name("RED") is Color.RED
+        assert Color.from_name("  Blue ") is Color.BLUE
+
+    def test_from_name_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown color"):
+            Color.from_name("magenta")
+
+    def test_rgb_triples_valid(self):
+        for c in Color:
+            r, g, b = c.rgb
+            assert all(0 <= v <= 255 for v in (r, g, b))
+
+    def test_ansi_escape_shape(self):
+        for c in Color:
+            assert c.ansi.startswith("\x1b[48;2;")
+            assert c.ansi.endswith("m")
+
+    def test_all_colors_excludes_blank(self):
+        assert Color.BLANK not in ALL_COLORS
+        assert len(ALL_COLORS) == len(Color) - 1
+
+
+class TestMauritiusStripes:
+    def test_order_matches_flag(self):
+        assert MAURITIUS_STRIPES == (
+            Color.RED, Color.BLUE, Color.YELLOW, Color.GREEN,
+        )
+
+    def test_four_distinct_stripes(self):
+        assert len(set(MAURITIUS_STRIPES)) == 4
+
+
+class TestColorName:
+    def test_from_int(self):
+        assert color_name(1) == "red"
+        assert color_name(0) == "blank"
+
+    def test_from_enum(self):
+        assert color_name(Color.GREEN) == "green"
+
+    def test_invalid_code_raises(self):
+        with pytest.raises(ValueError):
+            color_name(99)

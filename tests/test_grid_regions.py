@@ -1,0 +1,212 @@
+"""Tests for repro.grid.regions, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.regions import (
+    Band,
+    CellSet,
+    Disc,
+    EmptyRegion,
+    FullGrid,
+    HalfPlane,
+    Polygon,
+    Rect,
+    Triangle,
+    horizontal_stripe,
+    iter_cells_rowmajor,
+    union_all,
+    vertical_stripe,
+)
+
+GRID = (8, 12)
+
+
+class TestPrimitives:
+    def test_full_grid_covers_everything(self):
+        assert FullGrid().count(*GRID) == 8 * 12
+
+    def test_empty_region_covers_nothing(self):
+        assert EmptyRegion().is_empty(*GRID)
+
+    def test_cellset_membership(self):
+        r = CellSet(((0, 0), (3, 5)))
+        assert r.count(*GRID) == 2
+        assert (3, 5) in r.cells(*GRID)
+
+    def test_cellset_clips_out_of_range(self):
+        r = CellSet(((0, 0), (100, 100)))
+        assert r.count(*GRID) == 1
+
+    def test_rect_half_open_tiling(self):
+        top = Rect(0.0, 0.0, 0.5, 1.0)
+        bottom = Rect(0.5, 0.0, 1.0, 1.0)
+        assert top.count(*GRID) == bottom.count(*GRID) == 48
+        assert (top & bottom).is_empty(*GRID)
+        assert (top | bottom).count(*GRID) == 96
+
+    def test_rect_degenerate_raises(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            Rect(0.5, 0.0, 0.2, 1.0)
+
+    def test_disc_centered(self):
+        d = Disc(0.5, 0.5, 0.25)
+        mask = d.mask(10, 10)
+        assert mask[5, 5]
+        assert not mask[0, 0]
+
+    def test_disc_requires_positive_radius(self):
+        with pytest.raises(ValueError):
+            Disc(0.5, 0.5, 0.0)
+
+    def test_band_requires_positive_width(self):
+        with pytest.raises(ValueError):
+            Band(1.0, 1.0, 1.0, 0.0)
+
+    def test_band_degenerate_line_raises(self):
+        with pytest.raises(ValueError):
+            Band(0.0, 0.0, 1.0, 0.5)
+
+    def test_band_covers_diagonal(self):
+        # The main diagonal of the unit square.
+        b = Band(1.0, 1.0, 1.0, 0.2)
+        mask = b.mask(10, 10)
+        assert mask[5, 4] or mask[4, 5]  # near the center of the diagonal
+        assert not mask[0, 0]  # far corner (x+y=0.1, distance ~0.64)
+
+    def test_halfplane_splits_grid(self):
+        upper = HalfPlane(1.0, 1.0, 1.0)
+        n = upper.count(10, 10)
+        assert 0 < n < 100
+        assert n + upper.complement().count(10, 10) == 100
+
+    def test_polygon_square(self):
+        sq = Polygon(((0.25, 0.25), (0.25, 0.75), (0.75, 0.75), (0.75, 0.25)))
+        mask = sq.mask(8, 8)
+        assert mask[4, 4]
+        assert not mask[0, 0]
+
+    def test_polygon_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon(((0, 0), (1, 1)))
+
+    def test_triangle_matches_polygon(self):
+        t = Triangle((0.0, 0.0), (1.0, 0.0), (0.5, 1.0))
+        p = Polygon(((0.0, 0.0), (1.0, 0.0), (0.5, 1.0)))
+        assert np.array_equal(t.mask(9, 9), p.mask(9, 9))
+
+
+class TestStripes:
+    def test_horizontal_stripes_tile(self):
+        masks = [horizontal_stripe(i, 4).mask(*GRID) for i in range(4)]
+        total = np.zeros(GRID, dtype=int)
+        for m in masks:
+            total += m.astype(int)
+        assert (total == 1).all()
+
+    def test_vertical_stripes_tile(self):
+        masks = [vertical_stripe(i, 3).mask(9, 12) for i in range(3)]
+        total = sum(m.astype(int) for m in masks)
+        assert (total == 1).all()
+
+    def test_stripe_index_validation(self):
+        with pytest.raises(ValueError):
+            horizontal_stripe(4, 4)
+        with pytest.raises(ValueError):
+            vertical_stripe(-1, 3)
+
+    def test_equal_stripe_sizes_on_divisible_grid(self):
+        counts = [horizontal_stripe(i, 4).count(8, 12) for i in range(4)]
+        assert counts == [24, 24, 24, 24]
+
+
+class TestAlgebra:
+    def test_union_commutes(self):
+        a, b = Rect(0, 0, 0.5, 0.5), Disc(0.5, 0.5, 0.3)
+        assert np.array_equal((a | b).mask(*GRID), (b | a).mask(*GRID))
+
+    def test_intersection_subset_of_parts(self):
+        a, b = Rect(0, 0, 0.8, 0.8), Rect(0.2, 0.2, 1.0, 1.0)
+        inter = (a & b).mask(*GRID)
+        assert (inter <= a.mask(*GRID)).all()
+        assert (inter <= b.mask(*GRID)).all()
+
+    def test_difference_disjoint_from_right(self):
+        a, b = FullGrid(), Rect(0, 0, 0.5, 1.0)
+        diff = (a - b).mask(*GRID)
+        assert not (diff & b.mask(*GRID)).any()
+
+    def test_complement_involution(self):
+        r = Disc(0.5, 0.5, 0.3)
+        assert np.array_equal((~~r).mask(*GRID), r.mask(*GRID))
+
+    def test_union_all_empty_is_empty(self):
+        assert union_all([]).is_empty(*GRID)
+
+    def test_union_all_many(self):
+        stripes = [horizontal_stripe(i, 4) for i in range(4)]
+        assert union_all(stripes).count(*GRID) == 96
+
+
+class TestIterCells:
+    def test_rowmajor_order(self):
+        mask = np.zeros((3, 3), dtype=bool)
+        mask[0, 2] = mask[1, 0] = mask[2, 1] = True
+        assert list(iter_cells_rowmajor(mask)) == [(0, 2), (1, 0), (2, 1)]
+
+    def test_empty_mask(self):
+        assert list(iter_cells_rowmajor(np.zeros((2, 2), dtype=bool))) == []
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+dims = st.integers(min_value=1, max_value=20)
+
+
+@st.composite
+def rects(draw):
+    y0, y1 = sorted((draw(unit), draw(unit)))
+    x0, x1 = sorted((draw(unit), draw(unit)))
+    return Rect(y0, x0, y1, x1)
+
+
+class TestRegionProperties:
+    @given(r=rects(), rows=dims, cols=dims)
+    @settings(max_examples=60, deadline=None)
+    def test_mask_shape_and_dtype(self, r, rows, cols):
+        m = r.mask(rows, cols)
+        assert m.shape == (rows, cols)
+        assert m.dtype == bool
+
+    @given(r=rects(), rows=dims, cols=dims)
+    @settings(max_examples=60, deadline=None)
+    def test_complement_partitions_grid(self, r, rows, cols):
+        assert r.count(rows, cols) + (~r).count(rows, cols) == rows * cols
+
+    @given(a=rects(), b=rects(), rows=dims, cols=dims)
+    @settings(max_examples=60, deadline=None)
+    def test_de_morgan(self, a, b, rows, cols):
+        lhs = (~(a | b)).mask(rows, cols)
+        rhs = ((~a) & (~b)).mask(rows, cols)
+        assert np.array_equal(lhs, rhs)
+
+    @given(a=rects(), b=rects(), rows=dims, cols=dims)
+    @settings(max_examples=60, deadline=None)
+    def test_difference_is_intersection_with_complement(self, a, b, rows, cols):
+        assert np.array_equal(
+            (a - b).mask(rows, cols), (a & ~b).mask(rows, cols)
+        )
+
+    @given(n=st.integers(min_value=1, max_value=8),
+           rows=dims, cols=dims)
+    @settings(max_examples=60, deadline=None)
+    def test_stripes_always_partition(self, n, rows, cols):
+        total = np.zeros((rows, cols), dtype=int)
+        for i in range(n):
+            total += horizontal_stripe(i, n).mask(rows, cols).astype(int)
+        assert (total == 1).all()

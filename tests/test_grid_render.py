@@ -1,0 +1,91 @@
+"""Tests for repro.grid.render."""
+
+import numpy as np
+import pytest
+
+from repro.grid.canvas import Canvas
+from repro.grid.palette import Color
+from repro.grid.render import from_ascii, to_ansi, to_ascii, to_ppm, to_svg
+
+
+@pytest.fixture
+def small_canvas():
+    c = Canvas(2, 3)
+    c.paint((0, 0), Color.RED)
+    c.paint((1, 2), Color.GREEN)
+    return c
+
+
+class TestAscii:
+    def test_round_trip(self, small_canvas):
+        art = to_ascii(small_canvas)
+        assert art == "R..\n..G"
+        assert np.array_equal(from_ascii(art), small_canvas.codes)
+
+    def test_accepts_raw_array(self):
+        codes = np.array([[1, 2], [0, 6]], dtype=np.int8)
+        assert to_ascii(codes) == "RB\n.K"
+
+    def test_from_ascii_rejects_ragged(self):
+        with pytest.raises(ValueError, match="ragged"):
+            from_ascii("RR\nR")
+
+    def test_from_ascii_rejects_unknown_glyph(self):
+        with pytest.raises(ValueError, match="unknown glyph"):
+            from_ascii("RX")
+
+    def test_from_ascii_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            from_ascii("")
+
+
+class TestAnsi:
+    def test_contains_reset_per_line(self, small_canvas):
+        out = to_ansi(small_canvas)
+        assert out.count("\x1b[0m") == 2
+
+    def test_cell_width(self, small_canvas):
+        narrow = to_ansi(small_canvas, cell_width=1)
+        wide = to_ansi(small_canvas, cell_width=4)
+        assert len(wide) > len(narrow)
+
+
+class TestPpm:
+    def test_header_and_size(self, small_canvas):
+        data = to_ppm(small_canvas, scale=4)
+        assert data.startswith(b"P6\n12 8\n255\n")
+        header_end = data.index(b"255\n") + 4
+        assert len(data) - header_end == 12 * 8 * 3
+
+    def test_colors_present(self, small_canvas):
+        data = to_ppm(small_canvas, scale=1)
+        body = data[data.index(b"255\n") + 4:]
+        pixels = np.frombuffer(body, dtype=np.uint8).reshape(2, 3, 3)
+        assert tuple(pixels[0, 0]) == Color.RED.rgb
+        assert tuple(pixels[1, 2]) == Color.GREEN.rgb
+
+
+class TestSvg:
+    def test_valid_structure(self, small_canvas):
+        svg = to_svg(small_canvas)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<rect") == 6
+
+    def test_grid_lines_optional(self, small_canvas):
+        with_lines = to_svg(small_canvas, grid_lines=True)
+        without = to_svg(small_canvas, grid_lines=False)
+        assert "<line" in with_lines
+        assert "<line" not in without
+
+    def test_cell_numbers(self, small_canvas):
+        numbers = np.full((2, 3), -1)
+        numbers[0, 0] = 1
+        numbers[1, 2] = 2
+        svg = to_svg(small_canvas, numbers=numbers)
+        assert svg.count("<text") == 2
+        assert ">1</text>" in svg and ">2</text>" in svg
+
+    def test_numbers_shape_mismatch_raises(self, small_canvas):
+        with pytest.raises(ValueError, match="shape"):
+            to_svg(small_canvas, numbers=np.zeros((3, 3)))

@@ -1,0 +1,63 @@
+"""Property tests for the rendering layer: round trips on random canvases."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.palette import Color
+from repro.grid.render import from_ascii, to_ascii, to_ppm, to_svg
+
+
+@st.composite
+def random_codes(draw):
+    rows = draw(st.integers(min_value=1, max_value=12))
+    cols = draw(st.integers(min_value=1, max_value=12))
+    values = draw(st.lists(
+        st.integers(min_value=0, max_value=len(Color) - 1),
+        min_size=rows * cols, max_size=rows * cols,
+    ))
+    return np.array(values, dtype=np.int8).reshape(rows, cols)
+
+
+class TestRenderProperties:
+    @given(codes=random_codes())
+    @settings(max_examples=60, deadline=None)
+    def test_ascii_round_trip(self, codes):
+        assert np.array_equal(from_ascii(to_ascii(codes)), codes)
+
+    @given(codes=random_codes())
+    @settings(max_examples=40, deadline=None)
+    def test_ascii_shape(self, codes):
+        art = to_ascii(codes)
+        lines = art.splitlines()
+        assert len(lines) == codes.shape[0]
+        assert all(len(l) == codes.shape[1] for l in lines)
+
+    @given(codes=random_codes(), scale=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_ppm_size_and_colors(self, codes, scale):
+        data = to_ppm(codes, scale=scale)
+        rows, cols = codes.shape
+        header = f"P6\n{cols * scale} {rows * scale}\n255\n".encode()
+        assert data.startswith(header)
+        body = data[len(header):]
+        assert len(body) == rows * scale * cols * scale * 3
+        pixels = np.frombuffer(body, dtype=np.uint8).reshape(
+            rows * scale, cols * scale, 3
+        )
+        # Top-left block matches the first cell's color exactly.
+        assert tuple(pixels[0, 0]) == Color(int(codes[0, 0])).rgb
+
+    @given(codes=random_codes())
+    @settings(max_examples=30, deadline=None)
+    def test_svg_rect_per_cell(self, codes):
+        svg = to_svg(codes, grid_lines=False)
+        assert svg.count("<rect") == codes.size
+
+    @given(codes=random_codes())
+    @settings(max_examples=30, deadline=None)
+    def test_svg_wellformed_enough(self, codes):
+        svg = to_svg(codes)
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        # Matching quotes: an even number of double-quote characters.
+        assert svg.count('"') % 2 == 0

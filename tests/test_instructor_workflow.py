@@ -1,0 +1,134 @@
+"""End-to-end instructor workflow: produce every classroom artifact.
+
+Walks the full instructor path — plan (dry run), prepare (slides, sample
+cells, DOT handouts), run (session), record (trace export, markdown
+report), assess (grading feedback) — writing real files to disk and
+validating each artifact, the way a downstream user actually would.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.agents import ImplementKit
+from repro.agents.implements import THICK_MARKER
+from repro.classroom import (
+    debrief_session,
+    discussion_script,
+    dry_run,
+    get_institution,
+    run_session,
+    sample_cells_svg,
+    scenario_slide,
+    session_markdown,
+)
+from repro.depgraph import (
+    explain,
+    generate_exact_paper_cohort,
+    grade_all,
+    jordan_reference_dag,
+)
+from repro.depgraph.dot import to_dot
+from repro.flags import get_flag, mauritius
+from repro.grid.render import to_ppm, to_svg
+from repro.sim.export import export_trace, import_trace
+
+
+@pytest.fixture(scope="module")
+def session():
+    return run_session(get_institution("USI"), seed=33, n_teams=2)
+
+
+class TestPlanPhase:
+    def test_dry_run_gates_the_plan(self):
+        kit = ImplementKit.uniform(mauritius().colors_used(), THICK_MARKER)
+        report = dry_run(mauritius(), kit)
+        assert report.ok
+        assert 0 < report.total_minutes < 60
+
+
+class TestPreparePhase:
+    def test_slides_written_to_disk(self, tmp_path):
+        for scenario in (1, 2, 3, 4):
+            path = tmp_path / f"scenario{scenario}.svg"
+            path.write_text(scenario_slide(mauritius(), scenario))
+            content = path.read_text()
+            assert content.startswith("<svg")
+            assert content.endswith("</svg>")
+
+    def test_sample_cells_written(self, tmp_path):
+        path = tmp_path / "samples.svg"
+        path.write_text(sample_cells_svg())
+        assert "scribble" in path.read_text()
+
+    def test_flag_handout_ppm(self, tmp_path):
+        path = tmp_path / "mauritius.ppm"
+        path.write_bytes(to_ppm(mauritius().final_image()))
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n")
+
+    def test_jordan_solution_dot(self, tmp_path):
+        path = tmp_path / "fig9.dot"
+        path.write_text(to_dot(jordan_reference_dag(),
+                               highlight_critical_path=True))
+        content = path.read_text()
+        assert content.startswith("digraph")
+        assert content.count("->") == 3
+
+
+class TestRunAndRecordPhase:
+    def test_trace_archive_round_trip(self, session, tmp_path):
+        r4 = session.teams[0].results["scenario4"]
+        path = tmp_path / "scenario4.jsonl"
+        with open(path, "w") as fp:
+            export_trace(r4.trace, fp)
+        with open(path) as fp:
+            back = import_trace(fp)
+        assert back.makespan() == r4.trace.makespan()
+        # The archive is genuine JSON lines.
+        with open(path) as fp:
+            for line in fp:
+                json.loads(line)
+
+    def test_markdown_report_written(self, session, tmp_path):
+        path = tmp_path / "report.md"
+        path.write_text(session_markdown(session))
+        content = path.read_text()
+        assert content.startswith("# Activity report")
+        assert "Discussion guide" in content
+
+    def test_discussion_guide_standalone(self, session):
+        guide = discussion_script(debrief_session(session))
+        assert "ask      :" in guide
+
+
+class TestAssessPhase:
+    def test_grade_and_feedback_every_submission(self, tmp_path):
+        cohort = generate_exact_paper_cohort(np.random.default_rng(8))
+        report = grade_all(cohort)
+        assert report.total == 29
+        feedback_file = tmp_path / "feedback.txt"
+        lines = [f"{sub.student}: {explain(sub)}" for sub in cohort]
+        feedback_file.write_text("\n".join(lines))
+        content = feedback_file.read_text()
+        assert content.count("\n") == 28
+        assert "perfect" in content and "linear chain" in content
+
+
+class TestWholeWorkflowOnAnotherFlag:
+    def test_france_from_plan_to_report(self, tmp_path):
+        """The same path works for the Webster flags, not just Mauritius."""
+        spec = get_flag("france")
+        kit = ImplementKit.uniform(spec.colors_used(), THICK_MARKER)
+        plan = dry_run(spec, kit, scenarios=[1, 2])
+        assert plan.ok
+
+        (tmp_path / "france.svg").write_text(to_svg(spec.final_image()))
+        report = run_session(get_institution("Webster"), seed=34,
+                             n_teams=2, spec=spec)
+        assert report.all_correct()
+        (tmp_path / "france_report.md").write_text(
+            session_markdown(report)
+        )
+        assert "france" in (tmp_path / "france_report.md").read_text()

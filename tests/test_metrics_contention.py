@@ -1,0 +1,81 @@
+"""Tests for repro.metrics.contention."""
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.flags import compile_flag, mauritius, scenario_partition
+from repro.grid.palette import MAURITIUS_STRIPES
+from repro.metrics.contention import (
+    analyze_contention,
+    contention_slowdown,
+    serialization_bound,
+)
+from repro.metrics.speedup import MetricError
+from repro.schedule.runner import marker_name, run_partition
+from repro.grid.palette import Color
+
+
+RESOURCES = [marker_name(c) for c in MAURITIUS_STRIPES]
+
+
+def run_scenario_n(n, seed=0, copies=1):
+    prog = compile_flag(mauritius())
+    team = make_team("t", 4, np.random.default_rng(seed),
+                     colors=list(MAURITIUS_STRIPES), copies=copies)
+    return run_partition(scenario_partition(prog, n), team,
+                         np.random.default_rng(seed))
+
+
+class TestAnalyzeContention:
+    def test_scenario3_uncontended(self):
+        r = run_scenario_n(3)
+        report = analyze_contention(r.trace, RESOURCES)
+        assert not report.contended
+        assert report.wait_fraction == 0.0
+        assert report.n_waits == 0
+
+    def test_scenario4_contended(self):
+        r = run_scenario_n(4)
+        report = analyze_contention(r.trace, RESOURCES)
+        assert report.contended
+        assert report.wait_fraction > 0.05
+        assert report.n_waits > 0
+        assert report.mean_wait > 0
+        assert sum(report.per_agent_wait.values()) > 0
+
+    def test_utilization_per_resource(self):
+        r = run_scenario_n(4)
+        report = analyze_contention(r.trace, RESOURCES)
+        assert set(report.per_resource_utilization) == set(RESOURCES)
+        for u in report.per_resource_utilization.values():
+            assert 0.0 < u <= 1.0
+
+    def test_extra_implements_reduce_contention(self):
+        """The paper's 'extra resources would reduce the contention'."""
+        single = analyze_contention(run_scenario_n(4, seed=3).trace, RESOURCES)
+        quad = analyze_contention(run_scenario_n(4, seed=3, copies=4).trace,
+                                  RESOURCES)
+        assert quad.wait_fraction < single.wait_fraction
+
+
+class TestSlowdownAndBound:
+    def test_contention_slowdown(self):
+        assert contention_slowdown(180, 140) == pytest.approx(180 / 140)
+        with pytest.raises(MetricError):
+            contention_slowdown(0, 1)
+
+    def test_serialization_bound(self):
+        assert serialization_bound(4, 1) == 1.0
+        assert serialization_bound(4, 4) == 4.0
+        assert serialization_bound(2, 8) == 2.0
+        with pytest.raises(MetricError):
+            serialization_bound(0, 1)
+
+    def test_bound_holds_in_simulation(self):
+        """With one marker of each color and every worker needing every
+        color top-to-bottom, speedup vs 1 worker can't exceed ~#colors."""
+        r1 = run_scenario_n(1, seed=9)
+        r4 = run_scenario_n(4, seed=9)
+        s = r1.true_makespan / r4.true_makespan
+        assert s <= serialization_bound(4, 4) + 0.5

@@ -1,0 +1,90 @@
+"""Tests for repro.metrics.loadbalance."""
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.flags import compile_flag, mauritius, scenario_partition
+from repro.grid.palette import MAURITIUS_STRIPES
+from repro.metrics.loadbalance import (
+    coefficient_of_variation,
+    finish_time_spread,
+    imbalance_percent,
+    imbalance_ratio,
+    makespan_vs_ideal,
+    partition_stroke_imbalance,
+    per_worker_report,
+    trace_busy_imbalance,
+)
+from repro.metrics.speedup import MetricError
+from repro.schedule.runner import run_partition
+
+
+class TestImbalanceRatio:
+    def test_perfect_balance(self):
+        assert imbalance_ratio([10, 10, 10]) == 1.0
+
+    def test_skew(self):
+        assert imbalance_ratio([30, 10, 20]) == pytest.approx(1.5)
+
+    def test_all_zero_loads(self):
+        assert imbalance_ratio([0, 0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            imbalance_ratio([])
+        with pytest.raises(MetricError):
+            imbalance_ratio([1, -2])
+
+    def test_percent_form(self):
+        assert imbalance_percent([30, 10, 20]) == pytest.approx(50.0)
+
+
+class TestCov:
+    def test_zero_for_uniform(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+
+    def test_positive_for_spread(self):
+        assert coefficient_of_variation([1, 9]) > 0.5
+
+    def test_zero_mean(self):
+        assert coefficient_of_variation([0, 0]) == 0.0
+
+
+class TestOnRuns:
+    @pytest.fixture(scope="class")
+    def s3_run(self):
+        prog = compile_flag(mauritius())
+        team = make_team("t", 4, np.random.default_rng(1),
+                         colors=list(MAURITIUS_STRIPES))
+        return run_partition(scenario_partition(prog, 3), team,
+                             np.random.default_rng(1))
+
+    def test_static_imbalance_perfect_for_scenario3(self):
+        prog = compile_flag(mauritius())
+        assert partition_stroke_imbalance(scenario_partition(prog, 3)) == 1.0
+
+    def test_busy_imbalance_from_student_variation(self, s3_run):
+        """Equal strokes, unequal students: busy imbalance is > 1 but mild."""
+        ratio = trace_busy_imbalance(s3_run.trace)
+        assert 1.0 < ratio < 2.0
+
+    def test_finish_spread_positive(self, s3_run):
+        assert finish_time_spread(s3_run.trace) > 0
+
+    def test_makespan_vs_ideal_at_least_one(self, s3_run):
+        assert makespan_vs_ideal(s3_run.trace) >= 1.0
+
+    def test_per_worker_report_rows(self, s3_run):
+        report = per_worker_report(s3_run.trace)
+        assert len(report) == 4
+        for row in report:
+            assert row["strokes"] == 24.0
+            assert 0.0 <= row["utilization"] <= 1.0
+
+    def test_empty_trace_raises(self):
+        from repro.sim.trace import Trace
+        with pytest.raises(MetricError):
+            trace_busy_imbalance(Trace([]))
+        with pytest.raises(MetricError):
+            finish_time_spread(Trace([]))

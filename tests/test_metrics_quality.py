@@ -1,0 +1,106 @@
+"""Tests for repro.metrics.quality — the Section IV coloring-quality grade."""
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.agents.student import FillStyle
+from repro.flags import compile_flag, mauritius, single
+from repro.grid.canvas import Canvas
+from repro.grid.palette import Color, MAURITIUS_STRIPES
+from repro.metrics.quality import (
+    QualityReport,
+    drift_toward_minimal,
+    grade_run,
+    speed_quality_frontier,
+)
+from repro.metrics.speedup import MetricError
+from repro.schedule.runner import run_partition
+from repro.sim.trace import Trace
+
+
+def run_with_style(style, seed=0):
+    prog = compile_flag(mauritius())
+    team = make_team("t", 1, np.random.default_rng(seed),
+                     colors=list(MAURITIUS_STRIPES))
+    return run_partition(single(prog), team, np.random.default_rng(seed),
+                         style=style)
+
+
+class TestGradeRun:
+    def test_basic_report(self):
+        r = run_with_style(FillStyle.SCRIBBLE)
+        report = grade_run(r.canvas, r.trace)
+        assert report.cells == 96
+        assert report.mean_coverage == pytest.approx(
+            FillStyle.SCRIBBLE.coverage
+        )
+        assert report.mean_stroke_time > 0
+        assert report.stroke_time_cv >= 0
+
+    def test_empty_canvas_rejected(self):
+        c = Canvas(2, 2)
+        with pytest.raises(MetricError, match="nothing"):
+            grade_run(c, Trace([]))
+
+    def test_full_style_covers_more(self):
+        full = grade_run(*_cv(run_with_style(FillStyle.FULL, 1)))
+        minimal = grade_run(*_cv(run_with_style(FillStyle.MINIMAL, 1)))
+        assert full.mean_coverage > minimal.mean_coverage
+        assert full.mean_stroke_time > minimal.mean_stroke_time
+
+    def test_uniformity_flag(self):
+        r = run_with_style(FillStyle.SCRIBBLE, 2)
+        report = grade_run(r.canvas, r.trace)
+        # Warmup inflates early strokes; CV still stays moderate.
+        assert report.stroke_time_cv < 1.0
+
+
+def _cv(result):
+    return result.canvas, result.trace
+
+
+class TestFrontier:
+    def make_report(self, time, coverage):
+        return QualityReport(mean_coverage=coverage, min_coverage=coverage,
+                             stroke_time_cv=0.1, mean_stroke_time=time,
+                             cells=96)
+
+    def test_all_styles_on_frontier_when_tradeoff_clean(self):
+        reports = {
+            "minimal": self.make_report(1.0, 0.25),
+            "scribble": self.make_report(2.0, 0.7),
+            "full": self.make_report(3.5, 1.0),
+        }
+        assert speed_quality_frontier(reports) == [
+            "minimal", "scribble", "full",
+        ]
+
+    def test_dominated_style_excluded(self):
+        reports = {
+            "minimal": self.make_report(1.0, 0.25),
+            "bad": self.make_report(2.0, 0.2),       # slower AND sparser
+            "full": self.make_report(3.5, 1.0),
+        }
+        assert "bad" not in speed_quality_frontier(reports)
+
+    def test_simulated_styles_form_full_frontier(self):
+        reports = {
+            style.name: grade_run(*_cv(run_with_style(style, 3)))
+            for style in FillStyle
+        }
+        frontier = speed_quality_frontier(reports)
+        assert frontier == ["MINIMAL", "SCRIBBLE", "FULL"]
+
+
+class TestDrift:
+    def test_detects_decline(self):
+        seq = [1.0] * 10 + [0.9] * 30 + [0.3] * 10
+        assert drift_toward_minimal(seq)
+
+    def test_no_drift_when_steady(self):
+        assert not drift_toward_minimal([0.7] * 40)
+
+    def test_needs_enough_strokes(self):
+        with pytest.raises(MetricError):
+            drift_toward_minimal([1.0] * 5)

@@ -1,0 +1,113 @@
+"""Tests for repro.metrics.scalability — strong/weak scaling."""
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.flags import compile_flag, cyclic, mauritius, single
+from repro.grid.palette import MAURITIUS_STRIPES
+from repro.metrics.scalability import (
+    ScalingCurve,
+    ScalingPoint,
+    fits_gustafson,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.metrics.speedup import MetricError
+from repro.schedule.runner import run_partition
+
+
+class TestCurveBasics:
+    def test_must_start_at_p1(self):
+        with pytest.raises(MetricError, match="P=1"):
+            ScalingCurve("strong", [ScalingPoint(2, 10.0, -1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            ScalingCurve("strong", [])
+
+    def test_strong_speedups(self):
+        curve = ScalingCurve("strong", [
+            ScalingPoint(1, 100.0, -1),
+            ScalingPoint(4, 25.0, -1),
+        ])
+        assert curve.speedups() == {1: 1.0, 4: 4.0}
+        assert curve.efficiencies()[4] == 1.0
+
+    def test_weak_speedups(self):
+        # Perfect weak scaling: time stays flat while size grows.
+        curve = ScalingCurve("weak", [
+            ScalingPoint(1, 100.0, 96),
+            ScalingPoint(4, 100.0, 384),
+        ])
+        assert curve.speedups()[4] == pytest.approx(4.0)
+        assert curve.scaled_time_ratio()[4] == pytest.approx(1.0)
+
+
+class TestAnalyticScaling:
+    def test_strong_scaling_amdahl_toy(self):
+        # T(P) = serial + parallel/P.
+        def run(p):
+            return 10.0 + 90.0 / p
+
+        curve = strong_scaling(run, [1, 2, 4, 8])
+        s = curve.speedups()
+        assert s[1] == 1.0
+        assert s[8] == pytest.approx(100.0 / (10.0 + 90.0 / 8))
+        effs = curve.efficiencies()
+        assert effs[8] < effs[2] < 1.0
+
+    def test_weak_scaling_gustafson_toy(self):
+        serial = 10.0
+        per_unit = 1.0
+
+        def run(p, size):
+            return serial + per_unit * size / p
+
+        curve = weak_scaling(run, [1, 2, 4, 8], base_size=90)
+        assert fits_gustafson(curve, serial_fraction=0.1)
+
+    def test_gustafson_check_rejects_strong_curve(self):
+        curve = strong_scaling(lambda p: 100.0 / p, [1, 2])
+        with pytest.raises(MetricError):
+            fits_gustafson(curve, 0.1)
+
+    def test_bad_weak_scaling_fails_gustafson(self):
+        def run(p, size):
+            return 10.0 + size  # no parallel benefit at all
+
+        curve = weak_scaling(run, [1, 4], base_size=90)
+        assert not fits_gustafson(curve, serial_fraction=0.1)
+
+
+class TestSimulatedScaling:
+    def _run_sim(self, p, rows, cols, seed):
+        spec = mauritius()
+        prog = compile_flag(spec, rows=rows, cols=cols)
+        rng = np.random.default_rng(seed)
+        team = make_team("t", p, rng, colors=list(MAURITIUS_STRIPES),
+                         copies=p)
+        part = single(prog) if p == 1 else cyclic(prog, p)
+        return run_partition(part, team, rng).true_makespan
+
+    def test_strong_scaling_on_simulator(self):
+        curve = strong_scaling(
+            lambda p: self._run_sim(p, 8, 12, 100 + p), [1, 2, 4],
+        )
+        s = curve.speedups()
+        assert s[4] > s[2] > 1.0
+        assert s[4] < 4.0  # sublinear, as the classroom observes
+
+    def test_weak_scaling_on_simulator(self):
+        """Grow the flag with the team: columns proportional to P."""
+
+        def run(p, size):
+            cols = size // 8
+            return self._run_sim(p, 8, cols, 200 + p)
+
+        curve = weak_scaling(run, [1, 2, 4], base_size=96)
+        ratios = curve.scaled_time_ratio()
+        # Time stays within ~45% of flat while the problem quadruples
+        # (handoffs, warmup and stragglers eat some of it).
+        assert 0.8 < ratios[4] < 1.45
+        assert curve.speedups()[4] > 2.0

@@ -1,0 +1,116 @@
+"""Tests for repro.metrics.speedup."""
+
+import pytest
+
+from repro.metrics.speedup import (
+    MetricError,
+    ScenarioTimes,
+    amdahl_speedup,
+    efficiency,
+    gustafson_speedup,
+    is_superlinear,
+    karp_flatt,
+    speedup,
+    whiteboard,
+)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(100, 25) == 4.0
+
+    def test_slowdown_below_one(self):
+        assert speedup(100, 200) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            speedup(0, 10)
+        with pytest.raises(MetricError):
+            speedup(10, -1)
+
+    def test_efficiency(self):
+        assert efficiency(100, 25, 4) == pytest.approx(1.0)
+        assert efficiency(100, 50, 4) == pytest.approx(0.5)
+        with pytest.raises(MetricError):
+            efficiency(100, 25, 0)
+
+    def test_superlinear_detection(self):
+        assert is_superlinear(100, 20, 4)
+        assert not is_superlinear(100, 25, 4)
+        assert not is_superlinear(100, 26, 4, tolerance=0.1)
+
+
+class TestAmdahl:
+    def test_fully_parallel(self):
+        assert amdahl_speedup(0.0, 8) == 8.0
+
+    def test_fully_serial(self):
+        assert amdahl_speedup(1.0, 8) == 1.0
+
+    def test_limit_is_inverse_serial_fraction(self):
+        s = amdahl_speedup(0.1, 10_000)
+        assert s == pytest.approx(10.0, rel=0.01)
+
+    def test_monotone_in_p(self):
+        values = [amdahl_speedup(0.2, p) for p in (1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            amdahl_speedup(1.5, 4)
+        with pytest.raises(MetricError):
+            amdahl_speedup(0.5, 0)
+
+
+class TestGustafson:
+    def test_fully_parallel(self):
+        assert gustafson_speedup(0.0, 8) == 8.0
+
+    def test_fully_serial(self):
+        assert gustafson_speedup(1.0, 8) == 1.0
+
+    def test_exceeds_amdahl_for_scaled_problems(self):
+        assert gustafson_speedup(0.2, 16) > amdahl_speedup(0.2, 16)
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            gustafson_speedup(-0.1, 4)
+
+
+class TestKarpFlatt:
+    def test_ideal_speedup_zero_serial(self):
+        assert karp_flatt(100, 25, 4) == pytest.approx(0.0)
+
+    def test_no_speedup_full_serial(self):
+        assert karp_flatt(100, 100, 4) == pytest.approx(1.0)
+
+    def test_needs_two_processors(self):
+        with pytest.raises(MetricError):
+            karp_flatt(100, 50, 1)
+
+    def test_recovers_amdahl_fraction(self):
+        f = 0.3
+        for p in (2, 4, 8):
+            t_par = 100 * (f + (1 - f) / p)
+            assert karp_flatt(100, t_par, p) == pytest.approx(f)
+
+
+class TestScenarioTimes:
+    def test_speedup_table(self):
+        row = ScenarioTimes("t1", {"scenario1": 400.0, "scenario3": 100.0})
+        table = row.speedup_table()
+        assert table["scenario3"] == 4.0
+        assert table["scenario1"] == 1.0
+
+    def test_missing_baseline_raises(self):
+        row = ScenarioTimes("t1", {"scenario2": 100.0})
+        with pytest.raises(MetricError, match="baseline"):
+            row.speedup_table()
+
+    def test_whiteboard_transposes(self):
+        rows = [
+            ScenarioTimes("a", {"s1": 10.0, "s2": 5.0}),
+            ScenarioTimes("b", {"s1": 12.0}),
+        ]
+        board = whiteboard(rows)
+        assert board == {"s1": [10.0, 12.0], "s2": [5.0]}

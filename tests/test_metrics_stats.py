@@ -1,0 +1,127 @@
+"""Tests for repro.metrics.stats, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.speedup import MetricError
+from repro.metrics.stats import (
+    bootstrap_ci,
+    likert_distribution_for_median,
+    likert_median,
+    median,
+    round_to_half,
+    transition_fractions,
+)
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3, 1, 2]) == 2.0
+
+    def test_even_averages_middle(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(MetricError):
+            median([])
+
+
+class TestLikertMedian:
+    def test_half_point_possible(self):
+        assert likert_median([4, 5]) == 4.5
+
+    def test_range_validation(self):
+        with pytest.raises(MetricError):
+            likert_median([0, 3])
+        with pytest.raises(MetricError):
+            likert_median([6])
+        with pytest.raises(MetricError):
+            likert_median([])
+
+
+class TestRoundToHalf:
+    @pytest.mark.parametrize("x,want", [
+        (4.24, 4.0), (4.26, 4.5), (4.75, 5.0), (3.0, 3.0), (4.5, 4.5),
+    ])
+    def test_rounding(self, x, want):
+        assert round_to_half(x) == want
+
+
+class TestBootstrap:
+    def test_ci_contains_point_estimate(self, rng):
+        data = rng.normal(10, 2, size=50).tolist()
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo <= float(np.median(data)) <= hi
+
+    def test_narrower_with_more_data(self, rng):
+        small = rng.normal(10, 2, size=10).tolist()
+        large = rng.normal(10, 2, size=1000).tolist()
+        lo_s, hi_s = bootstrap_ci(small, seed=2)
+        lo_l, hi_l = bootstrap_ci(large, seed=2)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_empty_raises(self):
+        with pytest.raises(MetricError):
+            bootstrap_ci([])
+
+
+class TestLikertCalibration:
+    def test_hits_target_exactly(self, rng):
+        vals = likert_distribution_for_median(4.0, 21, rng)
+        assert float(np.median(vals)) == 4.0
+        assert all(1 <= v <= 5 for v in vals)
+
+    def test_half_point_target(self, rng):
+        vals = likert_distribution_for_median(4.5, 20, rng)
+        assert float(np.median(vals)) == 4.5
+
+    def test_half_point_odd_n_impossible(self, rng):
+        with pytest.raises(MetricError, match="odd"):
+            likert_distribution_for_median(4.5, 21, rng)
+
+    def test_out_of_range_target(self, rng):
+        with pytest.raises(MetricError):
+            likert_distribution_for_median(5.5, 10, rng)
+
+    def test_non_half_step_target(self, rng):
+        with pytest.raises(MetricError):
+            likert_distribution_for_median(4.2, 10, rng)
+
+    @given(
+        target2x=st.integers(min_value=2, max_value=10),
+        n=st.integers(min_value=2, max_value=60),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_always_exact(self, target2x, n, seed):
+        target = target2x / 2.0
+        if target % 1 == 0.5 and n % 2 == 1:
+            n += 1  # make the target reachable
+        rng = np.random.default_rng(seed)
+        vals = likert_distribution_for_median(target, n, rng)
+        assert float(np.median(vals)) == target
+        assert len(vals) == n
+        assert all(1 <= v <= 5 for v in vals)
+
+
+class TestTransitionFractions:
+    def test_all_states(self):
+        pre = [True, False, True, False]
+        post = [True, True, False, False]
+        fr = transition_fractions(pre, post)
+        assert fr == {"retained": 0.25, "gained": 0.25,
+                      "lost": 0.25, "never": 0.25}
+
+    def test_sums_to_one(self, rng):
+        pre = rng.random(40) < 0.5
+        post = rng.random(40) < 0.5
+        fr = transition_fractions(pre.tolist(), post.tolist())
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            transition_fractions([True], [True, False])
+        with pytest.raises(MetricError):
+            transition_fractions([], [])

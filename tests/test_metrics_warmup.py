@@ -1,0 +1,88 @@
+"""Tests for repro.metrics.warmup."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.speedup import MetricError
+from repro.metrics.warmup import (
+    estimate_warmup,
+    fit_exponential_decay,
+    warmup_contaminates_speedup,
+)
+
+
+class TestEstimateWarmup:
+    def test_two_trials(self):
+        est = estimate_warmup([400.0, 320.0])
+        assert est.first_time == 400.0
+        assert est.steady_time == 320.0
+        assert est.warmup_ratio == pytest.approx(1.25)
+        assert est.improvement_percent == pytest.approx(20.0)
+
+    def test_many_trials_uses_tail(self):
+        est = estimate_warmup([400, 350, 310, 300, 300, 300])
+        assert est.steady_time == pytest.approx(300.0, abs=5)
+
+    def test_no_warmup(self):
+        est = estimate_warmup([100.0, 100.0])
+        assert est.warmup_ratio == 1.0
+        assert est.improvement_percent == 0.0
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            estimate_warmup([100.0])
+        with pytest.raises(MetricError):
+            estimate_warmup([100.0, -1.0])
+
+
+class TestFitExponentialDecay:
+    def test_recovers_planted_parameters(self):
+        steady, a, tau = 300.0, 0.4, 2.0
+        times = [steady * (1 + a * math.exp(-k / tau)) for k in range(8)]
+        s_hat, a_hat, tau_hat = fit_exponential_decay(times)
+        assert s_hat == pytest.approx(steady, rel=0.1)
+        assert a_hat == pytest.approx(a, rel=0.6)
+
+    def test_fit_prediction_close(self):
+        steady, a, tau = 250.0, 0.8, 1.5
+        times = [steady * (1 + a * math.exp(-k / tau)) for k in range(10)]
+        s_hat, a_hat, t_hat = fit_exponential_decay(times)
+        preds = [s_hat * (1 + a_hat * math.exp(-k / t_hat))
+                 for k in range(10)]
+        rel_err = max(abs(p - t) / t for p, t in zip(preds, times))
+        assert rel_err < 0.1
+
+    def test_needs_three_trials(self):
+        with pytest.raises(MetricError):
+            fit_exponential_decay([1.0, 2.0])
+
+    def test_on_simulated_student(self, rng):
+        """Fit the warmup curve from actual simulated repeat-trial times."""
+        from repro.agents import make_team
+        from repro.flags import compile_flag, mauritius, single
+        from repro.grid.palette import MAURITIUS_STRIPES
+        from repro.schedule.runner import run_partition
+
+        prog = compile_flag(mauritius())
+        team = make_team("t", 1, rng, colors=list(MAURITIUS_STRIPES))
+        times = []
+        for _ in range(5):
+            r = run_partition(single(prog), team, rng)
+            times.append(r.true_makespan)
+        s_hat, a_hat, tau_hat = fit_exponential_decay(times)
+        assert s_hat > 0
+        assert times[0] > s_hat  # first trial above steady state
+
+
+class TestContamination:
+    def test_cold_baseline_inflates_speedup(self):
+        optimistic, honest = warmup_contaminates_speedup(400, 320, 100)
+        assert optimistic == 4.0
+        assert honest == pytest.approx(3.2)
+        assert optimistic > honest
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            warmup_contaminates_speedup(0, 1, 1)

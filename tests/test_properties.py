@@ -1,0 +1,137 @@
+"""Cross-module property tests: simulation invariants under random configs.
+
+These hypothesis tests throw randomized scenario configurations at the full
+runner and check physical invariants that must hold for *every* run:
+mutual exclusion on implements, no overlapping strokes per student, full
+and correct canvas coverage, and trace accounting consistency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents import make_team
+from repro.flags import (
+    compile_flag,
+    cyclic,
+    get_flag,
+    horizontal_slices,
+    mauritius,
+    scenario_partition,
+    vertical_slices,
+)
+from repro.grid.palette import MAURITIUS_STRIPES
+from repro.schedule.runner import AcquirePolicy, run_partition
+from repro.sim.events import EventKind
+
+
+def run_random_config(seed, n_workers, strategy_idx, policy_idx, copies):
+    prog = compile_flag(mauritius())
+    strategies = [
+        lambda: scenario_partition(prog, min(4, max(1, n_workers))),
+        lambda: vertical_slices(prog, n_workers),
+        lambda: horizontal_slices(prog, n_workers),
+        lambda: cyclic(prog, n_workers),
+    ]
+    partition = strategies[strategy_idx]()
+    policy = list(AcquirePolicy)[policy_idx]
+    rng = np.random.default_rng(seed)
+    team = make_team("t", max(n_workers, 4), rng,
+                     colors=list(MAURITIUS_STRIPES), copies=copies)
+    return run_partition(partition, team, np.random.default_rng(seed),
+                         policy=policy)
+
+
+config = dict(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_workers=st.integers(min_value=1, max_value=6),
+    strategy_idx=st.integers(min_value=0, max_value=3),
+    policy_idx=st.integers(min_value=0, max_value=1),
+    copies=st.integers(min_value=1, max_value=3),
+)
+
+
+class TestSimulationInvariants:
+    @given(**config)
+    @settings(max_examples=25, deadline=None)
+    def test_canvas_always_correct(self, **kw):
+        r = run_random_config(**kw)
+        assert r.correct
+        assert r.canvas.n_colored() == 96
+
+    @given(**config)
+    @settings(max_examples=25, deadline=None)
+    def test_no_student_colors_two_cells_at_once(self, **kw):
+        r = run_random_config(**kw)
+        strokes = r.trace.stroke_intervals()
+        by_agent = {}
+        for iv in strokes:
+            by_agent.setdefault(iv.agent, []).append(iv)
+        for ivs in by_agent.values():
+            ivs.sort(key=lambda iv: iv.start)
+            for a, b in zip(ivs, ivs[1:]):
+                assert a.end <= b.start + 1e-9
+
+    @given(**config)
+    @settings(max_examples=25, deadline=None)
+    def test_implement_mutual_exclusion(self, **kw):
+        """At most `copies` holders of each implement at any time."""
+        r = run_random_config(**kw)
+        for color in MAURITIUS_STRIPES:
+            name = f"{color.name.lower()}_marker"
+            held = r.trace.resource_holders_timeline(name)
+            events = []
+            for iv in held:
+                events.append((iv.start, 1))
+                events.append((iv.end, -1))
+            events.sort()
+            concurrent = 0
+            for _, delta in events:
+                concurrent += delta
+                assert concurrent <= kw["copies"]
+
+    @given(**config)
+    @settings(max_examples=25, deadline=None)
+    def test_trace_accounting_consistent(self, **kw):
+        r = run_random_config(**kw)
+        for s in r.trace.summaries():
+            assert s.busy >= 0 and s.waiting >= 0 and s.idle >= 0
+            assert s.busy + s.waiting + s.idle == pytest.approx(s.finish)
+            assert s.finish <= r.true_makespan + 1e-9
+
+    @given(**config)
+    @settings(max_examples=25, deadline=None)
+    def test_stroke_count_matches_partition(self, **kw):
+        r = run_random_config(**kw)
+        total = sum(r.trace.stroke_count(a) for a in r.trace.agents())
+        assert total == 96
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_determinism_for_any_seed(self, seed):
+        a = run_random_config(seed, 4, 1, 0, 1)
+        b = run_random_config(seed, 4, 1, 0, 1)
+        assert a.true_makespan == b.true_makespan
+        assert np.array_equal(a.canvas.codes, b.canvas.codes)
+
+
+class TestEveryFlagEveryStrategy:
+    @given(
+        flag=st.sampled_from(
+            ["mauritius", "france", "germany", "italy", "poland",
+             "diagonal_bicolor"]
+        ),
+        n=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_flat_flags_slice_correctly(self, flag, n, seed):
+        spec = get_flag(flag)
+        prog = compile_flag(spec, skip_optional_blank=True)
+        rng = np.random.default_rng(seed)
+        team = make_team("t", max(n, 1), rng,
+                         colors=list(spec.colors_used()))
+        r = run_partition(vertical_slices(prog, n), team,
+                          np.random.default_rng(seed))
+        assert r.correct

@@ -1,0 +1,105 @@
+"""Tests for repro.schedule.pipeline — rotation and fill/drain metrics."""
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.flags import compile_flag, mauritius, scenario_partition
+from repro.grid.palette import MAURITIUS_STRIPES, Color
+from repro.schedule.pipeline import (
+    pipeline_metrics,
+    rotate_color_order,
+    stage_occupancy,
+)
+from repro.schedule.runner import run_partition
+
+
+def fresh_team(seed=0):
+    return make_team("t", 4, np.random.default_rng(seed),
+                     colors=list(MAURITIUS_STRIPES))
+
+
+@pytest.fixture(scope="module")
+def s4_runs():
+    """Scenario 4 naive vs rotated, same team statistics."""
+    prog = compile_flag(mauritius())
+    p4 = scenario_partition(prog, 4)
+    naive = run_partition(p4, fresh_team(10), np.random.default_rng(10))
+    rotated = run_partition(rotate_color_order(p4), fresh_team(10),
+                            np.random.default_rng(10))
+    return naive, rotated
+
+
+class TestRotation:
+    def test_workload_unchanged(self):
+        prog = compile_flag(mauritius())
+        p4 = scenario_partition(prog, 4)
+        rot = rotate_color_order(p4)
+        assert rot.work_counts() == p4.work_counts()
+        for a, b in zip(p4.assignments, rot.assignments):
+            assert set(a) == set(b)
+
+    def test_each_worker_starts_different_color(self):
+        prog = compile_flag(mauritius())
+        rot = rotate_color_order(scenario_partition(prog, 4))
+        first_colors = [ops[0].color for ops in rot.assignments]
+        assert len(set(first_colors)) == 4
+
+    def test_strategy_name_tagged(self):
+        prog = compile_flag(mauritius())
+        rot = rotate_color_order(scenario_partition(prog, 4))
+        assert rot.strategy.endswith("+rotated")
+
+    def test_rotated_run_correct_and_faster(self, s4_runs):
+        naive, rotated = s4_runs
+        assert rotated.correct
+        assert rotated.true_makespan < naive.true_makespan
+
+    def test_rotation_removes_most_contention(self, s4_runs):
+        naive, rotated = s4_runs
+        assert (rotated.trace.total_wait_fraction()
+                < naive.trace.total_wait_fraction())
+
+
+class TestPipelineMetrics:
+    def test_naive_run_shows_fill_staircase(self, s4_runs):
+        """Workers idle until the first implement reaches them (III-C)."""
+        naive, _ = s4_runs
+        pm = pipeline_metrics(naive.trace)
+        starts = sorted(pm.first_stroke.values())
+        assert len(starts) == 4
+        assert starts[0] == 0.0
+        assert all(b > a for a, b in zip(starts, starts[1:]))
+        assert pm.fill_time > 0
+
+    def test_rotated_run_fills_immediately(self, s4_runs):
+        _, rotated = s4_runs
+        pm = pipeline_metrics(rotated.trace)
+        # Everyone starts at t=0: no fill staircase.
+        assert pm.fill_time == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_trace(self):
+        from repro.sim.trace import Trace
+        pm = pipeline_metrics(Trace([]))
+        assert pm.fill_time == 0.0 and pm.first_stroke == {}
+
+
+class TestStageOccupancy:
+    def test_red_marker_busy_early_idle_late(self, s4_runs):
+        naive, _ = s4_runs
+        occ = stage_occupancy(naive.trace, "red_marker", n_bins=10)
+        assert len(occ) == 10
+        assert occ[0] > 0.8        # red in constant use at the start
+        assert occ[-1] < 0.5       # and idle near the end
+
+    def test_green_marker_idle_early(self, s4_runs):
+        naive, _ = s4_runs
+        occ = stage_occupancy(naive.trace, "green_marker", n_bins=10)
+        assert occ[0] < 0.5
+        assert max(occ[5:]) > 0.5
+
+    def test_bins_bounded(self, s4_runs):
+        naive, _ = s4_runs
+        for r in ("red_marker", "blue_marker"):
+            occ = stage_occupancy(naive.trace, r, n_bins=8)
+            assert all(0.0 <= o <= 1.0 + 1e-9 for o in occ)

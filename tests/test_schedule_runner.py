@@ -1,0 +1,134 @@
+"""Tests for repro.schedule.runner — the core scenario executor."""
+
+import numpy as np
+import pytest
+
+from repro.agents import ImplementKit, make_team
+from repro.agents.implements import THICK_MARKER
+from repro.flags import compile_flag, mauritius, scenario_partition, single
+from repro.grid.palette import MAURITIUS_STRIPES, Color
+from repro.schedule.runner import (
+    AcquirePolicy,
+    marker_name,
+    replay_many,
+    run_partition,
+)
+from repro.sim.events import EventKind
+
+
+@pytest.fixture
+def prog():
+    return compile_flag(mauritius())
+
+
+def fresh_team(seed=0, n=4, copies=1):
+    rng = np.random.default_rng(seed)
+    return make_team("t", n, rng, colors=list(MAURITIUS_STRIPES),
+                     copies=copies)
+
+
+class TestRunPartition:
+    def test_single_worker_correct(self, prog):
+        team = fresh_team()
+        r = run_partition(single(prog), team, np.random.default_rng(0))
+        assert r.correct
+        assert r.n_workers == 1
+        assert r.true_makespan > 0
+        assert r.canvas.n_colored() == prog.n_ops
+
+    def test_every_stroke_logged(self, prog):
+        team = fresh_team()
+        r = run_partition(single(prog), team, np.random.default_rng(0))
+        starts = r.trace.of_kind(EventKind.STROKE_START)
+        ends = r.trace.of_kind(EventKind.STROKE_END)
+        assert len(starts) == len(ends) == prog.n_ops
+
+    def test_scenario3_no_waiting(self, prog):
+        """One stripe per worker: four distinct implements, zero contention."""
+        team = fresh_team()
+        r = run_partition(scenario_partition(prog, 3), team,
+                          np.random.default_rng(0))
+        assert r.correct
+        assert r.trace.total_wait_fraction() == 0.0
+
+    def test_scenario4_has_waiting(self, prog):
+        team = fresh_team()
+        r = run_partition(scenario_partition(prog, 4), team,
+                          np.random.default_rng(0))
+        assert r.correct
+        assert r.trace.total_wait_fraction() > 0.05
+
+    def test_duplicate_implements_reduce_waiting(self, prog):
+        r1 = run_partition(scenario_partition(prog, 4), fresh_team(seed=1),
+                           np.random.default_rng(1))
+        r4 = run_partition(scenario_partition(prog, 4),
+                           fresh_team(seed=1, copies=4),
+                           np.random.default_rng(1))
+        assert r4.trace.total_wait_fraction() < r1.trace.total_wait_fraction()
+
+    def test_measured_time_close_to_true(self, prog):
+        team = fresh_team()
+        r = run_partition(single(prog), team, np.random.default_rng(0))
+        assert abs(r.measured_time - r.true_makespan) < 5.0
+
+    def test_release_per_stroke_policy_slower(self, prog):
+        """Thrashing: releasing after every cell forces constant handoffs."""
+        r_hold = run_partition(scenario_partition(prog, 4),
+                               fresh_team(seed=2), np.random.default_rng(2),
+                               policy=AcquirePolicy.HOLD_COLOR_RUN)
+        r_thrash = run_partition(scenario_partition(prog, 4),
+                                 fresh_team(seed=2), np.random.default_rng(2),
+                                 policy=AcquirePolicy.RELEASE_PER_STROKE)
+        assert r_thrash.correct
+        assert r_thrash.true_makespan > r_hold.true_makespan
+
+    def test_determinism(self, prog):
+        def run(seed):
+            r = run_partition(scenario_partition(prog, 4), fresh_team(seed),
+                              np.random.default_rng(seed))
+            return r.true_makespan
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_handoffs_logged_in_scenario4(self, prog):
+        team = fresh_team()
+        r = run_partition(scenario_partition(prog, 4), team,
+                          np.random.default_rng(0))
+        assert len(r.trace.handoffs()) > 0
+
+    def test_no_handoffs_in_scenario3(self, prog):
+        team = fresh_team()
+        r = run_partition(scenario_partition(prog, 3), team,
+                          np.random.default_rng(0))
+        assert r.trace.handoffs() == []
+
+    def test_agent_attribution_on_canvas(self, prog):
+        team = fresh_team()
+        r = run_partition(scenario_partition(prog, 3), team,
+                          np.random.default_rng(0))
+        counts = r.canvas.agent_cell_counts()
+        assert len(counts) == 4
+        assert all(v == 24 for v in counts.values())
+
+
+class TestMarkerName:
+    def test_names(self):
+        assert marker_name(Color.RED) == "red_marker"
+        assert marker_name(Color.BLACK) == "black_marker"
+
+
+class TestReplayMany:
+    def test_independent_trials(self, prog):
+        results = replay_many(
+            make_partition=lambda: single(prog),
+            team_factory=lambda rng: make_team(
+                "t", 1, rng, colors=list(MAURITIUS_STRIPES)
+            ),
+            n_trials=3,
+            seed=11,
+        )
+        assert len(results) == 3
+        times = [r.true_makespan for r in results]
+        assert len(set(times)) == 3  # different teams, different times
+        assert all(r.correct for r in results)

@@ -1,0 +1,94 @@
+"""Tests for repro.schedule.scenario — the four core scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.flags import mauritius
+from repro.grid.palette import MAURITIUS_STRIPES
+from repro.schedule.scenario import (
+    core_scenarios,
+    get_scenario,
+    run_core_activity,
+    run_scenario,
+)
+
+
+def fresh_team(seed=0):
+    return make_team("t", 4, np.random.default_rng(seed),
+                     colors=list(MAURITIUS_STRIPES))
+
+
+class TestScenarioDefinitions:
+    def test_four_scenarios_in_order(self):
+        scenarios = core_scenarios()
+        assert [s.number for s in scenarios] == [1, 2, 3, 4]
+        assert [s.n_colorers for s in scenarios] == [1, 2, 4, 4]
+
+    def test_get_scenario(self):
+        assert get_scenario(3).name == "four_by_stripe"
+        with pytest.raises(KeyError):
+            get_scenario(5)
+
+    def test_descriptions_present(self):
+        assert all(s.description for s in core_scenarios())
+
+
+class TestRunScenario:
+    def test_single_scenario_runs(self):
+        r = run_scenario(get_scenario(2), mauritius(), fresh_team(),
+                         np.random.default_rng(0))
+        assert r.correct
+        assert r.n_workers == 2
+        assert r.extra["scenario"] == 2
+        assert r.extra["flag"] == "mauritius"
+
+    def test_custom_grid_size(self):
+        r = run_scenario(get_scenario(1), mauritius(), fresh_team(),
+                         np.random.default_rng(0), rows=4, cols=8)
+        assert r.canvas.rows == 4 and r.canvas.cols == 8
+
+
+class TestRunCoreActivity:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_core_activity(mauritius(), fresh_team(42),
+                                 np.random.default_rng(42))
+
+    def test_all_runs_present(self, results):
+        assert list(results) == [
+            "scenario1", "scenario1_repeat", "scenario2",
+            "scenario3", "scenario4",
+        ]
+
+    def test_all_correct(self, results):
+        assert all(r.correct for r in results.values())
+
+    def test_times_decrease_through_scenario3(self, results):
+        """The headline classroom observation (Section III-C)."""
+        t1 = results["scenario1"].true_makespan
+        t2 = results["scenario2"].true_makespan
+        t3 = results["scenario3"].true_makespan
+        assert t1 > t2 > t3
+
+    def test_repeat_faster_than_first(self, results):
+        """The warmup lesson."""
+        assert (results["scenario1_repeat"].true_makespan
+                < results["scenario1"].true_makespan)
+
+    def test_scenario4_slower_than_3(self, results):
+        """The contention lesson: same processors, shared implements."""
+        assert (results["scenario4"].true_makespan
+                > results["scenario3"].true_makespan)
+
+    def test_speedup_sublinear(self, results):
+        t1 = results["scenario1_repeat"].true_makespan
+        t3 = results["scenario3"].true_makespan
+        assert 1.5 < t1 / t3 < 4.0
+
+    def test_no_repeat_option(self):
+        results = run_core_activity(mauritius(), fresh_team(1),
+                                    np.random.default_rng(1),
+                                    repeat_first=False)
+        assert "scenario1_repeat" not in results
+        assert len(results) == 4

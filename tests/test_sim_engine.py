@@ -1,0 +1,235 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    Acquire,
+    Release,
+    SimulationError,
+    Simulator,
+    Timeout,
+    WaitAll,
+)
+from repro.sim.events import EventKind
+
+
+def sleeper(sim, name, delay):
+    yield Timeout(delay)
+    sim.log(EventKind.NOTE, agent=name, msg="woke")
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        sim = Simulator()
+        sim.add_process("a", sleeper(sim, "a", 5.0))
+        assert sim.run() == 5.0
+
+    def test_parallel_sleepers_makespan_is_max(self):
+        sim = Simulator()
+        sim.add_process("a", sleeper(sim, "a", 3.0))
+        sim.add_process("b", sleeper(sim, "b", 7.0))
+        assert sim.run() == 7.0
+        assert sim.finish_times == {"a": 3.0, "b": 7.0}
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_start_at_offsets_process(self):
+        sim = Simulator()
+        sim.add_process("late", sleeper(sim, "late", 1.0), start_at=10.0)
+        assert sim.run() == 11.0
+
+    def test_zero_duration_process(self):
+        def instant(sim):
+            sim.log(EventKind.NOTE, agent="i")
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        sim = Simulator()
+        sim.add_process("i", instant(sim))
+        assert sim.run() == 0.0
+
+
+class TestResources:
+    def test_exclusive_resource_serializes(self):
+        sim = Simulator()
+        res = sim.resource("marker")
+
+        def worker(name):
+            yield Acquire(res)
+            yield Timeout(2.0)
+            yield Release(res)
+
+        sim.add_process("a", worker("a"))
+        sim.add_process("b", worker("b"))
+        assert sim.run() == 4.0
+
+    def test_capacity_two_runs_concurrently(self):
+        sim = Simulator()
+        res = sim.resource("markers", capacity=2)
+
+        def worker(name):
+            yield Acquire(res)
+            yield Timeout(2.0)
+            yield Release(res)
+
+        for n in ("a", "b"):
+            sim.add_process(n, worker(n))
+        assert sim.run() == 2.0
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        res = sim.resource("m")
+        order = []
+
+        def worker(name, think):
+            yield Timeout(think)
+            yield Acquire(res)
+            order.append(name)
+            yield Timeout(1.0)
+            yield Release(res)
+
+        sim.add_process("first", worker("first", 0.0))
+        sim.add_process("second", worker("second", 0.1))
+        sim.add_process("third", worker("third", 0.2))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_release_without_hold_raises(self):
+        sim = Simulator()
+        res = sim.resource("m")
+
+        def bad():
+            yield Release(res)
+
+        sim.add_process("bad", bad())
+        with pytest.raises(SimulationError, match="without holding"):
+            sim.run()
+
+    def test_resource_capacity_conflict_detected(self):
+        sim = Simulator()
+        sim.resource("m", capacity=1)
+        with pytest.raises(SimulationError, match="capacity"):
+            sim.resource("m", capacity=2)
+
+    def test_resource_reuse_same_capacity_ok(self):
+        sim = Simulator()
+        a = sim.resource("m", capacity=2)
+        b = sim.resource("m", capacity=2)
+        assert a is b
+
+    def test_invalid_capacity(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.resource("m", capacity=0)
+
+
+class TestWaitAll:
+    def test_waits_for_dependencies(self):
+        sim = Simulator()
+        sim.add_process("dep1", sleeper(sim, "dep1", 3.0))
+        sim.add_process("dep2", sleeper(sim, "dep2", 5.0))
+
+        def waiter():
+            yield WaitAll(("dep1", "dep2"))
+            yield Timeout(1.0)
+
+        sim.add_process("w", waiter())
+        assert sim.run() == 6.0
+        assert sim.finish_times["w"] == 6.0
+
+    def test_wait_on_finished_process_is_noop(self):
+        sim = Simulator()
+        sim.add_process("dep", sleeper(sim, "dep", 1.0))
+
+        def late_waiter():
+            yield Timeout(5.0)
+            yield WaitAll(("dep",))
+            yield Timeout(1.0)
+
+        sim.add_process("w", late_waiter())
+        assert sim.run() == 6.0
+
+    def test_wait_on_unknown_raises(self):
+        sim = Simulator()
+
+        def waiter():
+            yield WaitAll(("ghost",))
+
+        sim.add_process("w", waiter())
+        with pytest.raises(SimulationError, match="unknown"):
+            sim.run()
+
+
+class TestKernelSafety:
+    def test_duplicate_process_name_rejected(self):
+        sim = Simulator()
+        sim.add_process("a", sleeper(sim, "a", 1.0))
+        with pytest.raises(SimulationError, match="duplicate"):
+            sim.add_process("a", sleeper(sim, "a", 1.0))
+
+    def test_add_after_run_rejected(self):
+        sim = Simulator()
+        sim.add_process("a", sleeper(sim, "a", 1.0))
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.add_process("b", sleeper(sim, "b", 1.0))
+
+    def test_deadlock_detected(self):
+        sim = Simulator()
+        res = sim.resource("m")
+
+        def hog():
+            yield Acquire(res)
+            yield Timeout(1.0)
+            # never releases
+
+        def starved():
+            yield Timeout(0.5)
+            yield Acquire(res)
+
+        sim.add_process("hog", hog())
+        sim.add_process("starved", starved())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run()
+
+    def test_unknown_yield_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield "not a command"
+
+        sim.add_process("bad", bad())
+        with pytest.raises(SimulationError, match="yielded"):
+            sim.run()
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        sim.add_process("a", sleeper(sim, "a", 100.0))
+        assert sim.run(until=10.0) == 10.0
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_traces(self):
+        import numpy as np
+
+        def build():
+            sim = Simulator()
+            res = sim.resource("m")
+            rng = np.random.default_rng(42)
+
+            def worker(name):
+                for _ in range(5):
+                    yield Acquire(res)
+                    sim.log(EventKind.STROKE_START, agent=name)
+                    yield Timeout(float(rng.exponential(1.0)))
+                    sim.log(EventKind.STROKE_END, agent=name)
+                    yield Release(res)
+
+            for n in ("a", "b", "c"):
+                sim.add_process(n, worker(n))
+            sim.run()
+            return [(e.time, e.seq, e.kind, e.agent) for e in sim.events]
+
+        assert build() == build()

@@ -1,0 +1,104 @@
+"""Tests for repro.sim.export — trace serialization."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.flags import compile_flag, mauritius, scenario_partition
+from repro.grid.palette import MAURITIUS_STRIPES
+from repro.schedule.runner import run_partition
+from repro.sim.events import Event, EventKind
+from repro.sim.export import (
+    ExportError,
+    event_from_dict,
+    event_to_dict,
+    export_events,
+    export_trace,
+    import_events,
+    import_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def s4_result():
+    prog = compile_flag(mauritius())
+    team = make_team("t", 4, np.random.default_rng(6),
+                     colors=list(MAURITIUS_STRIPES))
+    return run_partition(scenario_partition(prog, 4), team,
+                         np.random.default_rng(6))
+
+
+class TestEventDicts:
+    def test_round_trip_single(self):
+        e = Event(time=1.5, seq=3, kind=EventKind.STROKE_START,
+                  agent="P1", data={"cell": [2, 3], "color": "RED"})
+        assert event_from_dict(event_to_dict(e)) == e
+        back = event_from_dict(event_to_dict(e))
+        assert back.kind == e.kind and back.data == e.data
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ExportError):
+            event_from_dict({"time": 0, "seq": 0, "kind": "teleport"})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ExportError):
+            event_from_dict({"time": 0, "kind": "note"})
+
+
+class TestEventsRoundTrip:
+    @staticmethod
+    def _field_tuples(events):
+        """Full field comparison (Event.__eq__ only uses (time, seq))."""
+        def norm(d):
+            return {k: (list(v) if isinstance(v, (list, tuple)) else v)
+                    for k, v in d.items()}
+
+        return [(e.time, e.seq, e.kind, e.agent, norm(e.data))
+                for e in events]
+
+    def test_full_trace_round_trip(self, s4_result):
+        text = export_trace(s4_result.trace)
+        back = import_trace(text)
+        assert len(back.events) == len(s4_result.trace.events)
+        assert (self._field_tuples(back.events)
+                == self._field_tuples(s4_result.trace.events))
+
+    def test_analyses_survive_round_trip(self, s4_result):
+        back = import_trace(export_trace(s4_result.trace))
+        assert back.makespan() == s4_result.trace.makespan()
+        assert (back.total_wait_fraction()
+                == s4_result.trace.total_wait_fraction())
+        assert len(back.stroke_intervals()) \
+            == len(s4_result.trace.stroke_intervals())
+
+    def test_file_object_io(self, s4_result):
+        buf = io.StringIO()
+        export_trace(s4_result.trace, buf)
+        buf.seek(0)
+        back = import_trace(buf)
+        assert (self._field_tuples(back.events)
+                == self._field_tuples(s4_result.trace.events))
+
+    def test_empty_export(self):
+        assert export_events([]) == ""
+        assert import_events("") == []
+
+    def test_blank_lines_skipped(self):
+        e = Event(time=0.0, seq=0, kind=EventKind.NOTE, agent="x", data={})
+        text = "\n" + export_events([e]) + "\n\n"
+        assert import_events(text) == [e]
+
+    def test_invalid_json_line(self):
+        with pytest.raises(ExportError, match="line 1"):
+            import_events("not json at all")
+
+    def test_cells_become_lists_but_data_preserved(self, s4_result):
+        """JSON turns tuples into lists; data content is still equal for
+        metric purposes (trace analysis only reads resource/color keys)."""
+        back = import_trace(export_trace(s4_result.trace))
+        orig = s4_result.trace.of_kind(EventKind.STROKE_START)[0]
+        imported = back.of_kind(EventKind.STROKE_START)[0]
+        assert imported.data["color"] == orig.data["color"]
+        assert list(imported.data["cell"]) == list(orig.data["cell"])

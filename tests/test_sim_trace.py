@@ -1,0 +1,141 @@
+"""Tests for repro.sim.trace."""
+
+import pytest
+
+from repro.sim.engine import Acquire, Release, Simulator, Timeout
+from repro.sim.events import Event, EventKind
+from repro.sim.trace import Trace, TraceError
+
+
+def make_events(*tuples):
+    """(time, kind, agent, data) tuples -> Event list with sequence order."""
+    return [
+        Event(time=t, seq=i, kind=k, agent=a, data=d)
+        for i, (t, k, a, d) in enumerate(tuples)
+    ]
+
+
+class TestStrokeIntervals:
+    def test_pairs_start_end(self):
+        tr = Trace(make_events(
+            (0.0, EventKind.STROKE_START, "P1", {"color": "red"}),
+            (2.0, EventKind.STROKE_END, "P1", {"color": "red"}),
+        ))
+        ivs = tr.stroke_intervals()
+        assert len(ivs) == 1
+        assert ivs[0].duration == 2.0
+        assert ivs[0].label == "red"
+
+    def test_interleaved_agents(self):
+        tr = Trace(make_events(
+            (0.0, EventKind.STROKE_START, "P1", {}),
+            (0.5, EventKind.STROKE_START, "P2", {}),
+            (1.0, EventKind.STROKE_END, "P1", {}),
+            (2.0, EventKind.STROKE_END, "P2", {}),
+        ))
+        assert len(tr.stroke_intervals()) == 2
+
+    def test_nested_stroke_rejected(self):
+        tr = Trace(make_events(
+            (0.0, EventKind.STROKE_START, "P1", {}),
+            (1.0, EventKind.STROKE_START, "P1", {}),
+        ))
+        with pytest.raises(TraceError, match="nested"):
+            tr.stroke_intervals()
+
+    def test_end_without_start_rejected(self):
+        tr = Trace(make_events((1.0, EventKind.STROKE_END, "P1", {})))
+        with pytest.raises(TraceError, match="without START"):
+            tr.stroke_intervals()
+
+    def test_unclosed_stroke_rejected(self):
+        tr = Trace(make_events((0.0, EventKind.STROKE_START, "P1", {})))
+        with pytest.raises(TraceError, match="unclosed"):
+            tr.stroke_intervals()
+
+
+class TestWaitIntervals:
+    def test_request_acquire_pairing(self):
+        tr = Trace(make_events(
+            (0.0, EventKind.RESOURCE_REQUEST, "P1", {"resource": "m"}),
+            (3.0, EventKind.RESOURCE_ACQUIRE, "P1", {"resource": "m"}),
+        ))
+        ivs = tr.wait_intervals()
+        assert len(ivs) == 1
+        assert ivs[0].duration == 3.0
+
+    def test_zero_wait_included(self):
+        tr = Trace(make_events(
+            (1.0, EventKind.RESOURCE_REQUEST, "P1", {"resource": "m"}),
+            (1.0, EventKind.RESOURCE_ACQUIRE, "P1", {"resource": "m"}),
+        ))
+        assert len(tr.wait_intervals()) == 1
+        assert tr.wait_intervals()[0].duration == 0.0
+
+    def test_acquire_without_request_rejected(self):
+        tr = Trace(make_events(
+            (1.0, EventKind.RESOURCE_ACQUIRE, "P1", {"resource": "m"}),
+        ))
+        with pytest.raises(TraceError, match="without REQUEST"):
+            tr.wait_intervals()
+
+
+class TestAggregates:
+    @pytest.fixture
+    def contended_trace(self):
+        """Two workers alternating on one marker, 1s per stroke."""
+        sim = Simulator()
+        res = sim.resource("m")
+
+        def worker(name, n):
+            for _ in range(n):
+                yield Acquire(res)
+                sim.log(EventKind.STROKE_START, agent=name, color="red")
+                yield Timeout(1.0)
+                sim.log(EventKind.STROKE_END, agent=name, color="red")
+                yield Release(res)
+
+        sim.add_process("P1", worker("P1", 2))
+        sim.add_process("P2", worker("P2", 2))
+        sim.run()
+        return Trace(sim.events)
+
+    def test_busy_time(self, contended_trace):
+        assert contended_trace.busy_time("P1") == 2.0
+        assert contended_trace.busy_time("P2") == 2.0
+
+    def test_waiting_time_positive_under_contention(self, contended_trace):
+        total_wait = (contended_trace.waiting_time("P1")
+                      + contended_trace.waiting_time("P2"))
+        assert total_wait > 0
+
+    def test_summaries_account_for_makespan(self, contended_trace):
+        for s in contended_trace.summaries():
+            assert s.busy + s.waiting + s.idle == pytest.approx(s.finish)
+            assert 0.0 <= s.utilization <= 1.0
+
+    def test_total_wait_fraction_bounds(self, contended_trace):
+        f = contended_trace.total_wait_fraction()
+        assert 0.0 < f < 1.0
+
+    def test_resource_utilization_full(self, contended_trace):
+        # The marker is always in someone's hand in this schedule.
+        assert contended_trace.resource_utilization("m") == pytest.approx(1.0)
+
+    def test_holders_timeline(self, contended_trace):
+        held = contended_trace.resource_holders_timeline("m")
+        assert len(held) == 4
+        # Intervals must not overlap for an exclusive resource.
+        held.sort(key=lambda iv: iv.start)
+        for a, b in zip(held, held[1:]):
+            assert a.end <= b.start + 1e-9
+
+    def test_finish_time_unknown_agent_raises(self, contended_trace):
+        with pytest.raises(TraceError):
+            contended_trace.finish_time("ghost")
+
+    def test_empty_trace(self):
+        tr = Trace([])
+        assert tr.makespan() == 0.0
+        assert tr.summaries() == []
+        assert tr.total_wait_fraction() == 0.0

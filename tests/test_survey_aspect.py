@@ -1,0 +1,71 @@
+"""Tests for repro.survey.aspect — the Figure 5 instrument."""
+
+import pytest
+
+from repro.data.paper_tables import ALL_TABLES
+from repro.survey.aspect import (
+    ITEMS,
+    Aspect,
+    get_item,
+    item_for_table_row,
+    items_by_aspect,
+    table_rows,
+)
+
+
+class TestInstrument:
+    def test_eighteen_items(self):
+        assert len(ITEMS) == 18
+
+    def test_unique_ids(self):
+        ids = [i.item_id for i in ITEMS]
+        assert len(set(ids)) == 18
+
+    def test_exactly_one_optional_item(self):
+        optional = [i for i in ITEMS if i.optional]
+        assert len(optional) == 1
+        assert optional[0].item_id == "tied_to_assignment"
+
+    def test_aspect_counts(self):
+        assert len(items_by_aspect(Aspect.INSTRUCTOR)) == 4
+        assert len(items_by_aspect(Aspect.UNDERSTANDING)) == 6
+        assert len(items_by_aspect(Aspect.ENGAGEMENT)) == 8
+
+    def test_get_item(self):
+        assert get_item("had_fun").aspect is Aspect.ENGAGEMENT
+        with pytest.raises(KeyError, match="valid"):
+            get_item("favorite_color")
+
+
+class TestTableMapping:
+    def test_every_published_row_has_an_item(self):
+        for table_id, table in ALL_TABLES.items():
+            for row_label in table:
+                item = item_for_table_row(table_id, row_label)
+                assert item.table_row == (table_id, row_label)
+
+    def test_table_rows_cover_all_published_rows(self):
+        mapped = table_rows()
+        published = {
+            (tid, row) for tid, t in ALL_TABLES.items() for row in t
+        }
+        assert set(mapped) == published
+
+    def test_three_items_untabulated(self):
+        untabulated = [i for i in ITEMS if i.table_row is None]
+        assert {i.item_id for i in untabulated} == {
+            "others_contributed", "prefer_activity_class",
+            "tied_to_assignment",
+        }
+
+    def test_unknown_row_raises(self):
+        with pytest.raises(KeyError):
+            item_for_table_row("I", "Not a real question")
+
+    def test_table_aspect_consistency(self):
+        """Table I rows are engagement items, II understanding, III
+        instructor — the paper's grouping."""
+        expectations = {"I": Aspect.ENGAGEMENT, "II": Aspect.UNDERSTANDING,
+                        "III": Aspect.INSTRUCTOR}
+        for (tid, _row), item in table_rows().items():
+            assert item.aspect is expectations[tid]

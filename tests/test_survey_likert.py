@@ -1,0 +1,52 @@
+"""Tests for repro.survey.likert — response sets."""
+
+import pytest
+
+from repro.survey.aspect import Aspect
+from repro.survey.likert import ResponseSet, SurveyError
+
+
+class TestResponseSet:
+    def test_add_and_median(self):
+        rs = ResponseSet("TestU")
+        rs.add_many("had_fun", [4, 5, 5])
+        assert rs.median("had_fun") == 5.0
+        assert rs.n_respondents("had_fun") == 3
+
+    def test_unknown_item_rejected(self):
+        rs = ResponseSet("TestU")
+        with pytest.raises(KeyError):
+            rs.add("not_an_item", 3)
+
+    def test_out_of_scale_rejected(self):
+        rs = ResponseSet("TestU")
+        with pytest.raises(SurveyError):
+            rs.add("had_fun", 0)
+        with pytest.raises(SurveyError):
+            rs.add("had_fun", 6)
+
+    def test_not_administered_is_none(self):
+        rs = ResponseSet("TestU")
+        assert rs.median("had_fun") is None
+        assert not rs.administered("had_fun")
+        assert rs.n_respondents("had_fun") == 0
+
+    def test_medians_cover_all_items(self):
+        rs = ResponseSet("TestU")
+        rs.add_many("had_fun", [4, 4])
+        meds = rs.medians()
+        assert meds["had_fun"] == 4.0
+        assert meds["focused"] is None
+        assert len(meds) == 18
+
+    def test_aspect_median_pools_items(self):
+        rs = ResponseSet("TestU")
+        rs.add_many("had_fun", [5, 5])
+        rs.add_many("focused", [3, 3])
+        assert rs.aspect_median(Aspect.ENGAGEMENT) == 4.0
+        assert rs.aspect_median(Aspect.INSTRUCTOR) is None
+
+    def test_half_point_median(self):
+        rs = ResponseSet("TestU")
+        rs.add_many("had_fun", [4, 5])
+        assert rs.median("had_fun") == 4.5

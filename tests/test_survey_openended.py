@@ -1,0 +1,86 @@
+"""Tests for repro.survey.openended — theme coding round trips."""
+
+import numpy as np
+import pytest
+
+from repro.survey.openended import (
+    Question,
+    Theme,
+    code_comment,
+    generate_comment,
+    generate_corpus,
+    theme_frequencies,
+    themes_for_question,
+)
+
+
+class TestCodeComment:
+    def test_contention_comment(self):
+        themes = code_comment(
+            "We kept waiting for the same marker the whole time."
+        )
+        assert Theme.CONTENTION in themes
+
+    def test_diminishing_returns_comment(self):
+        themes = code_comment(
+            "I learned that more processors is not always faster."
+        )
+        assert Theme.DIMINISHING_RETURNS in themes
+
+    def test_crayon_complaint(self):
+        themes = code_comment("The crayons kept breaking, use markers!")
+        assert Theme.BETTER_TOOLS in themes
+
+    def test_multi_theme_comment(self):
+        themes = code_comment(
+            "The hands-on activity was engaging and showed how dividing "
+            "the work matters."
+        )
+        assert Theme.HANDS_ON in themes
+        assert Theme.WORKLOAD_DISTRIBUTION in themes
+
+    def test_unrelated_comment_has_no_themes(self):
+        assert code_comment("The weather was nice.") == set()
+
+    def test_case_insensitive(self):
+        assert Theme.CONTENTION in code_comment("CONTENTION was the issue")
+
+
+class TestGeneration:
+    def test_comment_for_every_theme(self, rng):
+        for question in Question:
+            for theme in themes_for_question(question):
+                text = generate_comment(question, theme, rng)
+                assert isinstance(text, str) and text
+
+    def test_unknown_theme_question_pair_raises(self, rng):
+        with pytest.raises(KeyError):
+            generate_comment(Question.MOST_INTERESTING, Theme.BETTER_TOOLS,
+                             rng)
+
+    def test_round_trip_all_themes(self, rng):
+        """Every generated comment is coded back to its intended theme."""
+        for question in Question:
+            corpus = generate_corpus(question, 100, rng)
+            for text, intended in corpus:
+                assert intended in code_comment(text), (question, text)
+
+    def test_weighted_generation(self, rng):
+        weights = {Theme.SHORTER: 1.0}
+        corpus = generate_corpus(Question.IMPROVEMENTS, 30, rng,
+                                 weights=weights)
+        assert all(theme is Theme.SHORTER for _, theme in corpus)
+
+    def test_zero_mass_weights_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_corpus(Question.IMPROVEMENTS, 5, rng,
+                            weights={Theme.CONTENTION: 1.0})
+
+
+class TestFrequencies:
+    def test_tabulation(self, rng):
+        corpus = generate_corpus(Question.MOST_INTERESTING, 200, rng)
+        freqs = theme_frequencies([text for text, _ in corpus])
+        # Uniform mixture: every theme for this question should appear.
+        for theme in themes_for_question(Question.MOST_INTERESTING):
+            assert freqs.get(theme, 0) > 0

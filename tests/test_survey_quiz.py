@@ -1,0 +1,75 @@
+"""Tests for repro.survey.quiz — the Figure 7 instrument."""
+
+import pytest
+
+from repro.data.paper_tables import QUIZ_CONCEPTS
+from repro.survey.quiz import (
+    BY_CONCEPT,
+    QUESTIONS,
+    QuestionKind,
+    QuizQuestion,
+    get_question,
+    grade,
+    score,
+)
+
+
+class TestInstrument:
+    def test_five_questions_cover_concepts(self):
+        assert tuple(q.concept for q in QUESTIONS) == QUIZ_CONCEPTS
+
+    def test_kinds(self):
+        """Two true/false (speedup, scalability), three multiple choice."""
+        tf = [q.concept for q in QUESTIONS
+              if q.kind is QuestionKind.TRUE_FALSE]
+        assert tf == ["speedup", "scalability"]
+
+    def test_tf_questions_have_two_options(self):
+        for q in QUESTIONS:
+            if q.kind is QuestionKind.TRUE_FALSE:
+                assert len(q.options) == 2
+            else:
+                assert len(q.options) == 4
+
+    def test_answer_key(self):
+        assert BY_CONCEPT["task_decomposition"].correct == 0  # (a)
+        assert BY_CONCEPT["speedup"].correct == 0             # True
+        assert BY_CONCEPT["contention"].correct == 1          # (b)
+        assert BY_CONCEPT["scalability"].correct == 0         # True
+        assert BY_CONCEPT["pipelining"].correct == 1          # (b)
+
+    def test_get_question(self):
+        assert get_question("contention").concept == "contention"
+        with pytest.raises(KeyError, match="valid"):
+            get_question("quantum")
+
+    def test_invalid_correct_index_rejected(self):
+        with pytest.raises(ValueError):
+            QuizQuestion("x", "p", QuestionKind.TRUE_FALSE,
+                         ("True", "False"), correct=5)
+
+
+class TestGrading:
+    def test_is_correct(self):
+        q = BY_CONCEPT["contention"]
+        assert q.is_correct(1)
+        assert not q.is_correct(0)
+        with pytest.raises(ValueError):
+            q.is_correct(9)
+
+    def test_grade_full_sheet(self):
+        perfect = {q.concept: q.correct for q in QUESTIONS}
+        assert all(grade(perfect).values())
+        assert score(perfect) == 5
+
+    def test_grade_missing_answers_incorrect(self):
+        assert grade({})["speedup"] is False
+        assert score({}) == 0
+
+    def test_partial_score(self):
+        answers = {
+            "task_decomposition": 0,  # right
+            "speedup": 1,             # wrong (False)
+            "contention": 1,          # right
+        }
+        assert score(answers) == 2

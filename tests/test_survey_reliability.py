@@ -1,0 +1,98 @@
+"""Tests for repro.survey.reliability."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.speedup import MetricError
+from repro.survey import Aspect, ResponseSet
+from repro.survey.reliability import (
+    cronbach_alpha,
+    inter_institution_spread,
+    item_total_correlations,
+)
+from repro.survey.respond import synthesize_all, synthesize_institution
+
+
+def consistent_population(n=30, seed=0):
+    """Respondents with a latent 'engagement' trait driving all items —
+    high internal consistency by construction."""
+    rng = np.random.default_rng(seed)
+    rs = ResponseSet("TestU")
+    traits = rng.normal(4.0, 0.8, size=n)
+    for item_id in ("had_fun", "focused", "worked_hard", "my_contribution"):
+        noise = rng.normal(0, 0.3, size=n)
+        answers = np.clip(np.rint(traits + noise), 1, 5).astype(int)
+        rs.add_many(item_id, answers.tolist())
+    return rs
+
+
+def noisy_population(n=30, seed=0):
+    """Items answered independently at random — near-zero consistency."""
+    rng = np.random.default_rng(seed)
+    rs = ResponseSet("TestU")
+    for item_id in ("had_fun", "focused", "worked_hard", "my_contribution"):
+        rs.add_many(item_id, rng.integers(1, 6, size=n).tolist())
+    return rs
+
+
+class TestCronbachAlpha:
+    def test_high_for_trait_driven_population(self):
+        alpha = cronbach_alpha(consistent_population(),
+                               aspect=Aspect.ENGAGEMENT)
+        assert alpha > 0.8
+
+    def test_low_for_random_population(self):
+        alpha = cronbach_alpha(noisy_population(), aspect=Aspect.ENGAGEMENT)
+        assert alpha < 0.4
+
+    def test_needs_two_items(self):
+        rs = ResponseSet("TestU")
+        rs.add_many("had_fun", [3, 4, 5])
+        with pytest.raises(MetricError, match="two items"):
+            cronbach_alpha(rs, aspect=Aspect.ENGAGEMENT)
+
+    def test_misaligned_items_rejected(self):
+        rs = ResponseSet("TestU")
+        rs.add_many("had_fun", [3, 4, 5])
+        rs.add_many("focused", [3, 4])
+        with pytest.raises(MetricError, match="responses"):
+            cronbach_alpha(rs, aspect=Aspect.ENGAGEMENT)
+
+    def test_on_synthetic_institution(self, rng):
+        """The calibrated populations are analyzable end to end."""
+        rs = synthesize_institution("USI", rng)
+        alpha = cronbach_alpha(rs, aspect=Aspect.INSTRUCTOR)
+        assert -1.0 <= alpha <= 1.0
+
+
+class TestItemTotal:
+    def test_trait_items_discriminate(self):
+        corrs = item_total_correlations(consistent_population(),
+                                        aspect=Aspect.ENGAGEMENT)
+        assert all(c > 0.5 for c in corrs.values())
+
+    def test_random_items_do_not(self):
+        corrs = item_total_correlations(noisy_population(seed=3),
+                                        aspect=Aspect.ENGAGEMENT)
+        assert all(abs(c) < 0.5 for c in corrs.values())
+
+    def test_zero_variance_item_gets_zero(self):
+        rs = ResponseSet("TestU")
+        rs.add_many("had_fun", [5, 5, 5, 5])
+        rs.add_many("focused", [1, 2, 3, 4])
+        rs.add_many("worked_hard", [4, 3, 2, 1])
+        corrs = item_total_correlations(rs, aspect=Aspect.ENGAGEMENT)
+        assert corrs["had_fun"] == 0.0
+
+
+class TestInterInstitutionSpread:
+    def test_spread_on_published_populations(self):
+        sets_ = synthesize_all(seed=4)
+        spread = inter_institution_spread(sets_)
+        # Instructor preparedness: everyone 5.0 except Knox 4.0 -> 1.0.
+        assert spread["instructor_prepared"] == pytest.approx(1.0)
+        # Understanding of loops ranges 3.0 .. 5.0 -> 2.0 (the widest gap
+        # the tables show).
+        assert spread["increased_loops_understanding"] == pytest.approx(2.0)
+        # Spread never exceeds the scale width.
+        assert all(0.0 <= v <= 4.0 for v in spread.values())

@@ -1,0 +1,86 @@
+"""Tests for repro.survey.respond — calibrated populations (Tables I-III)."""
+
+import numpy as np
+import pytest
+
+from repro.data.paper_tables import ALL_TABLES, INSTITUTIONS, SURVEY_N
+from repro.survey.likert import SurveyError
+from repro.survey.respond import (
+    published_median,
+    recompute_table,
+    synthesize_all,
+    synthesize_institution,
+    table_discrepancies,
+)
+
+
+class TestPublishedMedian:
+    def test_known_cells(self):
+        assert published_median("USI", "had_fun") == 5.0
+        assert published_median("HPU", "increased_loops_understanding") == 3.0
+
+    def test_na_cell_is_none(self):
+        assert published_median("TNTech", "stimulated_interest") is None
+        assert published_median("Webster", "instructor_effort") is None
+
+    def test_untabulated_item_is_none(self):
+        assert published_median("USI", "prefer_activity_class") is None
+
+
+class TestSynthesize:
+    def test_unknown_institution(self, rng):
+        with pytest.raises(KeyError, match="valid"):
+            synthesize_institution("Hogwarts", rng)
+
+    def test_respondent_counts(self, rng):
+        rs = synthesize_institution("USI", rng)
+        assert rs.n_respondents("had_fun") == SURVEY_N["USI"]
+
+    def test_na_items_not_administered(self, rng):
+        rs = synthesize_institution("Webster", rng)
+        assert not rs.administered("instructor_effort")
+        rs2 = synthesize_institution("TNTech", rng)
+        assert not rs2.administered("stimulated_interest")
+
+    def test_knox_gets_optional_item(self, rng):
+        rs = synthesize_institution("Knox", rng)
+        assert rs.administered("tied_to_assignment")
+
+    def test_others_skip_optional_item(self, rng):
+        rs = synthesize_institution("USI", rng)
+        assert not rs.administered("tied_to_assignment")
+
+    def test_untabulated_items_administered_with_tone(self, rng):
+        rs = synthesize_institution("Knox", rng)
+        assert rs.administered("prefer_activity_class")
+        # Knox's published tone is uniformly 4.0.
+        assert rs.median("prefer_activity_class") == 4.0
+
+
+class TestTableReproduction:
+    """The headline: all of Tables I, II, III reproduce exactly."""
+
+    @pytest.fixture(scope="class")
+    def response_sets(self):
+        return synthesize_all(seed=99)
+
+    @pytest.mark.parametrize("table_id", ["I", "II", "III"])
+    def test_table_exact(self, table_id, response_sets):
+        assert table_discrepancies(table_id, response_sets) == {}
+
+    @pytest.mark.parametrize("table_id", ["I", "II", "III"])
+    def test_recompute_structure(self, table_id, response_sets):
+        table = recompute_table(table_id, response_sets)
+        assert set(table) == set(ALL_TABLES[table_id])
+        for row in table.values():
+            assert set(row) == set(INSTITUTIONS)
+
+    def test_many_seeds_all_exact(self):
+        for seed in range(5):
+            sets_ = synthesize_all(seed=seed)
+            for tid in ("I", "II", "III"):
+                assert table_discrepancies(tid, sets_) == {}, (seed, tid)
+
+    def test_unknown_table_raises(self, response_sets):
+        with pytest.raises(SurveyError):
+            recompute_table("IV", response_sets)

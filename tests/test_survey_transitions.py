@@ -1,0 +1,103 @@
+"""Tests for repro.survey.transitions — the Figure 8 model."""
+
+import numpy as np
+import pytest
+
+from repro.data.paper_tables import FIG8_TRANSITIONS, QUIZ_CONCEPTS, QUIZ_N
+from repro.survey.transitions import (
+    STATES,
+    TransitionError,
+    analyze_sheets,
+    exact_state_counts,
+    expected_fractions,
+    improvement_summary,
+    pre_post_correct_rates,
+    simulate_cohort,
+)
+
+
+class TestExactStateCounts:
+    def test_counts_sum_to_n(self):
+        fr = {"retained": 0.5, "gained": 0.3, "lost": 0.1, "never": 0.1}
+        counts = exact_state_counts(fr, 13)
+        assert sum(counts.values()) == 13
+
+    def test_matches_fractions_for_round_n(self):
+        fr = {"retained": 0.5, "gained": 0.25, "lost": 0.25, "never": 0.0}
+        assert exact_state_counts(fr, 8) == {
+            "retained": 4, "gained": 2, "lost": 2, "never": 0,
+        }
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(TransitionError):
+            exact_state_counts({"retained": 0.5}, 10)
+
+
+class TestSimulateCohort:
+    def test_default_cohort_sizes(self, rng):
+        for inst, n in QUIZ_N.items():
+            sheets = simulate_cohort(inst, rng)
+            assert sheets.n == n
+
+    def test_unknown_institution(self, rng):
+        with pytest.raises(TransitionError, match="valid"):
+            simulate_cohort("Knox", rng)  # Knox did not run the quiz
+
+    def test_sheets_are_complete_quizzes(self, rng):
+        sheets = simulate_cohort("HPU", rng)
+        for sheet in sheets.pre + sheets.post:
+            assert set(sheet) == set(QUIZ_CONCEPTS)
+
+    @pytest.mark.parametrize("inst", sorted(FIG8_TRANSITIONS))
+    def test_exact_mode_recovers_calibration(self, inst, rng):
+        """Grading simulated sheets reproduces Figure 8 (within 1/n)."""
+        sheets = simulate_cohort(inst, rng, exact=True)
+        analysis = analyze_sheets(sheets)
+        expected = expected_fractions(inst)
+        tol = 1.0 / sheets.n + 1e-9
+        for concept in QUIZ_CONCEPTS:
+            for state in STATES:
+                assert abs(analysis[concept][state]
+                           - expected[concept][state]) <= tol, (
+                    inst, concept, state
+                )
+
+    def test_random_mode_close_for_large_n(self):
+        rng = np.random.default_rng(0)
+        sheets = simulate_cohort("TNTech", rng, n=5000, exact=False)
+        analysis = analyze_sheets(sheets)
+        expected = expected_fractions("TNTech")
+        for concept in QUIZ_CONCEPTS:
+            for state in STATES:
+                assert abs(analysis[concept][state]
+                           - expected[concept][state]) < 0.03
+
+
+class TestDerivedSummaries:
+    @pytest.fixture(scope="class")
+    def usi_analysis(self):
+        return expected_fractions("USI")
+
+    def test_improvement_summary(self, usi_analysis):
+        imp = improvement_summary(usi_analysis)
+        # Contention grew the most at USI (+38.5 gained, 0 lost).
+        assert max(imp, key=imp.get) == "contention"
+        # Task decomposition lost ground (0 gained, 23.1 lost).
+        assert imp["task_decomposition"] < 0
+
+    def test_pre_post_rates(self, usi_analysis):
+        rates = pre_post_correct_rates(usi_analysis)
+        pre, post = rates["scalability"]
+        assert pre == pytest.approx(0.923)
+        assert post == pytest.approx(0.923)
+        pre_c, post_c = rates["contention"]
+        assert post_c > pre_c  # the activity taught contention
+
+    def test_pipelining_weakest_concept(self):
+        """Fig 8: pipelining had the lowest initial understanding."""
+        for inst in FIG8_TRANSITIONS:
+            rates = pre_post_correct_rates(expected_fractions(inst))
+            pre_rates = {c: pre for c, (pre, _post) in rates.items()}
+            assert pre_rates["pipelining"] <= min(
+                pre_rates["task_decomposition"], pre_rates["scalability"]
+            )

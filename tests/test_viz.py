@@ -1,0 +1,119 @@
+"""Tests for repro.viz — bars, tables, gantt."""
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.flags import compile_flag, mauritius, scenario_partition
+from repro.grid.palette import MAURITIUS_STRIPES
+from repro.schedule.runner import run_partition
+from repro.viz.bars import grouped_bar_chart, hbar_chart, sparkline
+from repro.viz.gantt import render_agent_loads, render_gantt
+from repro.viz.tables import format_table, paper_vs_measured
+
+
+@pytest.fixture(scope="module")
+def s4_trace():
+    prog = compile_flag(mauritius())
+    team = make_team("t", 4, np.random.default_rng(2),
+                     colors=list(MAURITIUS_STRIPES))
+    return run_partition(scenario_partition(prog, 4), team,
+                         np.random.default_rng(2)).trace
+
+
+class TestBars:
+    def test_hbar_basic(self):
+        out = hbar_chart({"a": 2.0, "b": 4.0}, width=10, title="demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) == 3
+        assert lines[2].count("█") > lines[1].count("█")
+
+    def test_hbar_empty(self):
+        assert hbar_chart({}) == ""
+        assert hbar_chart({}, title="t") == "t"
+
+    def test_hbar_vmax_scaling(self):
+        full = hbar_chart({"x": 5.0}, width=10, vmax=5.0)
+        assert full.count("█") == 10
+
+    def test_grouped_chart_renders_na(self):
+        out = grouped_bar_chart(
+            {"Q1": {"A": 4.0, "B": None}},
+            width=10,
+        )
+        assert "NA" in out
+        assert "Q1" in out
+
+    def test_grouped_chart_group_separation(self):
+        out = grouped_bar_chart(
+            {"Q1": {"A": 4.0}, "Q2": {"A": 3.0}},
+        )
+        assert "Q1" in out and "Q2" in out
+        assert "" in out.splitlines()  # blank line between groups
+
+    def test_sparkline_length(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+        assert sparkline([]) == ""
+
+    def test_sparkline_monotone_glyphs(self):
+        s = sparkline([0.0, 1.0])
+        assert s[0] == "▁" and s[1] == "█"
+
+
+class TestTables:
+    def test_format_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_none_renders_na(self):
+        out = format_table(["x"], [[None]])
+        assert "NA" in out
+
+    def test_markdown_mode(self):
+        out = format_table(["a"], [[1]], markdown=True)
+        assert out.splitlines()[1].startswith("|-")
+
+    def test_paper_vs_measured_flags_diffs(self):
+        out = paper_vs_measured(
+            ["m1", "m2", "m3"],
+            paper={"m1": 1.0, "m2": 2.0, "m3": None},
+            measured={"m1": 1.0, "m2": 3.0, "m3": None},
+        )
+        lines = out.splitlines()
+        assert "ok" in lines[2]
+        assert "DIFF" in lines[3]
+        assert "ok" in lines[4]
+
+    def test_paper_vs_measured_na_mismatch(self):
+        out = paper_vs_measured(
+            ["m"], paper={"m": 1.0}, measured={"m": None},
+        )
+        assert "MISMATCH" in out
+
+
+class TestGantt:
+    def test_renders_all_agents(self, s4_trace):
+        out = render_gantt(s4_trace, width=60)
+        for agent in s4_trace.agents():
+            if s4_trace.stroke_count(agent):
+                assert agent in out
+
+    def test_shows_waits(self, s4_trace):
+        out = render_gantt(s4_trace, width=60, show_waits=True)
+        assert "." in out
+
+    def test_legend_optional(self, s4_trace):
+        assert "legend" in render_gantt(s4_trace, legend=True)
+        assert "legend" not in render_gantt(s4_trace, legend=False)
+
+    def test_empty_trace(self):
+        from repro.sim.trace import Trace
+        assert render_gantt(Trace([])) == "(empty trace)"
+
+    def test_agent_loads(self, s4_trace):
+        out = render_agent_loads(s4_trace, width=20)
+        assert "util=" in out
+        assert out.count("|") >= 8  # two bars per agent row

@@ -1,0 +1,130 @@
+"""Tests for repro.viz.animate — the schedule animation artifact."""
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.flags import compile_flag, mauritius, scenario_partition, single
+from repro.grid.palette import Color, MAURITIUS_STRIPES
+from repro.schedule.runner import run_partition
+from repro.sim.trace import Trace
+from repro.viz.animate import (
+    AnimationError,
+    ascii_frames,
+    canvas_at,
+    frames,
+    progress_curve,
+    svg_filmstrip,
+)
+
+
+@pytest.fixture(scope="module")
+def s4():
+    prog = compile_flag(mauritius())
+    team = make_team("t", 4, np.random.default_rng(12),
+                     colors=list(MAURITIUS_STRIPES))
+    return run_partition(scenario_partition(prog, 4), team,
+                         np.random.default_rng(12))
+
+
+class TestCanvasAt:
+    def test_blank_at_time_zero(self, s4):
+        img = canvas_at(s4.trace, 0.0, 8, 12)
+        assert (img == 0).all()
+
+    def test_complete_at_makespan(self, s4):
+        img = canvas_at(s4.trace, s4.trace.makespan(), 8, 12)
+        assert (img != 0).all()
+        assert np.array_equal(img, s4.canvas.codes)
+
+    def test_monotone_fill(self, s4):
+        span = s4.trace.makespan()
+        prev = 0
+        for frac in (0.2, 0.4, 0.6, 0.8, 1.0):
+            n = int((canvas_at(s4.trace, span * frac, 8, 12) != 0).sum())
+            assert n >= prev
+            prev = n
+
+    def test_partial_state_consistent_with_events(self, s4):
+        span = s4.trace.makespan()
+        img = canvas_at(s4.trace, span / 2, 8, 12)
+        n_colored = int((img != 0).sum())
+        n_ended = sum(1 for iv in s4.trace.stroke_intervals()
+                      if iv.end <= span / 2)
+        assert n_colored == n_ended
+
+
+class TestFrames:
+    def test_frame_count_and_order(self, s4):
+        frs = frames(s4.trace, 8, 12, n_frames=5)
+        assert len(frs) == 5
+        times = [f.time for f in frs]
+        assert times == sorted(times)
+        assert times[0] == 0.0
+        assert times[-1] == pytest.approx(s4.trace.makespan())
+
+    def test_fraction_done_monotone(self, s4):
+        frs = frames(s4.trace, 8, 12, n_frames=6)
+        fracs = [f.fraction_done for f in frs]
+        assert fracs == sorted(fracs)
+        assert fracs[-1] == 1.0
+
+    def test_agent_states_labeled(self, s4):
+        frs = frames(s4.trace, 8, 12, n_frames=4)
+        mid = frs[1]
+        assert set(mid.active) == set(s4.trace.agents())
+        labels = set(mid.active.values())
+        assert any(v.startswith(("coloring", "waiting", "idle"))
+                   for v in labels)
+
+    def test_waiting_visible_in_contended_run(self, s4):
+        """Somewhere during scenario 4 someone is 'waiting for ...'."""
+        frs = frames(s4.trace, 8, 12, n_frames=20)
+        assert any(
+            v.startswith("waiting")
+            for f in frs for v in f.active.values()
+        )
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(AnimationError):
+            frames(Trace([]), 4, 4)
+
+    def test_bad_frame_count(self, s4):
+        with pytest.raises(AnimationError):
+            frames(s4.trace, 8, 12, n_frames=0)
+
+
+class TestRenderers:
+    def test_ascii_frames_shape(self, s4):
+        frs = ascii_frames(s4.trace, 8, 12, n_frames=3)
+        assert len(frs) == 3
+        assert "t=" in frs[0]
+        assert "colored" in frs[0]
+
+    def test_svg_filmstrip(self, s4):
+        svg = svg_filmstrip(s4.trace, 8, 12, n_frames=4)
+        assert svg.startswith("<svg")
+        assert svg.count('">t=') == 4  # one timestamp label per frame
+        # Exactly one outer svg element (frames are inlined groups).
+        assert svg.count("<svg") == 1
+        assert svg.count("<g transform") == 4
+
+    def test_progress_curve_monotone_to_one(self, s4):
+        curve = progress_curve(s4.trace, 8, 12, n_points=30)
+        fracs = [f for _, f in curve]
+        assert fracs == sorted(fracs)
+        assert fracs[0] == 0.0 or fracs[0] < 0.1
+        assert fracs[-1] == 1.0
+
+    def test_sequential_curve_nearly_linear(self):
+        """One student: steady progress, no pipeline lag."""
+        prog = compile_flag(mauritius())
+        team = make_team("t", 1, np.random.default_rng(13),
+                         colors=list(MAURITIUS_STRIPES))
+        # Kill warmup so the rate is constant.
+        team.students[0].lifetime_cells = 10_000
+        r = run_partition(single(prog), team, np.random.default_rng(13))
+        curve = progress_curve(r.trace, 8, 12, n_points=10)
+        # Halfway through time, roughly half the cells are colored.
+        t_mid_frac = curve[5][1]
+        assert 0.35 < t_mid_frac < 0.65
