@@ -15,6 +15,7 @@ Gives instructors the library's main flows without writing Python:
 - ``report SITE`` — a full markdown session report.
 - ``grade`` — grade a simulated Jordan submission cohort (Sec V-C).
 - ``tables`` — regenerate Tables I-III from synthetic populations.
+- ``chaos FLAG`` — a scenario under a seeded fault plan with recovery.
 """
 
 from __future__ import annotations
@@ -241,6 +242,63 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import FaultPlan, RecoveryConfig, RecoveryPolicy, sample_plan
+    from .flags import get_flag
+    from .flags.compiler import compile_flag
+    from .metrics import resilience_report
+    from .schedule import get_scenario, run_scenario
+
+    policy = {
+        "abandon": RecoveryPolicy.ABANDON,
+        "redistribute": RecoveryPolicy.REDISTRIBUTE,
+        "spare": RecoveryPolicy.SPARE_WITH_DELAY,
+    }[args.policy]
+    recovery = RecoveryConfig(policy=policy)
+    spec = get_flag(args.flag)
+    scenario = get_scenario(args.scenario)
+    program = compile_flag(spec, None, None)
+    colors = sorted({op.color for op in program.ops}, key=int)
+
+    def one_run(plan):
+        team = _make_team(spec, args.seed, max(scenario.n_colorers, 4))
+        rng = np.random.default_rng(args.seed)
+        return run_scenario(scenario, spec, team, rng,
+                            fault_plan=plan, recovery=recovery)
+
+    baseline = one_run(FaultPlan())
+    plan = sample_plan(
+        np.random.default_rng(args.seed),
+        n_workers=scenario.n_colorers,
+        colors=colors,
+        horizon=baseline.true_makespan,
+        n_dropouts=args.dropouts,
+        n_implement_failures=args.implement_failures,
+        n_stalls=args.stalls,
+        n_late=args.late,
+    )
+    faulted = one_run(plan)
+    report = resilience_report(baseline, faulted)
+
+    print(f"chaos run: {spec.name} scenario {scenario.number}, "
+          f"policy {policy.value}")
+    print("fault plan:")
+    for line in plan.describe().splitlines():
+        print(f"  {line}")
+    print(f"  baseline makespan : {report.baseline_makespan:8.1f}s")
+    print(f"  faulted makespan  : {report.faulted_makespan:8.1f}s "
+          f"({report.makespan_inflation:.2f}x)")
+    print(f"  coverage          : {report.faulted_coverage:.0%} "
+          f"(loss {report.coverage_loss:.0%})")
+    print(f"  faults fired      : {report.faults_fired}")
+    print(f"  ops reassigned    : {report.ops_reassigned}")
+    print(f"  ops abandoned     : {report.ops_abandoned}")
+    print(f"  recovery latency  : mean {report.mean_recovery_latency:.1f}s, "
+          f"max {report.max_recovery_latency:.1f}s")
+    print(f"  flag correct      : {'yes' if faulted.correct else 'NO'}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -315,6 +373,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("tables", help="regenerate Tables I-III")
     p.add_argument("--seed", type=int, default=0)
 
+    p = sub.add_parser("chaos",
+                       help="run a scenario under a seeded fault plan")
+    p.add_argument("flag")
+    p.add_argument("--scenario", type=int, choices=(1, 2, 3, 4), default=4)
+    p.add_argument("--policy",
+                   choices=("abandon", "redistribute", "spare"),
+                   default="redistribute")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--dropouts", type=int, default=1)
+    p.add_argument("--implement-failures", type=int, default=1,
+                   dest="implement_failures")
+    p.add_argument("--stalls", type=int, default=1)
+    p.add_argument("--late", type=int, default=0)
+
     return parser
 
 
@@ -332,6 +404,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "grade": _cmd_grade,
     "tables": _cmd_tables,
+    "chaos": _cmd_chaos,
 }
 
 

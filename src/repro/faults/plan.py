@@ -1,0 +1,256 @@
+"""Declarative fault plans: what goes wrong, to whom, and when.
+
+The paper's classroom mishaps, promoted to first-class simulation inputs:
+a student gives up and leaves mid-scenario (:class:`StudentDropout`), a
+marker dries out or a crayon snaps beyond repair
+(:class:`ImplementFailure`), a student zones out for a stretch
+(:class:`TransientStall`), or arrives after the scenario started
+(:class:`LateArrival`).  A :class:`FaultPlan` is an immutable, validated
+schedule of such faults; the injector compiles it into engine interrupts
+and scheduled calls, so the same plan plus the same seed reproduces the
+same run byte for byte.
+
+Workers are addressed by *index* into the run's active worker list (0 is
+the first colorer), keeping plans portable across teams and scenarios.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..grid.palette import Color
+
+
+class FaultError(Exception):
+    """Raised for invalid fault plans (bad indices, negative times, ...)."""
+
+
+class FaultKind(enum.Enum):
+    """The vocabulary of injectable classroom faults."""
+
+    STUDENT_DROPOUT = "student_dropout"
+    IMPLEMENT_FAILURE = "implement_failure"
+    TRANSIENT_STALL = "transient_stall"
+    LATE_ARRIVAL = "late_arrival"
+
+
+@dataclass(frozen=True)
+class StudentDropout:
+    """A worker leaves for good at time ``at`` (processor failure).
+
+    What happens to their unfinished strokes is the recovery policy's
+    call: lost (ABANDON) or reassigned (REDISTRIBUTE).
+    """
+
+    at: float
+    worker: int
+
+    kind = FaultKind.STUDENT_DROPOUT
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultError(f"dropout time must be >= 0, got {self.at}")
+        if self.worker < 0:
+            raise FaultError(f"worker index must be >= 0, got {self.worker}")
+
+
+@dataclass(frozen=True)
+class ImplementFailure:
+    """The implement for ``color`` stops granting at time ``at``.
+
+    Under SPARE_WITH_DELAY a replacement arrives after the configured
+    fetch delay; under other policies the failure is permanent and ops
+    needing that color are abandoned.
+    """
+
+    at: float
+    color: Color
+
+    kind = FaultKind.IMPLEMENT_FAILURE
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultError(f"failure time must be >= 0, got {self.at}")
+        if not isinstance(self.color, Color) or self.color is Color.BLANK:
+            raise FaultError(f"implement failure needs a real color, "
+                             f"got {self.color!r}")
+
+
+@dataclass(frozen=True)
+class TransientStall:
+    """Worker ``worker`` pauses for ``duration`` seconds at time ``at``
+    (a distracted processor; work resumes afterwards)."""
+
+    at: float
+    worker: int
+    duration: float
+
+    kind = FaultKind.TRANSIENT_STALL
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultError(f"stall time must be >= 0, got {self.at}")
+        if self.worker < 0:
+            raise FaultError(f"worker index must be >= 0, got {self.worker}")
+        if self.duration <= 0:
+            raise FaultError(f"stall duration must be > 0, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class LateArrival:
+    """Worker ``worker`` only shows up ``delay`` seconds into the run."""
+
+    worker: int
+    delay: float
+
+    kind = FaultKind.LATE_ARRIVAL
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise FaultError(f"worker index must be >= 0, got {self.worker}")
+        if self.delay <= 0:
+            raise FaultError(f"arrival delay must be > 0, got {self.delay}")
+
+
+Fault = Union[StudentDropout, ImplementFailure, TransientStall, LateArrival]
+
+_FAULT_TYPES: Tuple[type, ...] = (
+    StudentDropout, ImplementFailure, TransientStall, LateArrival,
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, validated schedule of faults for one run.
+
+    Invariants enforced at construction: every entry is a known fault
+    type, no worker drops out twice, and no worker arrives late twice
+    (one body, one entrance).  A worker may both arrive late and later
+    drop out — the classroom has seen worse.
+    """
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        for f in self.faults:
+            if not isinstance(f, _FAULT_TYPES):
+                raise FaultError(
+                    f"unknown fault entry {f!r}; expected one of "
+                    f"{[t.__name__ for t in _FAULT_TYPES]}"
+                )
+        for cls, what in ((StudentDropout, "drops out"),
+                          (LateArrival, "arrives late")):
+            seen: set = set()
+            for f in self.faults:
+                if isinstance(f, cls):
+                    if f.worker in seen:
+                        raise FaultError(
+                            f"worker {f.worker} {what} more than once"
+                        )
+                    seen.add(f.worker)
+
+    @classmethod
+    def of(cls, faults: Iterable[Fault]) -> "FaultPlan":
+        """Build a plan from any iterable of faults."""
+        return cls(tuple(faults))
+
+    @property
+    def is_empty(self) -> bool:
+        """A plan with nothing in it (runs must match fault-free runs)."""
+        return not self.faults
+
+    def count(self, kind: FaultKind) -> int:
+        """How many faults of one kind the plan schedules."""
+        return sum(1 for f in self.faults if f.kind is kind)
+
+    def of_kind(self, kind: FaultKind) -> List[Fault]:
+        """All faults of one kind, in plan order."""
+        return [f for f in self.faults if f.kind is kind]
+
+    def max_worker(self) -> int:
+        """Largest worker index referenced (-1 when none are)."""
+        return max((f.worker for f in self.faults if hasattr(f, "worker")),
+                   default=-1)
+
+    def colors(self) -> List[Color]:
+        """Colors whose implements the plan fails, in plan order."""
+        return [f.color for f in self.faults
+                if isinstance(f, ImplementFailure)]
+
+    def describe(self) -> str:
+        """One line per fault, in plan order (for logs and CLI output)."""
+        lines = []
+        for f in self.faults:
+            if isinstance(f, StudentDropout):
+                lines.append(f"t={f.at:.1f}s worker {f.worker} drops out")
+            elif isinstance(f, ImplementFailure):
+                lines.append(f"t={f.at:.1f}s {f.color.name.lower()} "
+                             "implement fails")
+            elif isinstance(f, TransientStall):
+                lines.append(f"t={f.at:.1f}s worker {f.worker} stalls "
+                             f"for {f.duration:.1f}s")
+            else:
+                lines.append(f"worker {f.worker} arrives {f.delay:.1f}s late")
+        return "\n".join(lines) if lines else "(no faults)"
+
+
+def sample_plan(
+    rng: np.random.Generator,
+    *,
+    n_workers: int,
+    colors: Sequence[Color],
+    horizon: float,
+    n_dropouts: int = 1,
+    n_implement_failures: int = 1,
+    n_stalls: int = 1,
+    n_late: int = 0,
+    stall_duration: float = 15.0,
+) -> FaultPlan:
+    """Draw a representative random fault plan, reproducibly.
+
+    Dropouts land in the busy middle of the run (20-60% of ``horizon``),
+    implement failures early (10-40%, so the loss is felt), stalls
+    anywhere in the first 70%, and late arrivals within the first 15%.
+    At least one worker always survives: ``n_dropouts`` is clamped to
+    ``n_workers - 1``.
+
+    Args:
+        rng: the randomness source; same state, same plan.
+        n_workers: active workers in the target run.
+        colors: colors the run uses (implement failure candidates).
+        horizon: rough expected makespan used to place fault times.
+
+    Raises:
+        FaultError: when there are no workers, no colors to fail while
+            implement failures were requested, or a non-positive horizon.
+    """
+    if n_workers < 1:
+        raise FaultError(f"need at least one worker, got {n_workers}")
+    if horizon <= 0:
+        raise FaultError(f"horizon must be > 0, got {horizon}")
+    if n_implement_failures > 0 and not colors:
+        raise FaultError("implement failures requested but no colors given")
+    faults: List[Fault] = []
+    n_dropouts = min(n_dropouts, n_workers - 1)
+    droppers = rng.choice(n_workers, size=n_dropouts, replace=False)
+    for w in sorted(int(x) for x in droppers):
+        faults.append(StudentDropout(
+            at=float(rng.uniform(0.2, 0.6) * horizon), worker=w))
+    for _ in range(n_implement_failures):
+        color = colors[int(rng.integers(len(colors)))]
+        faults.append(ImplementFailure(
+            at=float(rng.uniform(0.1, 0.4) * horizon), color=color))
+    for _ in range(n_stalls):
+        faults.append(TransientStall(
+            at=float(rng.uniform(0.0, 0.7) * horizon),
+            worker=int(rng.integers(n_workers)),
+            duration=float(stall_duration * rng.uniform(0.5, 1.5))))
+    late = rng.choice(n_workers, size=min(n_late, n_workers), replace=False)
+    for w in sorted(int(x) for x in late):
+        faults.append(LateArrival(
+            worker=w, delay=float(rng.uniform(0.03, 0.15) * horizon)))
+    return FaultPlan(tuple(faults))

@@ -46,6 +46,11 @@ from .scalability import (
     strong_scaling,
     weak_scaling,
 )
+from .resilience import (
+    ResilienceReport,
+    resilience_report,
+    target_coverage,
+)
 from .stats import (
     bootstrap_ci,
     likert_distribution_for_median,
@@ -96,4 +101,7 @@ __all__ = [
     "drift_toward_minimal",
     "grade_run",
     "speed_quality_frontier",
+    "ResilienceReport",
+    "resilience_report",
+    "target_coverage",
 ]

@@ -1,0 +1,134 @@
+"""Resilience metrics: what a faulty run cost relative to a clean one.
+
+The chaos debrief needs three numbers on the whiteboard next to the
+speedup column: how much *longer* the team took (makespan inflation), how
+much of the flag *never got colored* (coverage loss), and how quickly the
+team absorbed each mishap (recovery latency).  This module computes them
+by comparing a faulted :class:`~repro.schedule.runner.RunResult` against
+its fault-free baseline — same seed, same partition, empty plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..grid.canvas import Canvas
+from ..schedule.runner import RunResult
+from .speedup import MetricError
+
+
+def target_coverage(canvas: Canvas, target: np.ndarray) -> float:
+    """Fraction of the target's non-blank cells the canvas got right.
+
+    1.0 means a perfect flag; under ABANDON recovery this is exactly the
+    surviving share of the work.  A target with no non-blank cells counts
+    as fully covered.
+
+    Raises:
+        MetricError: on a target/canvas shape mismatch.
+    """
+    if target.shape != (canvas.rows, canvas.cols):
+        raise MetricError(
+            f"target shape {target.shape} does not match canvas "
+            f"{canvas.rows}x{canvas.cols}"
+        )
+    care = target != 0
+    n_care = int(care.sum())
+    if n_care == 0:
+        return 1.0
+    return float((canvas.codes[care] == target[care]).sum() / n_care)
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """The cost of a fault plan, relative to a fault-free baseline.
+
+    Attributes:
+        baseline_makespan / faulted_makespan: true simulated makespans.
+        makespan_inflation: faulted / baseline (1.0 = no slowdown).
+        baseline_coverage / faulted_coverage: target-cell coverage of
+            each run's canvas.
+        coverage_loss: baseline_coverage - faulted_coverage (0.0 when
+            recovery preserved the whole flag).
+        faults_fired: injected faults that actually took effect.
+        ops_reassigned / ops_abandoned: recovery's work accounting.
+        mean_recovery_latency / max_recovery_latency: seconds recovery
+            actions took (spare fetches, redistribution pickups).
+    """
+
+    baseline_makespan: float
+    faulted_makespan: float
+    makespan_inflation: float
+    baseline_coverage: float
+    faulted_coverage: float
+    coverage_loss: float
+    faults_fired: int
+    ops_reassigned: int
+    ops_abandoned: int
+    mean_recovery_latency: float
+    max_recovery_latency: float
+
+    def summary(self) -> Dict[str, float]:
+        """Flat numbers for reports and JSON export."""
+        return {
+            "baseline_makespan": self.baseline_makespan,
+            "faulted_makespan": self.faulted_makespan,
+            "makespan_inflation": self.makespan_inflation,
+            "baseline_coverage": self.baseline_coverage,
+            "faulted_coverage": self.faulted_coverage,
+            "coverage_loss": self.coverage_loss,
+            "faults_fired": float(self.faults_fired),
+            "ops_reassigned": float(self.ops_reassigned),
+            "ops_abandoned": float(self.ops_abandoned),
+            "mean_recovery_latency": self.mean_recovery_latency,
+            "max_recovery_latency": self.max_recovery_latency,
+        }
+
+
+def resilience_report(
+    baseline: RunResult,
+    faulted: RunResult,
+    target: Optional[np.ndarray] = None,
+) -> ResilienceReport:
+    """Compare a faulted run against its fault-free baseline.
+
+    Args:
+        baseline: the clean run (no plan, or an empty one).
+        faulted: the same configuration run under an active fault plan.
+        target: expected color-code image; defaults to the baseline's
+            final canvas (which for a correct baseline is the flag).
+
+    Raises:
+        MetricError: when the baseline itself fired faults, or the
+            baseline makespan is non-positive.
+    """
+    if baseline.faults is not None and baseline.faults.faults_fired:
+        raise MetricError(
+            "baseline run fired "
+            f"{baseline.faults.faults_fired} faults; use a clean baseline"
+        )
+    if baseline.true_makespan <= 0:
+        raise MetricError(
+            f"baseline makespan must be > 0, got {baseline.true_makespan}"
+        )
+    if target is None:
+        target = baseline.canvas.snapshot()
+    base_cov = target_coverage(baseline.canvas, target)
+    fault_cov = target_coverage(faulted.canvas, target)
+    acct = faulted.faults
+    return ResilienceReport(
+        baseline_makespan=baseline.true_makespan,
+        faulted_makespan=faulted.true_makespan,
+        makespan_inflation=faulted.true_makespan / baseline.true_makespan,
+        baseline_coverage=base_cov,
+        faulted_coverage=fault_cov,
+        coverage_loss=base_cov - fault_cov,
+        faults_fired=acct.faults_fired if acct else 0,
+        ops_reassigned=acct.ops_reassigned if acct else 0,
+        ops_abandoned=acct.ops_abandoned if acct else 0,
+        mean_recovery_latency=acct.mean_recovery_latency if acct else 0.0,
+        max_recovery_latency=acct.max_recovery_latency if acct else 0.0,
+    )

@@ -16,8 +16,9 @@ stroke — is a modeling knob the ablations sweep.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +38,10 @@ from ..sim.engine import (
 )
 from ..sim.events import EventKind
 from ..sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.plan import FaultPlan
+    from ..faults.recovery import FaultAccounting, RecoveryConfig
 
 
 class AcquirePolicy(enum.Enum):
@@ -68,6 +73,8 @@ class RunResult:
         trace: the full event trace for metric extraction.
         canvas: the colored sheet.
         correct: whether the canvas reproduces the target image.
+        faults: fault/recovery accounting when the run executed under a
+            :class:`~repro.faults.plan.FaultPlan`; None for clean runs.
     """
 
     label: str
@@ -79,6 +86,7 @@ class RunResult:
     canvas: Canvas
     correct: bool
     extra: Dict[str, object] = field(default_factory=dict)
+    faults: Optional["FaultAccounting"] = None
 
 
 def marker_name(color: Color) -> str:
@@ -162,6 +170,8 @@ def run_partition(
     style: FillStyle = FillStyle.SCRIBBLE,
     policy: AcquirePolicy = AcquirePolicy.HOLD_COLOR_RUN,
     target: Optional[np.ndarray] = None,
+    fault_plan: Optional["FaultPlan"] = None,
+    recovery: Optional["RecoveryConfig"] = None,
 ) -> RunResult:
     """Simulate one run of a statically-partitioned program.
 
@@ -174,6 +184,11 @@ def run_partition(
             program sequentially (which for layered programs assumes the
             partition preserves layer legality — use the dependency-aware
             scheduler otherwise).
+        fault_plan: when given (even empty), the run executes on the
+            fault-tolerant worker path with the plan's mishaps injected;
+            an empty plan reproduces the clean run's trace exactly.
+        recovery: how the team responds to faults; defaults to
+            REDISTRIBUTE.  Ignored without a ``fault_plan``.
     """
     program = partition.program
     team.begin_scenario()
@@ -185,12 +200,46 @@ def run_partition(
 
     active = [(i, ops) for i, ops in enumerate(partition.assignments) if ops]
     students = team.colorers(len(active))
-    for student, (_, ops) in zip(students, active):
-        sim.add_process(
-            student.name,
-            paint_worker(sim, student, ops, team, canvas, resources, rng,
-                         style=style, policy=policy, last_holder=last_holder),
-        )
+    accounting: Optional["FaultAccounting"] = None
+    if fault_plan is None:
+        for student, (_, ops) in zip(students, active):
+            sim.add_process(
+                student.name,
+                paint_worker(sim, student, ops, team, canvas, resources, rng,
+                             style=style, policy=policy,
+                             last_holder=last_holder),
+            )
+    else:
+        # Imported lazily: faults -> agents/sim only, so no cycle, but
+        # keeping it out of module scope means clean runs never pay for it.
+        from ..faults.injector import FaultInjector, resilient_worker
+        from ..faults.recovery import FaultAccounting, RecoveryConfig
+
+        if recovery is None:
+            recovery = RecoveryConfig()
+        accounting = FaultAccounting()
+        dead_colors: set = set()
+        queues: Dict[str, Deque] = {
+            student.name: deque(ops)
+            for student, (_, ops) in zip(students, active)
+        }
+        worker_names = [s.name for s, _ in zip(students, active)]
+        injector = FaultInjector(sim, fault_plan, worker_names, queues,
+                                 resources, recovery, accounting, dead_colors)
+        injector.install()
+        for idx, (student, _) in enumerate(zip(students, active)):
+            sim.add_process(
+                student.name,
+                resilient_worker(
+                    sim, student, queues[student.name], team, canvas,
+                    resources, rng, style=style,
+                    release_per_stroke=(
+                        policy is AcquirePolicy.RELEASE_PER_STROKE),
+                    last_holder=last_holder, accounting=accounting,
+                    dead_colors=dead_colors,
+                ),
+                start_at=injector.start_delay(idx),
+            )
     true_makespan = sim.run()
     measured = team.timer.measure(true_makespan, rng)
     trace = Trace(sim.events)
@@ -207,6 +256,7 @@ def run_partition(
         trace=trace,
         canvas=canvas,
         correct=correct,
+        faults=accounting,
     )
 
 

@@ -13,7 +13,7 @@ every stripe, so the team's four implements are shared and contended.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -23,6 +23,10 @@ from ..flags.compiler import compile_flag
 from ..flags.decompose import Partition, scenario_partition
 from ..flags.spec import FlagSpec, PaintProgram
 from .runner import AcquirePolicy, RunResult, run_partition
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.plan import FaultPlan
+    from ..faults.recovery import RecoveryConfig
 
 
 @dataclass(frozen=True)
@@ -98,8 +102,14 @@ def run_scenario(
     cols: Optional[int] = None,
     style: FillStyle = FillStyle.SCRIBBLE,
     policy: AcquirePolicy = AcquirePolicy.HOLD_COLOR_RUN,
+    fault_plan: Optional["FaultPlan"] = None,
+    recovery: Optional["RecoveryConfig"] = None,
 ) -> RunResult:
-    """Compile the flag, apply the scenario's decomposition, and simulate."""
+    """Compile the flag, apply the scenario's decomposition, and simulate.
+
+    ``fault_plan``/``recovery`` inject classroom mishaps into the run;
+    see :func:`~repro.schedule.runner.run_partition`.
+    """
     program = compile_flag(spec, rows, cols)
     partition = scenario.partition(program)
     result = run_partition(
@@ -107,6 +117,7 @@ def run_scenario(
         label=f"scenario{scenario.number}",
         style=style, policy=policy,
         target=spec.final_image(program.rows, program.cols),
+        fault_plan=fault_plan, recovery=recovery,
     )
     result.extra["scenario"] = scenario.number
     result.extra["flag"] = spec.name

@@ -18,13 +18,20 @@ class EventKind(enum.Enum):
 
     PROCESS_START = "process_start"
     PROCESS_DONE = "process_done"
+    PROCESS_KILLED = "process_killed"
     STROKE_START = "stroke_start"
     STROKE_END = "stroke_end"
     RESOURCE_REQUEST = "resource_request"
     RESOURCE_ACQUIRE = "resource_acquire"
     RESOURCE_RELEASE = "resource_release"
+    RESOURCE_FAILED = "resource_failed"
+    RESOURCE_REPAIRED = "resource_repaired"
     HANDOFF = "handoff"
     FAULT = "fault"
+    FAULT_INJECTED = "fault_injected"
+    STALL = "stall"
+    OP_REASSIGNED = "op_reassigned"
+    OP_ABANDONED = "op_abandoned"
     NOTE = "note"
 
 

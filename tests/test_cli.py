@@ -14,7 +14,7 @@ class TestParser:
         parser = build_parser()
         for cmd in ("flags", "render", "scenario", "activity", "session",
                     "depgraph", "dryrun", "grade", "tables", "animate",
-                    "slides", "debrief", "report"):
+                    "slides", "debrief", "report", "chaos"):
             # Minimal arg sets per command.
             argv = {
                 "flags": ["flags"],
@@ -30,6 +30,7 @@ class TestParser:
                 "slides": ["slides", "mauritius", "1"],
                 "debrief": ["debrief", "USI"],
                 "report": ["report", "USI"],
+                "chaos": ["chaos", "mauritius"],
             }[cmd]
             args = parser.parse_args(argv)
             assert args.command == cmd
@@ -118,3 +119,26 @@ class TestCommands:
     def test_unknown_flag_raises(self):
         with pytest.raises(KeyError):
             main(["render", "atlantis"])
+
+    def test_chaos_redistribute(self, capsys):
+        assert main(["chaos", "mauritius", "--scenario", "4",
+                     "--policy", "redistribute", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan:" in out
+        assert "makespan inflation" in out or "faulted makespan" in out
+        assert "ops reassigned" in out
+
+    def test_chaos_abandon_reports_coverage_loss(self, capsys):
+        assert main(["chaos", "mauritius", "--scenario", "4",
+                     "--policy", "abandon", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "abandon" in out
+
+    def test_chaos_is_deterministic(self, capsys):
+        argv = ["chaos", "mauritius", "--scenario", "4",
+                "--policy", "spare", "--seed", "3"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first

@@ -1,0 +1,119 @@
+"""Tests for declarative fault plans and the seeded plan sampler."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultError,
+    FaultKind,
+    FaultPlan,
+    ImplementFailure,
+    LateArrival,
+    StudentDropout,
+    TransientStall,
+    sample_plan,
+)
+from repro.grid.palette import Color
+
+
+class TestFaultValidation:
+    def test_negative_dropout_time_rejected(self):
+        with pytest.raises(FaultError):
+            StudentDropout(at=-1.0, worker=0)
+
+    def test_negative_worker_rejected(self):
+        with pytest.raises(FaultError):
+            StudentDropout(at=1.0, worker=-1)
+
+    def test_blank_implement_failure_rejected(self):
+        with pytest.raises(FaultError):
+            ImplementFailure(at=1.0, color=Color.BLANK)
+
+    def test_non_color_implement_failure_rejected(self):
+        with pytest.raises(FaultError):
+            ImplementFailure(at=1.0, color="red")
+
+    def test_zero_stall_duration_rejected(self):
+        with pytest.raises(FaultError):
+            TransientStall(at=1.0, worker=0, duration=0.0)
+
+    def test_zero_arrival_delay_rejected(self):
+        with pytest.raises(FaultError):
+            LateArrival(worker=0, delay=0.0)
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert plan.describe() == "(no faults)"
+        assert plan.max_worker() == -1
+
+    def test_duplicate_dropout_rejected(self):
+        with pytest.raises(FaultError, match="drops out more than once"):
+            FaultPlan.of([StudentDropout(at=1.0, worker=0),
+                          StudentDropout(at=2.0, worker=0)])
+
+    def test_duplicate_late_arrival_rejected(self):
+        with pytest.raises(FaultError, match="arrives late more than once"):
+            FaultPlan.of([LateArrival(worker=1, delay=3.0),
+                          LateArrival(worker=1, delay=5.0)])
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault entry"):
+            FaultPlan.of(["not a fault"])
+
+    def test_counts_and_kinds(self):
+        plan = FaultPlan.of([
+            StudentDropout(at=10.0, worker=0),
+            ImplementFailure(at=5.0, color=Color.RED),
+            TransientStall(at=2.0, worker=1, duration=4.0),
+            LateArrival(worker=2, delay=6.0),
+        ])
+        assert plan.count(FaultKind.STUDENT_DROPOUT) == 1
+        assert plan.count(FaultKind.IMPLEMENT_FAILURE) == 1
+        assert plan.max_worker() == 2
+        assert plan.colors() == [Color.RED]
+        assert len(plan.describe().splitlines()) == 4
+
+    def test_plan_is_immutable(self):
+        plan = FaultPlan.of([StudentDropout(at=1.0, worker=0)])
+        with pytest.raises(AttributeError):
+            plan.faults = ()
+
+
+class TestSamplePlan:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(n_workers=4, colors=[Color.RED, Color.BLUE],
+                      horizon=100.0, n_dropouts=1, n_implement_failures=1,
+                      n_stalls=2, n_late=1)
+        a = sample_plan(np.random.default_rng(3), **kwargs)
+        b = sample_plan(np.random.default_rng(3), **kwargs)
+        assert a == b
+
+    def test_dropouts_clamped_to_leave_a_survivor(self):
+        plan = sample_plan(np.random.default_rng(0), n_workers=2,
+                           colors=[Color.RED], horizon=50.0, n_dropouts=5)
+        assert plan.count(FaultKind.STUDENT_DROPOUT) == 1
+
+    def test_fault_times_within_horizon(self):
+        plan = sample_plan(np.random.default_rng(1), n_workers=4,
+                           colors=[Color.RED], horizon=200.0,
+                           n_dropouts=2, n_implement_failures=2, n_stalls=3)
+        for f in plan.faults:
+            assert 0.0 <= f.at <= 200.0
+
+    def test_no_workers_rejected(self):
+        with pytest.raises(FaultError):
+            sample_plan(np.random.default_rng(0), n_workers=0,
+                        colors=[Color.RED], horizon=10.0)
+
+    def test_implement_failure_without_colors_rejected(self):
+        with pytest.raises(FaultError):
+            sample_plan(np.random.default_rng(0), n_workers=2,
+                        colors=[], horizon=10.0, n_implement_failures=1)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(FaultError):
+            sample_plan(np.random.default_rng(0), n_workers=2,
+                        colors=[Color.RED], horizon=0.0)

@@ -1,0 +1,203 @@
+"""Tests for recovery policies under injected faults, end to end.
+
+Each test runs scenario 4 (shared implements, the contended one) on the
+Mauritius flag with a hand-written fault plan and checks the policy's
+contract: ABANDON degrades coverage, REDISTRIBUTE preserves it at a
+makespan cost, SPARE_WITH_DELAY repairs implements after the fetch delay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.faults import (
+    FaultAccounting,
+    FaultError,
+    FaultPlan,
+    ImplementFailure,
+    LateArrival,
+    RecoveryConfig,
+    RecoveryError,
+    RecoveryPolicy,
+    StudentDropout,
+    TransientStall,
+)
+from repro.flags import mauritius
+from repro.grid.palette import Color
+from repro.schedule import get_scenario, run_scenario
+from repro.sim.events import EventKind
+
+
+SEED = 7
+
+
+def run(plan, policy=RecoveryPolicy.REDISTRIBUTE, recovery=None, seed=SEED):
+    spec = mauritius()
+    team = make_team("team", 4, np.random.default_rng(seed),
+                     colors=list(spec.colors_used()))
+    rng = np.random.default_rng(seed)
+    return run_scenario(
+        get_scenario(4), spec, team, rng,
+        fault_plan=plan,
+        recovery=recovery or RecoveryConfig(policy=policy),
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run(FaultPlan())
+
+
+class TestAbandon:
+    def test_dropout_leaves_partial_canvas(self, baseline):
+        r = run(FaultPlan.of([StudentDropout(at=60.0, worker=3)]),
+                policy=RecoveryPolicy.ABANDON)
+        assert r.faults is not None
+        assert r.faults.dropouts == 1
+        assert r.faults.ops_abandoned > 0
+        assert r.faults.ops_reassigned == 0
+        assert not r.correct
+        assert r.canvas.n_colored() < baseline.canvas.n_colored()
+
+    def test_implement_failure_skips_that_color(self):
+        r = run(FaultPlan.of([ImplementFailure(at=10.0, color=Color.RED)]),
+                policy=RecoveryPolicy.ABANDON)
+        assert r.faults.implement_failures == 1
+        assert r.faults.ops_abandoned > 0
+        assert not r.correct
+        kinds = [e.kind for e in r.trace.events]
+        assert EventKind.RESOURCE_FAILED in kinds
+        assert EventKind.RESOURCE_REPAIRED not in kinds
+
+    def test_survivors_still_finish(self, baseline):
+        r = run(FaultPlan.of([StudentDropout(at=60.0, worker=0)]),
+                policy=RecoveryPolicy.ABANDON)
+        # Everyone else's work still lands; run completes without raising.
+        assert r.true_makespan > 60.0
+
+
+class TestRedistribute:
+    def test_dropout_work_is_reassigned_and_flag_finishes(self, baseline):
+        r = run(FaultPlan.of([StudentDropout(at=60.0, worker=3)]))
+        assert r.faults.ops_reassigned > 0
+        assert r.faults.ops_abandoned == 0
+        assert r.correct
+        assert r.true_makespan > baseline.true_makespan
+        kinds = [e.kind for e in r.trace.events]
+        assert EventKind.OP_REASSIGNED in kinds
+        assert EventKind.PROCESS_KILLED in kinds
+
+    def test_recipient_is_least_loaded_survivor(self):
+        r = run(FaultPlan.of([StudentDropout(at=60.0, worker=3)]))
+        reassigns = [e for e in r.trace.events
+                     if e.kind is EventKind.OP_REASSIGNED]
+        assert len(reassigns) == 1
+        assert reassigns[0].data["from_agent"] != reassigns[0].agent
+
+    def test_implement_failure_still_loses_ops(self):
+        # REDISTRIBUTE has no spare implements: color ops are lost.
+        r = run(FaultPlan.of([ImplementFailure(at=10.0, color=Color.RED)]))
+        assert r.faults.ops_abandoned > 0
+        assert not r.correct
+
+
+class TestSpareWithDelay:
+    def test_implement_recovered_after_fetch_delay(self, baseline):
+        cfg = RecoveryConfig(policy=RecoveryPolicy.SPARE_WITH_DELAY,
+                             spare_fetch_delay=20.0)
+        r = run(FaultPlan.of([ImplementFailure(at=30.0, color=Color.RED)]),
+                recovery=cfg)
+        assert r.correct
+        assert r.faults.ops_abandoned == 0
+        assert r.faults.recovery_latencies == [20.0]
+        repaired = [e for e in r.trace.events
+                    if e.kind is EventKind.RESOURCE_REPAIRED]
+        assert len(repaired) == 1
+        assert repaired[0].time == 50.0
+
+    def test_dropout_falls_back_to_redistribution(self):
+        r = run(FaultPlan.of([StudentDropout(at=60.0, worker=2)]),
+                policy=RecoveryPolicy.SPARE_WITH_DELAY)
+        assert r.correct
+        assert r.faults.ops_reassigned > 0
+
+
+class TestOtherFaults:
+    def test_transient_stall_delays_but_completes(self, baseline):
+        r = run(FaultPlan.of([TransientStall(at=20.0, worker=0,
+                                             duration=30.0)]))
+        assert r.correct
+        assert r.faults.stalls == 1
+        assert r.true_makespan > baseline.true_makespan
+        kinds = [e.kind for e in r.trace.events]
+        assert EventKind.STALL in kinds
+
+    def test_late_arrival_starts_late_and_completes(self):
+        r = run(FaultPlan.of([LateArrival(worker=1, delay=25.0)]))
+        assert r.correct
+        assert r.faults.late_arrivals == 1
+        late_name = None
+        for e in r.trace.events:
+            if (e.kind is EventKind.FAULT_INJECTED
+                    and e.data.get("fault") == "late_arrival"):
+                late_name = e.agent
+        starts = {e.agent: e.time for e in r.trace.events
+                  if e.kind is EventKind.PROCESS_START}
+        assert starts[late_name] == 25.0
+
+    def test_combined_plan_completes_under_every_policy(self):
+        plan = FaultPlan.of([
+            StudentDropout(at=60.0, worker=3),
+            ImplementFailure(at=30.0, color=Color.YELLOW),
+            TransientStall(at=10.0, worker=0, duration=15.0),
+            LateArrival(worker=1, delay=8.0),
+        ])
+        for policy in RecoveryPolicy:
+            r = run(plan, policy=policy)
+            assert r.faults.faults_fired == 4
+            assert r.true_makespan > 0
+
+
+class TestPlanValidationAgainstRun:
+    def test_worker_index_out_of_range(self):
+        with pytest.raises(FaultError, match="only 4 active workers"):
+            run(FaultPlan.of([StudentDropout(at=10.0, worker=7)]))
+
+    def test_color_not_in_run_rejected(self):
+        # Mauritius uses red/blue/yellow/green; black has no implement.
+        with pytest.raises(FaultError, match="implement failure"):
+            run(FaultPlan.of([ImplementFailure(at=10.0,
+                                               color=Color.BLACK)]))
+
+
+class TestRecoveryConfig:
+    def test_bad_fetch_delay_rejected(self):
+        with pytest.raises(RecoveryError):
+            RecoveryConfig(spare_fetch_delay=0.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(RecoveryError):
+            RecoveryConfig(redistribute_overhead=-1.0)
+
+    def test_policy_capability_flags(self):
+        assert RecoveryConfig(policy=RecoveryPolicy.ABANDON
+                              ).reassigns_dropout_work is False
+        assert RecoveryConfig(policy=RecoveryPolicy.REDISTRIBUTE
+                              ).reassigns_dropout_work is True
+        assert RecoveryConfig(policy=RecoveryPolicy.SPARE_WITH_DELAY
+                              ).repairs_implements is True
+
+
+class TestAccounting:
+    def test_summary_keys(self):
+        acct = FaultAccounting(faults_fired=2, dropouts=1,
+                               recovery_latencies=[3.0, 5.0])
+        s = acct.summary()
+        assert s["faults_fired"] == 2
+        assert s["mean_recovery_latency"] == 4.0
+        assert s["max_recovery_latency"] == 5.0
+
+    def test_empty_latencies(self):
+        acct = FaultAccounting()
+        assert acct.mean_recovery_latency == 0.0
+        assert acct.max_recovery_latency == 0.0

@@ -1,0 +1,110 @@
+"""Tests for the resilience metrics (makespan inflation, coverage loss,
+recovery latency)."""
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.faults import (
+    FaultPlan,
+    ImplementFailure,
+    RecoveryConfig,
+    RecoveryPolicy,
+    StudentDropout,
+)
+from repro.flags import mauritius
+from repro.grid.canvas import Canvas
+from repro.grid.palette import Color
+from repro.metrics import MetricError, resilience_report, target_coverage
+from repro.schedule import get_scenario, run_scenario
+
+
+def run(plan, policy=RecoveryPolicy.REDISTRIBUTE, seed=7):
+    spec = mauritius()
+    team = make_team("team", 4, np.random.default_rng(seed),
+                     colors=list(spec.colors_used()))
+    rng = np.random.default_rng(seed)
+    return run_scenario(get_scenario(4), spec, team, rng,
+                        fault_plan=plan,
+                        recovery=RecoveryConfig(policy=policy))
+
+
+class TestTargetCoverage:
+    def test_full_coverage(self):
+        canvas = Canvas(2, 2)
+        target = np.full((2, 2), int(Color.RED), dtype=np.int8)
+        for r in range(2):
+            for c in range(2):
+                canvas.paint((r, c), Color.RED)
+        assert target_coverage(canvas, target) == 1.0
+
+    def test_half_coverage(self):
+        canvas = Canvas(1, 2)
+        target = np.full((1, 2), int(Color.RED), dtype=np.int8)
+        canvas.paint((0, 0), Color.RED)
+        assert target_coverage(canvas, target) == 0.5
+
+    def test_blank_target_cells_ignored(self):
+        canvas = Canvas(1, 2)
+        target = np.array([[int(Color.RED), 0]], dtype=np.int8)
+        canvas.paint((0, 0), Color.RED)
+        assert target_coverage(canvas, target) == 1.0
+
+    def test_all_blank_target_counts_as_covered(self):
+        canvas = Canvas(1, 1)
+        assert target_coverage(canvas, np.zeros((1, 1), dtype=np.int8)) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        canvas = Canvas(2, 2)
+        with pytest.raises(MetricError):
+            target_coverage(canvas, np.zeros((3, 3), dtype=np.int8))
+
+
+class TestResilienceReport:
+    def test_abandon_reports_coverage_loss(self):
+        baseline = run(FaultPlan())
+        faulted = run(FaultPlan.of([StudentDropout(at=60.0, worker=3)]),
+                      policy=RecoveryPolicy.ABANDON)
+        rep = resilience_report(baseline, faulted)
+        assert rep.baseline_coverage == 1.0
+        assert rep.faulted_coverage < 1.0
+        assert rep.coverage_loss > 0.0
+        assert rep.ops_abandoned > 0
+        assert rep.faults_fired == 1
+
+    def test_redistribute_reports_inflation_not_loss(self):
+        baseline = run(FaultPlan())
+        faulted = run(FaultPlan.of([StudentDropout(at=60.0, worker=3)]))
+        rep = resilience_report(baseline, faulted)
+        assert rep.coverage_loss == 0.0
+        assert rep.makespan_inflation > 1.0
+        assert rep.ops_reassigned > 0
+
+    def test_spare_reports_recovery_latency(self):
+        baseline = run(FaultPlan())
+        faulted = run(
+            FaultPlan.of([ImplementFailure(at=30.0, color=Color.RED)]),
+            policy=RecoveryPolicy.SPARE_WITH_DELAY)
+        rep = resilience_report(baseline, faulted)
+        assert rep.coverage_loss == 0.0
+        assert rep.mean_recovery_latency > 0.0
+        assert rep.max_recovery_latency >= rep.mean_recovery_latency
+
+    def test_clean_vs_clean_is_the_identity(self):
+        baseline = run(FaultPlan())
+        rep = resilience_report(baseline, run(FaultPlan()))
+        assert rep.makespan_inflation == 1.0
+        assert rep.coverage_loss == 0.0
+        assert rep.faults_fired == 0
+
+    def test_faulty_baseline_rejected(self):
+        faulted = run(FaultPlan.of([StudentDropout(at=60.0, worker=3)]))
+        with pytest.raises(MetricError, match="clean baseline"):
+            resilience_report(faulted, faulted)
+
+    def test_summary_roundtrip(self):
+        baseline = run(FaultPlan())
+        faulted = run(FaultPlan.of([StudentDropout(at=60.0, worker=3)]))
+        s = resilience_report(baseline, faulted).summary()
+        assert set(s) >= {"makespan_inflation", "coverage_loss",
+                          "faults_fired", "ops_reassigned"}
