@@ -12,6 +12,9 @@ The library models the entire activity end-to-end:
 - :mod:`repro.depgraph` — dependency graphs, the Jordan exercise, and the
   Section V-C grading rubric.
 - :mod:`repro.metrics` — speedup laws, load balance, contention, warmup.
+- :mod:`repro.obs` — observability: spans, metrics registry, profiling,
+  Chrome-trace and Prometheus exporters.
+- :mod:`repro.faults` — deterministic fault injection and recovery.
 - :mod:`repro.classroom` — whole-class sessions at the six pilot sites and
   automatic debrief lesson extraction.
 - :mod:`repro.survey` — the ASPECT engagement survey, the pre/post quiz,
@@ -37,7 +40,7 @@ Quickstart::
 __version__ = "1.0.0"
 
 from . import agents, classroom, data, depgraph, flags, grid, metrics
-from . import schedule, sim, survey, viz
+from . import obs, schedule, sim, survey, viz
 
 __all__ = [
     "__version__",
@@ -48,6 +51,7 @@ __all__ = [
     "flags",
     "grid",
     "metrics",
+    "obs",
     "schedule",
     "sim",
     "survey",

@@ -16,6 +16,9 @@ Gives instructors the library's main flows without writing Python:
 - ``grade`` — grade a simulated Jordan submission cohort (Sec V-C).
 - ``tables`` — regenerate Tables I-III from synthetic populations.
 - ``chaos FLAG`` — a scenario under a seeded fault plan with recovery.
+- ``trace TARGET`` — run a scenario under the observer (or convert an
+  exported event log) and write Chrome ``trace_event`` JSON for
+  ``chrome://tracing`` / Perfetto, plus optional metrics dumps.
 """
 
 from __future__ import annotations
@@ -299,6 +302,74 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .obs import RunObserver, build_spans, dump_chrome_trace, to_chrome_trace
+
+    target = pathlib.Path(args.target)
+    if target.exists():
+        # Convert an archived JSON-lines event log (repro.sim.export).
+        from .sim.export import import_events
+        events = import_events(target.read_text())
+        spans = build_spans(events)
+        doc = to_chrome_trace(spans)
+        summary_text = (f"converted {len(events)} events from {target} "
+                        f"into {len(spans)} spans")
+        metrics_text = None
+    else:
+        from .flags import get_flag
+        from .schedule import get_scenario, run_scenario
+        spec = get_flag(args.target)
+        scenario = get_scenario(args.scenario)
+        team = _make_team(spec, args.seed, max(scenario.n_colorers, 4))
+        rng = np.random.default_rng(args.seed)
+        observer = RunObserver()
+        fault_plan = None
+        recovery = None
+        if args.chaos:
+            from .faults import FaultPlan, RecoveryConfig, sample_plan
+            from .flags.compiler import compile_flag
+            program = compile_flag(spec, None, None)
+            colors = sorted({op.color for op in program.ops}, key=int)
+            baseline = run_scenario(scenario, spec,
+                                    _make_team(spec, args.seed,
+                                               max(scenario.n_colorers, 4)),
+                                    np.random.default_rng(args.seed))
+            fault_plan = sample_plan(
+                np.random.default_rng(args.seed),
+                n_workers=scenario.n_colorers, colors=colors,
+                horizon=baseline.true_makespan,
+                n_dropouts=1, n_implement_failures=1, n_stalls=1,
+            )
+            recovery = RecoveryConfig()
+        result = run_scenario(scenario, spec, team, rng,
+                              fault_plan=fault_plan, recovery=recovery,
+                              observer=observer)
+        doc = observer.chrome_trace()
+        metrics_text = observer.prometheus()
+        summary_text = result.obs.format() if result.obs else ""
+
+    out = pathlib.Path(args.out)
+    out.write_text(dump_chrome_trace(doc) + "\n")
+    n_slices = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+    print(f"wrote {out}: {len(doc['traceEvents'])} trace events "
+          f"({n_slices} slices) — load it at ui.perfetto.dev or "
+          f"chrome://tracing")
+    if args.metrics:
+        if metrics_text is None:
+            print("note: --metrics ignored when converting an event log")
+        else:
+            pathlib.Path(args.metrics).write_text(metrics_text)
+            print(f"wrote {args.metrics}: "
+                  f"{len(metrics_text.splitlines())} metric lines")
+    if summary_text:
+        print(summary_text)
+    json.loads(out.read_text())  # self-check: the file is valid JSON
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -387,6 +458,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stalls", type=int, default=1)
     p.add_argument("--late", type=int, default=0)
 
+    p = sub.add_parser(
+        "trace",
+        help="run a scenario under the observer and export a Chrome trace")
+    p.add_argument("target",
+                   help="flag name to simulate, or path to a JSON-lines "
+                        "event log exported via repro.sim.export")
+    p.add_argument("--scenario", type=int, choices=(1, 2, 3, 4), default=4)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--chaos", action="store_true",
+                   help="inject a seeded fault plan into the traced run")
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace_event JSON output path")
+    p.add_argument("--metrics", default=None,
+                   help="also write a Prometheus-style metrics dump here")
+
     return parser
 
 
@@ -405,6 +491,7 @@ _COMMANDS = {
     "grade": _cmd_grade,
     "tables": _cmd_tables,
     "chaos": _cmd_chaos,
+    "trace": _cmd_trace,
 }
 
 

@@ -296,6 +296,11 @@ class FaultInjector:
                 self.accounting.ops_reassigned += len(remaining)
                 overhead = self.recovery.redistribute_overhead
                 if overhead > 0:
+                    if sim.observer is not None:
+                        sim.observer.on_recovery(
+                            "redistribute_pickup", sim.now,
+                            sim.now + overhead, agent=recipient,
+                            from_agent=name, n_ops=len(remaining))
                     sim.interrupt(recipient,
                                   StallInterrupt(overhead, reason="pickup"))
                     self.accounting.recovery_latencies.append(overhead)
@@ -320,6 +325,10 @@ class FaultInjector:
         self.accounting.implement_failures += 1
         if self.recovery.repairs_implements:
             delay = self.recovery.spare_fetch_delay
+            if sim.observer is not None:
+                sim.observer.on_recovery(
+                    "spare_fetch", sim.now, sim.now + delay,
+                    resource=res.name, color=color.name)
             sim.fail_resource(res, repair_at=sim.now + delay)
             self.accounting.recovery_latencies.append(delay)
         else:

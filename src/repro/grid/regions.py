@@ -118,6 +118,7 @@ class FullGrid(Region):
     """Every cell — the whole sheet of gridded paper."""
 
     def mask(self, rows: int, cols: int) -> np.ndarray:
+        """Boolean membership mask for a concrete grid."""
         return np.ones((rows, cols), dtype=bool)
 
 
@@ -126,6 +127,7 @@ class EmptyRegion(Region):
     """No cells at all; the identity for union."""
 
     def mask(self, rows: int, cols: int) -> np.ndarray:
+        """Boolean membership mask for a concrete grid."""
         return np.zeros((rows, cols), dtype=bool)
 
 
@@ -140,6 +142,7 @@ class CellSet(Region):
     members: Tuple[Cell, ...]
 
     def mask(self, rows: int, cols: int) -> np.ndarray:
+        """Boolean membership mask for a concrete grid."""
         out = np.zeros((rows, cols), dtype=bool)
         for r, c in self.members:
             if 0 <= r < rows and 0 <= c < cols:
@@ -168,6 +171,7 @@ class Rect(Region):
             )
 
     def mask(self, rows: int, cols: int) -> np.ndarray:
+        """Boolean membership mask for a concrete grid."""
         y, x = _centers(rows, cols)
         return (y >= self.y0) & (y < self.y1) & (x >= self.x0) & (x < self.x1)
 
@@ -195,6 +199,7 @@ class HalfPlane(Region):
     c: float
 
     def mask(self, rows: int, cols: int) -> np.ndarray:
+        """Boolean membership mask for a concrete grid."""
         y, x = _centers(rows, cols)
         return self.a * x + self.b * y <= self.c
 
@@ -221,6 +226,7 @@ class Band(Region):
             raise ValueError("degenerate band: a and b both zero")
 
     def mask(self, rows: int, cols: int) -> np.ndarray:
+        """Boolean membership mask for a concrete grid."""
         y, x = _centers(rows, cols)
         norm = float(np.hypot(self.a, self.b))
         dist = np.abs(self.a * x + self.b * y - self.c) / norm
@@ -246,6 +252,7 @@ class Disc(Region):
             raise ValueError("disc radius must be positive")
 
     def mask(self, rows: int, cols: int) -> np.ndarray:
+        """Boolean membership mask for a concrete grid."""
         y, x = _centers(rows, cols)
         aspect = cols / rows
         dy = y - self.cy
@@ -271,6 +278,7 @@ class Polygon(Region):
             raise ValueError("polygon needs at least 3 vertices")
 
     def mask(self, rows: int, cols: int) -> np.ndarray:
+        """Boolean membership mask for a concrete grid."""
         y, x = _centers(rows, cols)
         inside = np.zeros((rows, cols), dtype=bool)
         verts = self.vertices
@@ -298,6 +306,7 @@ class Triangle(Region):
     p3: Tuple[float, float]
 
     def mask(self, rows: int, cols: int) -> np.ndarray:
+        """Boolean membership mask for a concrete grid."""
         return Polygon((self.p1, self.p2, self.p3)).mask(rows, cols)
 
 
@@ -310,6 +319,7 @@ class _Union(Region):
     parts: Tuple[Region, ...]
 
     def mask(self, rows: int, cols: int) -> np.ndarray:
+        """Boolean membership mask for a concrete grid."""
         out = np.zeros((rows, cols), dtype=bool)
         for p in self.parts:
             out |= p.mask(rows, cols)
@@ -324,6 +334,7 @@ class _Intersection(Region):
     parts: Tuple[Region, ...]
 
     def mask(self, rows: int, cols: int) -> np.ndarray:
+        """Boolean membership mask for a concrete grid."""
         out = np.ones((rows, cols), dtype=bool)
         for p in self.parts:
             out &= p.mask(rows, cols)
@@ -339,6 +350,7 @@ class _Difference(Region):
     right: Region
 
     def mask(self, rows: int, cols: int) -> np.ndarray:
+        """Boolean membership mask for a concrete grid."""
         return self.left.mask(rows, cols) & ~self.right.mask(rows, cols)
 
     def intricacy(self) -> float:
@@ -350,6 +362,7 @@ class _Complement(Region):
     inner: Region
 
     def mask(self, rows: int, cols: int) -> np.ndarray:
+        """Boolean membership mask for a concrete grid."""
         return ~self.inner.mask(rows, cols)
 
     def intricacy(self) -> float:

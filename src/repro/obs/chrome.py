@@ -1,0 +1,118 @@
+"""Chrome ``trace_event`` JSON export of span forests.
+
+Produces the JSON object format consumed by ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_: a ``traceEvents`` array of
+complete ("X"), instant ("i"), counter ("C") and metadata ("M")
+events.  Simulated seconds map to trace microseconds, every span track
+becomes a named thread, and span tags ride along as ``args`` so
+clicking a slice in the UI shows the cell/color/resource involved.
+
+The export is a pure function of the spans (plus optional counter
+series), so identical-seed runs serialize to identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .spans import Span
+
+#: Simulated seconds -> Chrome trace microseconds.
+MICROS_PER_SIM_SECOND = 1_000_000.0
+
+#: A sampled counter series: name -> [(time, value), ...].
+CounterSeries = Dict[str, Sequence[Tuple[float, float]]]
+
+
+def _ts(sim_seconds: float) -> float:
+    """Simulated seconds as trace microseconds (rounded for stable JSON)."""
+    return round(sim_seconds * MICROS_PER_SIM_SECOND, 3)
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce tag values into JSON-representable form."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+def span_to_trace_event(span: Span, tid: int, pid: int = 1) -> Dict[str, Any]:
+    """One span as a Chrome trace event dict ("X" slice or "i" instant)."""
+    base: Dict[str, Any] = {
+        "name": span.name,
+        "cat": span.category,
+        "pid": pid,
+        "tid": tid,
+        "ts": _ts(span.start),
+        "args": _json_safe(span.tags),
+    }
+    if span.is_instant:
+        base["ph"] = "i"
+        base["s"] = "t"  # thread-scoped instant
+    else:
+        base["ph"] = "X"
+        base["dur"] = _ts(span.duration)
+    return base
+
+
+def to_chrome_trace(spans: Iterable[Span], *,
+                    counters: Optional[CounterSeries] = None,
+                    process_name: str = "flagsim",
+                    pid: int = 1) -> Dict[str, Any]:
+    """Package spans (and optional counter series) as a trace document.
+
+    Tracks are assigned thread ids in sorted order and named via "M"
+    metadata events, so Perfetto shows one labeled row per agent /
+    resource / engine track.
+
+    Returns:
+        The JSON-object-format trace: ``{"traceEvents": [...],
+        "displayTimeUnit": "ms", ...}``.  Serialize with
+        :func:`dump_chrome_trace` or ``json.dump``.
+    """
+    spans = list(spans)
+    tracks = sorted({s.track for s in spans})
+    tids = {track: i + 1 for i, track in enumerate(tracks)}
+
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for track in tracks:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid,
+            "tid": tids[track], "args": {"name": track},
+        })
+        events.append({
+            "name": "thread_sort_index", "ph": "M", "pid": pid,
+            "tid": tids[track], "args": {"sort_index": tids[track]},
+        })
+    for span in spans:
+        events.append(span_to_trace_event(span, tids[span.track], pid))
+    for cname in sorted(counters or {}):
+        for t, value in (counters or {})[cname]:
+            events.append({
+                "name": cname, "ph": "C", "pid": pid, "tid": 0,
+                "ts": _ts(t), "args": {"value": value},
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "time_unit":
+                      "1 trace us == 1 simulated us"},
+    }
+
+
+def dump_chrome_trace(trace: Dict[str, Any],
+                      fp: Optional[IO[str]] = None, *,
+                      indent: Optional[int] = None) -> str:
+    """Serialize a trace document to JSON text (and write to ``fp``)."""
+    text = json.dumps(trace, sort_keys=True, indent=indent)
+    if fp is not None:
+        fp.write(text)
+    return text

@@ -1,0 +1,123 @@
+"""Host wall-clock profiling of engine hot paths.
+
+The simulator's *simulated* time is deterministic; how much *host* time
+the engine burns to produce it is not, and that gap is exactly what the
+performance roadmap needs to watch.  :class:`HotPathProfiler`
+accumulates host-seconds per named section (engine dispatch, kernel
+callbacks, whatever instrumentation opens) and reports a per-run
+summary of where host time went, alongside the simulated-to-host speed
+ratio.
+
+Host timings never enter the event trace, the spans, or the metrics
+dump — they live only in the profile report — so enabling the profiler
+cannot perturb determinism guarantees.  A fake ``time_fn`` can be
+injected for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional
+
+
+class SectionStats:
+    """Accumulated host time for one named section."""
+
+    def __init__(self) -> None:
+        self.calls: int = 0
+        self.host_seconds: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        """Fold one timed call into the totals."""
+        self.calls += 1
+        self.host_seconds += seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SectionStats(calls={self.calls}, "
+                f"host_seconds={self.host_seconds:.6f})")
+
+
+class HotPathProfiler:
+    """Accumulates host wall-clock time per instrumented section.
+
+    Typical sections when driven by a
+    :class:`~repro.obs.observer.RunObserver`:
+
+    - ``dispatch`` — time inside :meth:`~repro.sim.engine.Simulator`
+      process steps (one sample per scheduler dispatch).
+    - ``kernel_call`` — time inside scheduled kernel callbacks (fault
+      injections, repairs).
+
+    Args:
+        time_fn: clock returning seconds as a float; defaults to
+            :func:`time.perf_counter`.  Inject a fake for tests.
+    """
+
+    def __init__(self,
+                 time_fn: Optional[Callable[[], float]] = None) -> None:
+        self.time_fn: Callable[[], float] = time_fn or time.perf_counter
+        self.sections: Dict[str, SectionStats] = {}
+        self._run_started_at: Optional[float] = None
+        self._run_host_seconds: float = 0.0
+
+    # -- run envelope ------------------------------------------------------
+    def start_run(self) -> None:
+        """Mark the start of the run's host-time envelope."""
+        self._run_started_at = self.time_fn()
+
+    def end_run(self) -> None:
+        """Close the run envelope (idempotent)."""
+        if self._run_started_at is not None:
+            self._run_host_seconds += self.time_fn() - self._run_started_at
+            self._run_started_at = None
+
+    @property
+    def run_host_seconds(self) -> float:
+        """Total host seconds between start_run and end_run (so far)."""
+        if self._run_started_at is not None:
+            return (self._run_host_seconds
+                    + self.time_fn() - self._run_started_at)
+        return self._run_host_seconds
+
+    # -- sections ----------------------------------------------------------
+    def add(self, section: str, seconds: float) -> None:
+        """Record one timed call against a section."""
+        self.sections.setdefault(section, SectionStats()).add(seconds)
+
+    @contextmanager
+    def profile(self, section: str) -> Iterator[None]:
+        """Context manager timing its body into ``section``."""
+        t0 = self.time_fn()
+        try:
+            yield
+        finally:
+            self.add(section, self.time_fn() - t0)
+
+    # -- reporting ---------------------------------------------------------
+    def report(self, simulated_seconds: Optional[float] = None) -> Dict:
+        """Summarize where host time went.
+
+        Args:
+            simulated_seconds: the run's simulated makespan; when given,
+                the report includes ``sim_to_host_ratio`` (simulated
+                seconds produced per host second — the engine's "speed
+                over real time" figure).
+        """
+        sections = {
+            name: {"calls": s.calls,
+                   "host_seconds": s.host_seconds}
+            for name, s in sorted(self.sections.items())
+        }
+        accounted = sum(s.host_seconds for s in self.sections.values())
+        out: Dict = {
+            "host_wall_seconds": self.run_host_seconds,
+            "accounted_seconds": accounted,
+            "sections": sections,
+        }
+        if simulated_seconds is not None:
+            out["simulated_seconds"] = simulated_seconds
+            host = self.run_host_seconds
+            out["sim_to_host_ratio"] = (
+                simulated_seconds / host if host > 0 else float("inf"))
+        return out

@@ -1,0 +1,289 @@
+"""Hierarchical spans reconstructed from the engine's event stream.
+
+A :class:`Span` is a named, tagged interval on one *track* (an agent, a
+resource, the engine itself).  Spans nest: a worker's ``wait``/``hold``/
+``stroke`` spans all live inside its ``process`` span, and a ``stroke``
+span lives inside the ``hold`` span of the implement it used.  The
+nesting is what makes a Chrome trace of scenario 4 legible — you can
+*see* the red marker travel down the line of waiting workers.
+
+Spans are built exclusively from simulated-time :class:`~repro.sim.
+events.Event` records, so two identical-seed runs produce identical
+spans; host wall-clock never leaks in (that lives in
+:mod:`repro.obs.profiler`).  The builder can run incrementally (fed one
+event at a time by a live :class:`~repro.obs.observer.RunObserver`) or
+over an archived event list via :func:`build_spans`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..sim.events import Event, EventKind
+
+
+class SpanError(Exception):
+    """Raised on span bookkeeping misuse (ending an unknown span, ...)."""
+
+
+@dataclass
+class Span:
+    """One named interval on a track, with tags and a parent pointer.
+
+    Attributes:
+        sid: unique id within one builder (dense, starts at 0).
+        name: human-readable label ("wait:red_marker", "stroke", ...).
+        category: coarse grouping used for styling and metrics
+            ("process", "wait", "hold", "stroke", "fault", "recovery",
+            "run").
+        track: timeline this span belongs to (agent name, resource name,
+            or "engine").
+        start: simulated seconds when the span opened.
+        end: simulated seconds when it closed; None while still open.
+        parent: sid of the enclosing span on the same track, if any.
+        tags: span-specific payload (resource, cell, color, ...).
+    """
+
+    sid: int
+    name: str
+    category: str
+    track: str
+    start: float
+    end: Optional[float] = None
+    parent: Optional[int] = None
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        """Whether the span has not been closed yet."""
+        return self.end is None
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds (0.0 while open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def is_instant(self) -> bool:
+        """Whether this is a zero-duration point event."""
+        return self.end is not None and self.end == self.start
+
+
+class SpanBuilder:
+    """Turns a stream of engine events into nested spans.
+
+    Use :meth:`feed` for each event (in emission order) and
+    :meth:`finish` once the run is over; or call the module-level
+    :func:`build_spans` on a complete event list.  ``feed`` returns the
+    spans it *closed*, which is how the metrics layer observes wait and
+    stroke durations without re-deriving them.
+
+    The builder also exposes :meth:`begin`/:meth:`end`/:meth:`instant`
+    so instrumentation outside the event stream (recovery windows, the
+    run envelope) can add spans on the same timeline.
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._ids = itertools.count()
+        self._stacks: Dict[str, List[int]] = {}
+        # open span sid per (category-specific) key
+        self._open_wait: Dict[Tuple[str, str], int] = {}
+        self._open_hold: Dict[Tuple[str, str], int] = {}
+        self._open_stroke: Dict[str, int] = {}
+        self._open_process: Dict[str, int] = {}
+
+    # -- manual span API ---------------------------------------------------
+    def begin(self, name: str, category: str, track: str, time: float,
+              **tags: Any) -> int:
+        """Open a span; its parent is the track's innermost open span."""
+        stack = self._stacks.setdefault(track, [])
+        span = Span(
+            sid=next(self._ids), name=name, category=category, track=track,
+            start=time, parent=stack[-1] if stack else None, tags=tags,
+        )
+        self.spans.append(span)
+        stack.append(span.sid)
+        return span.sid
+
+    def end(self, sid: int, time: float, **tags: Any) -> Span:
+        """Close a span (and anything opened inside it that is still open).
+
+        Raises:
+            SpanError: for an unknown sid or an already-closed span.
+        """
+        try:
+            span = self.spans[sid]
+        except IndexError:
+            raise SpanError(f"unknown span id {sid}") from None
+        if span.end is not None:
+            raise SpanError(f"span {sid} ({span.name!r}) already closed")
+        stack = self._stacks.get(span.track, [])
+        # LIFO unwind: close abandoned inner spans at the same time.
+        while stack and stack[-1] != sid:
+            inner = self.spans[stack.pop()]
+            if inner.end is None:
+                inner.end = time
+                inner.tags.setdefault("unwound", True)
+                self._drop_index(inner.sid)
+        if stack and stack[-1] == sid:
+            stack.pop()
+        span.end = time
+        span.tags.update(tags)
+        self._drop_index(sid)
+        return span
+
+    def instant(self, name: str, category: str, track: str, time: float,
+                **tags: Any) -> int:
+        """Record a zero-duration point event on a track."""
+        stack = self._stacks.get(track, [])
+        span = Span(
+            sid=next(self._ids), name=name, category=category, track=track,
+            start=time, end=time, parent=stack[-1] if stack else None,
+            tags=tags,
+        )
+        self.spans.append(span)
+        return span.sid
+
+    def _drop_index(self, sid: int) -> None:
+        """Remove a closed span from the category indexes."""
+        for index in (self._open_wait, self._open_hold):
+            for key, open_sid in list(index.items()):
+                if open_sid == sid:
+                    del index[key]
+        for index in (self._open_stroke, self._open_process):
+            for key, open_sid in list(index.items()):
+                if open_sid == sid:
+                    del index[key]
+
+    # -- event-driven construction -----------------------------------------
+    def feed(self, event: Event) -> List[Span]:
+        """Update span state from one engine event; returns closed spans."""
+        kind, agent, data, t = event.kind, event.agent, event.data, event.time
+        closed: List[Span] = []
+
+        if kind == EventKind.PROCESS_START and agent is not None:
+            self._open_process[agent] = self.begin(
+                f"process:{agent}", "process", agent, t)
+
+        elif kind in (EventKind.PROCESS_DONE, EventKind.PROCESS_KILLED) \
+                and agent is not None:
+            sid = self._open_process.pop(agent, None)
+            if sid is not None:
+                tags = {}
+                if kind == EventKind.PROCESS_KILLED:
+                    tags = {"killed": True, "reason": data.get("reason")}
+                closed.append(self.end(sid, t, **tags))
+
+        elif kind == EventKind.RESOURCE_REQUEST and agent is not None:
+            res = str(data.get("resource"))
+            key = (agent, res)
+            prior = self._open_wait.pop(key, None)
+            if prior is not None:
+                # A stall dropped the queue slot; the re-request starts a
+                # fresh wait span.
+                closed.append(self.end(prior, t, requeued=True))
+            self._open_wait[key] = self.begin(
+                f"wait:{res}", "wait", agent, t, resource=res)
+
+        elif kind == EventKind.RESOURCE_ACQUIRE and agent is not None:
+            res = str(data.get("resource"))
+            key = (agent, res)
+            sid = self._open_wait.pop(key, None)
+            if sid is not None:
+                closed.append(self.end(sid, t))
+            self._open_hold[key] = self.begin(
+                f"hold:{res}", "hold", agent, t, resource=res)
+
+        elif kind == EventKind.RESOURCE_RELEASE and agent is not None:
+            res = str(data.get("resource"))
+            sid = self._open_hold.pop((agent, res), None)
+            if sid is not None:
+                closed.append(self.end(sid, t))
+
+        elif kind == EventKind.STROKE_START and agent is not None:
+            self._open_stroke[agent] = self.begin(
+                "stroke", "stroke", agent, t,
+                cell=data.get("cell"), color=data.get("color"),
+                layer=data.get("layer"))
+
+        elif kind == EventKind.STROKE_END and agent is not None:
+            sid = self._open_stroke.pop(agent, None)
+            if sid is not None:
+                closed.append(self.end(sid, t))
+
+        elif kind == EventKind.HANDOFF:
+            self.instant("handoff", "handoff", agent or "engine", t, **data)
+
+        elif kind == EventKind.FAULT_INJECTED:
+            self.instant(f"fault:{data.get('fault', 'unknown')}", "fault",
+                         agent or "faults", t, **data)
+
+        elif kind == EventKind.STALL:
+            self.instant("stall", "fault", agent or "faults", t, **data)
+
+        elif kind == EventKind.FAULT:
+            self.instant("implement_fault", "fault", agent or "faults", t,
+                         **data)
+
+        elif kind in (EventKind.RESOURCE_FAILED, EventKind.RESOURCE_REPAIRED):
+            self.instant(kind.value, "fault",
+                         str(data.get("resource", "resources")), t, **data)
+
+        elif kind in (EventKind.OP_REASSIGNED, EventKind.OP_ABANDONED):
+            self.instant(kind.value, "recovery", agent or "recovery", t,
+                         **data)
+
+        return closed
+
+    def finish(self, at: float) -> List[Span]:
+        """Close every span still open (end of run, pause, or crash)."""
+        closed = []
+        for span in self.spans:
+            if span.end is None:
+                span.end = at
+                span.tags.setdefault("unclosed", True)
+                closed.append(span)
+        self._stacks.clear()
+        self._open_wait.clear()
+        self._open_hold.clear()
+        self._open_stroke.clear()
+        self._open_process.clear()
+        return closed
+
+    # -- queries -----------------------------------------------------------
+    def by_category(self, category: str) -> List[Span]:
+        """All spans of one category, in creation order."""
+        return [s for s in self.spans if s.category == category]
+
+    def tracks(self) -> List[str]:
+        """Every track that appears, sorted."""
+        return sorted({s.track for s in self.spans})
+
+    def children(self, sid: int) -> List[Span]:
+        """Direct child spans of a span."""
+        return [s for s in self.spans if s.parent == sid]
+
+
+def build_spans(events: Iterable[Event],
+                finish_at: Optional[float] = None) -> List[Span]:
+    """Reconstruct the full span forest from an archived event list.
+
+    Args:
+        events: engine events in emission order (e.g. from
+            :func:`repro.sim.export.import_events`).
+        finish_at: close still-open spans at this time; defaults to the
+            last event's timestamp.
+
+    Returns:
+        All spans in creation order, every one closed.
+    """
+    builder = SpanBuilder()
+    last = 0.0
+    for e in events:
+        builder.feed(e)
+        last = e.time
+    builder.finish(last if finish_at is None else finish_at)
+    return builder.spans

@@ -1,0 +1,70 @@
+"""The per-run observability digest attached to ``RunResult.obs``.
+
+An :class:`ObsSummary` is what a caller gets "for free" after running a
+scenario with a :class:`~repro.obs.observer.RunObserver` attached: span
+and event counts, the headline counters, wait/stroke time totals, and
+the host-time profile — without holding onto the observer itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class ObsSummary:
+    """Aggregate observability record for one simulated run.
+
+    Attributes:
+        makespan: simulated seconds the run covered.
+        n_events: engine events logged.
+        n_spans: spans reconstructed (slices + instants).
+        counters: flat ``{name{labels}: value}`` counter/gauge snapshot.
+        histograms: flat ``{name_sum/_count{labels}: value}`` snapshot.
+        profile: host-time report from
+            :meth:`~repro.obs.profiler.HotPathProfiler.report`.
+    """
+
+    makespan: float
+    n_events: int
+    n_spans: int
+    counters: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    profile: Dict[str, Any] = field(default_factory=dict)
+
+    def counter(self, name: str, labels: str = "") -> float:
+        """Look up one counter/gauge series (0.0 when absent)."""
+        return self.counters.get(name, {}).get(labels, 0.0)
+
+    def format(self) -> str:
+        """Human-readable multi-line digest for CLI output."""
+        lines = [
+            f"makespan          : {self.makespan:10.2f} simulated s",
+            f"events logged     : {self.n_events:10d}",
+            f"spans built       : {self.n_spans:10d}",
+        ]
+        for name in sorted(self.counters):
+            series = self.counters[name]
+            total = sum(series.values())
+            lines.append(f"{name:18s}: {total:10g}")
+        for name in sorted(self.histograms):
+            if name.endswith("_sum"):
+                base = name[:-4]
+                total = sum(self.histograms[name].values())
+                count = sum(
+                    self.histograms.get(base + "_count", {}).values())
+                lines.append(
+                    f"{base:18s}: {total:10.2f} s over {int(count)} obs")
+        prof = self.profile
+        if prof:
+            host = prof.get("host_wall_seconds", 0.0)
+            lines.append(f"host wall time    : {host:10.4f} s")
+            ratio = prof.get("sim_to_host_ratio")
+            if ratio is not None and ratio != float("inf"):
+                lines.append(f"sim/host speed    : {ratio:10.0f}x")
+            for sec, stats in prof.get("sections", {}).items():
+                lines.append(
+                    f"  {sec:16s}: {stats['host_seconds']:.4f} s "
+                    f"/ {stats['calls']} calls")
+        return "\n".join(lines)

@@ -42,6 +42,8 @@ from ..sim.trace import Trace
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.plan import FaultPlan
     from ..faults.recovery import FaultAccounting, RecoveryConfig
+    from ..obs.observer import Observer
+    from ..obs.summary import ObsSummary
 
 
 class AcquirePolicy(enum.Enum):
@@ -75,6 +77,9 @@ class RunResult:
         correct: whether the canvas reproduces the target image.
         faults: fault/recovery accounting when the run executed under a
             :class:`~repro.faults.plan.FaultPlan`; None for clean runs.
+        obs: the observability digest when the run executed with a
+            :class:`~repro.obs.observer.RunObserver` attached; None
+            otherwise (see :mod:`repro.obs`).
     """
 
     label: str
@@ -87,6 +92,7 @@ class RunResult:
     correct: bool
     extra: Dict[str, object] = field(default_factory=dict)
     faults: Optional["FaultAccounting"] = None
+    obs: Optional["ObsSummary"] = None
 
 
 def marker_name(color: Color) -> str:
@@ -172,6 +178,7 @@ def run_partition(
     target: Optional[np.ndarray] = None,
     fault_plan: Optional["FaultPlan"] = None,
     recovery: Optional["RecoveryConfig"] = None,
+    observer: Optional["Observer"] = None,
 ) -> RunResult:
     """Simulate one run of a statically-partitioned program.
 
@@ -189,10 +196,14 @@ def run_partition(
             an empty plan reproduces the clean run's trace exactly.
         recovery: how the team responds to faults; defaults to
             REDISTRIBUTE.  Ignored without a ``fault_plan``.
+        observer: an observability tap (e.g. a
+            :class:`~repro.obs.observer.RunObserver`); with a
+            ``RunObserver``, the result carries its summary as
+            ``result.obs``.  ``None`` (the default) costs nothing.
     """
     program = partition.program
     team.begin_scenario()
-    sim = Simulator()
+    sim = Simulator(observer=observer)
     canvas = Canvas(program.rows, program.cols, allow_overpaint=True)
     colors = sorted({op.color for op in program.ops}, key=int)
     resources = build_resources(sim, team, colors)
@@ -247,6 +258,13 @@ def run_partition(
         from ..flags.compiler import execute
         target = execute(program).codes
     correct = bool(np.array_equal(canvas.codes, target)) or canvas.matches(target)
+    obs_summary: Optional["ObsSummary"] = None
+    if observer is not None:
+        # Imported lazily for the same reason the faults path is: clean
+        # unobserved runs never touch the obs package.
+        from ..obs.observer import RunObserver
+        if isinstance(observer, RunObserver):
+            obs_summary = observer.summary()
     return RunResult(
         label=label or f"{program.flag}/{partition.strategy}",
         strategy=partition.strategy,
@@ -257,6 +275,7 @@ def run_partition(
         canvas=canvas,
         correct=correct,
         faults=accounting,
+        obs=obs_summary,
     )
 
 

@@ -27,6 +27,7 @@ from .runner import AcquirePolicy, RunResult, run_partition
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.plan import FaultPlan
     from ..faults.recovery import RecoveryConfig
+    from ..obs.observer import Observer
 
 
 @dataclass(frozen=True)
@@ -104,11 +105,13 @@ def run_scenario(
     policy: AcquirePolicy = AcquirePolicy.HOLD_COLOR_RUN,
     fault_plan: Optional["FaultPlan"] = None,
     recovery: Optional["RecoveryConfig"] = None,
+    observer: Optional["Observer"] = None,
 ) -> RunResult:
     """Compile the flag, apply the scenario's decomposition, and simulate.
 
     ``fault_plan``/``recovery`` inject classroom mishaps into the run;
-    see :func:`~repro.schedule.runner.run_partition`.
+    ``observer`` taps the run for spans/metrics/profiling; see
+    :func:`~repro.schedule.runner.run_partition`.
     """
     program = compile_flag(spec, rows, cols)
     partition = scenario.partition(program)
@@ -117,7 +120,7 @@ def run_scenario(
         label=f"scenario{scenario.number}",
         style=style, policy=policy,
         target=spec.final_image(program.rows, program.cols),
-        fault_plan=fault_plan, recovery=recovery,
+        fault_plan=fault_plan, recovery=recovery, observer=observer,
     )
     result.extra["scenario"] = scenario.number
     result.extra["flag"] = spec.name

@@ -18,9 +18,21 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from .events import Event, EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.observer import Observer
 
 #: A simulation process: a generator yielding engine commands.
 ProcessGen = Generator["Command", Any, None]
@@ -238,9 +250,17 @@ class Simulator:
 
     Processes log domain events through :meth:`log`; the kernel itself logs
     PROCESS_START / PROCESS_DONE and all resource traffic.
+
+    ``observer`` is the zero-overhead-when-disabled observability tap
+    (see :mod:`repro.obs`): when ``None`` (the default) the kernel
+    executes exactly the pre-observability instruction stream, and every
+    hook site is a single ``is not None`` test.  Observers are read-only
+    — they never touch the event log or the sequence counter, so an
+    observed run's trace is byte-identical to an unobserved one.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, observer: Optional["Observer"] = None) -> None:
+        self.observer = observer
         self.now: float = 0.0
         self.events: List[Event] = []
         self._heap: List[_Scheduled] = []
@@ -272,6 +292,18 @@ class Simulator:
         handle = ResourceHandle(name, capacity)
         self._resources[name] = handle
         return handle
+
+    def attach_observer(self, observer: "Observer") -> None:
+        """Attach an observability tap before the run starts.
+
+        Raises:
+            SimulationError: once :meth:`run` has been called (hooking
+                in mid-run would give the observer a torn view).
+        """
+        if self._started:
+            raise SimulationError(
+                "cannot attach an observer after run() started")
+        self.observer = observer
 
     def add_process(self, name: str, gen: ProcessGen,
                     start_at: float = 0.0) -> None:
@@ -318,6 +350,8 @@ class Simulator:
         ev = Event(time=self.now, seq=next(self._seq), kind=kind,
                    agent=agent, data=data)
         self.events.append(ev)
+        if self.observer is not None:
+            self.observer.on_event(ev)
         return ev
 
     # -- the loop ----------------------------------------------------------
@@ -345,6 +379,9 @@ class Simulator:
             WatchdogExceeded: an event or time budget was exhausted.
         """
         self._started = True
+        obs = self.observer
+        if obs is not None:
+            obs.on_run_start(self)
         dispatched = 0
         while self._heap:
             item = heapq.heappop(self._heap)
@@ -357,6 +394,8 @@ class Simulator:
                 # would silently lose a process wakeup.
                 heapq.heappush(self._heap, item)
                 self.now = until
+                if obs is not None:
+                    obs.on_run_end(self, self.now)
                 return self.now
             if max_time is not None and item.time > max_time:
                 raise WatchdogExceeded("time", max_time, self.now, dispatched)
@@ -371,14 +410,26 @@ class Simulator:
                                        dispatched)
             if is_call:
                 _, fn, args = item.payload
-                fn(*args)
+                if obs is not None:
+                    obs.on_dispatch_start("<kernel>", self.now)
+                    fn(*args)
+                    obs.on_dispatch_end("<kernel>", self.now)
+                else:
+                    fn(*args)
                 continue
             if item.payload == "start":
                 self.log(EventKind.PROCESS_START, agent=name)
-            self._step(name)
+            if obs is not None:
+                obs.on_dispatch_start(name, self.now)
+                self._step(name)
+                obs.on_dispatch_end(name, self.now)
+            else:
+                self._step(name)
         blocked = sorted(n for n in self._procs if n not in self._done)
         if blocked:
             raise self._deadlock_error(blocked)
+        if obs is not None:
+            obs.on_run_end(self, self.now)
         return self.now
 
     def _step(self, name: str, send_value: Any = None,

@@ -18,9 +18,11 @@ SUBPACKAGES = [
     "repro.classroom",
     "repro.data",
     "repro.depgraph",
+    "repro.faults",
     "repro.flags",
     "repro.grid",
     "repro.metrics",
+    "repro.obs",
     "repro.schedule",
     "repro.sim",
     "repro.survey",

@@ -14,7 +14,7 @@ class TestParser:
         parser = build_parser()
         for cmd in ("flags", "render", "scenario", "activity", "session",
                     "depgraph", "dryrun", "grade", "tables", "animate",
-                    "slides", "debrief", "report", "chaos"):
+                    "slides", "debrief", "report", "chaos", "trace"):
             # Minimal arg sets per command.
             argv = {
                 "flags": ["flags"],
@@ -31,6 +31,7 @@ class TestParser:
                 "debrief": ["debrief", "USI"],
                 "report": ["report", "USI"],
                 "chaos": ["chaos", "mauritius"],
+                "trace": ["trace", "mauritius"],
             }[cmd]
             args = parser.parse_args(argv)
             assert args.command == cmd
@@ -142,3 +143,61 @@ class TestCommands:
         first = capsys.readouterr().out
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+    def test_trace_writes_valid_chrome_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.prom"
+        assert main(["trace", "mauritius", "--scenario", "4", "--seed",
+                     "42", "--out", str(out),
+                     "--metrics", str(metrics)]) == 0
+        printed = capsys.readouterr().out
+        assert "ui.perfetto.dev" in printed
+        doc = json.loads(out.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        assert {e["ph"] for e in doc["traceEvents"]} <= {"X", "i", "C", "M"}
+        assert "resource_wait_seconds_bucket" in metrics.read_text()
+
+    def test_trace_chaos_adds_fault_instants(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "chaos.json"
+        assert main(["trace", "mauritius", "--scenario", "4", "--seed",
+                     "7", "--chaos", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert any(n.startswith("fault:") for n in names)
+
+    def test_trace_converts_an_archived_event_log(self, capsys, tmp_path):
+        import json
+
+        import numpy as np
+        from repro.agents import make_team
+        from repro.flags import mauritius
+        from repro.schedule import get_scenario, run_scenario
+        from repro.sim.export import export_events
+
+        spec = mauritius()
+        team = make_team("team", 4, np.random.default_rng(5),
+                         colors=list(spec.colors_used()))
+        result = run_scenario(get_scenario(4), spec, team,
+                              np.random.default_rng(5))
+        log = tmp_path / "events.jsonl"
+        log.write_text(export_events(result.trace.events))
+
+        out = tmp_path / "converted.json"
+        assert main(["trace", str(log), "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "converted" in printed
+        doc = json.loads(out.read_text())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert slices
+
+    def test_trace_is_deterministic(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for out in (a, b):
+            assert main(["trace", "mauritius", "--scenario", "4",
+                         "--seed", "9", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert a.read_text() == b.read_text()

@@ -1,0 +1,110 @@
+"""The docs stay honest: examples execute, docstrings exist, links hold.
+
+Runs the two CI guard tools (``tools/run_doc_examples.py`` and
+``tools/doclint.py``) exactly as the docs CI job does, so a local
+``pytest`` catches documentation drift before CI does.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOCS = sorted((REPO / "docs").glob("*.md"))
+DOCLINT_TARGETS = [
+    "src/repro/obs",
+    "src/repro/sim/engine.py",
+    "src/repro/faults/injector.py",
+    "src/repro/schedule/runner.py",
+    "src/repro/cli.py",
+    "tools",
+]
+
+
+def run_tool(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run([sys.executable, *argv], cwd=REPO, env=env,
+                          capture_output=True, text=True)
+
+
+class TestDocExamples:
+    def test_docs_exist(self):
+        names = {p.name for p in DOCS}
+        assert {"api.md", "observability.md"} <= names
+
+    @pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+    def test_every_code_block_executes(self, doc):
+        proc = run_tool("tools/run_doc_examples.py", str(doc))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "[ok]" in proc.stdout
+
+    def test_runner_fails_on_a_broken_block(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("```python\nraise RuntimeError('drift')\n```\n")
+        proc = run_tool("tools/run_doc_examples.py", str(bad))
+        assert proc.returncode == 1
+        assert "FAIL" in proc.stdout
+
+    def test_skip_marker_is_honored(self, tmp_path):
+        doc = tmp_path / "skip.md"
+        doc.write_text("<!-- doclint: skip-example -->\n"
+                       "```python\nraise RuntimeError('never runs')\n```\n")
+        proc = run_tool("tools/run_doc_examples.py", str(doc))
+        assert proc.returncode == 0
+        assert "1 skipped" in proc.stdout
+
+
+class TestDoclint:
+    def test_instrumented_modules_are_clean(self):
+        proc = run_tool("tools/doclint.py", *DOCLINT_TARGETS)
+        assert proc.returncode == 0, proc.stdout
+        assert "clean" in proc.stdout
+
+    def test_whole_tree_is_clean(self):
+        proc = run_tool("tools/doclint.py", "src/repro")
+        assert proc.returncode == 0, proc.stdout
+
+    def test_missing_docstrings_are_reported(self, tmp_path):
+        mod = tmp_path / "undocumented.py"
+        mod.write_text('"""Module doc."""\n\n'
+                       "def exposed(x):\n    return x\n\n"
+                       "class Thing:\n"
+                       '    """Doc."""\n'
+                       "    def method(self):\n        return 1\n")
+        proc = run_tool("tools/doclint.py", str(mod))
+        assert proc.returncode == 1
+        assert "D103 missing docstring: exposed" in proc.stdout
+        assert "D102 missing docstring: Thing.method" in proc.stdout
+
+    def test_private_and_dunder_names_are_exempt(self, tmp_path):
+        mod = tmp_path / "private.py"
+        mod.write_text('"""Module doc."""\n\n'
+                       "def _helper():\n    return 1\n\n"
+                       "class _Hidden:\n"
+                       "    def anything(self):\n        return 1\n\n"
+                       "class Shown:\n"
+                       '    """Doc."""\n'
+                       "    def __init__(self):\n        self.x = 1\n")
+        proc = run_tool("tools/doclint.py", str(mod))
+        assert proc.returncode == 0, proc.stdout
+
+
+class TestReadmeLinks:
+    def test_readme_links_both_docs(self):
+        readme = (REPO / "README.md").read_text()
+        assert "docs/api.md" in readme
+        assert "docs/observability.md" in readme
+
+    def test_readme_documents_new_subcommands(self):
+        readme = (REPO / "README.md").read_text()
+        assert "python -m repro chaos" in readme
+        assert "python -m repro trace" in readme
+
+    def test_doc_cross_links_resolve(self):
+        api = (REPO / "docs" / "api.md").read_text()
+        assert "observability.md" in api
+        assert (REPO / "docs" / "observability.md").exists()

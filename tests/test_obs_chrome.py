@@ -1,0 +1,124 @@
+"""Tests for repro.obs.chrome — trace_event JSON schema validity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.flags import mauritius
+from repro.obs import (MICROS_PER_SIM_SECOND, RunObserver, Span,
+                       dump_chrome_trace, span_to_trace_event,
+                       to_chrome_trace)
+from repro.schedule import get_scenario, run_scenario
+
+VALID_PHASES = {"X", "i", "C", "M"}
+
+
+@pytest.fixture(scope="module")
+def observed():
+    """One observed scenario-4 run shared across this module."""
+    spec = mauritius()
+    obs = RunObserver()
+    team = make_team("team", 4, np.random.default_rng(42),
+                     colors=list(spec.colors_used()))
+    run_scenario(get_scenario(4), spec, team,
+                 np.random.default_rng(42), observer=obs)
+    return obs
+
+
+class TestSpanConversion:
+    def test_slice_event_fields(self):
+        span = Span(sid=0, name="stroke", category="stroke", track="P1",
+                    start=1.5, end=2.0, tags={"cell": (0, 1)})
+        e = span_to_trace_event(span, tid=3)
+        assert e["ph"] == "X"
+        assert e["ts"] == 1.5 * MICROS_PER_SIM_SECOND
+        assert e["dur"] == 0.5 * MICROS_PER_SIM_SECOND
+        assert e["tid"] == 3 and e["pid"] == 1
+        assert e["args"] == {"cell": [0, 1]}  # tuples become JSON arrays
+
+    def test_instant_event_fields(self):
+        span = Span(sid=0, name="handoff", category="handoff", track="P1",
+                    start=3.0, end=3.0)
+        e = span_to_trace_event(span, tid=1)
+        assert e["ph"] == "i" and e["s"] == "t"
+        assert "dur" not in e
+
+
+class TestDocumentSchema:
+    def test_top_level_shape(self, observed):
+        doc = observed.chrome_trace()
+        assert {"traceEvents", "displayTimeUnit", "otherData"} <= set(doc)
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+
+    def test_every_event_is_schema_valid(self, observed):
+        for e in observed.chrome_trace()["traceEvents"]:
+            assert e["ph"] in VALID_PHASES
+            assert isinstance(e["name"], str) and e["name"]
+            assert isinstance(e["pid"], int)
+            assert isinstance(e["tid"], int)
+            if e["ph"] != "M":
+                assert isinstance(e["ts"], (int, float)) and e["ts"] >= 0
+            if e["ph"] == "X":
+                assert isinstance(e["dur"], (int, float)) and e["dur"] >= 0
+            if e["ph"] == "C":
+                assert "value" in e["args"]
+
+    def test_every_slice_tid_has_thread_name_metadata(self, observed):
+        events = observed.chrome_trace()["traceEvents"]
+        named = {e["tid"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        used = {e["tid"] for e in events if e["ph"] in ("X", "i")}
+        assert used <= named
+
+    def test_worker_and_engine_tracks_present(self, observed):
+        events = observed.chrome_trace()["traceEvents"]
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert "engine" in names
+        assert sum(1 for n in names if n.startswith("team.P")) == 4
+
+    def test_counter_track_emitted(self, observed):
+        events = observed.chrome_trace()["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters
+        assert all(e["name"] == "agents_waiting" for e in counters)
+        # Scenario 4 contention: the counter actually moves.
+        assert max(e["args"]["value"] for e in counters) >= 2
+
+    def test_json_roundtrip_and_determinism(self, observed):
+        text = observed.chrome_trace_json()
+        doc = json.loads(text)
+        assert doc == observed.chrome_trace()
+        assert text == observed.chrome_trace_json()
+
+    def test_dump_writes_and_returns_same_text(self, observed, tmp_path):
+        out = tmp_path / "trace.json"
+        with out.open("w") as fp:
+            text = dump_chrome_trace(observed.chrome_trace(), fp)
+        assert out.read_text() == text
+        json.loads(out.read_text())
+
+    def test_identical_seed_identical_json(self):
+        def trace_json(seed):
+            spec = mauritius()
+            obs = RunObserver()
+            team = make_team("team", 4, np.random.default_rng(seed),
+                             colors=list(spec.colors_used()))
+            run_scenario(get_scenario(4), spec, team,
+                         np.random.default_rng(seed), observer=obs)
+            return obs.chrome_trace_json()
+
+        assert trace_json(9) == trace_json(9)
+
+    def test_bare_span_list_export(self):
+        spans = [Span(sid=0, name="process:P1", category="process",
+                      track="P1", start=0.0, end=2.0)]
+        doc = to_chrome_trace(spans, process_name="unit")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(e["name"] == "process_name"
+                   and e["args"]["name"] == "unit" for e in meta)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 1

@@ -1,0 +1,105 @@
+"""Observer non-perturbation: observability must never change a run.
+
+The companion to ``test_faults_determinism.py``: that file proves the
+fault machinery adds nothing when unused; this one proves the
+observability layer adds nothing *even when used*.  An attached
+observer is a read-only tap — the event trace, makespan and canvas are
+byte-identical with and without one.
+"""
+
+import json
+
+import numpy as np
+
+from repro.agents import make_team
+from repro.faults import RecoveryConfig, RecoveryPolicy
+from repro.flags import mauritius
+from repro.obs import NullObserver, RunObserver
+from repro.schedule import get_scenario, run_scenario
+from repro.sim import Acquire, Release, Simulator, Timeout
+from repro.sim.export import export_events
+from tests.test_faults_determinism import make_plan
+
+
+def run(observer, seed=11, scenario=4, plan=None, recovery=None):
+    spec = mauritius()
+    team = make_team("team", 4, np.random.default_rng(seed),
+                     colors=list(spec.colors_used()))
+    rng = np.random.default_rng(seed)
+    return run_scenario(get_scenario(scenario), spec, team, rng,
+                        fault_plan=plan, recovery=recovery,
+                        observer=observer)
+
+
+def trace_bytes(result):
+    return json.dumps(export_events(result.trace.events),
+                      sort_keys=True).encode()
+
+
+class TestObserverByteIdentity:
+    def test_run_observer_leaves_trace_byte_identical(self):
+        assert trace_bytes(run(None)) == trace_bytes(run(RunObserver()))
+
+    def test_null_observer_leaves_trace_byte_identical(self):
+        assert trace_bytes(run(None)) == trace_bytes(run(NullObserver()))
+
+    def test_identity_holds_on_every_scenario(self):
+        for scenario in (1, 2, 3, 4):
+            bare = run(None, scenario=scenario)
+            observed = run(RunObserver(), scenario=scenario)
+            assert trace_bytes(bare) == trace_bytes(observed)
+            assert bare.true_makespan == observed.true_makespan
+            assert (bare.canvas.codes == observed.canvas.codes).all()
+
+    def test_identity_holds_under_chaos(self):
+        plan = make_plan()
+        recovery = RecoveryConfig(policy=RecoveryPolicy.REDISTRIBUTE)
+        bare = run(None, plan=plan, recovery=recovery)
+        observed = run(RunObserver(), plan=plan, recovery=recovery)
+        assert trace_bytes(bare) == trace_bytes(observed)
+        assert bare.faults.summary() == observed.faults.summary()
+
+    def test_dispatch_span_mode_is_also_inert(self):
+        observed = run(RunObserver(dispatch_spans=True))
+        assert trace_bytes(run(None)) == trace_bytes(observed)
+
+
+class TestEngineLevelIdentity:
+    """The raw Simulator with an observer attached mid-construction."""
+
+    @staticmethod
+    def _worker(sim, marker, n):
+        for _ in range(n):
+            yield Acquire(marker)
+            yield Timeout(2.0)
+            yield Release(marker)
+
+    def _run(self, observer):
+        sim = Simulator(observer=observer)
+        red = sim.resource("red_marker")
+        for name in ("P1", "P2"):
+            sim.add_process(name, self._worker(sim, red, 3))
+        makespan = sim.run()
+        return makespan, export_events(sim.events)
+
+    def test_engine_trace_unchanged_by_observer(self):
+        assert self._run(None) == self._run(RunObserver())
+
+    def test_observer_sees_every_logged_event(self):
+        obs = RunObserver()
+        _, exported = self._run(obs)
+        assert obs.metrics.counter("events_logged_total").value() \
+            == len(exported.splitlines())
+
+    def test_host_clock_never_reaches_deterministic_products(self):
+        """A pathological time_fn must not leak into spans or metrics."""
+        def jumpy_clock():
+            jumpy_clock.t += 1000.0
+            return jumpy_clock.t
+        jumpy_clock.t = 0.0
+
+        normal = run(RunObserver())
+        jumpy = run(RunObserver(time_fn=jumpy_clock))
+        assert normal.obs is not None and jumpy.obs is not None
+        assert normal.obs.counters == jumpy.obs.counters
+        assert normal.obs.histograms == jumpy.obs.histograms

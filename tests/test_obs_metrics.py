@@ -1,0 +1,154 @@
+"""Tests for repro.obs.metrics — the registry and its determinism."""
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.obs import (Counter, Gauge, Histogram, MetricsError,
+                       MetricsRegistry, RunObserver)
+from repro.schedule import get_scenario, run_scenario
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("events_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labels_are_independent_series(self):
+        c = Counter("strokes_total")
+        c.inc(3, agent="P1")
+        c.inc(1, agent="P2")
+        assert c.value(agent="P1") == 3
+        assert c.value(agent="P2") == 1
+        assert c.value(agent="P3") == 0.0
+
+    def test_negative_increment_raises(self):
+        c = Counter("x")
+        with pytest.raises(MetricsError):
+            c.inc(-1)
+
+    def test_samples_sorted_and_formatted(self):
+        c = Counter("strokes_total")
+        c.inc(2, agent="P2")
+        c.inc(5, agent="P1")
+        assert c.samples() == ['strokes_total{agent="P1"} 5',
+                               'strokes_total{agent="P2"} 2']
+
+
+class TestGauge:
+    def test_last_write_wins_and_can_decrease(self):
+        g = Gauge("makespan")
+        g.set(10.0)
+        g.set(4.5)
+        assert g.value() == 4.5
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative(self):
+        h = Histogram("wait", buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 2.0, 7.0, 100.0):
+            h.observe(v)
+        lines = h.samples()
+        assert 'wait_bucket{le="1"} 1' in lines
+        assert 'wait_bucket{le="5"} 2' in lines
+        assert 'wait_bucket{le="10"} 3' in lines
+        assert 'wait_bucket{le="+Inf"} 4' in lines
+        assert h.count() == 4
+        assert h.sum() == 109.5
+
+    def test_labeled_series(self):
+        h = Histogram("wait", buckets=(1.0,))
+        h.observe(0.5, resource="red")
+        h.observe(2.0, resource="blue")
+        assert h.count(resource="red") == 1
+        assert h.sum(resource="blue") == 2.0
+
+    def test_empty_buckets_raise(self):
+        with pytest.raises(MetricsError):
+            Histogram("x", buckets=())
+
+
+class TestRegistry:
+    def test_getters_are_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(MetricsError):
+            reg.gauge("a")
+
+    def test_snapshot_flattens_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["c"][""] == 2
+        assert snap["h_sum"][""] == 0.5
+        assert snap["h_count"][""] == 1.0
+
+    def test_prometheus_has_help_and_type_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total", "things that happened").inc()
+        text = reg.render_prometheus()
+        assert "# HELP events_total things that happened" in text
+        assert "# TYPE events_total counter" in text
+        assert "events_total 1" in text
+
+
+def _observe_run(seed, scenario=4):
+    """One observed scenario run; returns the observer and result."""
+    from repro.flags import mauritius
+
+    spec = mauritius()
+    obs = RunObserver()
+    team = make_team("team", 4, np.random.default_rng(seed),
+                     colors=list(spec.colors_used()))
+    result = run_scenario(get_scenario(scenario), spec, team,
+                          np.random.default_rng(seed), observer=obs)
+    return obs, result
+
+
+class TestAccumulationDeterminism:
+    """Metrics derive only from sim-time events ⇒ seed-reproducible."""
+
+    def test_identical_seeds_give_byte_identical_prometheus(self):
+        a, _ = _observe_run(42)
+        b, _ = _observe_run(42)
+        assert a.prometheus() == b.prometheus()
+
+    def test_different_seeds_differ(self):
+        a, _ = _observe_run(42)
+        b, _ = _observe_run(43)
+        assert a.prometheus() != b.prometheus()
+
+    def test_counters_match_ground_truth(self):
+        obs, result = _observe_run(7)
+        strokes = obs.metrics.counter("strokes_total")
+        total = sum(strokes.value(agent=a) for a in result.trace.agents())
+        assert total == 96  # 8x12 Mauritius grid, every cell once
+        handoffs = obs.metrics.counter("handoffs_total")
+        assert handoffs.value() == len(result.trace.handoffs())
+        makespan = obs.metrics.gauge("run_makespan_seconds")
+        assert makespan.value() == pytest.approx(result.true_makespan)
+
+    def test_wait_histogram_matches_trace_accounting(self):
+        obs, result = _observe_run(7)
+        hist = obs.metrics.histogram("resource_wait_seconds")
+        resources = {s.tags["resource"]
+                     for s in obs.spans.spans if s.category == "wait"}
+        total_wait = sum(hist.sum(resource=r) for r in resources)
+        trace_wait = sum(i.duration for i in result.trace.wait_intervals())
+        assert total_wait == pytest.approx(trace_wait, rel=1e-9)
+
+    def test_summary_attached_to_run_result(self):
+        obs, result = _observe_run(3)
+        assert result.obs is not None
+        assert result.obs.n_spans == len(obs.spans.spans)
+        assert result.obs.makespan == pytest.approx(result.true_makespan)
+        assert sum(result.obs.counters["strokes_total"].values()) == 96
+        assert "makespan" in result.obs.format()

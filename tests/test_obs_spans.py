@@ -1,0 +1,189 @@
+"""Tests for repro.obs.spans — span nesting correctness."""
+
+import pytest
+
+from repro.obs import SpanBuilder, SpanError, build_spans
+from repro.schedule import get_scenario, run_scenario
+from repro.sim import Event, EventKind
+
+
+def ev(time, seq, kind, agent=None, **data):
+    """Shorthand for hand-built engine events."""
+    return Event(time=time, seq=seq, kind=kind, agent=agent, data=data)
+
+
+class TestManualSpans:
+    def test_begin_end_roundtrip(self):
+        b = SpanBuilder()
+        sid = b.begin("process:P1", "process", "P1", 0.0)
+        span = b.end(sid, 5.0)
+        assert span.sid == sid
+        assert span.start == 0.0 and span.end == 5.0
+        assert span.duration == 5.0
+        assert not span.open and not span.is_instant
+
+    def test_parent_is_innermost_open_on_same_track(self):
+        b = SpanBuilder()
+        outer = b.begin("process:P1", "process", "P1", 0.0)
+        inner = b.begin("hold:red", "hold", "P1", 1.0)
+        other = b.begin("process:P2", "process", "P2", 1.0)
+        assert b.spans[inner].parent == outer
+        assert b.spans[other].parent is None  # different track
+        leaf = b.begin("stroke", "stroke", "P1", 2.0)
+        assert b.spans[leaf].parent == inner
+
+    def test_lifo_unwind_closes_abandoned_inner_spans(self):
+        b = SpanBuilder()
+        outer = b.begin("process:P1", "process", "P1", 0.0)
+        inner = b.begin("wait:red", "wait", "P1", 1.0)
+        # Ending the outer span force-closes the still-open inner one.
+        b.end(outer, 9.0)
+        assert b.spans[inner].end == 9.0
+        assert b.spans[inner].tags.get("unwound") is True
+
+    def test_end_unknown_and_double_end_raise(self):
+        b = SpanBuilder()
+        with pytest.raises(SpanError):
+            b.end(0, 1.0)
+        sid = b.begin("x", "process", "P1", 0.0)
+        b.end(sid, 1.0)
+        with pytest.raises(SpanError):
+            b.end(sid, 2.0)
+
+    def test_instant_is_zero_duration_with_parent(self):
+        b = SpanBuilder()
+        outer = b.begin("process:P1", "process", "P1", 0.0)
+        sid = b.instant("handoff", "handoff", "P1", 3.0)
+        span = b.spans[sid]
+        assert span.is_instant and span.duration == 0.0
+        assert span.parent == outer
+
+    def test_finish_closes_everything(self):
+        b = SpanBuilder()
+        b.begin("process:P1", "process", "P1", 0.0)
+        b.begin("wait:red", "wait", "P1", 1.0)
+        closed = b.finish(7.0)
+        assert len(closed) == 2
+        assert all(s.end == 7.0 for s in closed)
+        assert all(s.tags.get("unclosed") for s in closed)
+
+
+class TestEventDriven:
+    def test_process_wait_hold_stroke_nesting(self):
+        events = [
+            ev(0.0, 0, EventKind.PROCESS_START, "P1"),
+            ev(0.0, 1, EventKind.RESOURCE_REQUEST, "P1", resource="red"),
+            ev(2.0, 2, EventKind.RESOURCE_ACQUIRE, "P1", resource="red"),
+            ev(2.0, 3, EventKind.STROKE_START, "P1", cell=[0, 0]),
+            ev(4.0, 4, EventKind.STROKE_END, "P1", cell=[0, 0]),
+            ev(4.0, 5, EventKind.RESOURCE_RELEASE, "P1", resource="red"),
+            ev(4.0, 6, EventKind.PROCESS_DONE, "P1"),
+        ]
+        spans = build_spans(events)
+        by_cat = {s.category: s for s in spans}
+        proc, wait = by_cat["process"], by_cat["wait"]
+        hold, stroke = by_cat["hold"], by_cat["stroke"]
+        assert wait.parent == proc.sid
+        assert hold.parent == proc.sid
+        assert stroke.parent == hold.sid
+        assert (wait.start, wait.end) == (0.0, 2.0)
+        assert (hold.start, hold.end) == (2.0, 4.0)
+        assert (stroke.start, stroke.end) == (2.0, 4.0)
+        assert (proc.start, proc.end) == (0.0, 4.0)
+        assert all(s.end is not None for s in spans)
+
+    def test_re_request_closes_prior_wait_as_requeued(self):
+        events = [
+            ev(0.0, 0, EventKind.PROCESS_START, "P1"),
+            ev(0.0, 1, EventKind.RESOURCE_REQUEST, "P1", resource="red"),
+            # A stall dropped the queue slot; the worker asks again.
+            ev(3.0, 2, EventKind.RESOURCE_REQUEST, "P1", resource="red"),
+            ev(5.0, 3, EventKind.RESOURCE_ACQUIRE, "P1", resource="red"),
+            ev(5.0, 4, EventKind.RESOURCE_RELEASE, "P1", resource="red"),
+            ev(5.0, 5, EventKind.PROCESS_DONE, "P1"),
+        ]
+        spans = build_spans(events)
+        waits = [s for s in spans if s.category == "wait"]
+        assert len(waits) == 2
+        assert waits[0].end == 3.0 and waits[0].tags.get("requeued") is True
+        assert waits[1].end == 5.0 and "requeued" not in waits[1].tags
+
+    def test_killed_process_is_tagged(self):
+        events = [
+            ev(0.0, 0, EventKind.PROCESS_START, "P1"),
+            ev(6.0, 1, EventKind.PROCESS_KILLED, "P1", reason="dropout"),
+        ]
+        spans = build_spans(events)
+        proc = spans[0]
+        assert proc.end == 6.0
+        assert proc.tags.get("killed") is True
+        assert proc.tags.get("reason") == "dropout"
+
+    def test_fault_and_recovery_instants(self):
+        events = [
+            ev(1.0, 0, EventKind.FAULT_INJECTED, "P1", fault="stall"),
+            ev(2.0, 1, EventKind.OP_REASSIGNED, "P2", n_ops=3),
+        ]
+        spans = build_spans(events)
+        assert spans[0].name == "fault:stall" and spans[0].is_instant
+        assert spans[1].category == "recovery" and spans[1].is_instant
+
+
+class TestScenarioNesting:
+    """The builder against a real scenario-4 event stream."""
+
+    @pytest.fixture
+    def scenario4_spans(self, mauritius_spec, team4, rng):
+        result = run_scenario(get_scenario(4), mauritius_spec, team4, rng)
+        return build_spans(result.trace.events)
+
+    def test_all_spans_closed(self, scenario4_spans):
+        assert scenario4_spans
+        assert all(s.end is not None for s in scenario4_spans)
+        assert all(s.end >= s.start for s in scenario4_spans)
+
+    def test_every_stroke_nests_under_its_process(self, scenario4_spans):
+        spans = scenario4_spans
+        procs = {s.track: s.sid for s in spans if s.category == "process"}
+        strokes = [s for s in spans if s.category == "stroke"]
+        assert len(strokes) == 96  # every cell of the 8x12 grid
+        for stroke in strokes:
+            sid = stroke.parent
+            while sid is not None and spans[sid].category != "process":
+                sid = spans[sid].parent
+            assert sid == procs[stroke.track]
+
+    def test_strokes_sit_inside_holds(self, scenario4_spans):
+        spans = scenario4_spans
+        for stroke in (s for s in spans if s.category == "stroke"):
+            parent = spans[stroke.parent]
+            assert parent.category == "hold"
+            assert parent.track == stroke.track
+            assert parent.start <= stroke.start
+            assert parent.end >= stroke.end
+
+    def test_wait_ends_where_hold_begins(self, scenario4_spans):
+        spans = scenario4_spans
+        holds = [s for s in spans if s.category == "hold"]
+        assert holds
+        for hold in holds:
+            waits = [s for s in spans
+                     if s.category == "wait" and s.track == hold.track
+                     and s.tags.get("resource") == hold.tags.get("resource")
+                     and s.end == hold.start]
+            assert waits, f"hold at {hold.start} has no closing wait"
+
+    def test_identical_seed_identical_spans(self, mauritius_spec):
+        import numpy as np
+        from repro.agents import make_team
+
+        def spans_for(seed):
+            team = make_team("t", 4, np.random.default_rng(seed),
+                             colors=list(mauritius_spec.colors_used()))
+            r = run_scenario(get_scenario(4), mauritius_spec, team,
+                             np.random.default_rng(seed))
+            return build_spans(r.trace.events)
+
+        a, b = spans_for(5), spans_for(5)
+        assert [(s.name, s.track, s.start, s.end, s.parent) for s in a] == \
+               [(s.name, s.track, s.start, s.end, s.parent) for s in b]

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""A dependency-free docstring linter (pydocstyle's D1xx family).
+
+The container has no ``pydocstyle``/``ruff`` wheel, so this implements
+the subset the repo enforces with ``ast`` alone:
+
+- D100  missing docstring in public module
+- D101  missing docstring in public class
+- D102  missing docstring in public method
+- D103  missing docstring in public function
+
+"Public" follows pydocstyle: no leading underscore anywhere on the
+dotted path (``__init__``-style dunders are exempt, as are
+``@overload`` stubs and trivial ``...`` bodies inside Protocols).
+Methods that override a documented base (detected textually is
+impossible with ast alone, so no exemption) must carry their own
+docstring — the same rule the tier-1 meta-test applies via
+``inspect.getdoc`` at import time; this linter is the static twin that
+CI can run without importing the package.
+
+Usage::
+
+    python tools/doclint.py src/repro/obs src/repro/sim/engine.py ...
+
+Exit status 0 when clean, 1 with a per-violation report otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+from typing import Iterator, List, Tuple
+
+Violation = Tuple[pathlib.Path, int, str, str]  # file, line, code, name
+
+
+def _is_public(name: str) -> bool:
+    """Public per the repo convention: no leading underscore.
+
+    Dunders (``__init__``, ``__repr__``, ...) are *not* public here —
+    the codebase documents constructor arguments in the class docstring
+    (Google style), matching the import-time meta-test in
+    ``tests/test_api_quality.py`` which also skips underscore names.
+    """
+    return not name.startswith("_")
+
+
+def _has_docstring(node: ast.AST) -> bool:
+    """Whether a module/class/function node opens with a docstring."""
+    return ast.get_docstring(node, clean=False) is not None
+
+
+def _iter_defs(body: List[ast.stmt], prefix: str, in_class: bool
+               ) -> Iterator[Tuple[str, ast.AST, bool]]:
+    """Yield (dotted name, node, is_method) for defs in a body."""
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield f"{prefix}{node.name}", node, in_class
+        elif isinstance(node, ast.ClassDef):
+            yield f"{prefix}{node.name}", node, in_class
+
+
+def check_file(path: pathlib.Path) -> List[Violation]:
+    """Lint one Python file; returns its violations."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:  # pragma: no cover - broken source
+        return [(path, exc.lineno or 0, "E999", f"syntax error: {exc.msg}")]
+    out: List[Violation] = []
+    module_public = _is_public(path.stem) or path.stem == "__init__"
+    if module_public and not _has_docstring(tree):
+        out.append((path, 1, "D100", path.stem))
+
+    def walk(body: List[ast.stmt], prefix: str, in_class: bool) -> None:
+        for name, node, is_method in _iter_defs(body, prefix, in_class):
+            leaf = name.rsplit(".", 1)[-1]
+            if not _is_public(leaf):
+                continue
+            if isinstance(node, ast.ClassDef):
+                if not _has_docstring(node):
+                    out.append((path, node.lineno, "D101", name))
+                walk(node.body, name + ".", True)
+                continue
+            # Skip ellipsis-only stubs (Protocol members, overloads).
+            real = [s for s in node.body
+                    if not (isinstance(s, ast.Expr)
+                            and isinstance(s.value, ast.Constant)
+                            and s.value.value is Ellipsis)]
+            if not real:
+                continue
+            if not _has_docstring(node):
+                code = "D102" if is_method else "D103"
+                out.append((path, node.lineno, code, name))
+
+    walk(tree.body, "", False)
+    return out
+
+
+def lint(paths: List[str]) -> List[Violation]:
+    """Lint files and directories (recursively); returns all violations."""
+    out: List[Violation] = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            out.extend(check_file(f))
+    return out
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point: lint the given paths, report, set exit status."""
+    if not argv:
+        print("usage: doclint.py PATH [PATH ...]", file=sys.stderr)
+        return 2
+    violations = lint(argv)
+    for path, line, code, name in violations:
+        print(f"{path}:{line}: {code} missing docstring: {name}")
+    if violations:
+        print(f"doclint: {len(violations)} violation(s)")
+        return 1
+    print(f"doclint: clean ({len(argv)} target(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
