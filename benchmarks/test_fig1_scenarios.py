@@ -8,58 +8,53 @@ humans, not the authors' classrooms; the asserted shape is the paper's:
 - times fall monotonically from scenario 1 to scenario 3;
 - scenario 4 is slower than scenario 3 despite equal processor count;
 - speedups stay below linear.
+
+The whiteboard is produced through the batch path (:mod:`repro.sweep`):
+one ACTIVITY cell, one trial per team, trials fanned across a process
+pool with SeedSequence-derived streams — the same numbers a serial run
+or a warm-cache re-run produces, byte for byte.
 """
 
-import numpy as np
 import pytest
 
-from repro.flags import mauritius
-from repro.schedule import run_core_activity
+from repro.sweep import ACTIVITY, ResultCache, SweepSpec, run_sweep
 
-from conftest import median, print_comparison
+from conftest import print_comparison
 
 N_TEAMS = 4
 SCENARIOS = ["scenario1", "scenario1_repeat", "scenario2", "scenario3",
              "scenario4"]
 
 
-def run_whiteboard(seed0: int, team_factory):
-    boards = {label: [] for label in SCENARIOS}
-    for t in range(N_TEAMS):
-        rng = np.random.default_rng(seed0 + t)
-        team = team_factory(seed0 + t)
-        results = run_core_activity(mauritius(), team, rng)
-        for label, r in results.items():
-            boards[label].append(r.measured_time)
-            assert r.correct, (label, t)
-    return {label: median(ts) for label, ts in boards.items()}
+def whiteboard_spec(seed: int) -> SweepSpec:
+    return SweepSpec(flags=("mauritius",), scenarios=(ACTIVITY,),
+                     n_trials=N_TEAMS, seed=seed)
 
 
 @pytest.fixture(scope="module")
-def whiteboard_medians(request):
-    factory = None
+def whiteboard_medians(tmp_path_factory):
+    cache = ResultCache(tmp_path_factory.mktemp("fig1-cache"))
+    result = run_sweep(whiteboard_spec(1000), workers=2, cache=cache)
+    cell = result.cells[0]
+    for trial in cell.trials:
+        for label, run in trial.runs.items():
+            assert run.correct, (label, trial.trial)
 
-    def make(seed, n=4, **kw):
-        from repro.agents import make_team
-        from repro.grid.palette import MAURITIUS_STRIPES
-        rng = np.random.default_rng(seed)
-        return make_team(f"team{seed}", n, rng,
-                         colors=list(MAURITIUS_STRIPES), **kw)
+    # The warm path must reproduce the whiteboard without recomputing.
+    warm = run_sweep(whiteboard_spec(1000), workers=2, cache=cache)
+    assert warm.computed_trials == 0
+    assert warm.cells[0].trials == cell.trials
 
-    return run_whiteboard(1000, make)
+    return {label: cell.median_time(label) for label in SCENARIOS}
 
 
 def test_fig1_times_fall_then_contend(whiteboard_medians, benchmark):
     med = whiteboard_medians
 
-    def one_team():
-        rng = np.random.default_rng(77)
-        from repro.agents import make_team
-        from repro.grid.palette import MAURITIUS_STRIPES
-        team = make_team("b", 4, rng, colors=list(MAURITIUS_STRIPES))
-        return run_core_activity(mauritius(), team, rng)
-
-    benchmark.pedantic(one_team, rounds=3, iterations=1)
+    benchmark.pedantic(
+        lambda: run_sweep(whiteboard_spec(77), workers=1),
+        rounds=3, iterations=1,
+    )
 
     print_comparison("Fig 1 / core activity: median times over "
                      f"{N_TEAMS} teams", [
@@ -91,3 +86,13 @@ def test_fig1_speedups_sublinear(whiteboard_medians, benchmark):
     assert 1.0 < s2 < 2.0
     assert 1.5 < s3 < 4.0
     assert s3 > s2
+
+
+def test_fig1_parallel_matches_serial(benchmark):
+    """The whiteboard is identical no matter how many cores produced it."""
+    serial = run_sweep(whiteboard_spec(1000), workers=1)
+    parallel = benchmark.pedantic(
+        lambda: run_sweep(whiteboard_spec(1000), workers=4),
+        rounds=1, iterations=1,
+    )
+    assert parallel.cells[0].trials == serial.cells[0].trials

@@ -1,0 +1,92 @@
+"""Sweep scaling: serial vs parallel wall-clock, and cache warmth.
+
+The acceptance bench for :mod:`repro.sweep`: a 32-trial sweep run with
+4 workers must produce event traces byte-identical to the same sweep
+run serially, beat it on wall-clock when the hardware has cores to
+offer, and recompute zero trials on a warm cache.
+
+Wall-clock numbers for both paths are always recorded (see the
+printed comparison and ``benchmark.extra_info``); the speedup
+*assertion* is gated on ``os.cpu_count() >= 2`` because a process pool
+on a single-core box is pure overhead — there is nothing to fan out
+onto, and pretending otherwise would make the bench flaky exactly
+where it cannot mean anything.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.sweep import ResultCache, SweepSpec, run_sweep
+
+from conftest import print_comparison
+
+N_TRIALS = 32
+PARALLEL_WORKERS = 4
+
+
+def scaling_spec(seed: int = 0) -> SweepSpec:
+    # One slow sequential colorer on an enlarged raster: each trial is
+    # heavy enough (~35ms) that 32 of them dominate pool start-up.
+    return SweepSpec(flags=("mauritius",), scenarios=(1,), team_sizes=(1,),
+                     n_trials=N_TRIALS, seed=seed, rows=24, cols=36)
+
+
+def timed_sweep(workers: int, **kwargs):
+    t0 = time.perf_counter()
+    result = run_sweep(scaling_spec(), workers=workers, **kwargs)
+    return result, time.perf_counter() - t0
+
+
+def test_parallel_traces_byte_identical_and_faster(benchmark):
+    serial, serial_wall = timed_sweep(workers=1)
+    parallel, parallel_wall = timed_sweep(workers=PARALLEL_WORKERS)
+
+    # Byte-identical event traces, trial for trial.
+    for ts, tp in zip(serial.cells[0].trials, parallel.cells[0].trials):
+        assert ts.only_run.trace == tp.only_run.trace
+    assert serial.cells[0].trials == parallel.cells[0].trials
+
+    cores = os.cpu_count() or 1
+    speedup = serial_wall / parallel_wall if parallel_wall else float("inf")
+    print_comparison(
+        f"sweep scaling: {N_TRIALS} trials, "
+        f"{PARALLEL_WORKERS} workers on {cores} cores", [
+            ["serial wall", "-", f"{serial_wall:.2f}s"],
+            ["parallel wall", "less (with >1 core)", f"{parallel_wall:.2f}s"],
+            ["speedup", ">1x (with >1 core)", f"{speedup:.2f}x"],
+        ])
+    benchmark.extra_info["serial_wall_s"] = round(serial_wall, 3)
+    benchmark.extra_info["parallel_wall_s"] = round(parallel_wall, 3)
+    benchmark.extra_info["cores"] = cores
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    if cores >= 2:
+        assert parallel_wall < serial_wall, (
+            f"parallel ({parallel_wall:.2f}s) not faster than serial "
+            f"({serial_wall:.2f}s) on {cores} cores"
+        )
+
+
+def test_warm_cache_recomputes_nothing(tmp_path, benchmark):
+    cache = ResultCache(tmp_path / "cache")
+    cold, cold_wall = timed_sweep(workers=2, cache=cache)
+    assert cold.computed_trials == N_TRIALS
+    assert cold.cached_trials == 0
+
+    warm, warm_wall = benchmark.pedantic(
+        lambda: timed_sweep(workers=2, cache=cache),
+        rounds=1, iterations=1,
+    )
+    assert warm.computed_trials == 0
+    assert warm.cached_trials == N_TRIALS
+    # Identical payloads, straight from disk.
+    assert warm.cells[0].trials == cold.cells[0].trials
+
+    print_comparison("sweep cache: cold vs warm", [
+        ["cold wall", "-", f"{cold_wall:.2f}s"],
+        ["warm wall", "much less", f"{warm_wall:.2f}s"],
+        ["warm recomputed", "0 trials", f"{warm.computed_trials} trials"],
+    ])
+    assert warm_wall < cold_wall

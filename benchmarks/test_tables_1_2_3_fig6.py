@@ -5,6 +5,13 @@ responses, recompute every median from the raw data, and compare cell by
 cell against the published tables.  The reproduction is exact (every cell,
 including NA placement); Figure 6's grouped bar chart is rendered from the
 recomputed medians.
+
+Table recomputation goes through the sweep layer's content-addressed
+result cache (:class:`repro.sweep.ResultCache`): the first pass computes
+and stores each table keyed by (workload, table id, seed); every later
+pass — the warm half of each test, or a notebook re-run — gets the
+identical payload back without resynthesizing six institutions' worth of
+responses.
 """
 
 import pytest
@@ -15,23 +22,46 @@ from repro.survey.respond import (
     synthesize_all,
     table_discrepancies,
 )
+from repro.sweep import ResultCache
 from repro.viz import format_table, grouped_bar_chart
 
 from conftest import print_comparison
 
+SEED = 2025
+
 
 @pytest.fixture(scope="module")
 def response_sets():
-    return synthesize_all(seed=2025)
+    return synthesize_all(seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def table_cache(tmp_path_factory):
+    return ResultCache(tmp_path_factory.mktemp("tables-cache"))
+
+
+def cached_table(table_id, response_sets, cache):
+    """Recompute one table through the content-addressed cache."""
+    return cache.get_or_compute(
+        {"workload": "survey-table", "table": table_id, "seed": SEED},
+        lambda: recompute_table(table_id, response_sets),
+    )
 
 
 @pytest.mark.parametrize("table_id", ["I", "II", "III"])
-def test_tables_reproduce_exactly(table_id, response_sets, benchmark):
+def test_tables_reproduce_exactly(table_id, response_sets, table_cache,
+                                  benchmark):
     recomputed = benchmark.pedantic(
-        lambda: recompute_table(table_id, response_sets),
+        lambda: cached_table(table_id, response_sets, table_cache),
         rounds=1, iterations=1,
     )
     diffs = table_discrepancies(table_id, response_sets)
+
+    # A warm hit returns the identical payload without recomputation.
+    hits_before = table_cache.hits
+    warm = cached_table(table_id, response_sets, table_cache)
+    assert table_cache.hits == hits_before + 1
+    assert warm == recomputed
 
     rows = []
     for q, cells in ALL_TABLES[table_id].items():
@@ -47,12 +77,12 @@ def test_tables_reproduce_exactly(table_id, response_sets, benchmark):
     assert diffs == {}, f"Table {table_id} cells differ: {diffs}"
 
 
-def test_fig6_bar_chart_renders(response_sets, benchmark):
+def test_fig6_bar_chart_renders(response_sets, table_cache, benchmark):
     """Figure 6 is the bar-chart form of the medians; render it from the
     recomputed data and check every question/institution appears."""
     chart_data = {}
     for table_id in ("I", "II", "III"):
-        recomputed = recompute_table(table_id, response_sets)
+        recomputed = cached_table(table_id, response_sets, table_cache)
         for q, cells in recomputed.items():
             chart_data[q] = cells
     chart = benchmark.pedantic(
@@ -67,7 +97,7 @@ def test_fig6_bar_chart_renders(response_sets, benchmark):
     assert "NA" in chart
 
 
-def test_pipeline_benchmark(benchmark):
+def test_pipeline_benchmark(table_cache, benchmark):
     """Time the full synthesize-and-recompute pipeline for all six sites."""
 
     def pipeline():
@@ -77,3 +107,15 @@ def test_pipeline_benchmark(benchmark):
 
     tables = benchmark.pedantic(pipeline, rounds=3, iterations=1)
     assert set(tables) == {"I", "II", "III"}
+
+    # The cached pipeline skips synthesis entirely on the warm path.
+    cache = table_cache
+    cold = {tid: cache.get_or_compute(
+                {"workload": "survey-pipeline", "table": tid, "seed": 7},
+                lambda tid=tid: tables[tid])
+            for tid in ("I", "II", "III")}
+    warm = {tid: cache.get_or_compute(
+                {"workload": "survey-pipeline", "table": tid, "seed": 7},
+                lambda: pytest.fail("warm path recomputed"))
+            for tid in ("I", "II", "III")}
+    assert warm == cold

@@ -15,6 +15,9 @@ The library models the entire activity end-to-end:
 - :mod:`repro.obs` — observability: spans, metrics registry, profiling,
   Chrome-trace and Prometheus exporters.
 - :mod:`repro.faults` — deterministic fault injection and recovery.
+- :mod:`repro.sweep` — declarative experiment sweeps: process-pool
+  trial fan-out with SeedSequence-derived streams and a
+  content-addressed on-disk result cache.
 - :mod:`repro.classroom` — whole-class sessions at the six pilot sites and
   automatic debrief lesson extraction.
 - :mod:`repro.survey` — the ASPECT engagement survey, the pre/post quiz,

@@ -16,6 +16,8 @@ Gives instructors the library's main flows without writing Python:
 - ``grade`` — grade a simulated Jordan submission cohort (Sec V-C).
 - ``tables`` — regenerate Tables I-III from synthetic populations.
 - ``chaos FLAG`` — a scenario under a seeded fault plan with recovery.
+- ``sweep`` — a declarative experiment grid fanned out over a process
+  pool, with an optional content-addressed on-disk result cache.
 - ``trace TARGET`` — run a scenario under the observer (or convert an
   exported event log) and write Chrome ``trace_event`` JSON for
   ``chrome://tracing`` / Perfetto, plus optional metrics dumps.
@@ -302,6 +304,47 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .agents.student import FillStyle
+    from .schedule import AcquirePolicy
+    from .sweep import ACTIVITY, SweepSpec, run_sweep
+    from .viz import format_table
+
+    scenarios = tuple(
+        ACTIVITY if s == "activity" else int(s) for s in args.scenario
+    ) or (3,)
+    spec = SweepSpec(
+        flags=tuple(args.flag) or ("mauritius",),
+        scenarios=scenarios,
+        team_sizes=tuple(args.team_size) or (4,),
+        policies=tuple(AcquirePolicy[p.upper()] for p in args.policy)
+                 or (AcquirePolicy.HOLD_COLOR_RUN,),
+        styles=tuple(FillStyle[s.upper()] for s in args.style)
+               or (FillStyle.SCRIBBLE,),
+        copies=tuple(args.copies) or (1,),
+        n_trials=args.trials,
+        seed=args.seed,
+    )
+    result = run_sweep(spec, workers=args.workers,
+                       cache_dir=args.cache_dir, observe=args.observe)
+    print(format_table(
+        ["cell", "run", "trials", "median", "correct", "cache"],
+        result.table_rows(),
+    ))
+    print(f"{spec.n_cells} cells x {spec.n_trials} trials: "
+          f"computed {result.computed_trials}, "
+          f"cached {result.cached_trials} "
+          f"({result.workers} workers, {result.wall_seconds:.2f}s wall)")
+    if args.observe:
+        for cell in result.cells:
+            rolled = cell.obs_rollup(cell.labels()[-1])
+            waits = rolled.get("acquire_blocked_total", 0.0)
+            print(f"  {cell.cell.describe():44s} "
+                  f"events={rolled.get('events_logged_total', 0):g} "
+                  f"blocked_acquires={waits:g}")
+    return 0 if result.all_correct else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
     import pathlib
@@ -459,6 +502,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--late", type=int, default=0)
 
     p = sub.add_parser(
+        "sweep",
+        help="run a declarative experiment grid across a process pool")
+    p.add_argument("--flag", action="append", default=[],
+                   help="flag axis (repeatable; default mauritius)")
+    p.add_argument("--scenario", action="append", default=[],
+                   choices=("1", "2", "3", "4", "activity"),
+                   help="scenario axis (repeatable; 'activity' = all four "
+                        "scenarios with the scenario-1 repeat; default 3)")
+    p.add_argument("--team-size", action="append", type=int, default=[],
+                   dest="team_size", help="team size axis (default 4)")
+    p.add_argument("--policy", action="append", default=[],
+                   choices=("hold_color_run", "release_per_stroke"),
+                   help="acquisition policy axis (default hold_color_run)")
+    p.add_argument("--style", action="append", default=[],
+                   choices=("full", "scribble", "minimal"),
+                   help="fill style axis (default scribble)")
+    p.add_argument("--copies", action="append", type=int, default=[],
+                   help="duplicate-implements axis (default 1)")
+    p.add_argument("--trials", type=int, default=8,
+                   help="independent trials per cell")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (parallel runs are "
+                        "byte-identical to serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed result cache directory; warm "
+                        "re-runs recompute nothing")
+    p.add_argument("--observe", action="store_true",
+                   help="attach the observability layer to every run and "
+                        "print per-cell counter roll-ups")
+
+    p = sub.add_parser(
         "trace",
         help="run a scenario under the observer and export a Chrome trace")
     p.add_argument("target",
@@ -491,6 +566,7 @@ _COMMANDS = {
     "grade": _cmd_grade,
     "tables": _cmd_tables,
     "chaos": _cmd_chaos,
+    "sweep": _cmd_sweep,
     "trace": _cmd_trace,
 }
 

@@ -8,6 +8,7 @@ half-point medians (4.5) that arise from even-sized response sets.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -44,8 +45,15 @@ def likert_median(responses: Sequence[int]) -> float:
 
 
 def round_to_half(x: float) -> float:
-    """Round to the nearest 0.5 — the resolution of the published tables."""
-    return round(x * 2.0) / 2.0
+    """Round to the nearest 0.5 — the resolution of the published tables.
+
+    Ties round half *away from zero* (2.25 -> 2.5, -2.25 -> -2.5), the
+    convention the paper's tables use.  Python's builtin ``round`` uses
+    banker's rounding (2.25 * 2 = 4.5 -> 4 -> 2.0), which would shift
+    exact quarter-point medians down half a step.
+    """
+    doubled = x * 2.0
+    return math.copysign(math.floor(abs(doubled) + 0.5), doubled) / 2.0
 
 
 def bootstrap_ci(

@@ -179,6 +179,7 @@ def run_partition(
     fault_plan: Optional["FaultPlan"] = None,
     recovery: Optional["RecoveryConfig"] = None,
     observer: Optional["Observer"] = None,
+    strict: bool = False,
 ) -> RunResult:
     """Simulate one run of a statically-partitioned program.
 
@@ -191,6 +192,12 @@ def run_partition(
             program sequentially (which for layered programs assumes the
             partition preserves layer legality — use the dependency-aware
             scheduler otherwise).
+        strict: how ``result.correct`` judges the canvas.  ``False`` (the
+            default) applies Section V-C's grading lenience: cells the
+            target leaves blank may hold anything, because blank paper is
+            already "colored" white.  ``True`` requires exact cell-for-cell
+            equality with the target, blanks included — what a run that
+            must not overpaint uncovered cells should assert.
         fault_plan: when given (even empty), the run executes on the
             fault-tolerant worker path with the plan's mishaps injected;
             an empty plan reproduces the clean run's trace exactly.
@@ -257,7 +264,7 @@ def run_partition(
     if target is None:
         from ..flags.compiler import execute
         target = execute(program).codes
-    correct = bool(np.array_equal(canvas.codes, target)) or canvas.matches(target)
+    correct = canvas.matches(target, ignore_blank_target=not strict)
     obs_summary: Optional["ObsSummary"] = None
     if observer is not None:
         # Imported lazily for the same reason the faults path is: clean
@@ -288,12 +295,20 @@ def replay_many(
 ) -> List[RunResult]:
     """Run the same configuration ``n_trials`` times with fresh teams.
 
-    Each trial draws a new team and RNG stream from ``seed + trial``, so
-    trials are independent but the whole batch is reproducible.
+    Seed-derivation policy (see :mod:`repro.sweep.seeding`): trial ``t``
+    draws from ``SeedSequence(seed).spawn(n_trials)[t]``, never from
+    ``seed + t``.  Spawned streams are statistically independent and —
+    unlike additive offsets — never collide across batches: with the old
+    derivation, batch ``seed=0`` trial 5 and batch ``seed=5`` trial 0
+    were the *same* stream, silently correlating experiments that were
+    meant to be independent replications.
     """
+    # Lazy import: repro.sweep builds on this module, so the seeding
+    # policy must be pulled in at call time to avoid an import cycle.
+    from ..sweep.seeding import trial_rngs
+
     out: List[RunResult] = []
-    for t in range(n_trials):
-        rng = np.random.default_rng(seed + t)
+    for rng in trial_rngs(seed, n_trials):
         team = team_factory(rng)
         partition = make_partition()
         out.append(run_partition(partition, team, rng, **run_kwargs))

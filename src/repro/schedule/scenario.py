@@ -135,6 +135,7 @@ def run_core_activity(
     repeat_first: bool = True,
     style: FillStyle = FillStyle.SCRIBBLE,
     policy: AcquirePolicy = AcquirePolicy.HOLD_COLOR_RUN,
+    observer_factory: Optional[Callable[[], "Observer"]] = None,
 ) -> Dict[str, RunResult]:
     """Run a team through the full core activity, in classroom order.
 
@@ -142,22 +143,33 @@ def run_core_activity(
         repeat_first: run scenario 1 twice (the variant Section III-C
             recommends to surface the warmup lesson).  The repeat appears
             under the key ``"scenario1_repeat"``.
+        observer_factory: when given, called once per run to build a fresh
+            observability tap for it (observers accumulate state, so one
+            instance must never span runs).  Each result then carries its
+            own ``result.obs`` digest — this is how :mod:`repro.sweep`
+            rolls up metrics over whole-activity trials.
 
     Returns:
         Ordered mapping of run label to result:
         ``scenario1[, scenario1_repeat], scenario2, scenario3, scenario4``.
     """
+
+    def observe() -> Optional["Observer"]:
+        return observer_factory() if observer_factory is not None else None
+
     results: Dict[str, RunResult] = {}
     scenarios = core_scenarios()
     results["scenario1"] = run_scenario(scenarios[0], spec, team, rng,
-                                        style=style, policy=policy)
+                                        style=style, policy=policy,
+                                        observer=observe())
     if repeat_first:
         r = run_scenario(scenarios[0], spec, team, rng,
-                         style=style, policy=policy)
+                         style=style, policy=policy, observer=observe())
         r.label = "scenario1_repeat"
         results["scenario1_repeat"] = r
     for s in scenarios[1:]:
         results[f"scenario{s.number}"] = run_scenario(
-            s, spec, team, rng, style=style, policy=policy
+            s, spec, team, rng, style=style, policy=policy,
+            observer=observe()
         )
     return results

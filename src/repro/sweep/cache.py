@@ -1,0 +1,117 @@
+"""Content-addressed on-disk result cache for experiment sweeps.
+
+Results are stored one JSON file per cell under a cache root, named by
+the SHA-256 of the cell's *full identity*: the canonical cell key, the
+trial count, the batch seed, whether observability was on, and a cache
+schema fingerprint that includes the library version.  Any knob that
+can change the computed bytes is part of the address, so a hit is
+always safe to reuse verbatim and any change — different grid point,
+different seed, new library release — misses cleanly instead of
+returning stale results.
+
+The cache is deliberately dumb: no locking beyond atomic rename, no
+eviction, no index.  ``repro sweep --cache-dir PATH`` and the
+benchmark drivers point it at a scratch directory; deleting the
+directory is the only invalidation anyone needs.
+
+A generic :meth:`ResultCache.get_or_compute` is exposed for non-sweep
+workloads (the Tables I-III driver caches its synthesized survey
+medians through it) so every cached artifact in the repo shares one
+addressing scheme.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Callable, Dict, Optional, Union
+
+from .. import __version__
+
+#: Bump when the payload layout changes; stale schema -> clean miss.
+CACHE_SCHEMA = 1
+
+
+class CacheError(Exception):
+    """Raised on unreadable or corrupt cache entries."""
+
+
+def content_address(key_obj: Any) -> str:
+    """SHA-256 hex digest of a JSON-serializable identity object.
+
+    The library version and cache schema are folded in, so upgrading
+    either retires every old entry without touching the files.
+    """
+    material = json.dumps(
+        {"schema": CACHE_SCHEMA, "version": __version__, "key": key_obj},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed JSON payloads."""
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, digest: str) -> pathlib.Path:
+        return self.root / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for an address, or ``None`` on a miss.
+
+        Raises:
+            CacheError: when the entry exists but cannot be parsed
+                (a truncated write from a crashed process, say).
+        """
+        path = self._path(digest)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CacheError(f"corrupt cache entry {path}: {exc}") from exc
+        self.hits += 1
+        return payload
+
+    def put(self, digest: str, payload: Dict[str, Any]) -> None:
+        """Store a payload atomically (write to temp file, rename)."""
+        path = self._path(digest)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fp:
+                json.dump(payload, fp, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def get_or_compute(
+        self,
+        key_obj: Any,
+        compute: Callable[[], Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """Return the cached payload for ``key_obj`` or compute and store it.
+
+        ``compute`` must return a JSON-serializable dict; what comes back
+        on a later hit is exactly what JSON round-trips (tuples become
+        lists, int dict keys become strings).
+        """
+        digest = content_address(key_obj)
+        payload = self.get(digest)
+        if payload is None:
+            payload = compute()
+            self.put(digest, payload)
+        return payload
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

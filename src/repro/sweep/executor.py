@@ -1,0 +1,256 @@
+"""The sweep executor: fan trials across a process pool, cache results.
+
+Execution model
+---------------
+
+Each (cell, trial) pair is one *task*: a JSON-safe dict naming the
+configuration and the trial index.  A task is a pure function of its
+dict — the worker derives the trial's RNG stream from the batch seed
+and the cell key per :mod:`repro.sweep.seeding`, builds a fresh team,
+runs the scenario (or the whole core activity), and returns a payload
+dict with the run's metrics and its full event trace serialized as
+JSON lines.  Nothing about a task depends on which process runs it or
+in what order, so:
+
+- ``workers=1`` (in-process) and ``workers=N`` (process pool) produce
+  **byte-identical** payloads, traces included;
+- payloads go straight into the content-addressed cache
+  (:mod:`repro.sweep.cache`), and a warm run returns the *same* bytes
+  a cold run computed.
+
+Results come back as :class:`~repro.sweep.results.SweepResult` /
+:class:`~repro.sweep.results.CellResult` wrappers with per-cell metric
+and observability roll-ups.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import time
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from .cache import ResultCache, content_address
+from .results import CellResult, SweepResult, TrialRecord
+from .seeding import trial_seed_sequences
+from .spec import ACTIVITY, SweepCell, SweepError, SweepSpec, \
+    fault_plan_from_dicts
+
+
+def _run_payload(result) -> Dict[str, Any]:
+    """Flatten one RunResult into a JSON-safe payload dict.
+
+    The trace is kept verbatim (JSON-lines text) so byte-identity can
+    be asserted across serial / parallel / cached executions; the obs
+    digest keeps only its deterministic slice (no host-time profile).
+    """
+    from ..sim.export import export_trace
+
+    payload: Dict[str, Any] = {
+        "label": result.label,
+        "strategy": result.strategy,
+        "n_workers": result.n_workers,
+        "true_makespan": result.true_makespan,
+        "measured_time": result.measured_time,
+        "correct": result.correct,
+        "trace": export_trace(result.trace),
+    }
+    if result.faults is not None:
+        payload["faults"] = result.faults.summary()
+    if result.obs is not None:
+        payload["obs"] = {
+            "makespan": result.obs.makespan,
+            "n_events": result.obs.n_events,
+            "n_spans": result.obs.n_spans,
+            "counters": result.obs.counters,
+            "histograms": result.obs.histograms,
+        }
+    return payload
+
+
+def run_trial(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one (cell, trial) task; pure function of the task dict.
+
+    This is the unit the process pool ships across cores.  It must stay
+    importable at module top level (pickle-by-reference) and must touch
+    no process-global state, or parallel runs stop being byte-identical
+    to serial ones.
+    """
+    from ..agents import make_team
+    from ..agents.student import FillStyle
+    from ..flags import get_flag
+    from ..schedule import (
+        AcquirePolicy,
+        get_scenario,
+        run_core_activity,
+        run_scenario,
+    )
+
+    cell = task["cell"]
+    trial = task["trial"]
+    ss = trial_seed_sequences(task["seed"], task["n_trials"],
+                              cell_key=task["cell_key"])[trial]
+    rng = np.random.default_rng(ss)
+
+    spec = get_flag(cell["flag"])
+    policy = AcquirePolicy[cell["policy"]]
+    style = FillStyle[cell["style"]]
+    fault_plan = (None if cell["faults"] is None
+                  else fault_plan_from_dicts(cell["faults"]))
+    observe = task.get("observe", False)
+
+    team = make_team(f"trial{trial}", cell["team_size"], rng,
+                     colors=list(spec.colors_used()), copies=cell["copies"])
+
+    if cell["scenario"] == ACTIVITY:
+        factory = None
+        if observe:
+            from ..obs import RunObserver
+            factory = RunObserver
+        results = run_core_activity(spec, team, rng, style=style,
+                                    policy=policy, observer_factory=factory)
+        runs = {label: _run_payload(r) for label, r in results.items()}
+    else:
+        observer = None
+        if observe:
+            from ..obs import RunObserver
+            observer = RunObserver()
+        r = run_scenario(get_scenario(cell["scenario"]), spec, team, rng,
+                         rows=cell["rows"], cols=cell["cols"], style=style,
+                         policy=policy, fault_plan=fault_plan,
+                         observer=observer)
+        runs = {r.label: _run_payload(r)}
+    return {"trial": trial, "runs": runs}
+
+
+def cell_address(cell: SweepCell, spec: SweepSpec, *,
+                 observe: bool = False) -> str:
+    """The content address of one cell's full trial payload."""
+    return content_address({
+        "cell": cell.key_dict(),
+        "n_trials": spec.n_trials,
+        "seed": spec.seed,
+        "observe": observe,
+    })
+
+
+def _make_tasks(cell: SweepCell, spec: SweepSpec,
+                observe: bool) -> List[Dict[str, Any]]:
+    key_dict = cell.key_dict()
+    return [
+        {"cell": key_dict, "cell_key": cell.key(), "seed": spec.seed,
+         "n_trials": spec.n_trials, "trial": t, "observe": observe}
+        for t in range(spec.n_trials)
+    ]
+
+
+def _pool(workers: int) -> concurrent.futures.ProcessPoolExecutor:
+    # Prefer fork where available: it inherits sys.path (no editable
+    # install needed) and skips per-worker interpreter start-up.  The
+    # tasks are start-method agnostic either way.
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context()
+    return concurrent.futures.ProcessPoolExecutor(max_workers=workers,
+                                                  mp_context=ctx)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    cache_dir: Optional[Union[str, "os.PathLike"]] = None,
+    observe: bool = False,
+) -> SweepResult:
+    """Run a whole sweep: expand the grid, fan out trials, cache cells.
+
+    Args:
+        spec: the declarative grid.
+        workers: processes to fan trials across; 1 runs in-process.
+            Parallel and serial execution are byte-identical.
+        cache: a :class:`~repro.sweep.cache.ResultCache` to consult and
+            fill; cells whose address hits return their stored trials
+            with zero recomputation.
+        cache_dir: convenience — build a ``ResultCache`` at this path
+            (ignored when ``cache`` is given).  No cache by default.
+        observe: attach a fresh :class:`~repro.obs.observer.RunObserver`
+            to every run and keep its deterministic digest per trial
+            (see :meth:`~repro.sweep.results.CellResult.obs_rollup`).
+
+    Raises:
+        SweepError: for fault plans on ACTIVITY cells (a plan targets a
+            single run, not the five-run activity sequence).
+    """
+    if workers < 1:
+        raise SweepError(f"workers must be >= 1, got {workers}")
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+
+    cells = spec.cells()
+    for cell in cells:
+        if cell.scenario == ACTIVITY and cell.fault_plan is not None:
+            raise SweepError(
+                f"cell {cell.describe()!r}: fault plans apply to single "
+                f"scenarios, not ACTIVITY cells"
+            )
+
+    started = time.perf_counter()
+    cell_results: List[Optional[CellResult]] = [None] * len(cells)
+    pending: List[tuple] = []  # (cell_index, task)
+    cached_trials = 0
+
+    for i, cell in enumerate(cells):
+        payload = None
+        if cache is not None:
+            payload = cache.get(cell_address(cell, spec, observe=observe))
+        if payload is not None:
+            trials = [TrialRecord.from_payload(t) for t in payload["trials"]]
+            cell_results[i] = CellResult(cell=cell, trials=trials,
+                                         cached=True)
+            cached_trials += spec.n_trials
+        else:
+            for task in _make_tasks(cell, spec, observe):
+                pending.append((i, task))
+
+    # Execute every uncached trial, then reassemble in task order so the
+    # result never depends on completion order.
+    trial_payloads: Dict[tuple, Dict[str, Any]] = {}
+    if pending:
+        if workers == 1 or len(pending) == 1:
+            for i, task in pending:
+                trial_payloads[(i, task["trial"])] = run_trial(task)
+        else:
+            with _pool(workers) as pool:
+                futures = {
+                    pool.submit(run_trial, task): (i, task["trial"])
+                    for i, task in pending
+                }
+                for fut in concurrent.futures.as_completed(futures):
+                    trial_payloads[futures[fut]] = fut.result()
+
+    for i, cell in enumerate(cells):
+        if cell_results[i] is not None:
+            continue
+        payloads = [trial_payloads[(i, t)] for t in range(spec.n_trials)]
+        if cache is not None:
+            cache.put(cell_address(cell, spec, observe=observe),
+                      {"cell": cell.key_dict(), "trials": payloads})
+        cell_results[i] = CellResult(
+            cell=cell,
+            trials=[TrialRecord.from_payload(p) for p in payloads],
+            cached=False,
+        )
+
+    return SweepResult(
+        spec=spec,
+        cells=[c for c in cell_results if c is not None],
+        computed_trials=len(pending),
+        cached_trials=cached_trials,
+        wall_seconds=time.perf_counter() - started,
+        workers=workers,
+    )

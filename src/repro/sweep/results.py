@@ -1,0 +1,185 @@
+"""Typed views over sweep payloads, plus per-cell metric roll-ups.
+
+The executor moves *payloads* around — JSON-safe dicts that pickle
+cheaply across the process pool and serialize verbatim into the result
+cache.  This module wraps them in small dataclasses for analysis:
+:class:`RunRecord` (one simulated run), :class:`TrialRecord` (one
+trial — one run for scenario cells, five for activity cells),
+:class:`CellResult` (all trials of one grid point, with median /
+correctness / observability roll-ups), and :class:`SweepResult` (the
+whole grid plus cache accounting).
+
+Because payloads round-trip through JSON, a cache hit and a fresh
+computation produce *identical* records — the determinism tests assert
+this byte-for-byte on the serialized traces.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .spec import SweepCell, SweepSpec
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One simulated run inside a trial, rebuilt from its payload.
+
+    ``trace`` is the run's full event log as JSON-lines text
+    (:mod:`repro.sim.export` format) — byte-comparable across serial /
+    parallel / cached executions, and importable via
+    :func:`repro.sim.export.import_trace` for full trace analysis.
+    ``obs`` holds the deterministic slice of the run's
+    :class:`~repro.obs.summary.ObsSummary` (event/span counts,
+    counters, histograms; host-time profiling is excluded because wall
+    time is not reproducible).
+    """
+
+    label: str
+    strategy: str
+    n_workers: int
+    true_makespan: float
+    measured_time: float
+    correct: bool
+    trace: str
+    faults: Optional[Dict[str, float]] = None
+    obs: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def from_payload(cls, d: Dict[str, Any]) -> "RunRecord":
+        """Rebuild from an executor/cache payload dict."""
+        return cls(
+            label=d["label"], strategy=d["strategy"],
+            n_workers=int(d["n_workers"]),
+            true_makespan=float(d["true_makespan"]),
+            measured_time=float(d["measured_time"]),
+            correct=bool(d["correct"]), trace=d["trace"],
+            faults=d.get("faults"), obs=d.get("obs"),
+        )
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One trial of a cell: an ordered mapping of run label -> record."""
+
+    trial: int
+    runs: Dict[str, RunRecord]
+
+    @classmethod
+    def from_payload(cls, d: Dict[str, Any]) -> "TrialRecord":
+        """Rebuild from an executor/cache payload dict."""
+        return cls(trial=int(d["trial"]),
+                   runs={label: RunRecord.from_payload(r)
+                         for label, r in d["runs"].items()})
+
+    @property
+    def only_run(self) -> RunRecord:
+        """The single run of a scenario-cell trial.
+
+        Raises:
+            ValueError: on activity trials, which hold several runs.
+        """
+        if len(self.runs) != 1:
+            raise ValueError(
+                f"trial holds {len(self.runs)} runs ({list(self.runs)}); "
+                f"pick a label explicitly"
+            )
+        return next(iter(self.runs.values()))
+
+
+@dataclass
+class CellResult:
+    """Every trial of one grid point, with roll-up helpers."""
+
+    cell: SweepCell
+    trials: List[TrialRecord]
+    cached: bool = False
+
+    def _records(self, label: Optional[str]) -> List[RunRecord]:
+        if label is None:
+            return [t.only_run for t in self.trials]
+        return [t.runs[label] for t in self.trials]
+
+    def labels(self) -> List[str]:
+        """Run labels present in each trial, in run order."""
+        return list(self.trials[0].runs) if self.trials else []
+
+    def measured_times(self, label: Optional[str] = None) -> List[float]:
+        """Stopwatch times across trials (for one label of activity cells)."""
+        return [r.measured_time for r in self._records(label)]
+
+    def median_time(self, label: Optional[str] = None) -> float:
+        """Median stopwatch time across trials — the whiteboard number."""
+        return float(statistics.median(self.measured_times(label)))
+
+    def correct_fraction(self) -> float:
+        """Fraction of runs (all labels) whose canvas matched the target."""
+        records = [r for t in self.trials for r in t.runs.values()]
+        if not records:
+            return 0.0
+        return sum(r.correct for r in records) / len(records)
+
+    def counter_total(self, name: str, label: Optional[str] = None) -> float:
+        """Sum one observability counter over trials (0.0 without obs)."""
+        total = 0.0
+        for rec in self._records(label):
+            if rec.obs:
+                total += sum(rec.obs.get("counters", {})
+                             .get(name, {}).values())
+        return total
+
+    def obs_rollup(self, label: Optional[str] = None) -> Dict[str, float]:
+        """Every observability counter summed across trials."""
+        rolled: Dict[str, float] = {}
+        for rec in self._records(label):
+            if not rec.obs:
+                continue
+            for name, series in rec.obs.get("counters", {}).items():
+                rolled[name] = rolled.get(name, 0.0) + sum(series.values())
+        return rolled
+
+
+@dataclass
+class SweepResult:
+    """The whole grid's outcome plus cache and wall-clock accounting."""
+
+    spec: SweepSpec
+    cells: List[CellResult]
+    computed_trials: int = 0
+    cached_trials: int = 0
+    wall_seconds: float = 0.0
+    workers: int = 1
+
+    def cell(self, key: str) -> CellResult:
+        """Look up one cell result by canonical key.
+
+        Raises:
+            KeyError: when the key names no cell of this sweep.
+        """
+        for c in self.cells:
+            if c.cell.key() == key:
+                return c
+        raise KeyError(f"no cell with key {key}")
+
+    @property
+    def all_correct(self) -> bool:
+        """Whether every run in every cell reproduced its target."""
+        return all(c.correct_fraction() == 1.0 for c in self.cells)
+
+    def table_rows(self) -> List[List[str]]:
+        """One row per cell (per label for activity cells) for CLI output."""
+        rows: List[List[str]] = []
+        for c in self.cells:
+            for label in (c.labels() or ["-"]):
+                recs = [t.runs[label] for t in c.trials]
+                times = [r.measured_time for r in recs]
+                rows.append([
+                    c.cell.describe(), label,
+                    str(len(c.trials)),
+                    f"{statistics.median(times):.0f}s" if times else "-",
+                    f"{sum(r.correct for r in recs)}/{len(recs)}",
+                    "warm" if c.cached else "cold",
+                ])
+        return rows

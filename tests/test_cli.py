@@ -14,7 +14,8 @@ class TestParser:
         parser = build_parser()
         for cmd in ("flags", "render", "scenario", "activity", "session",
                     "depgraph", "dryrun", "grade", "tables", "animate",
-                    "slides", "debrief", "report", "chaos", "trace"):
+                    "slides", "debrief", "report", "chaos", "sweep",
+                    "trace"):
             # Minimal arg sets per command.
             argv = {
                 "flags": ["flags"],
@@ -31,6 +32,7 @@ class TestParser:
                 "debrief": ["debrief", "USI"],
                 "report": ["report", "USI"],
                 "chaos": ["chaos", "mauritius"],
+                "sweep": ["sweep"],
                 "trace": ["trace", "mauritius"],
             }[cmd]
             args = parser.parse_args(argv)
@@ -143,6 +145,36 @@ class TestCommands:
         first = capsys.readouterr().out
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+    def test_sweep_runs_grid(self, capsys):
+        assert main(["sweep", "--flag", "mauritius", "--scenario", "3",
+                     "--scenario", "4", "--trials", "2", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario3" in out and "scenario4" in out
+        assert "computed 4, cached 0" in out
+
+    def test_sweep_warm_cache_recomputes_nothing(self, capsys, tmp_path):
+        argv = ["sweep", "--trials", "2", "--seed", "5",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "computed 2, cached 0" in cold
+        assert "cold" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "computed 0, cached 2" in warm
+        assert "warm" in warm
+
+    def test_sweep_observe_prints_rollup(self, capsys):
+        assert main(["sweep", "--trials", "1", "--observe"]) == 0
+        out = capsys.readouterr().out
+        assert "events=" in out
+
+    def test_sweep_activity_axis(self, capsys):
+        assert main(["sweep", "--scenario", "activity",
+                     "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario1_repeat" in out
 
     def test_trace_writes_valid_chrome_json(self, capsys, tmp_path):
         import json

@@ -48,6 +48,26 @@ class TestRoundToHalf:
     def test_rounding(self, x, want):
         assert round_to_half(x) == want
 
+    @pytest.mark.parametrize("x,want", [
+        # Exact quarter-point ties round half AWAY FROM ZERO — the
+        # published tables' convention.  Regression: Python's banker's
+        # rounding gave round_to_half(2.25) == 2.0.
+        (2.25, 2.5), (2.75, 3.0), (4.25, 4.5), (4.75, 5.0),
+        (1.25, 1.5), (3.75, 4.0), (0.25, 0.5),
+        (-2.25, -2.5), (-4.75, -5.0), (-0.25, -0.5),
+    ])
+    def test_half_up_ties(self, x, want):
+        assert round_to_half(x) == want
+
+    def test_every_quarter_point_in_likert_range(self):
+        """The full half-up table over the 1-5 Likert range."""
+        for i in range(4, 21):  # 1.0, 1.25, ... 5.0
+            x = i / 4.0
+            if (x * 2) % 1 == 0.5:  # a tie
+                assert round_to_half(x) == x + 0.25
+            else:
+                assert round_to_half(x) == x
+
 
 class TestBootstrap:
     def test_ci_contains_point_estimate(self, rng):

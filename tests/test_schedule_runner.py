@@ -119,16 +119,57 @@ class TestMarkerName:
 
 
 class TestReplayMany:
-    def test_independent_trials(self, prog):
-        results = replay_many(
+    @staticmethod
+    def replay(prog, n_trials, seed):
+        return replay_many(
             make_partition=lambda: single(prog),
             team_factory=lambda rng: make_team(
                 "t", 1, rng, colors=list(MAURITIUS_STRIPES)
             ),
-            n_trials=3,
-            seed=11,
+            n_trials=n_trials,
+            seed=seed,
         )
+
+    def test_independent_trials(self, prog):
+        results = self.replay(prog, 3, 11)
         assert len(results) == 3
         times = [r.true_makespan for r in results]
         assert len(set(times)) == 3  # different teams, different times
         assert all(r.correct for r in results)
+
+    def test_reproducible(self, prog):
+        a = self.replay(prog, 3, 11)
+        b = self.replay(prog, 3, 11)
+        assert [r.true_makespan for r in a] == [r.true_makespan for r in b]
+
+    def test_no_cross_batch_seed_collisions(self, prog):
+        """Regression: trial streams used to derive as ``seed + t``, so
+        batch seed=11 trial 2 was the SAME stream as batch seed=13
+        trial 0 — "independent replications" silently duplicated each
+        other.  SeedSequence spawning must keep all batches disjoint."""
+        batch_a = self.replay(prog, 3, 11)
+        batch_b = self.replay(prog, 3, 13)
+        times_a = [r.true_makespan for r in batch_a]
+        times_b = [r.true_makespan for r in batch_b]
+        assert not set(times_a) & set(times_b)
+
+
+class TestStrictCorrectness:
+    def test_lenient_ignores_blank_target_cells(self, prog):
+        """Default grading applies Section V-C lenience: a cell the target
+        leaves blank may hold anything (paper is already white)."""
+        from repro.flags.compiler import execute
+        target = execute(prog).codes.copy()
+        target[0, 0] = 0  # carve a blank cell out of the target
+        lenient = run_partition(single(prog), fresh_team(),
+                                np.random.default_rng(0), target=target)
+        strict = run_partition(single(prog), fresh_team(),
+                               np.random.default_rng(0), target=target,
+                               strict=True)
+        assert lenient.correct          # painted cell forgiven
+        assert not strict.correct       # exact equality demanded
+
+    def test_strict_passes_on_exact_match(self, prog):
+        r = run_partition(single(prog), fresh_team(),
+                          np.random.default_rng(0), strict=True)
+        assert r.correct

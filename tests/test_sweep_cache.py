@@ -1,0 +1,73 @@
+"""Tests for repro.sweep.cache — the content-addressed result store."""
+
+import pytest
+
+from repro.sweep import CacheError, ResultCache, content_address
+
+
+class TestContentAddress:
+    def test_stable(self):
+        key = {"cell": {"flag": "mauritius"}, "seed": 0}
+        assert content_address(key) == content_address(key)
+
+    def test_order_insensitive(self):
+        assert (content_address({"a": 1, "b": 2})
+                == content_address({"b": 2, "a": 1}))
+
+    def test_value_sensitive(self):
+        assert content_address({"seed": 0}) != content_address({"seed": 1})
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        digest = content_address({"x": 1})
+        assert cache.get(digest) is None
+        cache.put(digest, {"trials": [1, 2]})
+        assert cache.get(digest) == {"trials": [1, 2]}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_creates_root(self, tmp_path):
+        root = tmp_path / "deep" / "nested"
+        ResultCache(root)
+        assert root.is_dir()
+
+    def test_corrupt_entry_raises(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = content_address({"x": 1})
+        (tmp_path / f"{digest}.json").write_text("{truncated")
+        with pytest.raises(CacheError):
+            cache.get(digest)
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put(content_address({"a": 1}), {})
+        cache.put(content_address({"a": 2}), {})
+        assert len(cache) == 2
+
+    def test_no_stray_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(content_address({"a": 1}), {"k": "v"})
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestGetOrCompute:
+    def test_computes_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"value": 42}
+
+        first = cache.get_or_compute({"k": "v"}, compute)
+        second = cache.get_or_compute({"k": "v"}, compute)
+        assert first == second == {"value": 42}
+        assert len(calls) == 1
+
+    def test_different_keys_different_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = cache.get_or_compute({"k": 1}, lambda: {"v": 1})
+        b = cache.get_or_compute({"k": 2}, lambda: {"v": 2})
+        assert a != b

@@ -1,0 +1,145 @@
+"""Tests for repro.sweep.executor — fan-out, determinism, caching."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.plan import StudentDropout
+from repro.sweep import (
+    ACTIVITY,
+    ResultCache,
+    SweepError,
+    SweepSpec,
+    run_sweep,
+    run_trial,
+)
+
+
+def small_spec(**kw):
+    base = dict(flags=("mauritius",), scenarios=(3,), n_trials=3, seed=11)
+    base.update(kw)
+    return SweepSpec(**base)
+
+
+class TestDeterminism:
+    def test_parallel_byte_identical_to_serial(self):
+        spec = small_spec(scenarios=(3, 4), n_trials=4)
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=3)
+        for cs, cp in zip(serial.cells, parallel.cells):
+            for ts, tp in zip(cs.trials, cp.trials):
+                assert ts.only_run.trace == tp.only_run.trace
+            assert cs.trials == cp.trials
+
+    def test_rerun_identical(self):
+        spec = small_spec()
+        assert (run_sweep(spec).cells[0].trials
+                == run_sweep(spec).cells[0].trials)
+
+    def test_trials_distinct_within_cell(self):
+        cell = run_sweep(small_spec()).cells[0]
+        times = cell.measured_times()
+        assert len(set(times)) == len(times)
+
+    def test_cells_do_not_share_streams(self):
+        """Two cells at the same batch seed draw from different streams
+        (the cell key folds into the entropy)."""
+        res = run_sweep(small_spec(scenarios=(3,), team_sizes=(4, 5)))
+        t3 = res.cells[0].trials[0].only_run
+        t5 = res.cells[1].trials[0].only_run
+        assert t3.measured_time != t5.measured_time
+
+
+class TestCaching:
+    def test_warm_run_recomputes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_spec(scenarios=(3, 4))
+        cold = run_sweep(spec, workers=2, cache=cache)
+        warm = run_sweep(spec, workers=2, cache=cache)
+        assert cold.computed_trials == spec.total_trials
+        assert warm.computed_trials == 0
+        assert warm.cached_trials == spec.total_trials
+        for cc, cw in zip(cold.cells, warm.cells):
+            assert not cc.cached and cw.cached
+            assert cc.trials == cw.trials  # identical payloads
+
+    def test_cache_dir_convenience(self, tmp_path):
+        spec = small_spec()
+        run_sweep(spec, cache_dir=tmp_path / "c")
+        warm = run_sweep(spec, cache_dir=tmp_path / "c")
+        assert warm.computed_trials == 0
+
+    def test_changed_seed_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(small_spec(seed=1), cache=cache)
+        again = run_sweep(small_spec(seed=2), cache=cache)
+        assert again.computed_trials == small_spec().total_trials
+
+    def test_partial_grid_reuse(self, tmp_path):
+        """Growing the grid only computes the new cells — the cached
+        cell's streams do not depend on what else is in the grid."""
+        cache = ResultCache(tmp_path)
+        first = run_sweep(small_spec(scenarios=(3,)), cache=cache)
+        grown = run_sweep(small_spec(scenarios=(3, 4)), cache=cache)
+        assert grown.cached_trials == 3
+        assert grown.computed_trials == 3
+        assert grown.cells[0].trials == first.cells[0].trials
+
+
+class TestWorkloads:
+    def test_activity_cell_runs_all_scenarios(self):
+        res = run_sweep(SweepSpec(scenarios=(ACTIVITY,), n_trials=2, seed=3))
+        cell = res.cells[0]
+        assert cell.labels() == ["scenario1", "scenario1_repeat",
+                                 "scenario2", "scenario3", "scenario4"]
+        assert cell.correct_fraction() == 1.0
+        # Warmup: the repeat is faster than the cold first run, per trial.
+        for t in cell.trials:
+            assert (t.runs["scenario1_repeat"].measured_time
+                    < t.runs["scenario1"].measured_time)
+
+    def test_fault_plan_cell(self):
+        plan = FaultPlan.of([StudentDropout(at=20.0, worker=0)])
+        spec = small_spec(scenarios=(3,),
+                          fault_plans=(("clean", None), ("dropout", plan)))
+        res = run_sweep(spec, workers=2)
+        clean, faulted = res.cells
+        assert clean.trials[0].only_run.faults is None
+        assert faulted.trials[0].only_run.faults["faults_fired"] >= 1
+
+    def test_activity_with_fault_plan_rejected(self):
+        plan = FaultPlan.of([StudentDropout(at=20.0, worker=0)])
+        spec = SweepSpec(scenarios=(ACTIVITY,),
+                         fault_plans=(("dropout", plan),))
+        with pytest.raises(SweepError):
+            run_sweep(spec)
+
+    def test_observe_rollup(self):
+        res = run_sweep(small_spec(n_trials=2), observe=True)
+        cell = res.cells[0]
+        rolled = cell.obs_rollup()
+        assert rolled.get("events_logged_total", 0) > 0
+        assert cell.counter_total("events_logged_total") == \
+            rolled["events_logged_total"]
+        # The deterministic obs slice only — no host-time profile.
+        assert "profile" not in cell.trials[0].only_run.obs
+
+    def test_trace_importable(self):
+        from repro.sim.export import import_trace
+        cell = run_sweep(small_spec(n_trials=1)).cells[0]
+        trace = import_trace(cell.trials[0].only_run.trace)
+        assert trace.makespan() > 0
+        assert len(trace.agents()) >= 4
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(SweepError):
+            run_sweep(small_spec(), workers=0)
+
+
+class TestRunTrialPurity:
+    def test_same_task_same_payload(self):
+        spec = small_spec(n_trials=2)
+        cell = spec.cells()[0]
+        task = {"cell": cell.key_dict(), "cell_key": cell.key(),
+                "seed": spec.seed, "n_trials": spec.n_trials,
+                "trial": 1, "observe": False}
+        assert run_trial(dict(task)) == run_trial(dict(task))

@@ -1,0 +1,111 @@
+"""Tests for repro.sweep.spec — grids, cells, and canonical keys."""
+
+import json
+
+import pytest
+
+from repro.agents.student import FillStyle
+from repro.faults import FaultPlan
+from repro.faults.plan import ImplementFailure, StudentDropout, TransientStall
+from repro.grid.palette import Color
+from repro.schedule import AcquirePolicy
+from repro.sweep import (
+    ACTIVITY,
+    SweepCell,
+    SweepError,
+    SweepSpec,
+    fault_plan_from_dicts,
+    fault_plan_to_dicts,
+)
+
+
+def cell(**kw):
+    base = dict(flag="mauritius", scenario=3, team_size=4,
+                policy=AcquirePolicy.HOLD_COLOR_RUN,
+                style=FillStyle.SCRIBBLE)
+    base.update(kw)
+    return SweepCell(**base)
+
+
+class TestSweepCell:
+    def test_key_is_canonical_json(self):
+        k = cell().key()
+        assert json.loads(k)["flag"] == "mauritius"
+        assert k == cell().key()  # stable across instances
+
+    def test_key_sensitive_to_every_axis(self):
+        keys = {
+            cell().key(),
+            cell(scenario=4).key(),
+            cell(team_size=2).key(),
+            cell(policy=AcquirePolicy.RELEASE_PER_STROKE).key(),
+            cell(style=FillStyle.FULL).key(),
+            cell(copies=2).key(),
+            cell(rows=24, cols=36).key(),
+        }
+        assert len(keys) == 7
+
+    def test_describe_is_human_readable(self):
+        label = cell(scenario=ACTIVITY, copies=2).describe()
+        assert "mauritius" in label and "activity" in label
+        assert "copies=2" in label
+
+    def test_invalid_scenario_rejected(self):
+        with pytest.raises(SweepError):
+            cell(scenario=5)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(SweepError):
+            cell(team_size=0)
+        with pytest.raises(SweepError):
+            cell(copies=0)
+
+
+class TestFaultPlanRoundTrip:
+    def test_round_trip_preserves_plan(self):
+        plan = FaultPlan.of([
+            StudentDropout(at=10.0, worker=1),
+            ImplementFailure(at=5.0, color=Color.RED),
+            TransientStall(at=3.0, worker=0, duration=4.0),
+        ])
+        assert fault_plan_from_dicts(fault_plan_to_dicts(plan)) == plan
+
+    def test_bad_record_raises(self):
+        with pytest.raises(SweepError):
+            fault_plan_from_dicts([{"kind": "alien_invasion"}])
+        with pytest.raises(SweepError):
+            fault_plan_from_dicts([{"kind": "student_dropout"}])
+
+    def test_plan_folds_into_key(self):
+        plan = FaultPlan.of([StudentDropout(at=10.0, worker=1)])
+        assert cell().key() != cell(fault_label="chaos",
+                                    fault_plan=plan).key()
+
+
+class TestSweepSpec:
+    def test_grid_is_full_cross_product(self):
+        spec = SweepSpec(flags=("mauritius", "france"), scenarios=(3, 4),
+                         team_sizes=(2, 4), n_trials=3)
+        assert spec.n_cells == 8
+        assert len(spec.cells()) == 8
+        assert spec.total_trials == 24
+        keys = {c.key() for c in spec.cells()}
+        assert len(keys) == 8
+
+    def test_single_helper(self):
+        spec = SweepSpec.single("france", 2, n_trials=5, seed=9)
+        assert spec.n_cells == 1
+        only = spec.cells()[0]
+        assert (only.flag, only.scenario) == ("france", 2)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SweepError):
+            SweepSpec(flags=())
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(SweepError):
+            SweepSpec(n_trials=0)
+
+    def test_duplicate_fault_labels_rejected(self):
+        with pytest.raises(SweepError):
+            SweepSpec(fault_plans=(("clean", None), ("clean", None)))
