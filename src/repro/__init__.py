@@ -18,6 +18,9 @@ The library models the entire activity end-to-end:
 - :mod:`repro.sweep` — declarative experiment sweeps: process-pool
   trial fan-out with SeedSequence-derived streams and a
   content-addressed on-disk result cache.
+- :mod:`repro.serve` — the async simulation service: an HTTP/JSON
+  server with micro-batching, admission control (429 backpressure),
+  cache-backed responses, and graceful drain.
 - :mod:`repro.classroom` — whole-class sessions at the six pilot sites and
   automatic debrief lesson extraction.
 - :mod:`repro.survey` — the ASPECT engagement survey, the pre/post quiz,
@@ -43,7 +46,7 @@ Quickstart::
 __version__ = "1.0.0"
 
 from . import agents, classroom, data, depgraph, flags, grid, metrics
-from . import obs, schedule, sim, survey, viz
+from . import obs, schedule, serve, sim, survey, viz
 
 __all__ = [
     "__version__",
@@ -56,6 +59,7 @@ __all__ = [
     "metrics",
     "obs",
     "schedule",
+    "serve",
     "sim",
     "survey",
     "viz",

@@ -21,6 +21,14 @@ Gives instructors the library's main flows without writing Python:
 - ``trace TARGET`` — run a scenario under the observer (or convert an
   exported event log) and write Chrome ``trace_event`` JSON for
   ``chrome://tracing`` / Perfetto, plus optional metrics dumps.
+- ``serve`` — stand the library up as an async HTTP/JSON service
+  (``repro.serve``): micro-batched ``/run`` trials, ``/sweep`` grids,
+  backpressure, a read-through result cache, Prometheus ``/metrics``,
+  graceful drain on SIGTERM/SIGINT.
+
+Long-running commands (``sweep``, ``serve``) exit cleanly on Ctrl-C:
+in-flight work is drained or cancelled, the exit status is 130, and no
+traceback is spewed.
 """
 
 from __future__ import annotations
@@ -325,8 +333,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         n_trials=args.trials,
         seed=args.seed,
     )
-    result = run_sweep(spec, workers=args.workers,
-                       cache_dir=args.cache_dir, observe=args.observe)
+    try:
+        result = run_sweep(spec, workers=args.workers,
+                           cache_dir=args.cache_dir, observe=args.observe)
+    except KeyboardInterrupt:
+        print("sweep interrupted — worker pool cancelled, partial "
+              "results discarded", file=sys.stderr)
+        return 130
     print(format_table(
         ["cell", "run", "trials", "median", "correct", "cache"],
         result.table_rows(),
@@ -343,6 +356,59 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   f"events={rolled.get('events_logged_total', 0):g} "
                   f"blocked_acquires={waits:g}")
     return 0 if result.all_correct else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import ServeConfig, ServeServer
+
+    config = ServeConfig(
+        host=args.host, port=args.port, max_pending=args.max_pending,
+        batch_window_s=args.batch_window, batch_max=args.batch_max,
+        workers=args.workers, default_timeout_s=args.timeout,
+        cache_dir=args.cache_dir, cache_max_entries=args.cache_max_entries,
+        cache_max_bytes=args.cache_max_bytes,
+    )
+
+    async def _main() -> bool:
+        server = ServeServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+
+        def _drain(sig_name: str) -> None:
+            print(f"{sig_name} received — draining", file=sys.stderr,
+                  flush=True)
+            asyncio.ensure_future(
+                server.shutdown(interrupted=sig_name == "SIGINT"))
+
+        try:
+            loop.add_signal_handler(signal.SIGTERM,
+                                    lambda: _drain("SIGTERM"))
+            loop.add_signal_handler(signal.SIGINT,
+                                    lambda: _drain("SIGINT"))
+        except NotImplementedError:  # pragma: no cover - non-POSIX loop
+            pass
+        # Announce readiness only once the drain handlers are live, so a
+        # supervisor that signals on first output always gets a drain.
+        print(f"serving on http://{config.host}:{server.port} "
+              f"(max_pending={config.max_pending}, "
+              f"batch_window={config.batch_window_s:g}s, "
+              f"workers={config.workers}, "
+              f"cache={config.cache_dir or 'off'})", flush=True)
+        await server.serve_forever()
+        return server.interrupted
+
+    try:
+        interrupted = asyncio.run(_main())
+    except KeyboardInterrupt:
+        # Signal handlers could not be installed (or the interrupt beat
+        # them): asyncio.run has already cancelled and drained the loop.
+        print("interrupted — server shut down", file=sys.stderr)
+        return 130
+    print("drained, bye")
+    return 130 if interrupted else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -534,6 +600,34 @@ def build_parser() -> argparse.ArgumentParser:
                         "print per-cell counter roll-ups")
 
     p = sub.add_parser(
+        "serve",
+        help="stand the simulator up as an async HTTP/JSON service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="bind port (0 picks an ephemeral port)")
+    p.add_argument("--max-pending", type=int, default=64,
+                   dest="max_pending",
+                   help="admission limit before requests get 429")
+    p.add_argument("--batch-window", type=float, default=0.005,
+                   dest="batch_window",
+                   help="micro-batch coalescing window, seconds")
+    p.add_argument("--batch-max", type=int, default=16, dest="batch_max",
+                   help="dispatch a batch at this size even mid-window")
+    p.add_argument("--workers", type=int, default=0,
+                   help="trial-compute processes (0 = in-process threads)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="default per-request deadline, seconds")
+    p.add_argument("--cache-dir", default=None,
+                   help="read-through result cache directory "
+                        "(shared format with 'repro sweep --cache-dir')")
+    p.add_argument("--cache-max-entries", type=int, default=None,
+                   dest="cache_max_entries",
+                   help="LRU-prune the cache beyond this many entries")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   dest="cache_max_bytes",
+                   help="LRU-prune the cache beyond this many bytes")
+
+    p = sub.add_parser(
         "trace",
         help="run a scenario under the observer and export a Chrome trace")
     p.add_argument("target",
@@ -566,6 +660,7 @@ _COMMANDS = {
     "grade": _cmd_grade,
     "tables": _cmd_tables,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
 }

@@ -23,7 +23,9 @@ Quickstart::
 
 from .spans import Span, SpanBuilder, SpanError, build_spans
 from .metrics import (
+    BATCH_SIZE_BUCKETS,
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -45,7 +47,9 @@ __all__ = [
     "SpanBuilder",
     "SpanError",
     "build_spans",
+    "BATCH_SIZE_BUCKETS",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",

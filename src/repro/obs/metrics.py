@@ -110,6 +110,17 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
 )
 
+#: Buckets for host-time request latencies (seconds) — used by the
+#: serving layer (:mod:`repro.serve`), where durations are wall-clock
+#: milliseconds-to-seconds rather than simulated classroom seconds.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Buckets for micro-batch sizes (request counts per dispatch).
+BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+
 
 class Histogram:
     """Cumulative fixed-bucket histogram of observed values."""
@@ -146,6 +157,35 @@ class Histogram:
         """Sum of observations in one labeled series."""
         return self._series.get(_label_key(labels),
                                 ([], 0.0, 0))[1]
+
+    def quantile(self, q: float, **labels: str) -> float:
+        """Estimate the ``q``-quantile from the cumulative buckets.
+
+        Linear interpolation within the bucket that crosses rank
+        ``q * count``, the same estimate Prometheus's
+        ``histogram_quantile`` computes server-side.  Observations above
+        the last finite bucket clamp to that bucket bound; an empty
+        series returns 0.0.
+
+        Raises:
+            MetricsError: when ``q`` is outside ``[0, 1]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"quantile must be in [0, 1], got {q}")
+        counts, _, n = self._series.get(
+            _label_key(labels), ([], 0.0, 0))
+        if n == 0:
+            return 0.0
+        rank = q * n
+        lo = 0.0
+        prev = 0
+        for le, c in zip(self.buckets, counts):
+            if c >= rank:
+                width = c - prev
+                frac = 1.0 if width == 0 else (rank - prev) / width
+                return lo + (le - lo) * frac
+            lo, prev = le, c
+        return self.buckets[-1]
 
     def samples(self) -> List[str]:
         """Exposition lines: ``_bucket``/``_sum``/``_count`` per series."""

@@ -1,0 +1,69 @@
+"""The simulation service: async HTTP serving for flagsim workloads.
+
+Where :mod:`repro.sweep` made experiments *batchable*, this package
+makes them *servable*: an asyncio HTTP/JSON server (stdlib only) that
+exposes the core workloads to many concurrent clients the way
+always-on classroom tools are deployed, built from inference-serving
+patterns:
+
+- :mod:`~repro.serve.protocol` — versioned JSON request/response
+  schemas with structured, typed errors (never a 500 stack trace);
+- :mod:`~repro.serve.admission` — a bounded admission queue: at
+  capacity, new requests get ``429`` + ``Retry-After`` instead of
+  unbounded queueing;
+- :mod:`~repro.serve.batcher` — a micro-batcher that coalesces
+  ``/run`` requests arriving within a window into one executor
+  dispatch;
+- :mod:`~repro.serve.handlers` — endpoint logic with read-through
+  :class:`~repro.sweep.cache.ResultCache` integration and
+  per-request deadlines;
+- :mod:`~repro.serve.server` — HTTP framing, lifecycle, graceful
+  drain on SIGTERM, and :class:`BackgroundServer` for in-process use;
+- :mod:`~repro.serve.client` — a small synchronous client.
+
+Served results are byte-identical to in-process
+:func:`repro.sweep.executor.run_sweep` results — cold, batched, or
+cached — and the server's cache interoperates with
+``repro sweep --cache-dir``.
+
+Quickstart::
+
+    from repro.serve import BackgroundServer, ServeConfig
+    with BackgroundServer(ServeConfig(cache_dir=".serve-cache")) as bg:
+        client = bg.client()
+        reply = client.run(flag="mauritius", scenario=3, seed=7)
+        print(reply["cached"], reply["trial"]["runs"].keys())
+"""
+
+from .admission import AdmissionFull, AdmissionQueue
+from .batcher import MicroBatcher, run_batch
+from .client import ServeClient, ServeError
+from .handlers import ServeHandlers
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RunRequest,
+    SweepRequest,
+    error_body,
+    parse_body,
+)
+from .server import BackgroundServer, ServeConfig, ServeServer
+
+__all__ = [
+    "AdmissionFull",
+    "AdmissionQueue",
+    "BackgroundServer",
+    "MicroBatcher",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RunRequest",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServeHandlers",
+    "ServeServer",
+    "SweepRequest",
+    "error_body",
+    "parse_body",
+    "run_batch",
+]

@@ -1,0 +1,158 @@
+"""The micro-batcher: coalesce trial requests into one dispatch.
+
+Inference servers amortize per-request overhead by batching requests
+that arrive close together; this module transfers the pattern onto the
+simulator.  ``/run`` requests that miss the cache land on the
+batcher's queue; a collector loop takes the first waiting task, keeps
+collecting for a short window (``window_s``) or until ``max_batch``
+tasks are in hand, then ships the whole batch through *one* executor
+dispatch — one pickle round-trip to a pool worker instead of one per
+request.
+
+Every task is a pure function of its dict (see
+:func:`repro.sweep.executor.run_trial`), so batching never changes a
+result: a trial computed in a batch of 8 is byte-identical to the same
+trial computed alone, and the determinism tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs.metrics import BATCH_SIZE_BUCKETS, MetricsRegistry
+
+#: Queue sentinel: drain what is already queued, then stop the loop.
+_SHUTDOWN = object()
+
+
+def run_batch(tasks: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Execute one micro-batch of trial tasks, in order.
+
+    Module-level so a process pool can pickle it by reference; the
+    whole batch crosses the pool boundary as a single call.
+    """
+    from ..sweep.executor import run_trial
+    return [run_trial(task) for task in tasks]
+
+
+class MicroBatcher:
+    """Coalesces submitted tasks and dispatches them in batches.
+
+    Args:
+        window_s: how long to wait for more tasks after the first one
+            arrives before dispatching what is in hand.
+        max_batch: dispatch immediately once this many tasks are
+            collected.
+        executor: a ``concurrent.futures`` executor for the actual
+            compute; ``None`` uses the event loop's default thread
+            pool (fine for tests and single-core boxes).
+        registry: metrics registry for batch-size/batch-count series.
+    """
+
+    def __init__(self, *, window_s: float = 0.005, max_batch: int = 16,
+                 executor=None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._executor = executor
+        self._queue: Optional[asyncio.Queue] = None
+        self._loop_task: Optional[asyncio.Task] = None
+        self._closed = False
+        self._registry = registry
+        if registry is not None:
+            self._batch_size = registry.histogram(
+                "serve_batch_size",
+                "Tasks coalesced into one executor dispatch",
+                buckets=BATCH_SIZE_BUCKETS)
+            self._batches = registry.counter(
+                "serve_batches_total", "Executor dispatches")
+            self._trials = registry.counter(
+                "serve_batched_trials_total",
+                "Trials computed through the batcher")
+
+    def start(self) -> None:
+        """Start the collector loop on the running event loop."""
+        self._queue = asyncio.Queue()
+        self._closed = False
+        self._loop_task = asyncio.get_running_loop().create_task(
+            self._collect_loop())
+
+    async def stop(self) -> None:
+        """Drain everything already queued, then stop the loop."""
+        if self._queue is None:
+            return
+        self._closed = True
+        await self._queue.put(_SHUTDOWN)
+        if self._loop_task is not None:
+            await self._loop_task
+            self._loop_task = None
+
+    async def submit(self, task: Dict[str, Any]
+                     ) -> Tuple[Dict[str, Any], int]:
+        """Queue one task; returns ``(payload, batch_size)`` when done.
+
+        ``batch_size`` is how many tasks shared the dispatch — the
+        response surfaces it so clients (and tests) can see
+        coalescing happen.
+
+        Raises:
+            RuntimeError: when the batcher is not started or already
+                draining.
+        """
+        if self._queue is None or self._closed:
+            raise RuntimeError("batcher is not accepting work")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put((task, future))
+        return await future
+
+    async def _collect_loop(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is _SHUTDOWN:
+                return
+            batch = [first]
+            shutdown = False
+            deadline = loop.time() + self.window_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(),
+                                                  remaining)
+                except asyncio.TimeoutError:
+                    break
+                if item is _SHUTDOWN:
+                    shutdown = True
+                    break
+                batch.append(item)
+            await self._dispatch(batch)
+            if shutdown:
+                return
+
+    async def _dispatch(self, batch: List[Tuple[Dict[str, Any],
+                                                asyncio.Future]]) -> None:
+        loop = asyncio.get_running_loop()
+        tasks = [task for task, _ in batch]
+        if self._registry is not None:
+            self._batch_size.observe(len(batch))
+            self._batches.inc()
+            self._trials.inc(len(batch))
+        try:
+            payloads = await loop.run_in_executor(
+                self._executor, run_batch, tasks)
+        except Exception as exc:  # compute failed: fail every waiter
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), payload in zip(batch, payloads):
+            if not future.done():  # waiter may have hit its deadline
+                future.set_result((payload, len(batch)))

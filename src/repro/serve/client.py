@@ -1,0 +1,125 @@
+"""A small synchronous client for the serve API.
+
+Stdlib ``http.client`` only — one connection per request (the server
+answers ``Connection: close``), JSON in/out, and typed errors:
+non-2xx responses raise :class:`ServeError` carrying the status, the
+structured error body, and any ``Retry-After`` hint, so callers can
+implement backoff without parsing anything themselves.
+
+Used by the test suite, the throughput benchmark, the executable docs
+examples, and anyone driving a server from a notebook::
+
+    client = ServeClient("127.0.0.1", 8642)
+    reply = client.run(flag="mauritius", scenario=3, seed=7)
+    print(reply["cached"], reply["trial"]["runs"].keys())
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from .protocol import PROTOCOL_VERSION
+
+
+class ServeError(Exception):
+    """A non-2xx response from the server.
+
+    Attributes:
+        status: the HTTP status code.
+        code: the structured error code (``"too_many_requests"``, ...)
+            or ``"unknown"`` when the body was not structured.
+        body: the decoded JSON error body (may be empty).
+        retry_after: seconds to back off, when the server said so.
+    """
+
+    def __init__(self, status: int, body: Dict[str, Any],
+                 retry_after: Optional[float] = None) -> None:
+        err = body.get("error", {}) if isinstance(body, dict) else {}
+        self.status = status
+        self.code = err.get("code", "unknown")
+        self.body = body
+        self.retry_after = retry_after
+        super().__init__(
+            f"HTTP {status} [{self.code}] "
+            f"{err.get('message', '(no message)')}")
+
+
+class ServeClient:
+    """Synchronous JSON client for one serve endpoint address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
+                 timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None
+                ) -> Tuple[int, Dict[str, str], bytes]:
+        """One raw exchange; returns ``(status, headers, body bytes)``."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            return (response.status,
+                    {k.lower(): v for k, v in response.getheaders()},
+                    raw)
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        status, headers, raw = self.request(method, path, body)
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {}
+        if status >= 400:
+            retry_after = headers.get("retry-after")
+            raise ServeError(
+                status, decoded,
+                float(retry_after) if retry_after is not None else None)
+        return decoded
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz`` — liveness plus queue depth/limit."""
+        return self._json("GET", "/healthz")
+
+    def flags(self) -> Dict[str, Any]:
+        """``GET /flags`` — the servable flag catalog."""
+        return self._json("GET", "/flags")
+
+    def metrics(self) -> str:
+        """``GET /metrics`` — the Prometheus text exposition dump."""
+        status, _, raw = self.request("GET", "/metrics")
+        if status >= 400:
+            raise ServeError(status, {})
+        return raw.decode("utf-8")
+
+    def run(self, **fields: Any) -> Dict[str, Any]:
+        """``POST /run`` — one trial; kwargs become the request body.
+
+        Raises:
+            ServeError: on any non-2xx response (429 carries
+                ``retry_after``; 504 means the deadline passed).
+        """
+        fields.setdefault("protocol", PROTOCOL_VERSION)
+        return self._json("POST", "/run", fields)
+
+    def sweep(self, **fields: Any) -> Dict[str, Any]:
+        """``POST /sweep`` — a cell grid; kwargs become the body.
+
+        Raises:
+            ServeError: on any non-2xx response.
+        """
+        fields.setdefault("protocol", PROTOCOL_VERSION)
+        return self._json("POST", "/sweep", fields)

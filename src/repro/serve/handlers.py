@@ -1,0 +1,203 @@
+"""Endpoint handlers: routing, cache read-through, deadlines.
+
+Pure request→response logic, separated from the socket layer in
+:mod:`repro.serve.server` so tests can drive endpoints without a
+network.  The flow for ``POST /run``:
+
+1. parse + validate (:mod:`repro.serve.protocol`) — 400s;
+2. resolve the flag against the catalog — 404 ``flag_not_found``;
+3. take an admission slot — or 429 + ``Retry-After``;
+4. read-through the :class:`~repro.sweep.cache.ResultCache` — a hit
+   answers without touching the executor;
+5. miss: submit to the :class:`~repro.serve.batcher.MicroBatcher`
+   under the request deadline — 504 ``deadline_exceeded`` on timeout;
+6. write the computed payload back to the cache (same address scheme
+   as ``repro sweep --cache-dir``, so the two interoperate).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple
+
+from ..flags import available_flags, get_flag
+from ..obs.metrics import MetricsRegistry
+from ..sweep.cache import ResultCache
+from .admission import AdmissionFull, AdmissionQueue
+from .batcher import MicroBatcher
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RunRequest,
+    SweepRequest,
+    error_body,
+    parse_body,
+    run_response,
+    sweep_response,
+)
+
+#: (status, JSON body or text, extra headers)
+Response = Tuple[int, Any, Dict[str, str]]
+
+
+class ServeHandlers:
+    """Routes parsed HTTP requests onto the scheduler and cache."""
+
+    def __init__(self, *, batcher: MicroBatcher,
+                 admission: AdmissionQueue,
+                 registry: MetricsRegistry,
+                 cache: Optional[ResultCache] = None,
+                 default_timeout_s: float = 30.0,
+                 sweep_workers: int = 1) -> None:
+        self.batcher = batcher
+        self.admission = admission
+        self.registry = registry
+        self.cache = cache
+        self.default_timeout_s = default_timeout_s
+        self.sweep_workers = sweep_workers
+        self._hits = registry.counter(
+            "serve_cache_hits_total", "/run answers served from cache")
+        self._misses = registry.counter(
+            "serve_cache_misses_total", "/run answers that were computed")
+        self._hit_ratio = registry.gauge(
+            "serve_cache_hit_ratio",
+            "Lifetime cache hit fraction of /run lookups")
+        self._timeouts = registry.counter(
+            "serve_deadline_timeouts_total",
+            "Requests that hit their deadline before a result")
+
+    async def dispatch(self, method: str, path: str,
+                       body: bytes) -> Response:
+        """Answer one request; never raises for client-caused errors."""
+        try:
+            return await self._route(method, path, body)
+        except AdmissionFull as exc:
+            return (429,
+                    error_body("too_many_requests", str(exc)),
+                    {"Retry-After": f"{exc.retry_after:g}"})
+        except ProtocolError as exc:
+            headers = {}
+            if exc.retry_after is not None:
+                headers["Retry-After"] = f"{exc.retry_after:g}"
+            return exc.status, error_body(exc.code, exc.message), headers
+        except Exception as exc:  # structured 500, never a stack trace
+            return (500,
+                    error_body("internal",
+                               f"{type(exc).__name__}: {exc}"),
+                    {})
+
+    async def _route(self, method: str, path: str, body: bytes) -> Response:
+        path = path.split("?", 1)[0]
+        routes = {
+            "/healthz": ("GET", self._healthz),
+            "/flags": ("GET", self._flags),
+            "/metrics": ("GET", self._metrics),
+            "/run": ("POST", self._run),
+            "/sweep": ("POST", self._sweep),
+        }
+        entry = routes.get(path)
+        if entry is None:
+            raise ProtocolError(404, "unknown_endpoint",
+                                f"no endpoint {path!r}; one of "
+                                f"{sorted(routes)}")
+        expected, handler = entry
+        if method != expected:
+            raise ProtocolError(405, "method_not_allowed",
+                                f"{path} expects {expected}, got {method}")
+        return await handler(body)
+
+    async def _healthz(self, body: bytes) -> Response:
+        return (200,
+                {"protocol": PROTOCOL_VERSION, "status": "ok",
+                 "queue_depth": self.admission.depth,
+                 "queue_limit": self.admission.limit},
+                {})
+
+    async def _flags(self, body: bytes) -> Response:
+        catalog = {}
+        for name, desc in sorted(available_flags().items()):
+            spec = get_flag(name)
+            catalog[name] = {"description": desc,
+                            "rows": spec.default_rows,
+                            "cols": spec.default_cols,
+                            "layered": spec.is_layered()}
+        return 200, {"protocol": PROTOCOL_VERSION, "flags": catalog}, {}
+
+    async def _metrics(self, body: bytes) -> Response:
+        return 200, self.registry.render_prometheus(), {}
+
+    def _resolve_flag(self, name: str) -> None:
+        try:
+            get_flag(name)
+        except KeyError:
+            raise ProtocolError(
+                404, "flag_not_found",
+                f"flag {name!r} is not in the catalog; "
+                f"one of {sorted(available_flags())}") from None
+
+    def _record_lookup(self, hit: bool) -> None:
+        (self._hits if hit else self._misses).inc()
+        total = self._hits.value() + self._misses.value()
+        self._hit_ratio.set(self._hits.value() / total if total else 0.0)
+
+    async def _run(self, body: bytes) -> Response:
+        request = RunRequest.from_body(parse_body(body))
+        self._resolve_flag(request.flag)
+        timeout = request.timeout_s or self.default_timeout_s
+        with self.admission.slot():
+            address = request.address()
+            if self.cache is not None:
+                stored = self.cache.get(address)
+                if stored is not None:
+                    self._record_lookup(hit=True)
+                    return (200,
+                            run_response(stored["trials"][0], cached=True,
+                                         batch_size=0),
+                            {})
+            self._record_lookup(hit=False)
+            try:
+                payload, batch_size = await asyncio.wait_for(
+                    self.batcher.submit(request.task()), timeout)
+            except asyncio.TimeoutError:
+                self._timeouts.inc()
+                raise ProtocolError(
+                    504, "deadline_exceeded",
+                    f"no result within {timeout:g}s (the trial keeps "
+                    f"computing; a retry may hit the cache)") from None
+            if self.cache is not None:
+                self.cache.put(address,
+                               {"cell": request.cell().key_dict(),
+                                "trials": [payload]})
+            return (200,
+                    run_response(payload, cached=False,
+                                 batch_size=batch_size),
+                    {})
+
+    async def _sweep(self, body: bytes) -> Response:
+        request = SweepRequest.from_body(parse_body(body))
+        for flag in request.spec.flags:
+            self._resolve_flag(flag)
+        timeout = request.timeout_s or self.default_timeout_s
+        with self.admission.slot():
+            from ..sweep.executor import run_sweep
+            loop = asyncio.get_running_loop()
+            try:
+                result = await asyncio.wait_for(
+                    loop.run_in_executor(
+                        None, lambda: run_sweep(
+                            request.spec, workers=self.sweep_workers,
+                            cache=self.cache,
+                            observe=request.observe)),
+                    timeout)
+            except asyncio.TimeoutError:
+                self._timeouts.inc()
+                raise ProtocolError(
+                    504, "deadline_exceeded",
+                    f"sweep did not finish within {timeout:g}s") from None
+            return (200,
+                    sweep_response(result.table_rows(),
+                                   computed_trials=result.computed_trials,
+                                   cached_trials=result.cached_trials,
+                                   all_correct=result.all_correct,
+                                   wall_seconds=result.wall_seconds),
+                    {})

@@ -10,9 +10,12 @@ different seed, new library release — misses cleanly instead of
 returning stale results.
 
 The cache is deliberately dumb: no locking beyond atomic rename, no
-eviction, no index.  ``repro sweep --cache-dir PATH`` and the
-benchmark drivers point it at a scratch directory; deleting the
-directory is the only invalidation anyone needs.
+index.  ``repro sweep --cache-dir PATH`` and the benchmark drivers
+point it at a scratch directory; deleting the directory is the only
+invalidation anyone needs.  Eviction is opt-in: a long-lived process
+(the :mod:`repro.serve` server) passes ``max_entries`` / ``max_bytes``
+and the cache prunes least-recently-used entries after every write,
+so the directory never grows without bound.
 
 A generic :meth:`ResultCache.get_or_compute` is exposed for non-sweep
 workloads (the Tables I-III driver caches its synthesized survey
@@ -53,19 +56,38 @@ def content_address(key_obj: Any) -> str:
 
 
 class ResultCache:
-    """A directory of content-addressed JSON payloads."""
+    """A directory of content-addressed JSON payloads.
 
-    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+    ``max_entries`` / ``max_bytes`` (both off by default) bound the
+    directory: after every :meth:`put`, least-recently-used entries
+    (by file mtime — reads refresh it) are deleted until both budgets
+    hold.  The entry just written is the most recent, so it always
+    survives a prune.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path], *,
+                 max_entries: Optional[int] = None,
+                 max_bytes: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise CacheError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise CacheError(f"max_bytes must be >= 1, got {max_bytes}")
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _path(self, digest: str) -> pathlib.Path:
         return self.root / f"{digest}.json"
 
     def get(self, digest: str) -> Optional[Dict[str, Any]]:
         """The stored payload for an address, or ``None`` on a miss.
+
+        A hit refreshes the entry's mtime so LRU pruning sees it as
+        recently used.
 
         Raises:
             CacheError: when the entry exists but cannot be parsed
@@ -79,6 +101,10 @@ class ResultCache:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
             raise CacheError(f"corrupt cache entry {path}: {exc}") from exc
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away; still a hit
+            pass
         self.hits += 1
         return payload
 
@@ -94,6 +120,50 @@ class ResultCache:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        if self.max_entries is not None or self.max_bytes is not None:
+            self.prune()
+
+    def total_bytes(self) -> int:
+        """Bytes currently stored across every entry."""
+        return sum(p.stat().st_size for p in self.root.glob("*.json"))
+
+    def prune(self) -> int:
+        """Evict LRU entries until ``max_entries``/``max_bytes`` hold.
+
+        Returns the number of entries deleted (0 when no limits are
+        set or both budgets already hold).  Entries that vanish midway
+        (another process pruning the same directory) are skipped.
+        """
+        entries = []
+        for p in self.root.glob("*.json"):
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime_ns, p.name, st.st_size, p))
+        entries.sort()
+        count = len(entries)
+        size = sum(e[2] for e in entries)
+        evicted = 0
+        # The newest entry is never pruned, even when it alone exceeds
+        # max_bytes — a cache that deletes what it just wrote would
+        # silently disable itself.
+        for _, _, nbytes, path in entries[:-1]:
+            over_entries = (self.max_entries is not None
+                            and count > self.max_entries)
+            over_bytes = (self.max_bytes is not None
+                          and size > self.max_bytes)
+            if not over_entries and not over_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent prune
+                continue
+            count -= 1
+            size -= nbytes
+            evicted += 1
+        self.evictions += evicted
+        return evicted
 
     def get_or_compute(
         self,

@@ -24,8 +24,10 @@ SUBPACKAGES = [
     "repro.metrics",
     "repro.obs",
     "repro.schedule",
+    "repro.serve",
     "repro.sim",
     "repro.survey",
+    "repro.sweep",
     "repro.viz",
 ]
 

@@ -1,8 +1,13 @@
 """Tests for repro.cli — the command-line interface."""
 
+import os
+import pathlib
+
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 class TestParser:
@@ -15,7 +20,7 @@ class TestParser:
         for cmd in ("flags", "render", "scenario", "activity", "session",
                     "depgraph", "dryrun", "grade", "tables", "animate",
                     "slides", "debrief", "report", "chaos", "sweep",
-                    "trace"):
+                    "trace", "serve"):
             # Minimal arg sets per command.
             argv = {
                 "flags": ["flags"],
@@ -34,6 +39,7 @@ class TestParser:
                 "chaos": ["chaos", "mauritius"],
                 "sweep": ["sweep"],
                 "trace": ["trace", "mauritius"],
+                "serve": ["serve", "--port", "0"],
             }[cmd]
             args = parser.parse_args(argv)
             assert args.command == cmd
@@ -233,3 +239,58 @@ class TestCommands:
                          "--seed", "9", "--out", str(out)]) == 0
         capsys.readouterr()
         assert a.read_text() == b.read_text()
+
+
+class TestInterruptHardening:
+    """Long-running commands exit cleanly on Ctrl-C: no traceback,
+    exit code 130, resources drained."""
+
+    def test_sweep_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        import repro.sweep
+
+        def interrupted_sweep(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(repro.sweep, "run_sweep", interrupted_sweep)
+        assert main(["sweep"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "Traceback" not in err
+
+    def test_serve_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        import repro.serve.server as server_mod
+
+        async def interrupted_serve(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(server_mod.ServeServer, "serve_forever",
+                            interrupted_serve)
+        assert main(["serve", "--port", "0"]) == 130
+        captured = capsys.readouterr()
+        assert "serving on http://" in captured.out
+        assert "interrupted" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_serve_sigint_drains_and_exits_130(self, tmp_path):
+        """A real SIGINT to a live server drains and exits 130."""
+        import signal
+        import subprocess
+        import sys as _sys
+
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env={**os.environ, "PYTHONPATH": "src"}, cwd=REPO_ROOT)
+        try:
+            line = proc.stdout.readline()
+            assert "serving on http://" in line
+            proc.send_signal(signal.SIGINT)
+            out = proc.communicate(timeout=20)[0]
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130
+        assert "SIGINT received" in out
+        assert "drained, bye" in out
+        assert "Traceback" not in out

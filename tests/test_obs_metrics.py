@@ -69,6 +69,35 @@ class TestHistogram:
         with pytest.raises(MetricsError):
             Histogram("x", buckets=())
 
+    def test_quantile_interpolates_within_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.0
+        # p50 falls in the (1, 2] bucket: 1 of 4 below it, 3 at its edge.
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_quantile_of_empty_series_is_zero(self):
+        assert Histogram("lat", buckets=(1.0,)).quantile(0.99) == 0.0
+
+    def test_quantile_clamps_overflow_to_last_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(100.0)  # lands in +Inf; quantile stays finite
+        assert h.quantile(0.99) == 2.0
+
+    def test_quantile_respects_labels(self):
+        h = Histogram("lat", buckets=(1.0, 8.0))
+        h.observe(0.5, endpoint="/run")
+        h.observe(6.0, endpoint="/sweep")
+        assert h.quantile(1.0, endpoint="/run") <= 1.0
+        assert h.quantile(1.0, endpoint="/sweep") > 1.0
+
+    def test_quantile_out_of_range_raises(self):
+        h = Histogram("lat", buckets=(1.0,))
+        with pytest.raises(MetricsError):
+            h.quantile(1.5)
+
 
 class TestRegistry:
     def test_getters_are_idempotent(self):

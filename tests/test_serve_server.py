@@ -1,0 +1,277 @@
+"""End-to-end tests for repro.serve — a live server on a thread.
+
+Covers the serving acceptance criteria: determinism (a served trial is
+byte-identical to the in-process one — cold, batched, or cached),
+backpressure (429 + Retry-After at capacity), deadlines (504), the
+structured protocol error paths, metrics exposure, and graceful drain.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    BackgroundServer,
+    PROTOCOL_VERSION,
+    ServeConfig,
+    ServeError,
+)
+from repro.sweep import ResultCache, SweepSpec, TrialRecord, run_sweep
+from repro.sweep.executor import run_trial
+from repro.serve.protocol import RunRequest
+
+
+def canon(obj):
+    """Canonical JSON for byte-identity comparisons."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    """One live server (with cache) shared across this module."""
+    cache_dir = tmp_path_factory.mktemp("serve-cache")
+    config = ServeConfig(cache_dir=str(cache_dir), batch_window_s=0.01)
+    with BackgroundServer(config) as bg:
+        yield bg
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        health = server.client().healthz()
+        assert health["status"] == "ok"
+        assert health["protocol"] == PROTOCOL_VERSION
+        assert health["queue_depth"] == 0
+
+    def test_flags_lists_catalog(self, server):
+        flags = server.client().flags()["flags"]
+        assert "mauritius" in flags and "jordan" in flags
+        assert flags["mauritius"]["rows"] > 0
+        assert isinstance(flags["great_britain"]["layered"], bool)
+
+    def test_metrics_exposition(self, server):
+        server.client().run(flag="poland", scenario=3, seed=1)
+        text = server.client().metrics()
+        for series in ("serve_queue_depth", "serve_batch_size_bucket",
+                       "serve_cache_hit_ratio", "serve_cache_hits_total",
+                       "serve_request_latency_seconds_bucket",
+                       "serve_requests_total"):
+            assert series in text, series
+
+    def test_sweep_endpoint(self, server):
+        reply = server.client().sweep(flags=["poland"], scenarios=[3],
+                                      n_trials=2, seed=123)
+        assert reply["computed_trials"] == 2
+        assert reply["all_correct"] is True
+        assert reply["columns"][0] == "cell"
+        warm = server.client().sweep(flags=["poland"], scenarios=[3],
+                                     n_trials=2, seed=123)
+        assert warm["computed_trials"] == 0
+        assert warm["cached_trials"] == 2
+
+
+class TestRunDeterminism:
+    def test_cold_run_byte_identical_to_in_process(self, server):
+        body = {"flag": "poland", "scenario": 4, "seed": 21}
+        reply = server.client().run(**body)
+        assert reply["cached"] is False
+        in_process = run_trial(RunRequest.from_body(body).task())
+        assert canon(reply["trial"]) == canon(in_process)
+
+    def test_warm_repeat_is_cache_hit_with_identical_bytes(self, server):
+        body = {"flag": "mauritius", "scenario": 3, "seed": 22}
+        cold = server.client().run(**body)
+        warm = server.client().run(**body)
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        assert canon(cold["trial"]) == canon(warm["trial"])
+
+    def test_served_trial_equals_run_sweep_records(self, server):
+        reply = server.client().run(flag="poland", scenario=3, seed=23)
+        spec = SweepSpec(flags=("poland",), scenarios=(3,),
+                         n_trials=1, seed=23)
+        expected = run_sweep(spec).cells[0].trials[0]
+        assert TrialRecord.from_payload(reply["trial"]) == expected
+
+    def test_batched_requests_identical_to_solo_runs(self):
+        """Trials coalesced into one dispatch match in-process runs."""
+        config = ServeConfig(batch_window_s=0.25, batch_max=8)
+        with BackgroundServer(config) as bg:
+            replies = {}
+
+            def issue(seed):
+                replies[seed] = bg.client().run(flag="poland",
+                                                scenario=3, seed=seed)
+
+            threads = [threading.Thread(target=issue, args=(seed,))
+                       for seed in (31, 32)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert max(r["batch_size"] for r in replies.values()) == 2
+            for seed, reply in replies.items():
+                solo = run_trial(RunRequest.from_body(
+                    {"flag": "poland", "scenario": 3,
+                     "seed": seed}).task())
+                assert canon(reply["trial"]) == canon(solo)
+
+    def test_server_cache_interoperates_with_sweep_cache(self, tmp_path):
+        """run_sweep warms the cache; the server reads the entry back."""
+        spec = SweepSpec(flags=("poland",), scenarios=(3,),
+                         n_trials=1, seed=41)
+        cache = ResultCache(tmp_path / "shared")
+        run_sweep(spec, cache=cache)
+        config = ServeConfig(cache_dir=str(tmp_path / "shared"))
+        with BackgroundServer(config) as bg:
+            reply = bg.client().run(flag="poland", scenario=3, seed=41)
+        assert reply["cached"] is True
+
+
+class TestBackpressure:
+    def test_429_with_retry_after_when_queue_full(self):
+        config = ServeConfig(max_pending=1, batch_window_s=0.4,
+                             retry_after_s=2.0)
+        with BackgroundServer(config) as bg:
+            outcome = {}
+
+            def occupant():
+                outcome["first"] = bg.client().run(
+                    flag="mauritius", scenario=1, seed=91,
+                    rows=24, cols=36)
+
+            t = threading.Thread(target=occupant)
+            t.start()
+            time.sleep(0.15)  # let the first request take the only slot
+            with pytest.raises(ServeError) as err:
+                bg.client().run(flag="poland", scenario=3, seed=92)
+            t.join()
+            assert err.value.status == 429
+            assert err.value.code == "too_many_requests"
+            assert err.value.retry_after == 2.0
+            assert "runs" in outcome["first"]["trial"]  # occupant finished
+            metrics = bg.client().metrics()
+            assert "serve_admission_rejects_total 1" in metrics
+
+    def test_healthz_still_answers_under_load(self):
+        config = ServeConfig(max_pending=1, batch_window_s=0.4)
+        with BackgroundServer(config) as bg:
+            t = threading.Thread(
+                target=lambda: bg.client().run(flag="poland",
+                                               scenario=3, seed=93))
+            t.start()
+            time.sleep(0.1)
+            health = bg.client().healthz()  # bypasses admission
+            t.join()
+            assert health["status"] == "ok"
+            assert health["queue_depth"] >= 0
+
+
+class TestDeadlines:
+    def test_504_when_deadline_passes(self, server):
+        with pytest.raises(ServeError) as err:
+            server.client().run(flag="mauritius", scenario=1, seed=94,
+                                rows=24, cols=36, timeout_s=0.0005)
+        assert err.value.status == 504
+        assert err.value.code == "deadline_exceeded"
+        metrics = server.client().metrics()
+        assert "serve_deadline_timeouts_total" in metrics
+
+
+class TestProtocolErrorPaths:
+    """Every client mistake maps to a typed JSON error — never a 500."""
+
+    def _raw_post(self, server, path, body, headers=None):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=30)
+        try:
+            conn.request("POST", path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_malformed_json_is_400(self, server):
+        status, body = self._raw_post(server, "/run", b"{not json")
+        assert status == 400
+        assert body["error"]["code"] == "bad_json"
+        assert "Traceback" not in body["error"]["message"]
+
+    def test_unknown_endpoint_is_404(self, server):
+        with pytest.raises(ServeError) as err:
+            server.client()._json("GET", "/simulate")
+        assert err.value.status == 404
+        assert err.value.code == "unknown_endpoint"
+
+    def test_wrong_method_is_405(self, server):
+        with pytest.raises(ServeError) as err:
+            server.client()._json("GET", "/run")
+        assert err.value.status == 405
+        assert err.value.code == "method_not_allowed"
+
+    def test_flag_not_in_catalog_is_404(self, server):
+        with pytest.raises(ServeError) as err:
+            server.client().run(flag="atlantis")
+        assert err.value.status == 404
+        assert err.value.code == "flag_not_found"
+        assert "mauritius" in str(err.value)  # lists the catalog
+
+    def test_sweep_with_unknown_flag_is_404(self, server):
+        with pytest.raises(ServeError) as err:
+            server.client().sweep(flags=["atlantis"])
+        assert err.value.code == "flag_not_found"
+
+    def test_oversized_payload_is_413(self):
+        config = ServeConfig(max_body_bytes=256)
+        with BackgroundServer(config) as bg:
+            status, body = TestProtocolErrorPaths._raw_post(
+                self, bg, "/run", b"x" * 1000)
+            assert status == 413
+            assert body["error"]["code"] == "payload_too_large"
+
+    def test_post_without_length_is_411(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=30)
+        try:
+            conn.putrequest("POST", "/run", skip_accept_encoding=True)
+            conn.endheaders()
+            response = conn.getresponse()
+            body = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 411
+        assert body["error"]["code"] == "length_required"
+
+    def test_unknown_field_is_400(self, server):
+        with pytest.raises(ServeError) as err:
+            server.client().run(flag="mauritius", banana=1)
+        assert err.value.status == 400
+        assert err.value.code == "unknown_field"
+
+    def test_wrong_protocol_version_is_400(self, server):
+        with pytest.raises(ServeError) as err:
+            server.client()._json("POST", "/run",
+                                  {"flag": "mauritius", "protocol": 99})
+        assert err.value.code == "unsupported_protocol"
+
+
+class TestLifecycle:
+    def test_graceful_drain_closes_the_socket(self):
+        with BackgroundServer() as bg:
+            port = bg.port
+            assert bg.client().healthz()["status"] == "ok"
+        with pytest.raises(OSError):
+            conn = http.client.HTTPConnection("127.0.0.1", port,
+                                              timeout=2)
+            conn.request("GET", "/healthz")
+            conn.getresponse()
+
+    def test_external_registry_sees_server_metrics(self):
+        registry = MetricsRegistry()
+        with BackgroundServer(registry=registry) as bg:
+            bg.client().healthz()
+        assert registry.counter("serve_requests_total").value(
+            endpoint="/healthz", status="200") == 1

@@ -1,5 +1,7 @@
 """Tests for repro.sweep.cache — the content-addressed result store."""
 
+import os
+
 import pytest
 
 from repro.sweep import CacheError, ResultCache, content_address
@@ -50,6 +52,72 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         cache.put(content_address({"a": 1}), {"k": "v"})
         assert list(tmp_path.glob("*.tmp")) == []
+
+
+def _age(cache, digest, seconds_ago):
+    """Backdate one entry's mtime so LRU ordering is deterministic."""
+    path = cache._path(digest)
+    stamp = os.stat(path).st_mtime - seconds_ago
+    os.utime(path, (stamp, stamp))
+
+
+class TestLRUPrune:
+    def test_no_limits_means_no_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(20):
+            cache.put(content_address({"i": i}), {"i": i})
+        assert len(cache) == 20
+        assert cache.prune() == 0
+        assert cache.evictions == 0
+
+    def test_max_entries_evicts_least_recently_used(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        old, mid = content_address({"i": 0}), content_address({"i": 1})
+        cache.put(old, {"i": 0})
+        _age(cache, old, 60)
+        cache.put(mid, {"i": 1})
+        _age(cache, mid, 30)
+        cache.put(content_address({"i": 2}), {"i": 2})
+        assert len(cache) == 2
+        assert cache.get(old) is None  # the LRU entry went
+        assert cache.get(mid) == {"i": 1}
+
+    def test_read_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        a, b = content_address({"i": "a"}), content_address({"i": "b"})
+        cache.put(a, {"v": "a"})
+        _age(cache, a, 60)
+        cache.put(b, {"v": "b"})
+        _age(cache, b, 30)
+        assert cache.get(a) == {"v": "a"}  # touch: a is now newest
+        cache.put(content_address({"i": "c"}), {"v": "c"})
+        assert cache.get(a) == {"v": "a"}
+        assert cache.get(b) is None  # b was the stale one
+
+    def test_max_bytes_evicts_until_under_budget(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=250)
+        digests = []
+        for i in range(4):
+            d = content_address({"i": i})
+            cache.put(d, {"pad": "x" * 80})  # ~95 bytes per entry
+            _age(cache, d, 40 - 10 * i)
+            digests.append(d)
+        cache.put(content_address({"i": 99}), {"pad": "x" * 80})
+        assert cache.total_bytes() <= 250
+        assert cache.get(digests[0]) is None
+        assert cache.evictions >= 2
+
+    def test_newest_entry_survives_even_when_oversized(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=10)
+        digest = content_address({"big": 1})
+        cache.put(digest, {"pad": "x" * 100})
+        assert cache.get(digest) == {"pad": "x" * 100}
+
+    def test_bad_limits_rejected(self, tmp_path):
+        with pytest.raises(CacheError):
+            ResultCache(tmp_path, max_entries=0)
+        with pytest.raises(CacheError):
+            ResultCache(tmp_path, max_bytes=0)
 
 
 class TestGetOrCompute:
