@@ -1,0 +1,74 @@
+"""Static validation of fault plans against a run's shape.
+
+Mirrors the checks :class:`~repro.faults.injector.FaultInjector` makes
+at install time — worker indices inside the active roster, implement
+failures naming colors the run actually uses — so a bad plan is refused
+*before* an executor slot is burned.  The message text intentionally
+matches the runtime :class:`~repro.faults.plan.FaultError` wording: the
+static report and the runtime exception name the same target the same
+way.
+
+Horizon checks are advisory: a fault scheduled after the estimated end
+of the run will simply never fire, which is usually a sweep-design
+mistake rather than an execution hazard, so it surfaces as a WARNING.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..faults.plan import FaultPlan, ImplementFailure, LateArrival
+from ..grid.palette import Color
+from .report import Issue, error, warning
+
+
+def check_fault_plan(
+    plan: FaultPlan,
+    *,
+    n_workers: int,
+    colors: Sequence[Color],
+    horizon: Optional[float] = None,
+) -> List[Issue]:
+    """Validate a fault plan against the run it is destined for.
+
+    Args:
+        plan: the fault schedule to vet.
+        n_workers: active workers in the run (the injector's roster
+            size); worker indices must be in ``[0, n_workers)``.
+        colors: colors the run issues implements for; implement
+            failures must target one of them.
+        horizon: estimated run end in simulated seconds; events at or
+            past it draw a WARNING.  None skips the horizon check.
+
+    Returns:
+        Issues in plan order — ERROR for nonexistent targets (the same
+        conditions the runtime injector raises
+        :class:`~repro.faults.plan.FaultError` for), WARNING for
+        never-firing events.
+    """
+    issues: List[Issue] = []
+    color_set = set(colors)
+    for i, fault in enumerate(plan.faults):
+        worker = getattr(fault, "worker", None)
+        if worker is not None and not 0 <= worker < n_workers:
+            issues.append(error(
+                "fault_unknown_worker",
+                f"fault targets worker {worker}, but the run has only "
+                f"{n_workers} active workers",
+                subject=f"fault[{i}]"))
+        if isinstance(fault, ImplementFailure) and fault.color not in color_set:
+            issues.append(error(
+                "fault_unknown_implement",
+                f"implement failure for {fault.color.name}, but the run "
+                f"only uses {sorted(c.name for c in color_set)}",
+                subject=f"fault[{i}]"))
+        if horizon is not None:
+            at = (fault.delay if isinstance(fault, LateArrival)
+                  else getattr(fault, "at", None))
+            if at is not None and at >= horizon:
+                issues.append(warning(
+                    "fault_past_horizon",
+                    f"{fault.kind.value} at t={at:g} is past the "
+                    f"estimated horizon {horizon:g}; it will never fire",
+                    subject=f"fault[{i}]"))
+    return issues

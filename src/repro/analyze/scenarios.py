@@ -1,0 +1,261 @@
+"""Static analysis of the paper's scenarios: bounds without running.
+
+:func:`analyze_scenario` compiles a flag, applies a scenario's
+decomposition, and derives everything the classroom could know *before*
+anyone picks up a marker:
+
+* a sound **speedup bound** — ``min(active workers, implement
+  instances)``: at any instant a stroke occupies one worker and one
+  implement, so realized parallelism (busy time / makespan) can never
+  exceed either count;
+* the flag DAG's **work/span** numbers and the work-span-law ideal
+  speedup ceiling;
+* **load-imbalance** lower bounds from the partition's weighted
+  per-worker loads;
+* per-implement **contention** pressure and the bottleneck implement;
+* **deadlock** analysis of the acquire/release order the partition
+  implies (via :mod:`repro.analyze.waitgraph`), including the hoarding
+  + rotated-order configuration that genuinely deadlocks; and
+* **fault-plan validation** against the run's roster and palette.
+
+Everything lands in one :class:`~repro.analyze.report.AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+from itertools import groupby
+from typing import Dict, List, Optional, Tuple
+
+from ..depgraph.flag_dags import flag_dag
+from ..faults.plan import FaultPlan
+from ..flags.compiler import compile_flag
+from ..flags.decompose import DecompositionError, Partition, scenario_partition
+from ..flags.spec import FlagSpec, PaintOp
+from ..grid.palette import Color
+from ..schedule.pipeline import rotate_color_order
+from ..schedule.runner import AcquirePolicy, marker_name
+from .faultcheck import check_fault_plan
+from .report import AnalysisError, AnalysisReport, Issue, error
+from .waitgraph import (
+    AcquireStep,
+    ProcSpec,
+    ReleaseStep,
+    Step,
+    WaitProgram,
+    WorkStep,
+    analyze_wait_program,
+)
+
+#: Generous per-weight-unit upper bound (simulated seconds) used to
+#: estimate a run's horizon for the advisory fault-past-horizon check.
+#: Stroke service times are a few seconds per weight unit; the padding
+#: keeps the warning quiet for any plausible plan and loud only for
+#: events scheduled far past the end of even a sequential run.
+HORIZON_SECONDS_PER_WEIGHT = 30.0
+
+
+def worker_name(index: int) -> str:
+    """Canonical process name for the ``index``-th active worker."""
+    return f"worker{index}"
+
+
+def wait_program_from_partition(
+    partition: Partition,
+    *,
+    copies: int = 1,
+    policy: AcquirePolicy = AcquirePolicy.HOLD_COLOR_RUN,
+    hoard: bool = False,
+) -> WaitProgram:
+    """Compile a partition's implement traffic into a wait program.
+
+    Mirrors :func:`~repro.schedule.runner.paint_worker`'s acquire order:
+    under HOLD_COLOR_RUN a worker keeps an implement through a run of
+    same-color strokes and swaps at color boundaries; under
+    RELEASE_PER_STROKE every run is bracketed by its own
+    acquire/release, so the worker never holds two implements and
+    cannot participate in a hold-and-wait cycle.
+
+    ``hoard=True`` models the greedy student who grabs the *next*
+    implement before letting go of the current one — the acquire and
+    release at each color boundary swap places.  That single inversion
+    is what creates the Coffman hold-and-wait condition; combined with
+    :func:`~repro.schedule.pipeline.rotate_color_order` it produces a
+    real circular wait (the analyzer's seeded deadlock example).
+
+    Work durations are the summed stroke complexities of each run, so
+    the program is deterministic and engine-executable for parity tests.
+    """
+    procs: List[ProcSpec] = []
+    colors = sorted({op.color for op in partition.program.ops}, key=int)
+    active = [(i, ops) for i, ops in enumerate(partition.assignments) if ops]
+    for slot, (_, ops) in enumerate(active):
+        steps: List[Step] = []
+        held: Optional[str] = None
+        for color, run in groupby(ops, key=lambda op: op.color):
+            res = marker_name(color)
+            weight = sum(op.complexity for op in run)
+            if held != res:
+                if hoard:
+                    steps.append(AcquireStep(res))
+                    if held is not None:
+                        steps.append(ReleaseStep(held))
+                else:
+                    if held is not None:
+                        steps.append(ReleaseStep(held))
+                    steps.append(AcquireStep(res))
+                held = res
+            steps.append(WorkStep(weight))
+            if policy is AcquirePolicy.RELEASE_PER_STROKE:
+                steps.append(ReleaseStep(res))
+                held = None
+        if held is not None:
+            steps.append(ReleaseStep(held))
+        procs.append(ProcSpec(name=worker_name(slot), steps=tuple(steps)))
+    return WaitProgram(
+        procs=tuple(procs),
+        capacities={marker_name(c): copies for c in colors},
+    )
+
+
+def _load_section(active_ops: List[Tuple[int, Tuple[PaintOp, ...]]],
+                  ) -> Dict[str, object]:
+    """Weighted per-worker loads, imbalance, and the makespan floor."""
+    loads = [sum(op.complexity for op in ops) for _, ops in active_ops]
+    mean = sum(loads) / len(loads)
+    return {
+        "per_worker": [round(x, 6) for x in loads],
+        "imbalance": round(max(loads) / mean, 6) if mean > 0 else 1.0,
+        "makespan_lower_bound_weight": round(max(loads), 6),
+    }
+
+
+def _contention_section(
+    active_ops: List[Tuple[int, Tuple[PaintOp, ...]]],
+    colors: List[Color],
+    copies: int,
+) -> Dict[str, object]:
+    """Per-implement demand pressure and the bottleneck implement."""
+    per: List[Dict[str, object]] = []
+    for color in colors:
+        res = marker_name(color)
+        demand = 0.0
+        workers = 0
+        for _, ops in active_ops:
+            w = sum(op.complexity for op in ops if op.color is color)
+            if w > 0:
+                workers += 1
+                demand += w
+        per.append({
+            "resource": res,
+            "workers": workers,
+            "demand_weight": round(demand, 6),
+            "copies": copies,
+            "serial_bound_weight": round(demand / copies, 6),
+        })
+    per.sort(key=lambda e: e["resource"])
+    bottleneck = max(per, key=lambda e: (e["serial_bound_weight"],
+                                         e["resource"]))
+    return {"per_implement": per, "bottleneck": bottleneck["resource"]}
+
+
+def analyze_scenario(
+    spec: FlagSpec,
+    scenario: int,
+    *,
+    team_size: int = 4,
+    copies: int = 1,
+    policy: AcquirePolicy = AcquirePolicy.HOLD_COLOR_RUN,
+    rows: Optional[int] = None,
+    cols: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    hoard: bool = False,
+    rotate: bool = False,
+) -> AnalysisReport:
+    """Statically verify one flag × scenario configuration.
+
+    Args:
+        spec: the flag to analyze.
+        scenario: core scenario number (1-4).
+        team_size: students on the team; must cover the scenario's
+            active workers or the report carries a ``team_too_small``
+            ERROR (the same condition that raises
+            :class:`~repro.agents.team.TeamError` at runtime).
+        copies: duplicate implements issued per color.
+        policy: implement acquisition policy to model.
+        rows, cols: optional compile-time grid override.
+        fault_plan: optional plan to vet against this run's shape.
+        hoard: model acquire-before-release at color boundaries.
+        rotate: model :func:`~repro.schedule.pipeline.rotate_color_order`.
+
+    Returns:
+        The full :class:`~repro.analyze.report.AnalysisReport`;
+        ``report.ok`` is False iff an ERROR-severity issue was found.
+
+    Raises:
+        AnalysisError: when the configuration cannot even be modeled
+            (scenario outside 1-4, or a decomposition the flag does not
+            support).
+    """
+    program = compile_flag(spec, rows, cols)
+    try:
+        partition = scenario_partition(program, scenario)
+    except DecompositionError as exc:
+        raise AnalysisError(str(exc)) from exc
+    if rotate:
+        partition = rotate_color_order(partition)
+
+    active_ops = [(i, ops) for i, ops in enumerate(partition.assignments)
+                  if ops]
+    n_active = len(active_ops)
+    colors = sorted({op.color for op in program.ops}, key=int)
+    total_implements = len(colors) * copies
+
+    issues: List[Issue] = []
+    if team_size < n_active:
+        issues.append(error(
+            "team_too_small",
+            f"scenario {scenario} needs {n_active} colorers, team has "
+            f"{team_size}",
+            subject=f"scenario{scenario}"))
+
+    wait_program = wait_program_from_partition(
+        partition, copies=copies, policy=policy, hoard=hoard)
+    wait_issues, cycle = analyze_wait_program(wait_program)
+    issues.extend(wait_issues)
+
+    dag = flag_dag(spec, rows, cols)
+    span, path = dag.critical_path()
+    dag_section = {
+        "work": round(dag.total_work(), 6),
+        "span": round(span, 6),
+        "ideal_speedup_bound": round(dag.ideal_speedup_bound(), 6),
+        "critical_path": list(path),
+        "max_parallelism": dag.max_parallelism(),
+    }
+
+    load_section = _load_section(active_ops)
+    contention_section = _contention_section(active_ops, colors, copies)
+
+    if fault_plan is not None and not fault_plan.is_empty:
+        total_weight = sum(op.complexity for op in program.ops)
+        horizon = total_weight * HORIZON_SECONDS_PER_WEIGHT
+        issues.extend(check_fault_plan(
+            fault_plan, n_workers=n_active, colors=colors, horizon=horizon))
+
+    return AnalysisReport(
+        flag=spec.name,
+        scenario=scenario,
+        team_size=team_size,
+        copies=copies,
+        policy=policy.value,
+        hoard=hoard,
+        rotated=rotate,
+        n_active_workers=n_active,
+        total_implements=total_implements,
+        speedup_bound=float(min(n_active, total_implements)),
+        dag=dag_section,
+        load=load_section,
+        contention=contention_section,
+        deadlock_cycle=cycle,
+        issues=tuple(issues),
+    )

@@ -1,0 +1,353 @@
+"""Static wait-graph analysis over a small acquire/release/wait IR.
+
+The analyzer does not run the engine.  Instead a scenario is *compiled*
+into a wait program: per process, the ordered list of resource acquires,
+releases, work amounts and completion waits it will perform.  From that
+IR alone we can decide:
+
+* **hold-and-wait deadlock** — a cycle in the resource-order graph
+  (resource A held while B is requested) witnessed by distinct
+  processes, which is the classic Coffman circular-wait condition.  The
+  reported cycle uses the exact format of the runtime
+  :class:`~repro.sim.engine.DeadlockError` diagnostic because both call
+  the same :func:`~repro.sim.engine.find_wait_cycle`.
+* **barrier deadlock** — processes waiting on each other's completion.
+* **unsatisfiable waits/acquires** — a wait on a process that does not
+  exist, an acquire of a resource no one issued, a release of a
+  resource not held, or a re-acquire of an implement the process
+  already holds (self-deadlock on a single-copy resource).
+
+For parity testing, :func:`execute_wait_program` interprets the same IR
+on the real :class:`~repro.sim.engine.Simulator`, so a statically
+flagged cycle can be shown to deadlock at runtime with the identical
+cycle list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..sim.engine import (
+    Acquire,
+    DeadlockError,
+    ProcessGen,
+    Release,
+    Simulator,
+    Timeout,
+    WaitAll,
+    find_wait_cycle,
+    format_wait_cycle,
+)
+from .report import Issue, error, warning
+
+
+@dataclass(frozen=True)
+class AcquireStep:
+    """Block until one unit of ``resource`` is granted."""
+
+    resource: str
+
+
+@dataclass(frozen=True)
+class ReleaseStep:
+    """Give ``resource`` back; the process must currently hold it."""
+
+    resource: str
+
+
+@dataclass(frozen=True)
+class WorkStep:
+    """Hold everything currently held for ``duration`` weight units."""
+
+    duration: float
+
+
+@dataclass(frozen=True)
+class BarrierStep:
+    """Block until every process in ``waits_on`` has finished."""
+
+    waits_on: Tuple[str, ...]
+
+
+Step = Union[AcquireStep, ReleaseStep, WorkStep, BarrierStep]
+
+
+@dataclass(frozen=True)
+class ProcSpec:
+    """One process: a name and its ordered step list."""
+
+    name: str
+    steps: Tuple[Step, ...]
+
+
+@dataclass(frozen=True)
+class WaitProgram:
+    """A full static model: processes plus resource capacities."""
+
+    procs: Tuple[ProcSpec, ...]
+    capacities: Dict[str, int]
+
+    def proc_names(self) -> List[str]:
+        """Process names in declaration order."""
+        return [p.name for p in self.procs]
+
+
+#: A hold-and-wait fact: ``process`` holds ``held`` while requesting
+#: ``requested``; ``ordinal`` is the 0-based index of the acquire among
+#: the process's acquires (how early in its life the wait can happen).
+HoldPair = Tuple[str, str, str, int]
+
+
+def hold_pairs(proc: ProcSpec) -> Tuple[List[HoldPair], List[Issue]]:
+    """Walk one process's steps, extracting hold-and-wait pairs.
+
+    Simulates the held-set symbolically: each :class:`AcquireStep` that
+    happens while other resources are held contributes one pair per held
+    resource, stamped with the acquire's ordinal.  Structural problems
+    (release without hold, re-acquire of a held resource) come back as
+    issues; the re-acquire case is also reported by
+    :func:`analyze_wait_program` as a self-deadlock when the resource is
+    single-copy.
+
+    Returns:
+        ``(pairs, issues)`` — pairs in step order, issues for malformed
+        sequences.
+    """
+    held: List[str] = []
+    pairs: List[HoldPair] = []
+    issues: List[Issue] = []
+    ordinal = 0
+    for step in proc.steps:
+        if isinstance(step, AcquireStep):
+            for h in held:
+                pairs.append((proc.name, h, step.resource, ordinal))
+            ordinal += 1
+            if step.resource in held:
+                issues.append(error(
+                    "reacquire_held",
+                    f"{proc.name} acquires {step.resource} while already "
+                    f"holding it",
+                    subject=proc.name))
+            else:
+                held.append(step.resource)
+        elif isinstance(step, ReleaseStep):
+            if step.resource not in held:
+                issues.append(error(
+                    "release_without_hold",
+                    f"{proc.name} releases {step.resource} without "
+                    f"holding it",
+                    subject=proc.name))
+            else:
+                held.remove(step.resource)
+    return pairs, issues
+
+
+def _witness_matching(
+        resources: List[str],
+        candidates: List[List[Tuple[int, str]]]) -> Optional[List[str]]:
+    """Assign a *distinct* witness process to each cycle edge.
+
+    ``candidates[i]`` lists ``(ordinal, process)`` pairs — processes
+    that hold ``resources[i]`` while requesting ``resources[i+1]``,
+    tagged with how early in their life that wait occurs.  A
+    resource-order cycle only proves a reachable deadlock if the edges
+    can be witnessed by pairwise-distinct processes (one process cannot
+    block on itself around the loop).
+
+    Candidates are tried earliest-ordinal first: a deadlock wedges at
+    the first mutual blocking point, so preferring each process's
+    earliest hold-and-wait boundary makes the static witness cycle
+    coincide with the cycle the runtime engine actually reports.
+    Deterministic: ties break on the process name.
+
+    Returns:
+        One witness per edge, or None when no distinct assignment exists.
+    """
+    chosen: List[str] = []
+
+    def assign(i: int) -> bool:
+        if i == len(resources):
+            return True
+        for _, cand in sorted(candidates[i]):
+            if cand not in chosen:
+                chosen.append(cand)
+                if assign(i + 1):
+                    return True
+                chosen.pop()
+        return False
+
+    return chosen if assign(0) else None
+
+
+def analyze_wait_program(
+        program: WaitProgram) -> Tuple[List[Issue], List[str]]:
+    """Statically check a wait program for deadlock and bad waits.
+
+    Checks, in order: unknown resources/processes, structural
+    release/re-acquire errors, barrier (completion-wait) cycles, and
+    hold-and-wait cycles through the resource-order graph.  A resource
+    cycle through only single-copy implements with a distinct-witness
+    assignment is a provable deadlock (ERROR, with the process cycle in
+    the runtime diagnostic format); a cycle that needs a duplicated
+    implement or has no distinct witnesses is a lock-order inversion
+    the engine may or may not hit (WARNING).
+
+    Returns:
+        ``(issues, cycle)`` — the cycle is the alternating process/via
+        list for a provable deadlock, ``[]`` otherwise.
+    """
+    issues: List[Issue] = []
+    names = set(program.proc_names())
+
+    all_pairs: List[HoldPair] = []
+    barrier_edges: Dict[str, List[Tuple[str, str]]] = {}
+    for proc in program.procs:
+        pairs, proc_issues = hold_pairs(proc)
+        issues.extend(proc_issues)
+        all_pairs.extend(pairs)
+        for step in proc.steps:
+            if isinstance(step, AcquireStep):
+                if step.resource not in program.capacities:
+                    issues.append(error(
+                        "unsatisfiable_acquire",
+                        f"{proc.name} acquires {step.resource}, but no "
+                        f"such implement was issued",
+                        subject=step.resource))
+            elif isinstance(step, BarrierStep):
+                for target in step.waits_on:
+                    if target not in names:
+                        issues.append(error(
+                            "unsatisfiable_wait",
+                            f"{proc.name} waits for {target}, but no "
+                            f"such process exists",
+                            subject=target))
+                    elif target != proc.name:
+                        barrier_edges.setdefault(proc.name, []).append(
+                            ("<wait>", target))
+        # A self-wait can never be satisfied: the process cannot finish
+        # before itself.
+        for step in proc.steps:
+            if isinstance(step, BarrierStep) and proc.name in step.waits_on:
+                issues.append(error(
+                    "unsatisfiable_wait",
+                    f"{proc.name} waits for its own completion",
+                    subject=proc.name))
+
+    # Re-acquire of a single-copy implement is a guaranteed self-deadlock:
+    # the process queues on a resource only it can release.  Runtime
+    # shape: p waits via r on p itself, cycle [p, r, p].
+    for proc in program.procs:
+        held: List[str] = []
+        for step in proc.steps:
+            if isinstance(step, AcquireStep):
+                if (step.resource in held
+                        and program.capacities.get(step.resource, 1) == 1):
+                    cycle = [proc.name, step.resource, proc.name]
+                    issues.append(error(
+                        "deadlock_cycle",
+                        f"self-deadlock: {format_wait_cycle(cycle)}",
+                        subject=proc.name))
+                    return issues, cycle
+                if step.resource not in held:
+                    held.append(step.resource)
+            elif isinstance(step, ReleaseStep):
+                if step.resource in held:
+                    held.remove(step.resource)
+
+    # Barrier cycles are definite: completion-wait edges do not depend on
+    # timing.
+    cycle = find_wait_cycle(barrier_edges)
+    if cycle:
+        issues.append(error(
+            "deadlock_cycle",
+            f"completion-wait cycle: {format_wait_cycle(cycle)}",
+            subject=cycle[0]))
+        return issues, cycle
+
+    # Hold-and-wait: build the resource-order graph (held -> requested).
+    res_edges: Dict[str, List[Tuple[str, str]]] = {}
+    seen_edges = set()
+    for pname, held, requested, _ in all_pairs:
+        if held == requested:
+            continue
+        if (held, requested) not in seen_edges:
+            seen_edges.add((held, requested))
+            res_edges.setdefault(held, []).append(("", requested))
+    res_cycle = find_wait_cycle(res_edges)
+    if not res_cycle:
+        return issues, []
+
+    resources = res_cycle[0::2][:-1]  # drop the repeated closing node
+    k = len(resources)
+    provable = all(
+        program.capacities.get(r, 1) == 1 for r in resources)
+    candidates: List[List[Tuple[int, str]]] = []
+    for i, r in enumerate(resources):
+        nxt = resources[(i + 1) % k]
+        best: Dict[str, int] = {}
+        for p, h, q, o in all_pairs:
+            if h == r and q == nxt and o < best.get(p, o + 1):
+                best[p] = o
+        candidates.append(sorted((o, p) for p, o in best.items()))
+    witnesses = _witness_matching(resources, candidates) if provable else None
+
+    if witnesses is None:
+        issues.append(warning(
+            "lock_order_inversion",
+            f"implements are acquired in conflicting orders "
+            f"({' -> '.join(resources + [resources[0]])}); not provably "
+            f"deadlocking (duplicate copies or no distinct witnesses)",
+            subject=resources[0]))
+        return issues, []
+
+    # witness i holds resources[i] and requests resources[i+1], which
+    # witness i+1 holds: the same wait-for relation the runtime engine
+    # reports, so the shared cycle finder canonicalizes the rotation.
+    proc_edges: Dict[str, List[Tuple[str, str]]] = {}
+    for i, w in enumerate(witnesses):
+        via = resources[(i + 1) % k]
+        proc_edges.setdefault(w, []).append((via, witnesses[(i + 1) % k]))
+    cycle = find_wait_cycle(proc_edges)
+    issues.append(error(
+        "deadlock_cycle",
+        f"hold-and-wait cycle: {format_wait_cycle(cycle)}",
+        subject=cycle[0] if cycle else resources[0]))
+    return issues, cycle
+
+
+def execute_wait_program(program: WaitProgram, *,
+                         until: Optional[float] = None) -> Simulator:
+    """Interpret a wait program on the real simulation engine.
+
+    The parity bridge for regression tests: a program the static
+    analyzer flags as deadlocking must raise
+    :class:`~repro.sim.engine.DeadlockError` here with the *same* cycle
+    list.  Steps map one-to-one onto engine commands.
+
+    Returns:
+        The finished :class:`~repro.sim.engine.Simulator` (clock at the
+        program's makespan).
+
+    Raises:
+        DeadlockError: when the program deadlocks at runtime.
+    """
+    sim = Simulator()
+    handles = {name: sim.resource(name, capacity=cap)
+               for name, cap in sorted(program.capacities.items())}
+
+    def gen(proc: ProcSpec) -> ProcessGen:
+        for step in proc.steps:
+            if isinstance(step, AcquireStep):
+                yield Acquire(handles[step.resource])
+            elif isinstance(step, ReleaseStep):
+                yield Release(handles[step.resource])
+            elif isinstance(step, WorkStep):
+                yield Timeout(step.duration)
+            else:
+                yield WaitAll(step.waits_on)
+
+    for proc in program.procs:
+        sim.add_process(proc.name, gen(proc))
+    sim.run(until=until)
+    return sim

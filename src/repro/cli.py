@@ -8,6 +8,9 @@ Gives instructors the library's main flows without writing Python:
 - ``activity`` — the full four-scenario activity with the whiteboard.
 - ``session SITE`` — a whole classroom at one pilot institution.
 - ``depgraph FLAG`` — the dependency graph (text or DOT).
+- ``analyze FLAG`` — static scenario verification: deadlock cycles,
+  work-span speedup ceilings, load and contention bounds, without
+  running the engine (``repro.analyze``).
 - ``dryrun FLAG`` — Section IV's pre-class checklist.
 - ``animate FLAG N`` — frame-by-frame scenario animation (Webster [34]).
 - ``slides FLAG N`` — the numbered-cell SVG instruction slide (Fig 1).
@@ -151,6 +154,35 @@ def _cmd_depgraph(args: argparse.Namespace) -> int:
               f"makespan {sched.makespan:.0f} "
               f"(Graham bound {graham_bound(g, args.processors):.0f})")
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analyze import analyze_scenario
+    from .flags import get_flag
+    from .schedule import AcquirePolicy
+    spec = get_flag(args.flag)
+    policy = AcquirePolicy[args.policy.upper()]
+    scenarios = [args.scenario] if args.scenario else [1, 2, 3, 4]
+    reports = [
+        analyze_scenario(
+            spec, n,
+            team_size=args.team_size, copies=args.copies, policy=policy,
+            rows=args.rows, cols=args.cols,
+            hoard=args.hoard, rotate=args.rotate,
+        )
+        for n in scenarios
+    ]
+    if args.json:
+        for report in reports:
+            print(report.to_json().decode("utf-8"))
+    else:
+        print(f"static analysis: {spec.name} "
+              f"(policy {policy.value}"
+              f"{', hoarding' if args.hoard else ''}"
+              f"{', rotated' if args.rotate else ''})")
+        for report in reports:
+            print(report.format())
+    return 0 if all(r.ok for r in reports) else 1
 
 
 def _cmd_dryrun(args: argparse.Namespace) -> int:
@@ -520,6 +552,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--processors", type=int, default=0,
                    help="also list-schedule onto P processors")
 
+    p = sub.add_parser(
+        "analyze",
+        help="statically verify a scenario: deadlock, bounds, contention")
+    p.add_argument("flag")
+    p.add_argument("--scenario", type=int, choices=(1, 2, 3, 4),
+                   default=None,
+                   help="one scenario (default: analyze all four)")
+    p.add_argument("--team-size", type=int, default=4, dest="team_size")
+    p.add_argument("--copies", type=int, default=1,
+                   help="duplicate implements per color")
+    p.add_argument("--policy",
+                   choices=("hold_color_run", "release_per_stroke"),
+                   default="hold_color_run")
+    p.add_argument("--rows", type=int, default=None)
+    p.add_argument("--cols", type=int, default=None)
+    p.add_argument("--hoard", action="store_true",
+                   help="model students who grab the next implement "
+                        "before releasing the current one")
+    p.add_argument("--rotate", action="store_true",
+                   help="model the rotated per-worker color order")
+    p.add_argument("--json", action="store_true",
+                   help="emit canonical-JSON reports, one per line")
+
     p = sub.add_parser("dryrun", help="pre-class checklist (Section IV)")
     p.add_argument("flag")
     p.add_argument("--implement", default="thick_marker")
@@ -652,6 +707,7 @@ _COMMANDS = {
     "activity": _cmd_activity,
     "session": _cmd_session,
     "depgraph": _cmd_depgraph,
+    "analyze": _cmd_analyze,
     "dryrun": _cmd_dryrun,
     "animate": _cmd_animate,
     "slides": _cmd_slides,
@@ -669,7 +725,20 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # The reader went away (e.g. `repro analyze ... | head`).
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # doesn't raise a second time, and exit like a SIGPIPE'd tool.
+        # stdout may have no real fd (captured in tests): nothing to
+        # redirect then.
+        import contextlib
+        import os
+        with contextlib.suppress(OSError, ValueError):
+            os.dup2(os.open(os.devnull, os.O_WRONLY),
+                    sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

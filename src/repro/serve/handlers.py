@@ -6,13 +6,19 @@ network.  The flow for ``POST /run``:
 
 1. parse + validate (:mod:`repro.serve.protocol`) — 400s;
 2. resolve the flag against the catalog — 404 ``flag_not_found``;
-3. take an admission slot — or 429 + ``Retry-After``;
-4. read-through the :class:`~repro.sweep.cache.ResultCache` — a hit
+3. static pre-flight (:mod:`repro.analyze.preflight`) — 422
+   ``static_analysis_failed`` for configurations that cannot execute
+   correctly (undersized team, provable deadlock, bad fault target);
+4. take an admission slot — or 429 + ``Retry-After``;
+5. read-through the :class:`~repro.sweep.cache.ResultCache` — a hit
    answers without touching the executor;
-5. miss: submit to the :class:`~repro.serve.batcher.MicroBatcher`
+6. miss: submit to the :class:`~repro.serve.batcher.MicroBatcher`
    under the request deadline — 504 ``deadline_exceeded`` on timeout;
-6. write the computed payload back to the cache (same address scheme
+7. write the computed payload back to the cache (same address scheme
    as ``repro sweep --cache-dir``, so the two interoperate).
+
+``POST /analyze`` runs only step 1-2 plus the static analyzer and
+returns the full report — the inspection companion to the gate.
 """
 
 from __future__ import annotations
@@ -94,6 +100,7 @@ class ServeHandlers:
             "/metrics": ("GET", self._metrics),
             "/run": ("POST", self._run),
             "/sweep": ("POST", self._sweep),
+            "/analyze": ("POST", self._analyze),
         }
         entry = routes.get(path)
         if entry is None:
@@ -135,6 +142,25 @@ class ServeHandlers:
                 f"flag {name!r} is not in the catalog; "
                 f"one of {sorted(available_flags())}") from None
 
+    def _preflight(self, cell) -> None:
+        """Refuse statically-invalid work before it takes a slot.
+
+        Runs :func:`repro.analyze.preflight.check_cell` on the resolved
+        cell; any ERROR-severity finding (undersized team, provable
+        deadlock, fault plan naming a nonexistent target) becomes a 422
+        ``static_analysis_failed`` with the findings in the message, so
+        clients learn *why* before any executor time is spent.
+        """
+        from ..analyze.preflight import check_cell
+        from ..analyze.report import Severity, issues_summary
+        failed = [i for i in check_cell(cell)
+                  if i.severity is Severity.ERROR]
+        if failed:
+            raise ProtocolError(
+                422, "static_analysis_failed",
+                f"cell {cell.describe()!r} is statically invalid: "
+                f"{issues_summary(failed)}")
+
     def _record_lookup(self, hit: bool) -> None:
         (self._hits if hit else self._misses).inc()
         total = self._hits.value() + self._misses.value()
@@ -143,6 +169,7 @@ class ServeHandlers:
     async def _run(self, body: bytes) -> Response:
         request = RunRequest.from_body(parse_body(body))
         self._resolve_flag(request.flag)
+        self._preflight(request.cell())
         timeout = request.timeout_s or self.default_timeout_s
         with self.admission.slot():
             address = request.address()
@@ -177,6 +204,8 @@ class ServeHandlers:
         request = SweepRequest.from_body(parse_body(body))
         for flag in request.spec.flags:
             self._resolve_flag(flag)
+        for cell in request.spec.cells():
+            self._preflight(cell)
         timeout = request.timeout_s or self.default_timeout_s
         with self.admission.slot():
             from ..sweep.executor import run_sweep
@@ -201,3 +230,27 @@ class ServeHandlers:
                                    all_correct=result.all_correct,
                                    wall_seconds=result.wall_seconds),
                     {})
+
+    async def _analyze(self, body: bytes) -> Response:
+        """Static analysis as a service: the report, no simulation.
+
+        Accepts the same body as ``POST /run`` (seed/observe/timeout_s
+        are accepted and ignored — analysis is deterministic and
+        cheap).  Always 200 with the full report(s); an invalid
+        configuration is a *successful analysis* here, reported via
+        ``ok: false`` and the issue list — only the execution endpoints
+        refuse it.
+        """
+        from ..analyze.preflight import cell_reports
+
+        request = RunRequest.from_body(parse_body(body))
+        self._resolve_flag(request.flag)
+        failures = []
+        reports = cell_reports(request.cell(), failures)
+        return (200,
+                {"protocol": PROTOCOL_VERSION,
+                 "ok": (not failures
+                        and all(r.ok for r in reports)),
+                 "failures": [i.to_dict() for i in failures],
+                 "reports": [r.to_dict() for r in reports]},
+                {})

@@ -42,6 +42,80 @@ class SimulationError(Exception):
     """Raised on kernel misuse (negative delays, double release, ...)."""
 
 
+#: A wait-for graph: waiter name -> [(via label, awaited process name)].
+#: ``via`` is the resource the waiter is queued on, or ``"<wait>"`` for a
+#: WaitAll dependency.  Shared vocabulary between the runtime deadlock
+#: diagnostic below and the static analyzer in :mod:`repro.analyze`.
+WaitEdges = Dict[str, List[Tuple[str, str]]]
+
+
+def find_wait_cycle(edges: WaitEdges) -> List[str]:
+    """First wait-for cycle as ``[p0, via, p1, via, ..., p0]``.
+
+    Deterministic: nodes and edges are visited in sorted order, so the
+    same graph always names the same cycle.  This is the *single* cycle
+    finder in the codebase — the runtime :class:`DeadlockError` diagnostic
+    and the static analyzer (:mod:`repro.analyze.waitgraph`) both call it,
+    which is what keeps their reported cycles comparable.
+
+    Args:
+        edges: waiter -> [(via, awaited)] adjacency lists.  ``via`` labels
+            the edge (a resource name, or ``"<wait>"``).
+
+    Returns:
+        The alternating node/via cycle list, or ``[]`` when acyclic.
+    """
+    index: Dict[str, int] = {}   # node -> position on the current path
+    visited: set = set()
+    path: List[str] = []
+    vias: List[str] = []         # vias[j] labels the edge path[j]->path[j+1]
+
+    def dfs(node: str) -> Optional[List[str]]:
+        index[node] = len(path)
+        path.append(node)
+        for via, target in sorted(edges.get(node, [])):
+            if target in index:
+                start = index[target]
+                cycle: List[str] = []
+                for j in range(start, len(path) - 1):
+                    cycle.extend([path[j], vias[j]])
+                cycle.extend([path[-1], via, target])
+                return cycle
+            if target in edges and target not in visited:
+                vias.append(via)
+                found = dfs(target)
+                if found:
+                    return found
+                vias.pop()
+        path.pop()
+        del index[node]
+        visited.add(node)
+        return None
+
+    for node in sorted(edges):
+        if node not in visited:
+            found = dfs(node)
+            if found:
+                return found
+    return []
+
+
+def format_wait_cycle(cycle: List[str]) -> str:
+    """Render a cycle list as ``p0 -[via]-> p1 -[via]-> ... -> p0``.
+
+    The inverse-readable form of :func:`find_wait_cycle` output; the
+    runtime deadlock message and the static analyzer's reports both use
+    it, so a cycle printed by either is textually comparable.  Returns
+    ``""`` for an empty cycle.
+    """
+    if not cycle:
+        return ""
+    arrows = cycle[0]
+    for i in range(1, len(cycle) - 1, 2):
+        arrows += f" -[{cycle[i]}]-> {cycle[i + 1]}"
+    return arrows
+
+
 class DeadlockError(SimulationError):
     """Raised when the heap empties with processes still blocked.
 
@@ -663,7 +737,7 @@ class Simulator:
                 for dep in sorted(deps):
                     edges[waiter].append(("<wait>", dep))
 
-        cycle = self._find_cycle(edges)
+        cycle = find_wait_cycle(edges)
         holds = {
             n: [r.name for r in self._resources.values() if n in r.holders]
             for n in blocked
@@ -685,52 +759,11 @@ class Simulator:
         lines = [f"deadlock: {len(blocked)} of {len(self._procs)} "
                  f"processes never finished: {blocked}"]
         if cycle:
-            arrows = cycle[0]
-            for i in range(1, len(cycle) - 1, 2):
-                arrows += f" -[{cycle[i]}]-> {cycle[i + 1]}"
-            lines.append(f"wait-for cycle: {arrows}")
+            lines.append(f"wait-for cycle: {format_wait_cycle(cycle)}")
         for line in wait_for:
             lines.append(f"  {line}")
         return DeadlockError("\n".join(lines), blocked=blocked,
                              cycle=cycle, wait_for=wait_for)
-
-    @staticmethod
-    def _find_cycle(edges: Dict[str, List[Tuple[str, str]]]) -> List[str]:
-        """First wait-for cycle as ``[p0, via, p1, via, ..., p0]``
-        (deterministic: nodes and edges are visited in sorted order)."""
-        index: Dict[str, int] = {}   # node -> position on the current path
-        visited: set = set()
-        path: List[str] = []
-        vias: List[str] = []         # vias[j] labels the edge path[j]->path[j+1]
-
-        def dfs(node: str) -> Optional[List[str]]:
-            index[node] = len(path)
-            path.append(node)
-            for via, target in sorted(edges.get(node, [])):
-                if target in index:
-                    start = index[target]
-                    cycle: List[str] = []
-                    for j in range(start, len(path) - 1):
-                        cycle.extend([path[j], vias[j]])
-                    cycle.extend([path[-1], via, target])
-                    return cycle
-                if target in edges and target not in visited:
-                    vias.append(via)
-                    found = dfs(target)
-                    if found:
-                        return found
-                    vias.pop()
-            path.pop()
-            del index[node]
-            visited.add(node)
-            return None
-
-        for node in sorted(edges):
-            if node not in visited:
-                found = dfs(node)
-                if found:
-                    return found
-        return []
 
     # -- results -----------------------------------------------------------
     @property

@@ -184,8 +184,17 @@ def run_sweep(
 
     Raises:
         SweepError: for fault plans on ACTIVITY cells (a plan targets a
-            single run, not the five-run activity sequence).
+            single run, not the five-run activity sequence), and for
+            cells that fail static pre-flight analysis (undersized
+            teams, provable deadlocks, fault plans naming nonexistent
+            targets — see :mod:`repro.analyze.preflight`); invalid work
+            is refused before any trial is dispatched.
     """
+    # Deferred import: repro.analyze depends on repro.sweep.spec, so a
+    # module-level import here would tangle package initialization.
+    from ..analyze.preflight import check_cell
+    from ..analyze.report import Severity, issues_summary
+
     if workers < 1:
         raise SweepError(f"workers must be >= 1, got {workers}")
     if cache is None and cache_dir is not None:
@@ -197,6 +206,13 @@ def run_sweep(
             raise SweepError(
                 f"cell {cell.describe()!r}: fault plans apply to single "
                 f"scenarios, not ACTIVITY cells"
+            )
+        failed = [i for i in check_cell(cell)
+                  if i.severity is Severity.ERROR]
+        if failed:
+            raise SweepError(
+                f"cell {cell.describe()!r} failed static analysis: "
+                f"{issues_summary(failed)}"
             )
 
     started = time.perf_counter()

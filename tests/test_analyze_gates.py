@@ -1,0 +1,147 @@
+"""Pre-flight gates: statically-invalid work is refused before dispatch.
+
+Two enforcement points share one analyzer: ``run_sweep`` raises
+``SweepError`` before any trial executes, and the serve endpoints
+answer 422 ``static_analysis_failed`` before a request takes an
+admission slot.  ``POST /analyze`` reports the same findings without
+refusing anything.
+"""
+
+import pytest
+
+from repro.analyze import check_cell, cell_reports
+from repro.analyze.report import Severity
+from repro.faults import FaultPlan, StudentDropout
+from repro.grid.palette import Color
+from repro.faults.plan import ImplementFailure
+from repro.serve import PROTOCOL_VERSION, BackgroundServer, ServeConfig
+from repro.serve.client import ServeError
+from repro.sweep import SweepError, SweepSpec, run_sweep
+
+BAD_WORKER_PLAN = FaultPlan.of([StudentDropout(at=5.0, worker=9)])
+BAD_COLOR_PLAN = FaultPlan.of([ImplementFailure(at=3.0, color=Color.BLACK)])
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer(ServeConfig(batch_window_s=0.01)) as bg:
+        yield bg
+
+
+class TestCheckCell:
+    def cell(self, **overrides):
+        spec = SweepSpec(**overrides)
+        return next(iter(spec.cells()))
+
+    def test_valid_cell_has_no_issues(self):
+        assert check_cell(self.cell()) == []
+
+    def test_undersized_team_flagged(self):
+        issues = check_cell(self.cell(scenarios=(3,), team_sizes=(2,)))
+        assert [i.code for i in issues] == ["team_too_small"]
+        assert issues[0].severity is Severity.ERROR
+
+    def test_bad_fault_plan_flagged(self):
+        issues = check_cell(
+            self.cell(fault_plans=(("bad", BAD_WORKER_PLAN),)))
+        assert "fault_unknown_worker" in [i.code for i in issues]
+
+    def test_unknown_flag_reported_via_failures(self):
+        cell = self.cell()
+        cell = type(cell)(**{**cell.__dict__, "flag": "atlantis"})
+        failures = []
+        reports = cell_reports(cell, failures)
+        assert reports == []
+        assert [i.code for i in failures] == ["unknown_flag"]
+        assert "atlantis" in failures[0].message
+
+
+class TestSweepGate:
+    def test_undersized_team_refused_before_any_trial(self):
+        spec = SweepSpec(flags=("mauritius",), scenarios=(3,),
+                         team_sizes=(2,))
+        with pytest.raises(SweepError) as err:
+            run_sweep(spec)
+        msg = str(err.value)
+        assert "failed static analysis" in msg
+        assert "team_too_small" in msg
+        assert "needs 4 colorers, team has 2" in msg
+
+    def test_bad_fault_target_refused(self):
+        spec = SweepSpec(flags=("mauritius",), scenarios=(3,),
+                         fault_plans=(("bad", BAD_WORKER_PLAN),))
+        with pytest.raises(SweepError) as err:
+            run_sweep(spec)
+        msg = str(err.value)
+        assert "fault_unknown_worker" in msg
+        assert "worker 9" in msg
+
+    def test_bad_implement_refused(self):
+        spec = SweepSpec(flags=("mauritius",), scenarios=(3,),
+                         fault_plans=(("bad", BAD_COLOR_PLAN),))
+        with pytest.raises(SweepError) as err:
+            run_sweep(spec)
+        assert "fault_unknown_implement" in str(err.value)
+
+    def test_valid_spec_still_runs(self):
+        result = run_sweep(SweepSpec(flags=("poland",), scenarios=(3,),
+                                     n_trials=1))
+        assert result.computed_trials == 1 and result.all_correct
+
+
+class TestServeGate:
+    def test_invalid_run_is_422_before_dispatch(self, server):
+        with pytest.raises(ServeError) as err:
+            server.client().run(flag="mauritius", scenario=3,
+                                team_size=2, seed=1)
+        assert err.value.status == 422
+        assert err.value.code == "static_analysis_failed"
+        message = err.value.body["error"]["message"]
+        assert "statically invalid" in message
+        assert "team_too_small" in message
+
+    def test_invalid_sweep_cell_is_422(self, server):
+        with pytest.raises(ServeError) as err:
+            server.client().sweep(flags=["mauritius"], scenarios=[3],
+                                  team_sizes=[2], seed=1)
+        assert err.value.status == 422
+        assert err.value.code == "static_analysis_failed"
+
+    def test_valid_run_passes_the_gate(self, server):
+        reply = server.client().run(flag="poland", scenario=3, seed=31)
+        assert "trial" in reply
+
+    def test_rejection_consumes_no_admission_slot(self, server):
+        for _ in range(5):
+            with pytest.raises(ServeError):
+                server.client().run(flag="mauritius", scenario=3,
+                                    team_size=2, seed=1)
+        assert server.client().healthz()["queue_depth"] == 0
+
+
+class TestAnalyzeEndpoint:
+    def post(self, server, **fields):
+        fields.setdefault("protocol", PROTOCOL_VERSION)
+        return server.client()._json("POST", "/analyze", fields)
+
+    def test_valid_config_reports_ok(self, server):
+        reply = self.post(server, flag="mauritius", scenario=3)
+        assert reply["ok"] is True
+        assert reply["failures"] == []
+        [report] = reply["reports"]
+        assert report["speedup_bound"] == 4.0
+        assert report["deadlock_cycle"] == []
+
+    def test_invalid_config_is_200_with_findings(self, server):
+        # /analyze never refuses: analysis of a broken config succeeds.
+        reply = self.post(server, flag="mauritius", scenario=3,
+                          team_size=2)
+        assert reply["ok"] is False
+        [report] = reply["reports"]
+        codes = [i["code"] for i in report["issues"]]
+        assert "team_too_small" in codes
+
+    def test_unknown_flag_is_404(self, server):
+        with pytest.raises(ServeError) as err:
+            self.post(server, flag="atlantis", scenario=3)
+        assert err.value.status == 404

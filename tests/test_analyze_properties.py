@@ -1,0 +1,107 @@
+"""Property tests: static bounds vs. the whole shipped catalog.
+
+The analyzer's speedup bound is a *promise*: no run of the engine may
+beat it. These tests sweep every flag in the catalog across all four
+scenarios and check the promise against real simulations, plus the
+weaker work-span law against the list scheduler.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.agents import make_team
+from repro.analyze import AnalysisReport, analyze_scenario, canonical_dumps
+from repro.depgraph import flag_dag, list_schedule
+from repro.faults import sample_plan
+from repro.flags import available_flags, get_flag
+from repro.metrics import speedup
+from repro.schedule import get_scenario, run_scenario
+
+ALL_FLAGS = sorted(available_flags())
+SCENARIOS = (1, 2, 3, 4)
+
+# Large enough for jordan/great_britain scenario 3 (five active roles).
+TEAM_SIZE = 8
+
+
+def observed_speedup(result):
+    trace = result.trace
+    t_serial = sum(trace.busy_time(a) for a in trace.agents())
+    return speedup(t_serial, trace.makespan())
+
+
+class TestSpeedupBoundNeverExceeded:
+    @pytest.mark.parametrize("flag", ALL_FLAGS)
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_bound_dominates_measured(self, flag, scenario):
+        spec = get_flag(flag)
+        report = analyze_scenario(spec, scenario, team_size=TEAM_SIZE)
+        assert report.ok
+
+        rng = np.random.default_rng(7)
+        team = make_team("team", TEAM_SIZE, rng,
+                         colors=list(spec.colors_used()))
+        result = run_scenario(get_scenario(scenario), spec, team, rng)
+        assert observed_speedup(result) <= report.speedup_bound + 1e-9
+
+    def test_bound_is_tight_somewhere(self):
+        # The bound is not vacuous: a serial run achieves it exactly,
+        # and scenario 3 on a stripe flag gets most of the way there.
+        spec = get_flag("mauritius")
+        serial = analyze_scenario(spec, 1, team_size=TEAM_SIZE)
+        rng = np.random.default_rng(7)
+        team = make_team("team", TEAM_SIZE, rng,
+                         colors=list(spec.colors_used()))
+        result = run_scenario(get_scenario(1), spec, team, rng)
+        assert observed_speedup(result) == pytest.approx(
+            serial.speedup_bound)
+
+        striped = analyze_scenario(spec, 3, team_size=TEAM_SIZE)
+        rng = np.random.default_rng(7)
+        team = make_team("team", TEAM_SIZE, rng,
+                         colors=list(spec.colors_used()))
+        result = run_scenario(get_scenario(3), spec, team, rng)
+        assert observed_speedup(result) > 0.75 * striped.speedup_bound
+
+    @pytest.mark.parametrize("flag", ALL_FLAGS)
+    @pytest.mark.parametrize("processors", [1, 2, 4, 8])
+    def test_work_span_law_vs_list_scheduler(self, flag, processors):
+        graph = flag_dag(get_flag(flag))
+        schedule = list_schedule(graph, processors)
+        achieved = graph.total_work() / schedule.makespan
+        assert achieved <= graph.ideal_speedup_bound() + 1e-9
+
+
+class TestShippedCatalogAnalyzesClean:
+    @pytest.mark.parametrize("flag", ALL_FLAGS)
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_every_scenario_clean(self, flag, scenario):
+        report = analyze_scenario(get_flag(flag), scenario,
+                                  team_size=TEAM_SIZE)
+        assert report.ok, [i.message for i in report.errors]
+        assert report.deadlock_cycle == []
+
+    @pytest.mark.parametrize("flag", ALL_FLAGS)
+    def test_sampled_fault_plans_clean(self, flag):
+        # sample_plan only emits faults valid for the run it was sized
+        # for, so the static checker must agree with it.
+        spec = get_flag(flag)
+        base = analyze_scenario(spec, 3, team_size=TEAM_SIZE)
+        rng = np.random.default_rng(11)
+        plan = sample_plan(rng, n_workers=base.n_active_workers,
+                           colors=list(spec.colors_used()), horizon=50.0)
+        report = analyze_scenario(spec, 3, team_size=TEAM_SIZE,
+                                  fault_plan=plan)
+        assert report.ok, [i.message for i in report.errors]
+
+
+class TestReportsRoundTrip:
+    @pytest.mark.parametrize("flag", ALL_FLAGS)
+    def test_canonical_json_round_trips(self, flag):
+        report = analyze_scenario(get_flag(flag), 3, team_size=TEAM_SIZE)
+        raw = report.to_json()
+        body = json.loads(raw)
+        assert canonical_dumps(body) == raw
+        assert AnalysisReport.from_dict(body).to_json() == raw

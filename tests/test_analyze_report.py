@@ -1,0 +1,110 @@
+"""Tests for repro.analyze.report — issues and the report envelope."""
+
+import json
+
+import pytest
+
+from repro.analyze import (
+    ANALYSIS_VERSION,
+    AnalysisError,
+    AnalysisReport,
+    Issue,
+    Severity,
+    analyze_scenario,
+    canonical_dumps,
+    error,
+    issues_summary,
+    warning,
+)
+from repro.flags import get_flag
+
+
+def make_report(**overrides):
+    report = analyze_scenario(get_flag("mauritius"), 3)
+    if overrides:
+        from dataclasses import replace
+        report = replace(report, **overrides)
+    return report
+
+
+class TestIssue:
+    def test_shorthands_set_severity(self):
+        assert error("x", "m").severity is Severity.ERROR
+        assert warning("x", "m").severity is Severity.WARNING
+
+    def test_to_dict_fields(self):
+        d = error("deadlock_cycle", "boom", subject="worker0").to_dict()
+        assert d == {"code": "deadlock_cycle", "severity": "error",
+                     "message": "boom", "subject": "worker0"}
+
+    def test_issues_summary_joins(self):
+        text = issues_summary([error("a", "one"), warning("b", "two")])
+        assert text == "a: one; b: two"
+
+
+class TestReportProperties:
+    def test_clean_report_is_ok(self):
+        report = make_report()
+        assert report.ok
+        assert report.errors == []
+        assert report.warnings == []
+
+    def test_errors_and_warnings_split(self):
+        report = make_report(issues=(error("e", "bad"), warning("w", "meh")))
+        assert not report.ok
+        assert [i.code for i in report.errors] == ["e"]
+        assert [i.code for i in report.warnings] == ["w"]
+
+    def test_warnings_alone_stay_ok(self):
+        report = make_report(issues=(warning("w", "meh"),))
+        assert report.ok
+
+
+class TestSerialization:
+    def test_canonical_dumps_sorted_and_compact(self):
+        assert canonical_dumps({"b": 1, "a": [1, 2]}) == b'{"a":[1,2],"b":1}'
+
+    def test_to_json_is_canonical(self):
+        report = make_report()
+        raw = report.to_json()
+        body = json.loads(raw)
+        assert canonical_dumps(body) == raw
+        assert body["analysis_version"] == ANALYSIS_VERSION
+        assert body["ok"] is True
+
+    def test_to_json_byte_stable(self):
+        assert make_report().to_json() == make_report().to_json()
+
+    def test_round_trip(self):
+        report = make_report(issues=(error("e", "bad", subject="s"),))
+        back = AnalysisReport.from_dict(json.loads(report.to_json()))
+        assert back.to_json() == report.to_json()
+        assert back.issues[0].severity is Severity.ERROR
+
+    def test_version_mismatch_rejected(self):
+        body = json.loads(make_report().to_json())
+        body["analysis_version"] = ANALYSIS_VERSION + 1
+        with pytest.raises(AnalysisError, match="version"):
+            AnalysisReport.from_dict(body)
+
+    def test_missing_field_rejected(self):
+        body = json.loads(make_report().to_json())
+        del body["speedup_bound"]
+        with pytest.raises(AnalysisError, match="malformed"):
+            AnalysisReport.from_dict(body)
+
+
+class TestFormat:
+    def test_format_mentions_bounds(self):
+        text = make_report().format()
+        assert "speedup bound" in text
+        assert "work-span" in text
+        assert "none possible" in text
+
+    def test_format_shows_cycle_and_issues(self):
+        report = analyze_scenario(get_flag("mauritius"), 4,
+                                  hoard=True, rotate=True)
+        text = report.format()
+        assert "INVALID" in text
+        assert "-[blue_marker]->" in text
+        assert "[error] deadlock_cycle" in text

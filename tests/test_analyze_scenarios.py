@@ -1,0 +1,186 @@
+"""Tests for repro.analyze.scenarios and faultcheck — scenario reports."""
+
+import pytest
+
+from repro.analyze import (
+    AnalysisError,
+    Severity,
+    analyze_scenario,
+    check_fault_plan,
+    wait_program_from_partition,
+)
+from repro.faults.plan import (
+    FaultError,
+    FaultPlan,
+    ImplementFailure,
+    LateArrival,
+    StudentDropout,
+    TransientStall,
+)
+from repro.flags import compile_flag, get_flag, scenario_partition
+from repro.grid.palette import Color
+from repro.schedule.runner import AcquirePolicy
+
+
+class TestScenarioReports:
+    @pytest.mark.parametrize("scenario,active", [(1, 1), (2, 2), (3, 4),
+                                                 (4, 4)])
+    def test_mauritius_active_workers(self, scenario, active):
+        report = analyze_scenario(get_flag("mauritius"), scenario)
+        assert report.ok
+        assert report.n_active_workers == active
+        assert report.speedup_bound == float(min(active, 4))
+
+    def test_speedup_bound_caps_at_implements(self):
+        # Poland has two colors: even 2 active workers can use at most
+        # 2 implements, and a single copy of each bounds parallelism.
+        report = analyze_scenario(get_flag("poland"), 2)
+        assert report.total_implements == 2
+        assert report.speedup_bound == 2.0
+
+    def test_copies_raise_the_implement_count(self):
+        report = analyze_scenario(get_flag("poland"), 2, copies=3)
+        assert report.total_implements == 6
+        assert report.speedup_bound == 2.0  # workers now bind
+
+    def test_dag_section_matches_depgraph(self):
+        from repro.depgraph import flag_dag
+        spec = get_flag("jordan")
+        report = analyze_scenario(spec, 3, team_size=8)
+        g = flag_dag(spec)
+        assert report.dag["work"] == pytest.approx(g.total_work())
+        span, path = g.critical_path()
+        assert report.dag["span"] == pytest.approx(span)
+        assert report.dag["critical_path"] == list(path)
+        assert report.dag["ideal_speedup_bound"] == pytest.approx(
+            g.ideal_speedup_bound())
+
+    def test_load_section_scenario1_is_serial(self):
+        report = analyze_scenario(get_flag("mauritius"), 1)
+        assert report.load["per_worker"] == [96.0]
+        assert report.load["imbalance"] == 1.0
+        assert report.load["makespan_lower_bound_weight"] == 96.0
+
+    def test_contention_bottleneck_named(self):
+        report = analyze_scenario(get_flag("mauritius"), 4)
+        per = {e["resource"]: e for e in report.contention["per_implement"]}
+        assert set(per) == {"red_marker", "blue_marker", "yellow_marker",
+                            "green_marker"}
+        assert report.contention["bottleneck"] in per
+        # Scenario 4 slices make every worker visit every color.
+        assert all(e["workers"] == 4 for e in per.values())
+
+    def test_team_too_small_is_error(self):
+        report = analyze_scenario(get_flag("mauritius"), 3, team_size=2)
+        assert not report.ok
+        issue = report.errors[0]
+        assert issue.code == "team_too_small"
+        assert "needs 4 colorers, team has 2" in issue.message
+
+    def test_bad_scenario_number_raises(self):
+        with pytest.raises(AnalysisError):
+            analyze_scenario(get_flag("mauritius"), 7)
+
+    def test_policy_recorded(self):
+        report = analyze_scenario(
+            get_flag("mauritius"), 3,
+            policy=AcquirePolicy.RELEASE_PER_STROKE)
+        assert report.policy == "release_per_stroke"
+
+
+class TestWaitProgramCompilation:
+    def test_hold_policy_one_acquire_per_color_run(self):
+        from repro.analyze import AcquireStep, ReleaseStep
+        partition = scenario_partition(
+            compile_flag(get_flag("mauritius"), None, None), 4)
+        wp = wait_program_from_partition(partition)
+        # Slices walk 4 stripes: 4 acquires, 4 releases per worker.
+        for proc in wp.procs:
+            acquires = [s for s in proc.steps
+                        if isinstance(s, AcquireStep)]
+            releases = [s for s in proc.steps
+                        if isinstance(s, ReleaseStep)]
+            assert len(acquires) == 4
+            assert len(releases) == 4
+
+    def test_capacities_follow_copies(self):
+        partition = scenario_partition(
+            compile_flag(get_flag("poland"), None, None), 2)
+        wp = wait_program_from_partition(partition, copies=2)
+        assert wp.capacities == {"red_marker": 2, "white_marker": 2}
+
+    def test_work_matches_partition_weight(self):
+        from repro.analyze import WorkStep
+        partition = scenario_partition(
+            compile_flag(get_flag("mauritius"), None, None), 3)
+        wp = wait_program_from_partition(partition)
+        total = sum(s.duration for p in wp.procs for s in p.steps
+                    if isinstance(s, WorkStep))
+        weight = sum(op.complexity for ops in partition.assignments
+                     for op in ops)
+        assert total == pytest.approx(weight)
+
+
+class TestFaultPlanChecks:
+    def colors(self):
+        return [Color.RED, Color.BLUE, Color.YELLOW, Color.GREEN]
+
+    def test_clean_plan_is_clean(self):
+        plan = FaultPlan.of([StudentDropout(at=5.0, worker=1),
+                             ImplementFailure(at=3.0, color=Color.RED)])
+        assert check_fault_plan(plan, n_workers=4, colors=self.colors(),
+                                horizon=100.0) == []
+
+    def test_unknown_worker_matches_runtime_wording(self):
+        plan = FaultPlan.of([StudentDropout(at=5.0, worker=9)])
+        issues = check_fault_plan(plan, n_workers=4, colors=self.colors())
+        assert [i.code for i in issues] == ["fault_unknown_worker"]
+        assert issues[0].message == ("fault targets worker 9, but the run "
+                                     "has only 4 active workers")
+
+    def test_unknown_implement_matches_runtime_wording(self):
+        plan = FaultPlan.of([ImplementFailure(at=3.0, color=Color.BLACK)])
+        issues = check_fault_plan(plan, n_workers=4, colors=self.colors())
+        assert [i.code for i in issues] == ["fault_unknown_implement"]
+        assert issues[0].message.startswith(
+            "implement failure for BLACK, but the run only uses")
+
+    def test_stall_and_late_worker_indices_checked(self):
+        plan = FaultPlan.of([TransientStall(at=2.0, worker=5, duration=3.0),
+                             LateArrival(worker=6, delay=4.0)])
+        issues = check_fault_plan(plan, n_workers=2, colors=self.colors())
+        assert [i.code for i in issues] == ["fault_unknown_worker"] * 2
+
+    def test_past_horizon_is_warning_only(self):
+        plan = FaultPlan.of([StudentDropout(at=500.0, worker=0)])
+        issues = check_fault_plan(plan, n_workers=4, colors=self.colors(),
+                                  horizon=100.0)
+        assert [i.code for i in issues] == ["fault_past_horizon"]
+        assert issues[0].severity is Severity.WARNING
+
+    def test_no_horizon_skips_the_check(self):
+        plan = FaultPlan.of([StudentDropout(at=500.0, worker=0)])
+        assert check_fault_plan(plan, n_workers=4,
+                                colors=self.colors()) == []
+
+    def test_static_and_runtime_agree_on_bad_worker(self, rng):
+        # The static ERROR and the runtime FaultError must name the
+        # same target the same way.
+        from repro.agents import make_team
+        from repro.schedule import get_scenario, run_scenario
+        spec = get_flag("mauritius")
+        plan = FaultPlan.of([StudentDropout(at=5.0, worker=9)])
+        report = analyze_scenario(spec, 3, fault_plan=plan)
+        assert not report.ok
+        static_msg = report.errors[0].message
+        team = make_team("t", 4, rng, colors=list(spec.colors_used()))
+        with pytest.raises(FaultError) as info:
+            run_scenario(get_scenario(3), spec, team, rng, fault_plan=plan)
+        assert str(info.value) == static_msg
+
+    def test_plan_issues_land_in_report(self):
+        plan = FaultPlan.of([ImplementFailure(at=3.0, color=Color.BLACK)])
+        report = analyze_scenario(get_flag("mauritius"), 3,
+                                  fault_plan=plan)
+        assert not report.ok
+        assert report.errors[0].code == "fault_unknown_implement"

@@ -1,0 +1,264 @@
+"""Tests for repro.analyze.waitgraph — static deadlock detection.
+
+The load-bearing property: a configuration the static analyzer flags
+deadlocks at runtime with the *identical* cycle list, because both
+sides feed the same wait-for relation through
+``repro.sim.find_wait_cycle``.
+"""
+
+import pytest
+
+from repro.analyze import (
+    AcquireStep,
+    BarrierStep,
+    ProcSpec,
+    ReleaseStep,
+    Severity,
+    WaitProgram,
+    WorkStep,
+    analyze_wait_program,
+    execute_wait_program,
+    hold_pairs,
+    wait_program_from_partition,
+)
+from repro.flags import compile_flag, get_flag, scenario_partition
+from repro.schedule.pipeline import rotate_color_order
+from repro.schedule.runner import AcquirePolicy
+from repro.sim import DeadlockError, find_wait_cycle, format_wait_cycle
+
+
+def prog(procs, capacities):
+    return WaitProgram(procs=tuple(procs), capacities=capacities)
+
+
+def proc(name, *steps):
+    return ProcSpec(name=name, steps=tuple(steps))
+
+
+class TestHoldPairs:
+    def test_no_pairs_when_release_before_acquire(self):
+        p = proc("w", AcquireStep("a"), WorkStep(1.0), ReleaseStep("a"),
+                 AcquireStep("b"), WorkStep(1.0), ReleaseStep("b"))
+        pairs, issues = hold_pairs(p)
+        assert pairs == []
+        assert issues == []
+
+    def test_pair_with_ordinal(self):
+        p = proc("w", AcquireStep("a"), AcquireStep("b"), ReleaseStep("a"),
+                 AcquireStep("c"))
+        pairs, issues = hold_pairs(p)
+        assert ("w", "a", "b", 1) in pairs
+        assert ("w", "b", "c", 2) in pairs
+        assert issues == []
+
+    def test_release_without_hold(self):
+        _, issues = hold_pairs(proc("w", ReleaseStep("a")))
+        assert [i.code for i in issues] == ["release_without_hold"]
+        assert "w releases a" in issues[0].message
+
+
+class TestStructuralErrors:
+    def test_unsatisfiable_acquire_names_resource(self):
+        issues, cycle = analyze_wait_program(
+            prog([proc("w", AcquireStep("ghost_marker"))], {"a": 1}))
+        codes = [i.code for i in issues]
+        assert "unsatisfiable_acquire" in codes
+        assert cycle == []
+        msg = next(i for i in issues
+                   if i.code == "unsatisfiable_acquire").message
+        assert "ghost_marker" in msg
+
+    def test_unsatisfiable_wait_names_process(self):
+        issues, _ = analyze_wait_program(
+            prog([proc("w", BarrierStep(("nobody",)))], {}))
+        assert [i.code for i in issues] == ["unsatisfiable_wait"]
+        assert "nobody" in issues[0].message
+
+    def test_self_wait_rejected(self):
+        issues, _ = analyze_wait_program(
+            prog([proc("w", BarrierStep(("w",)))], {}))
+        assert "unsatisfiable_wait" in [i.code for i in issues]
+
+    def test_reacquire_single_copy_is_self_deadlock(self):
+        issues, cycle = analyze_wait_program(
+            prog([proc("w", AcquireStep("a"), AcquireStep("a"))], {"a": 1}))
+        assert cycle == ["w", "a", "w"]
+        assert "deadlock_cycle" in [i.code for i in issues]
+
+    def test_reacquire_runtime_parity(self):
+        program = prog([proc("w", AcquireStep("a"), AcquireStep("a"))],
+                       {"a": 1})
+        _, static_cycle = analyze_wait_program(program)
+        with pytest.raises(DeadlockError) as info:
+            execute_wait_program(program)
+        assert info.value.cycle == static_cycle
+
+
+class TestBarrierCycles:
+    def test_mutual_wait_is_deadlock(self):
+        program = prog(
+            [proc("a", BarrierStep(("b",))),
+             proc("b", BarrierStep(("a",)))], {})
+        issues, cycle = analyze_wait_program(program)
+        assert cycle == ["a", "<wait>", "b", "<wait>", "a"]
+        assert any(i.code == "deadlock_cycle" for i in issues)
+
+    def test_barrier_runtime_parity(self):
+        program = prog(
+            [proc("a", WorkStep(1.0), BarrierStep(("b",))),
+             proc("b", WorkStep(2.0), BarrierStep(("a",)))], {})
+        _, static_cycle = analyze_wait_program(program)
+        with pytest.raises(DeadlockError) as info:
+            execute_wait_program(program)
+        assert info.value.cycle == static_cycle
+
+    def test_one_way_wait_is_fine(self):
+        program = prog(
+            [proc("a", WorkStep(1.0)),
+             proc("b", BarrierStep(("a",)), WorkStep(1.0))], {})
+        issues, cycle = analyze_wait_program(program)
+        assert issues == [] and cycle == []
+        sim = execute_wait_program(program)
+        assert sim.now == pytest.approx(2.0)
+
+
+class TestHoldAndWait:
+    def two_phil(self, capacities):
+        # Dining philosophers, two seats: classic inverted lock order.
+        return prog(
+            [proc("p0", AcquireStep("fork_a"), WorkStep(1.0),
+                  AcquireStep("fork_b"), ReleaseStep("fork_a"),
+                  ReleaseStep("fork_b")),
+             proc("p1", AcquireStep("fork_b"), WorkStep(1.0),
+                  AcquireStep("fork_a"), ReleaseStep("fork_b"),
+                  ReleaseStep("fork_a"))],
+            capacities)
+
+    def test_two_process_cycle(self):
+        issues, cycle = analyze_wait_program(
+            self.two_phil({"fork_a": 1, "fork_b": 1}))
+        assert cycle == ["p0", "fork_b", "p1", "fork_a", "p0"]
+        assert any(i.code == "deadlock_cycle"
+                   and i.severity is Severity.ERROR for i in issues)
+
+    def test_two_process_runtime_parity(self):
+        program = self.two_phil({"fork_a": 1, "fork_b": 1})
+        _, static_cycle = analyze_wait_program(program)
+        with pytest.raises(DeadlockError) as info:
+            execute_wait_program(program)
+        assert info.value.cycle == static_cycle
+        assert (format_wait_cycle(info.value.cycle)
+                == format_wait_cycle(static_cycle))
+
+    def test_duplicate_copies_downgrade_to_warning(self):
+        issues, cycle = analyze_wait_program(
+            self.two_phil({"fork_a": 2, "fork_b": 2}))
+        assert cycle == []
+        assert [i.code for i in issues] == ["lock_order_inversion"]
+        assert issues[0].severity is Severity.WARNING
+        # And indeed it completes at runtime with a spare of each fork.
+        execute_wait_program(self.two_phil({"fork_a": 2, "fork_b": 2}))
+
+    def test_single_witness_not_a_deadlock(self):
+        # One process acquires a->b, another b->a but never concurrently
+        # exists: with only one process the cycle has no distinct
+        # witnesses and must not be an ERROR.
+        program = prog(
+            [proc("solo", AcquireStep("a"), AcquireStep("b"),
+                  ReleaseStep("b"), ReleaseStep("a"),
+                  AcquireStep("b"), AcquireStep("a"),
+                  ReleaseStep("a"), ReleaseStep("b"))],
+            {"a": 1, "b": 1})
+        issues, cycle = analyze_wait_program(program)
+        assert cycle == []
+        assert [i.code for i in issues] == ["lock_order_inversion"]
+        execute_wait_program(program)  # runs to completion
+
+    def test_consistent_order_is_clean(self):
+        program = prog(
+            [proc("p0", AcquireStep("a"), AcquireStep("b"),
+                  ReleaseStep("b"), ReleaseStep("a")),
+             proc("p1", AcquireStep("a"), AcquireStep("b"),
+                  ReleaseStep("b"), ReleaseStep("a"))],
+            {"a": 1, "b": 1})
+        issues, cycle = analyze_wait_program(program)
+        assert issues == [] and cycle == []
+
+
+class TestScenarioParity:
+    """The seeded deadlock: scenario 4 + rotation + hoarding students."""
+
+    def rotated_hoard_program(self, flag="mauritius"):
+        program = compile_flag(get_flag(flag), None, None)
+        partition = rotate_color_order(scenario_partition(program, 4))
+        return wait_program_from_partition(partition, hoard=True)
+
+    def test_static_flags_rotated_hoard(self):
+        issues, cycle = analyze_wait_program(self.rotated_hoard_program())
+        assert cycle == [
+            "worker0", "blue_marker", "worker1", "yellow_marker",
+            "worker2", "green_marker", "worker3", "red_marker", "worker0",
+        ]
+        assert any(i.code == "deadlock_cycle" for i in issues)
+
+    def test_runtime_cycle_is_identical(self):
+        program = self.rotated_hoard_program()
+        _, static_cycle = analyze_wait_program(program)
+        with pytest.raises(DeadlockError) as info:
+            execute_wait_program(program)
+        assert info.value.cycle == static_cycle
+
+    @pytest.mark.parametrize("flag", ["mauritius", "canada", "jordan",
+                                      "germany", "poland", "japan"])
+    def test_parity_across_flags(self, flag):
+        program = self.rotated_hoard_program(flag)
+        _, static_cycle = analyze_wait_program(program)
+        assert static_cycle, f"{flag} rotated-hoard should deadlock"
+        with pytest.raises(DeadlockError) as info:
+            execute_wait_program(program)
+        assert info.value.cycle == static_cycle
+
+    @pytest.mark.parametrize("flag", ["france", "italy"])
+    def test_single_color_slices_cannot_deadlock(self, flag):
+        # Vertical tricolors give each slice one color: no worker ever
+        # holds one implement while wanting another, even hoarding.
+        program = self.rotated_hoard_program(flag)
+        issues, cycle = analyze_wait_program(program)
+        assert cycle == [] and issues == []
+        execute_wait_program(program)
+
+    def test_unrotated_hoard_pipelines_fine(self):
+        # Identical color orders = consistent lock order = no cycle;
+        # the analyzer must not cry wolf and the engine agrees.
+        program = compile_flag(get_flag("mauritius"), None, None)
+        partition = scenario_partition(program, 4)
+        wp = wait_program_from_partition(partition, hoard=True)
+        issues, cycle = analyze_wait_program(wp)
+        assert cycle == [] and issues == []
+        execute_wait_program(wp)
+
+    def test_release_per_stroke_never_deadlocks(self):
+        program = compile_flag(get_flag("mauritius"), None, None)
+        partition = rotate_color_order(scenario_partition(program, 4))
+        wp = wait_program_from_partition(
+            partition, policy=AcquirePolicy.RELEASE_PER_STROKE, hoard=True)
+        issues, cycle = analyze_wait_program(wp)
+        assert cycle == []
+        assert not any(i.severity is Severity.ERROR for i in issues)
+
+
+class TestSharedCycleFinder:
+    """One source of truth: both layers call repro.sim.find_wait_cycle."""
+
+    def test_format_round_trip(self):
+        cycle = ["a", "r1", "b", "r2", "a"]
+        assert format_wait_cycle(cycle) == "a -[r1]-> b -[r2]-> a"
+        assert format_wait_cycle([]) == ""
+
+    def test_find_wait_cycle_deterministic(self):
+        edges = {"b": [("r", "a")], "a": [("s", "b")]}
+        assert find_wait_cycle(edges) == find_wait_cycle(dict(edges))
+        assert find_wait_cycle(edges) == ["a", "s", "b", "r", "a"]
+
+    def test_acyclic_returns_empty(self):
+        assert find_wait_cycle({"a": [("r", "b")]}) == []

@@ -1,5 +1,6 @@
 """Tests for repro.cli — the command-line interface."""
 
+import json
 import os
 import pathlib
 
@@ -18,9 +19,9 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for cmd in ("flags", "render", "scenario", "activity", "session",
-                    "depgraph", "dryrun", "grade", "tables", "animate",
-                    "slides", "debrief", "report", "chaos", "sweep",
-                    "trace", "serve"):
+                    "depgraph", "analyze", "dryrun", "grade", "tables",
+                    "animate", "slides", "debrief", "report", "chaos",
+                    "sweep", "trace", "serve"):
             # Minimal arg sets per command.
             argv = {
                 "flags": ["flags"],
@@ -29,6 +30,7 @@ class TestParser:
                 "activity": ["activity"],
                 "session": ["session", "USI"],
                 "depgraph": ["depgraph", "jordan"],
+                "analyze": ["analyze", "mauritius"],
                 "dryrun": ["dryrun", "mauritius"],
                 "grade": ["grade"],
                 "tables": ["tables"],
@@ -98,6 +100,26 @@ class TestCommands:
     def test_depgraph_dot(self, capsys):
         assert main(["depgraph", "jordan", "--dot"]) == 0
         assert capsys.readouterr().out.startswith("digraph")
+
+    def test_analyze_all_scenarios(self, capsys):
+        assert main(["analyze", "mauritius"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario 1: ok" in out and "scenario 4: ok" in out
+        assert "speedup bound" in out
+
+    def test_analyze_deadlock_exits_nonzero(self, capsys):
+        assert main(["analyze", "mauritius", "--scenario", "4",
+                     "--hoard", "--rotate"]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+        assert "-[blue_marker]->" in out
+
+    def test_analyze_json(self, capsys):
+        assert main(["analyze", "mauritius", "--scenario", "3",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["speedup_bound"] == 4.0
 
     def test_dryrun_ok(self, capsys):
         assert main(["dryrun", "mauritius"]) == 0
@@ -239,6 +261,23 @@ class TestCommands:
                          "--seed", "9", "--out", str(out)]) == 0
         capsys.readouterr()
         assert a.read_text() == b.read_text()
+
+
+class TestPipeHardening:
+    def test_broken_pipe_exits_141_without_traceback(self, monkeypatch):
+        # `repro analyze ... | head` closing early must not traceback.
+        # The handler dup2's devnull over stdout's fd; under pytest
+        # that fd belongs to the capture machinery, so stub it out.
+        import repro.cli as cli_mod
+
+        def gone(args):
+            raise BrokenPipeError
+
+        monkeypatch.setitem(cli_mod._COMMANDS, "flags", gone)
+        redirects = []
+        monkeypatch.setattr(os, "dup2",
+                            lambda a, b: redirects.append((a, b)))
+        assert main(["flags"]) == 141
 
 
 class TestInterruptHardening:
