@@ -21,6 +21,9 @@ The library models the entire activity end-to-end:
 - :mod:`repro.serve` — the async simulation service: an HTTP/JSON
   server with micro-batching, admission control (429 backpressure),
   cache-backed responses, and graceful drain.
+- :mod:`repro.fabric` — fault-tolerant distributed sweeps: cell leases
+  over local subprocess workers and remote serve endpoints, heartbeat
+  health, retries, hedging, work stealing, deterministic self-chaos.
 - :mod:`repro.classroom` — whole-class sessions at the six pilot sites and
   automatic debrief lesson extraction.
 - :mod:`repro.survey` — the ASPECT engagement survey, the pre/post quiz,

@@ -21,6 +21,11 @@ Gives instructors the library's main flows without writing Python:
 - ``chaos FLAG`` — a scenario under a seeded fault plan with recovery.
 - ``sweep`` — a declarative experiment grid fanned out over a process
   pool, with an optional content-addressed on-disk result cache.
+- ``fabric`` — the same grid on the fault-tolerant sweep fabric
+  (``repro.fabric``): leased cells across local subprocess workers
+  and/or remote ``repro serve`` endpoints, heartbeat health tracking,
+  retries, hedged stragglers, work stealing, and an optional scripted
+  chaos plan — results stay byte-identical to a clean serial sweep.
 - ``trace TARGET`` — run a scenario under the observer (or convert an
   exported event log) and write Chrome ``trace_event`` JSON for
   ``chrome://tracing`` / Perfetto, plus optional metrics dumps.
@@ -390,6 +395,101 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.all_correct else 1
 
 
+def _parse_chaos_event(text: str):
+    """One ``--chaos`` operand -> a chaos event.
+
+    Formats: ``crash:WORKER:LEASE``, ``stall:WORKER:LEASE:SECONDS``,
+    ``slowstart:WORKER:SECONDS``, ``drop:WORKER:LEASE``.
+    """
+    from .fabric import (ChaosError, DroppedResponse, SlowStart,
+                         WorkerCrash, WorkerStall)
+    parts = text.split(":")
+    kind, rest = parts[0], parts[1:]
+    try:
+        if kind == "crash" and len(rest) == 2:
+            return WorkerCrash(worker=rest[0], on_lease=int(rest[1]))
+        if kind == "stall" and len(rest) == 3:
+            return WorkerStall(worker=rest[0], on_lease=int(rest[1]),
+                               stall_s=float(rest[2]))
+        if kind == "slowstart" and len(rest) == 2:
+            return SlowStart(worker=rest[0], delay_s=float(rest[1]))
+        if kind == "drop" and len(rest) == 2:
+            return DroppedResponse(worker=rest[0], on_lease=int(rest[1]))
+    except (ValueError, ChaosError) as exc:
+        raise SystemExit(f"repro fabric: bad --chaos spec {text!r}: {exc}")
+    raise SystemExit(
+        f"repro fabric: bad --chaos spec {text!r} (expected "
+        "crash:W:N, stall:W:N:S, slowstart:W:S, or drop:W:N)")
+
+
+def _parse_remote(text: str):
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(
+            f"repro fabric: bad --remote {text!r} (expected HOST:PORT)")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(
+            f"repro fabric: bad --remote port in {text!r}") from None
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    from .agents.student import FillStyle
+    from .fabric import ChaosPlan, FabricConfig, FabricCoordinator
+    from .schedule import AcquirePolicy
+    from .sweep import ACTIVITY, SweepSpec
+    from .viz import format_table
+
+    scenarios = tuple(
+        ACTIVITY if s == "activity" else int(s) for s in args.scenario
+    ) or (3,)
+    spec = SweepSpec(
+        flags=tuple(args.flag) or ("mauritius",),
+        scenarios=scenarios,
+        team_sizes=tuple(args.team_size) or (4,),
+        policies=tuple(AcquirePolicy[p.upper()] for p in args.policy)
+                 or (AcquirePolicy.HOLD_COLOR_RUN,),
+        styles=tuple(FillStyle[s.upper()] for s in args.style)
+               or (FillStyle.SCRIBBLE,),
+        copies=tuple(args.copies) or (1,),
+        n_trials=args.trials,
+        seed=args.seed,
+    )
+    config = FabricConfig(
+        workers=args.workers,
+        remotes=tuple(_parse_remote(r) for r in args.remote),
+        max_attempts=args.max_attempts,
+        hedge_after_s=args.hedge_after if args.hedge_after > 0 else None,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+    )
+    chaos = ChaosPlan.of([_parse_chaos_event(c) for c in args.chaos])
+    coordinator = FabricCoordinator(spec, config, cache_dir=args.cache_dir,
+                                    observe=args.observe, chaos=chaos)
+    try:
+        result = coordinator.run()
+    except KeyboardInterrupt:
+        print("fabric interrupted — workers terminated, partial results "
+              "discarded", file=sys.stderr)
+        return 130
+    print(format_table(
+        ["cell", "run", "trials", "median", "correct", "cache"],
+        result.table_rows(),
+    ))
+    stats = coordinator.stats
+    print(f"{spec.n_cells} cells x {spec.n_trials} trials: "
+          f"computed {result.computed_trials}, "
+          f"cached {result.cached_trials} "
+          f"({len(config.worker_names)} workers, "
+          f"{result.wall_seconds:.2f}s wall)")
+    print(f"  leases {stats.leases} (retries {stats.retries}, "
+          f"hedges {stats.hedges}), steals {stats.steals} "
+          f"({stats.stolen_cells} cells), "
+          f"duplicates {stats.duplicates}, "
+          f"worker deaths {stats.worker_deaths}")
+    return 0 if result.all_correct else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
@@ -655,6 +755,52 @@ def build_parser() -> argparse.ArgumentParser:
                         "print per-cell counter roll-ups")
 
     p = sub.add_parser(
+        "fabric",
+        help="run an experiment grid on the fault-tolerant sweep fabric")
+    p.add_argument("--flag", action="append", default=[],
+                   help="flag axis (repeatable; default mauritius)")
+    p.add_argument("--scenario", action="append", default=[],
+                   choices=("1", "2", "3", "4", "activity"),
+                   help="scenario axis (repeatable; default 3)")
+    p.add_argument("--team-size", action="append", type=int, default=[],
+                   dest="team_size", help="team size axis (default 4)")
+    p.add_argument("--policy", action="append", default=[],
+                   choices=("hold_color_run", "release_per_stroke"),
+                   help="acquisition policy axis (default hold_color_run)")
+    p.add_argument("--style", action="append", default=[],
+                   choices=("full", "scribble", "minimal"),
+                   help="fill style axis (default scribble)")
+    p.add_argument("--copies", action="append", type=int, default=[],
+                   help="duplicate-implements axis (default 1)")
+    p.add_argument("--trials", type=int, default=8,
+                   help="independent trials per cell")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=2,
+                   help="local subprocess workers (w0..wN-1)")
+    p.add_argument("--remote", action="append", default=[],
+                   help="remote 'repro serve' endpoint as HOST:PORT "
+                        "(repeatable; named r0..rN-1)")
+    p.add_argument("--max-attempts", type=int, default=5,
+                   dest="max_attempts",
+                   help="lease attempts per cell before the sweep fails")
+    p.add_argument("--hedge-after", type=float, default=5.0,
+                   dest="hedge_after",
+                   help="hedge a straggling lease after this many "
+                        "seconds (0 disables hedging)")
+    p.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                   dest="heartbeat_timeout",
+                   help="abandon a lease after this much worker silence")
+    p.add_argument("--chaos", action="append", default=[],
+                   help="scripted failure (repeatable): crash:W:N, "
+                        "stall:W:N:S, slowstart:W:S, drop:W:N — e.g. "
+                        "crash:w0:1 kills w0 on its first lease")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed result cache directory "
+                        "(shared format with 'repro sweep --cache-dir')")
+    p.add_argument("--observe", action="store_true",
+                   help="attach the observability layer to every run")
+
+    p = sub.add_parser(
         "serve",
         help="stand the simulator up as an async HTTP/JSON service")
     p.add_argument("--host", default="127.0.0.1")
@@ -716,6 +862,7 @@ _COMMANDS = {
     "grade": _cmd_grade,
     "tables": _cmd_tables,
     "chaos": _cmd_chaos,
+    "fabric": _cmd_fabric,
     "serve": _cmd_serve,
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,

@@ -1,0 +1,108 @@
+"""Remote fabric workers: the same lease loop, executed over HTTP.
+
+A remote worker is a daemon thread that speaks exactly the pipe
+protocol of :mod:`repro.fabric.worker` — hello, leases in, heartbeats
+and results out — but computes each trial by calling ``POST /task`` on
+a ``repro serve`` endpoint through a
+:class:`~repro.serve.client.ServeClient`.  The coordinator cannot tell
+a remote worker from a local one (same messages, same connection
+object in its ``wait()`` set), so retries, hedging, and work stealing
+apply uniformly across a mixed local+remote fleet.
+
+Transient server trouble (429 backpressure, 503/504, connection drops)
+is absorbed by the client's :class:`~repro.serve.retry.RetryPolicy`
+*inside* the worker; only exhausted retries or non-retryable errors
+surface to the coordinator as lease errors for cross-worker retry.
+
+Chaos applies here too: a scripted ``WorkerCrash`` closes the
+connection (the thread's equivalent of dying), stalls and dropped
+responses behave exactly as on local workers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+from ..serve.client import ServeClient, ServeError
+from ..serve.retry import RetryPolicy
+from .chaos import ChaosEvent
+from .worker import (
+    MSG_BEAT,
+    MSG_ERROR,
+    MSG_HELLO,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    crashes_on,
+    drops_response,
+    stall_before,
+    startup_delay,
+)
+
+#: Default retry stance for remote execution: patient with transient
+#: server states, bounded so a dead endpoint surfaces as a lease error
+#: the coordinator can route around.
+DEFAULT_REMOTE_RETRY = RetryPolicy(max_attempts=4, base_s=0.05,
+                                   cap_s=1.0, deadline_s=60.0)
+
+
+def remote_worker_main(conn, worker: str, host: str, port: int,
+                       chaos: Sequence[ChaosEvent] = (),
+                       retry: RetryPolicy = DEFAULT_REMOTE_RETRY,
+                       timeout_s: float = 60.0) -> None:
+    """Drive one serve endpoint as a fabric worker (thread target).
+
+    Args:
+        conn: this worker's end of a duplex ``multiprocessing.Pipe``.
+        worker: the worker's name in the fabric.
+        host / port: the ``repro serve`` endpoint to execute against.
+        chaos: this worker's slice of the chaos plan.
+        retry: client-side retry policy for transient server errors.
+        timeout_s: per-request client timeout.
+    """
+    client = ServeClient(host, port, timeout_s=timeout_s, retry=retry)
+
+    delay = startup_delay(chaos)
+    if delay:
+        time.sleep(delay)
+    conn.send((MSG_HELLO, worker))
+
+    ordinal = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message[0] == MSG_SHUTDOWN:
+            break
+        _, lease_id, cell_index, tasks = message
+        ordinal += 1
+
+        if crashes_on(chaos, ordinal):
+            conn.close()  # a thread's way of dying: drop the link
+            return
+        stall = stall_before(chaos, ordinal)
+        if stall:
+            time.sleep(stall)
+
+        payloads: List[dict] = []
+        failed = False
+        for task in tasks:
+            try:
+                reply = client.task(task["cell"], seed=task["seed"],
+                                    n_trials=task["n_trials"],
+                                    trial=task["trial"],
+                                    observe=task["observe"])
+                payloads.append(reply["trial"])
+            except (ServeError, OSError) as exc:
+                conn.send((MSG_ERROR, worker, lease_id, cell_index,
+                           f"{type(exc).__name__}: {exc}"))
+                failed = True
+                break
+            conn.send((MSG_BEAT, worker, lease_id, task["trial"]))
+        if failed:
+            continue
+        if drops_response(chaos, ordinal):
+            continue
+        conn.send((MSG_RESULT, worker, lease_id, cell_index, payloads))
+    conn.close()

@@ -24,7 +24,12 @@ from .pipeline import (
     stage_occupancy,
 )
 from .depsched import layered_speedup_curve, run_layered, split_ops
-from .worksteal import WorkStealError, count_steals, run_work_stealing
+from .worksteal import (
+    WorkStealError,
+    count_steals,
+    run_work_stealing,
+    steal_back_half,
+)
 
 __all__ = [
     "AcquirePolicy",
@@ -52,4 +57,5 @@ __all__ = [
     "WorkStealError",
     "count_steals",
     "run_work_stealing",
+    "steal_back_half",
 ]

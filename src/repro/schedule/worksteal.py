@@ -11,9 +11,11 @@ churn when the thief needs different colors.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple, TypeVar
 
 import numpy as np
+
+T = TypeVar("T")
 
 from ..agents.student import FillStyle
 from ..agents.team import Team
@@ -30,12 +32,20 @@ class WorkStealError(Exception):
     """Raised for invalid work-stealing configurations."""
 
 
-def _steal(queues: Dict[str, Deque], thief: str,
-           sim: Simulator) -> Optional[int]:
+def steal_back_half(queues: Dict[str, Deque[T]],
+                    thief: str) -> Optional[Tuple[str, List[T]]]:
     """Move the back half of the largest other queue into the thief's.
 
-    Returns the number of strokes stolen, or None when nothing remains
-    anywhere.
+    The core work-stealing primitive, independent of the simulation: it
+    operates on any mapping of owner name to deque of work items, so
+    both the in-sim stealing runner below and the distributed sweep
+    fabric (:mod:`repro.fabric`) rebalance through the same code.  Ties
+    between equally-loaded victims break toward the lexicographically
+    largest name, deterministically.
+
+    Returns ``(victim, stolen_items)`` with the items already moved to
+    the thief's deque (victim's intended order preserved), or ``None``
+    when every other queue is empty.
     """
     victims = [(len(q), name) for name, q in queues.items()
                if name != thief and q]
@@ -48,8 +58,22 @@ def _steal(queues: Dict[str, Deque], thief: str,
     stolen = [vq.pop() for _ in range(n)]
     stolen.reverse()  # keep the victim's intended order
     queues[thief].extend(stolen)
-    sim.log(EventKind.NOTE, agent=thief, stole=n, victim=victim)
-    return n
+    return victim, stolen
+
+
+def _steal(queues: Dict[str, Deque], thief: str,
+           sim: Simulator) -> Optional[int]:
+    """Steal into the thief's queue and log the NOTE event.
+
+    Returns the number of strokes stolen, or None when nothing remains
+    anywhere.
+    """
+    moved = steal_back_half(queues, thief)
+    if moved is None:
+        return None
+    victim, stolen = moved
+    sim.log(EventKind.NOTE, agent=thief, stole=len(stolen), victim=victim)
+    return len(stolen)
 
 
 def _stealing_worker(

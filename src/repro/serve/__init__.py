@@ -44,9 +44,11 @@ from .protocol import (
     ProtocolError,
     RunRequest,
     SweepRequest,
+    TaskRequest,
     error_body,
     parse_body,
 )
+from .retry import RetryExhausted, RetryPolicy, call_with_retry
 from .server import BackgroundServer, ServeConfig, ServeServer
 
 __all__ = [
@@ -56,6 +58,8 @@ __all__ = [
     "MicroBatcher",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RetryExhausted",
+    "RetryPolicy",
     "RunRequest",
     "ServeClient",
     "ServeConfig",
@@ -63,6 +67,8 @@ __all__ = [
     "ServeHandlers",
     "ServeServer",
     "SweepRequest",
+    "TaskRequest",
+    "call_with_retry",
     "error_body",
     "parse_body",
     "run_batch",

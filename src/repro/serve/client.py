@@ -3,13 +3,21 @@
 Stdlib ``http.client`` only — one connection per request (the server
 answers ``Connection: close``), JSON in/out, and typed errors:
 non-2xx responses raise :class:`ServeError` carrying the status, the
-structured error body, and any ``Retry-After`` hint, so callers can
-implement backoff without parsing anything themselves.
+structured error body, and any ``Retry-After`` hint.
+
+Pass a :class:`~repro.serve.retry.RetryPolicy` and the client absorbs
+transient failures itself — exponential backoff with full jitter,
+``Retry-After`` honored as a floor on 429, the whole dance bounded by
+a deadline — so callers stop hand-rolling retry loops.  Every request
+here is safe to retry: the compute endpoints are pure functions of the
+request body (at worst a duplicate recompute that the result cache
+dedupes), and the read endpoints are read-only.
 
 Used by the test suite, the throughput benchmark, the executable docs
-examples, and anyone driving a server from a notebook::
+examples, the sweep fabric's remote workers, and anyone driving a
+server from a notebook::
 
-    client = ServeClient("127.0.0.1", 8642)
+    client = ServeClient("127.0.0.1", 8642, retry=RetryPolicy())
     reply = client.run(flag="mauritius", scenario=3, seed=7)
     print(reply["cached"], reply["trial"]["runs"].keys())
 """
@@ -21,6 +29,7 @@ import json
 from typing import Any, Dict, Optional, Tuple
 
 from .protocol import PROTOCOL_VERSION
+from .retry import RetryExhausted, RetryPolicy, call_with_retry
 
 
 class ServeError(Exception):
@@ -47,13 +56,22 @@ class ServeError(Exception):
 
 
 class ServeClient:
-    """Synchronous JSON client for one serve endpoint address."""
+    """Synchronous JSON client for one serve endpoint address.
+
+    With ``retry`` set, every JSON call retries transient failures
+    (connection errors and the policy's HTTP statuses — 429/503/504 by
+    default) under exponential backoff with full jitter; a 429's
+    ``Retry-After`` floors the sleep.  ``retry=None`` (the default)
+    keeps the old fail-fast behavior.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
-                 timeout_s: float = 60.0) -> None:
+                 timeout_s: float = 60.0,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.retry = retry
 
     def request(self, method: str, path: str,
                 body: Optional[Dict[str, Any]] = None
@@ -76,8 +94,8 @@ class ServeClient:
         finally:
             conn.close()
 
-    def _json(self, method: str, path: str,
-              body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    def _json_once(self, method: str, path: str,
+                   body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         status, headers, raw = self.request(method, path, body)
         try:
             decoded = json.loads(raw.decode("utf-8")) if raw else {}
@@ -89,6 +107,27 @@ class ServeClient:
                 status, decoded,
                 float(retry_after) if retry_after is not None else None)
         return decoded
+
+    def _classify(self, exc: BaseException):
+        """(retryable?, Retry-After floor) for one failed attempt."""
+        if isinstance(exc, ServeError):
+            assert self.retry is not None
+            return (self.retry.should_retry_status(exc.status),
+                    exc.retry_after)
+        if isinstance(exc, (OSError, http.client.HTTPException)):
+            return True, None  # connection refused/reset/timeout
+        return False, None
+
+    def _json(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        if self.retry is None:
+            return self._json_once(method, path, body)
+        try:
+            return call_with_retry(
+                lambda: self._json_once(method, path, body),
+                self.retry, classify=self._classify)
+        except RetryExhausted as exc:
+            raise exc.last from exc  # surface the familiar typed error
 
     def healthz(self) -> Dict[str, Any]:
         """``GET /healthz`` — liveness plus queue depth/limit."""
@@ -123,3 +162,25 @@ class ServeClient:
         """
         fields.setdefault("protocol", PROTOCOL_VERSION)
         return self._json("POST", "/sweep", fields)
+
+    def task(self, cell: Dict[str, Any], *, seed: int, n_trials: int,
+             trial: int, observe: bool = False,
+             timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """``POST /task`` — one raw executor task (the worker endpoint).
+
+        ``cell`` is a :meth:`repro.sweep.spec.SweepCell.key_dict` —
+        the same identity dict the sweep layer hashes — and the reply's
+        ``"trial"`` payload is byte-identical to what an in-process
+        :func:`repro.sweep.executor.run_trial` computes for the same
+        task.  This is how :mod:`repro.fabric` remote workers execute
+        leased cells trial by trial.
+
+        Raises:
+            ServeError: on any non-2xx response.
+        """
+        body: Dict[str, Any] = {"protocol": PROTOCOL_VERSION, "cell": cell,
+                                "seed": seed, "n_trials": n_trials,
+                                "trial": trial, "observe": observe}
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._json("POST", "/task", body)

@@ -36,10 +36,12 @@ from .protocol import (
     ProtocolError,
     RunRequest,
     SweepRequest,
+    TaskRequest,
     error_body,
     parse_body,
     run_response,
     sweep_response,
+    task_response,
 )
 
 #: (status, JSON body or text, extra headers)
@@ -99,6 +101,7 @@ class ServeHandlers:
             "/flags": ("GET", self._flags),
             "/metrics": ("GET", self._metrics),
             "/run": ("POST", self._run),
+            "/task": ("POST", self._task),
             "/sweep": ("POST", self._sweep),
             "/analyze": ("POST", self._analyze),
         }
@@ -198,6 +201,33 @@ class ServeHandlers:
             return (200,
                     run_response(payload, cached=False,
                                  batch_size=batch_size),
+                    {})
+
+    async def _task(self, body: bytes) -> Response:
+        """One raw executor task — the fabric's remote-worker endpoint.
+
+        Same gate sequence as ``/run`` (validate, resolve, preflight,
+        admission, batcher, deadline) but *no* cache read-through or
+        write-back: the task names one trial of an n-trial cell, and
+        cell-level caching belongs to whoever assembles all n trials —
+        the fabric coordinator or ``run_sweep`` — not to the worker.
+        """
+        request = TaskRequest.from_body(parse_body(body))
+        self._resolve_flag(request.cell.flag)
+        self._preflight(request.cell)
+        timeout = request.timeout_s or self.default_timeout_s
+        with self.admission.slot():
+            try:
+                payload, batch_size = await asyncio.wait_for(
+                    self.batcher.submit(request.task()), timeout)
+            except asyncio.TimeoutError:
+                self._timeouts.inc()
+                raise ProtocolError(
+                    504, "deadline_exceeded",
+                    f"no result within {timeout:g}s") from None
+            return (200,
+                    task_response(payload, trial=request.trial,
+                                  batch_size=batch_size),
                     {})
 
     async def _sweep(self, body: bytes) -> Response:

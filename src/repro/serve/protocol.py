@@ -26,7 +26,13 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..agents.student import FillStyle
 from ..schedule.runner import AcquirePolicy
 from ..sweep.cache import content_address
-from ..sweep.spec import ACTIVITY, SweepCell, SweepError, SweepSpec
+from ..sweep.spec import (
+    ACTIVITY,
+    SweepCell,
+    SweepError,
+    SweepSpec,
+    cell_from_key_dict,
+)
 
 #: The wire-format version this server speaks.  Bump on breaking
 #: changes to request/response shapes; requests carrying a different
@@ -268,6 +274,79 @@ class RunRequest:
                                 "observe": self.observe})
 
 
+@dataclass(frozen=True)
+class TaskRequest:
+    """One validated ``POST /task`` body: a raw executor task.
+
+    The worker-facing sibling of :class:`RunRequest`: instead of
+    friendly per-axis fields it takes a whole
+    :meth:`~repro.sweep.spec.SweepCell.key_dict` plus the batch seed,
+    the cell's trial count, and *which* trial to run — exactly the
+    coordinates :func:`repro.sweep.executor.run_trial` seeds from.
+    This lets :mod:`repro.fabric` lease any cell of any sweep (fault
+    plans included, which ``/run`` cannot express) to a remote worker
+    and get back the byte-identical trial payload.
+
+    No cache read-through happens for tasks: the fabric coordinator
+    owns cell-level caching, and a worker that is asked to compute
+    should compute.
+    """
+
+    cell: SweepCell
+    seed: int
+    n_trials: int
+    trial: int
+    observe: bool = False
+    timeout_s: Optional[float] = None
+
+    _FIELDS = ("cell", "seed", "n_trials", "trial", "observe", "timeout_s")
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "TaskRequest":
+        """Parse and validate a decoded request body.
+
+        Raises:
+            ProtocolError: 400 with a field-specific code and message
+                on any invalid or unknown field, including every way a
+                cell dict can be malformed.
+        """
+        _reject_unknown(body, cls._FIELDS)
+        raw_cell = body.get("cell")
+        if not isinstance(raw_cell, dict):
+            raise ProtocolError(
+                400, "bad_field",
+                f"'cell' must be a cell key_dict object, got {raw_cell!r}")
+        try:
+            cell = cell_from_key_dict(raw_cell)
+        except SweepError as exc:
+            raise ProtocolError(400, "bad_field",
+                                f"'cell' is invalid: {exc}") from exc
+        n_trials = _as_int(body, "n_trials", 1, minimum=1)
+        trial = _as_int(body, "trial", 0, minimum=0)
+        if trial >= n_trials:
+            raise ProtocolError(
+                400, "bad_field",
+                f"'trial' must be < n_trials ({n_trials}), got {trial}")
+        return cls(cell=cell,
+                   seed=_as_int(body, "seed", 0),
+                   n_trials=n_trials,
+                   trial=trial,
+                   observe=_as_bool(body, "observe", False),
+                   timeout_s=_as_timeout(body))
+
+    def task(self) -> Dict[str, Any]:
+        """The executor task dict, identical to ``run_sweep``'s layout.
+
+        The cell dict is re-canonicalized through the parsed
+        :class:`~repro.sweep.spec.SweepCell` (not echoed from the
+        wire), so key order or JSON quirks in the request cannot change
+        the trial's seed stream or cache identity.
+        """
+        return {"cell": self.cell.key_dict(), "cell_key": self.cell.key(),
+                "seed": self.seed, "n_trials": self.n_trials,
+                "trial": self.trial, "observe": self.observe}
+
+
 def _as_tuple(body: Dict[str, Any], key: str, default: tuple,
               convert) -> tuple:
     value = body.get(key)
@@ -344,6 +423,13 @@ def run_response(payload: Dict[str, Any], *, cached: bool,
                  batch_size: int) -> Dict[str, Any]:
     """The ``POST /run`` response envelope around one trial payload."""
     return {"protocol": PROTOCOL_VERSION, "cached": cached,
+            "batch_size": batch_size, "trial": payload}
+
+
+def task_response(payload: Dict[str, Any], *, trial: int,
+                  batch_size: int) -> Dict[str, Any]:
+    """The ``POST /task`` response envelope around one trial payload."""
+    return {"protocol": PROTOCOL_VERSION, "trial_index": trial,
             "batch_size": batch_size, "trial": payload}
 
 

@@ -1,0 +1,137 @@
+"""Client-side retry: exponential backoff, full jitter, deadlines.
+
+One policy object replaces every hand-rolled retry loop around
+:class:`~repro.serve.client.ServeClient` calls.  The shape follows the
+standard full-jitter recipe: attempt ``k`` (0-based) may sleep up to
+``base_s * 2**k`` seconds (capped at ``cap_s``), with the actual sleep
+drawn uniformly from ``[0, ceiling]`` so a fleet of retrying clients
+does not thunder back in lockstep.  A ``Retry-After`` hint on a 429
+response is honored as a *floor* under the drawn sleep — the server
+said when it wants us back; jitter only ever adds politeness on top.
+Total time spent (attempts plus sleeps) is bounded by ``deadline_s``:
+when the next sleep would cross the deadline, the last error is
+raised instead of waiting out a retry that could never be submitted.
+
+Determinism: the jitter stream comes from a seeded ``random.Random``
+(house rule DET003 — no unseeded RNGs), so tests can pin exact sleep
+sequences.  Pass a fresh ``jitter_seed`` per client if you want fleets
+to spread out.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client retries transient failures.
+
+    Attributes:
+        max_attempts: total tries, including the first (>= 1).
+        base_s: backoff ceiling for the first retry.
+        cap_s: upper bound any single sleep can reach.
+        deadline_s: budget for the whole call — attempts plus sleeps;
+            once the next sleep would cross it, the last error wins.
+        retry_statuses: HTTP statuses worth retrying (429 backpressure,
+            503/504 transient server states).  Connection-level errors
+            (refused, reset, timed out) are always retryable.
+        jitter_seed: seed for the full-jitter stream.
+    """
+
+    max_attempts: int = 4
+    base_s: float = 0.05
+    cap_s: float = 2.0
+    deadline_s: float = 30.0
+    retry_statuses: Tuple[int, ...] = (429, 503, 504)
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_s <= 0 or self.cap_s <= 0:
+            raise ValueError(
+                f"base_s/cap_s must be > 0, got {self.base_s}/{self.cap_s}")
+        if self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be > 0, got {self.deadline_s}")
+
+    def backoff_ceiling(self, attempt: int) -> float:
+        """The exponential ceiling for 0-based retry ``attempt``."""
+        return min(self.cap_s, self.base_s * (2 ** attempt))
+
+    def should_retry_status(self, status: int) -> bool:
+        """Whether an HTTP status is worth another attempt."""
+        return status in self.retry_statuses
+
+
+class RetryExhausted(Exception):
+    """Every attempt failed; carries the last underlying error.
+
+    Attributes:
+        attempts: how many attempts were made.
+        last: the final exception (also the ``__cause__``).
+    """
+
+    def __init__(self, attempts: int, last: BaseException) -> None:
+        self.attempts = attempts
+        self.last = last
+        super().__init__(
+            f"gave up after {attempts} attempt(s): "
+            f"{type(last).__name__}: {last}")
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    *,
+    classify: Callable[[BaseException], Tuple[bool, Optional[float]]],
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+    rng: Optional[random.Random] = None,
+) -> T:
+    """Run ``fn`` under a retry policy; return its first success.
+
+    Args:
+        fn: the zero-argument call to protect.
+        policy: backoff/deadline configuration.
+        classify: maps a raised exception to ``(retryable,
+            retry_after_hint)``; the hint (seconds, or ``None``) floors
+            the jittered sleep — how :class:`ServeClient` forwards a
+            429's ``Retry-After`` header.
+        sleep / clock: injectable for tests (virtual time).
+        rng: jitter source; defaults to a fresh seeded stream from
+            ``policy.jitter_seed``.
+
+    Raises:
+        RetryExhausted: when attempts run out, a non-retryable error
+            arrives (``attempts`` then counts the tries so far), or the
+            next sleep would cross the deadline; the last underlying
+            error is chained as ``__cause__``.
+    """
+    rng = rng or random.Random(policy.jitter_seed)
+    started = clock()
+    last: Optional[BaseException] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except Exception as exc:
+            last = exc
+            retryable, hint = classify(exc)
+            if not retryable or attempt == policy.max_attempts - 1:
+                raise RetryExhausted(attempt + 1, exc) from exc
+            delay = rng.uniform(0.0, policy.backoff_ceiling(attempt))
+            if hint is not None:
+                delay = max(delay, hint)
+            elapsed = clock() - started
+            if elapsed + delay > policy.deadline_s:
+                raise RetryExhausted(attempt + 1, exc) from exc
+            sleep(delay)
+    raise RetryExhausted(policy.max_attempts,
+                         last or RuntimeError("no attempts made"))

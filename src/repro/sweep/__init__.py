@@ -28,7 +28,7 @@ Quickstart::
 """
 
 from .cache import CacheError, ResultCache, content_address
-from .executor import cell_address, run_sweep, run_trial
+from .executor import cell_address, run_sweep, run_trial, validate_cells
 from .results import CellResult, RunRecord, SweepResult, TrialRecord
 from .seeding import key_entropy, trial_rngs, trial_seed_sequences
 from .spec import (
@@ -36,6 +36,7 @@ from .spec import (
     SweepCell,
     SweepError,
     SweepSpec,
+    cell_from_key_dict,
     fault_plan_from_dicts,
     fault_plan_to_dicts,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "SweepResult",
     "TrialRecord",
     "cell_address",
+    "cell_from_key_dict",
     "content_address",
     "fault_plan_from_dicts",
     "fault_plan_to_dicts",
@@ -60,4 +62,5 @@ __all__ = [
     "run_trial",
     "trial_rngs",
     "trial_seed_sequences",
+    "validate_cells",
 ]

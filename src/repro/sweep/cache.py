@@ -39,7 +39,11 @@ CACHE_SCHEMA = 1
 
 
 class CacheError(Exception):
-    """Raised on unreadable or corrupt cache entries."""
+    """Raised for invalid cache configuration (bad eviction limits).
+
+    Corrupt *entries* never raise: :meth:`ResultCache.get` quarantines
+    them and reports a miss instead (see :attr:`ResultCache.corruptions`).
+    """
 
 
 def content_address(key_obj: Any) -> str:
@@ -63,6 +67,13 @@ class ResultCache:
     (by file mtime — reads refresh it) are deleted until both budgets
     hold.  The entry just written is the most recent, so it always
     survives a prune.
+
+    Corrupt entries never raise out of :meth:`get`: a file that cannot
+    be parsed (a torn write from a crashed process, a bad disk) is
+    treated as a miss, renamed aside to ``<digest>.corrupt`` so later
+    reads miss cleanly too, and counted in :attr:`corruptions`.  The
+    payload is recomputed and re-stored by the caller exactly as for
+    an ordinary miss.
     """
 
     def __init__(self, root: Union[str, pathlib.Path], *,
@@ -79,6 +90,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corruptions = 0
 
     def _path(self, digest: str) -> pathlib.Path:
         return self.root / f"{digest}.json"
@@ -87,11 +99,11 @@ class ResultCache:
         """The stored payload for an address, or ``None`` on a miss.
 
         A hit refreshes the entry's mtime so LRU pruning sees it as
-        recently used.
-
-        Raises:
-            CacheError: when the entry exists but cannot be parsed
-                (a truncated write from a crashed process, say).
+        recently used.  An entry that exists but cannot be parsed (a
+        truncated write from a crashed process, say) or does not hold a
+        JSON object is *quarantined* — renamed to ``<digest>.corrupt``,
+        counted in :attr:`corruptions` — and reported as a miss, so one
+        bad file costs a recompute instead of failing the sweep.
         """
         path = self._path(digest)
         if not path.exists():
@@ -99,14 +111,27 @@ class ResultCache:
             return None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise CacheError(f"corrupt cache entry {path}: {exc}") from exc
+            if not isinstance(payload, dict):
+                raise ValueError(
+                    f"entry holds {type(payload).__name__}, not an object")
+        except (OSError, json.JSONDecodeError, ValueError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
         try:
             os.utime(path)
         except OSError:  # pragma: no cover - entry raced away; still a hit
             pass
         self.hits += 1
         return payload
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a corrupt entry aside so every later read misses cleanly."""
+        self.corruptions += 1
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:  # pragma: no cover - raced away; miss either way
+            pass
 
     def put(self, digest: str, payload: Dict[str, Any]) -> None:
         """Store a payload atomically (write to temp file, rename)."""

@@ -147,6 +147,38 @@ def _make_tasks(cell: SweepCell, spec: SweepSpec,
     ]
 
 
+def validate_cells(cells: List[SweepCell]) -> None:
+    """Refuse statically-invalid cells before any trial is dispatched.
+
+    Shared by :func:`run_sweep` and the fabric coordinator so every
+    execution path enforces the same gate: fault plans cannot target
+    ACTIVITY cells, and any ERROR-severity pre-flight finding
+    (undersized team, provable deadlock, fault plan naming a
+    nonexistent target) is a refusal.
+
+    Raises:
+        SweepError: naming the offending cell and its findings.
+    """
+    # Deferred import: repro.analyze depends on repro.sweep.spec, so a
+    # module-level import here would tangle package initialization.
+    from ..analyze.preflight import check_cell
+    from ..analyze.report import Severity, issues_summary
+
+    for cell in cells:
+        if cell.scenario == ACTIVITY and cell.fault_plan is not None:
+            raise SweepError(
+                f"cell {cell.describe()!r}: fault plans apply to single "
+                f"scenarios, not ACTIVITY cells"
+            )
+        failed = [i for i in check_cell(cell)
+                  if i.severity is Severity.ERROR]
+        if failed:
+            raise SweepError(
+                f"cell {cell.describe()!r} failed static analysis: "
+                f"{issues_summary(failed)}"
+            )
+
+
 def _pool(workers: int) -> concurrent.futures.ProcessPoolExecutor:
     # Prefer fork where available: it inherits sys.path (no editable
     # install needed) and skips per-worker interpreter start-up.  The
@@ -190,30 +222,13 @@ def run_sweep(
             targets — see :mod:`repro.analyze.preflight`); invalid work
             is refused before any trial is dispatched.
     """
-    # Deferred import: repro.analyze depends on repro.sweep.spec, so a
-    # module-level import here would tangle package initialization.
-    from ..analyze.preflight import check_cell
-    from ..analyze.report import Severity, issues_summary
-
     if workers < 1:
         raise SweepError(f"workers must be >= 1, got {workers}")
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
 
     cells = spec.cells()
-    for cell in cells:
-        if cell.scenario == ACTIVITY and cell.fault_plan is not None:
-            raise SweepError(
-                f"cell {cell.describe()!r}: fault plans apply to single "
-                f"scenarios, not ACTIVITY cells"
-            )
-        failed = [i for i in check_cell(cell)
-                  if i.severity is Severity.ERROR]
-        if failed:
-            raise SweepError(
-                f"cell {cell.describe()!r} failed static analysis: "
-                f"{issues_summary(failed)}"
-            )
+    validate_cells(cells)
 
     started = time.perf_counter()
     cell_results: List[Optional[CellResult]] = [None] * len(cells)

@@ -156,6 +156,63 @@ class SweepCell:
         return " ".join(parts)
 
 
+def cell_from_key_dict(d: Dict[str, object]) -> SweepCell:
+    """Rebuild a :class:`SweepCell` from its :meth:`~SweepCell.key_dict`.
+
+    The inverse of ``key_dict()``: ``cell_from_key_dict(c.key_dict())``
+    equals ``c`` for every valid cell, so a cell can round-trip through
+    JSON — over the fabric's worker wire, through ``POST /task`` — and
+    re-derive the *same* canonical key and cache address on the far
+    side.  Nothing from the wire is trusted: every field is re-validated
+    exactly as direct construction validates it.
+
+    Raises:
+        SweepError: on missing/extra fields, unknown policy/style/fault
+            names, or any value direct construction would refuse.
+    """
+    expected = ("flag", "scenario", "team_size", "policy", "style",
+                "copies", "fault_label", "faults", "rows", "cols")
+    missing = [k for k in expected if k not in d]
+    extra = sorted(set(d) - set(expected))
+    if missing or extra:
+        raise SweepError(
+            f"bad cell dict: missing {missing or 'nothing'}, "
+            f"unexpected {extra or 'nothing'}")
+    try:
+        policy = AcquirePolicy[str(d["policy"])]
+        style = FillStyle[str(d["style"])]
+    except KeyError as exc:
+        raise SweepError(f"unknown policy/style name {exc}") from exc
+    faults = d["faults"]
+    if faults is not None and not isinstance(faults, (list, tuple)):
+        raise SweepError(
+            f"'faults' must be null or a list, got {type(faults).__name__}")
+    for name in ("rows", "cols"):
+        v = d[name]
+        if v is not None and (isinstance(v, bool) or not isinstance(v, int)
+                              or v < 1):
+            raise SweepError(
+                f"{name!r} must be null or a positive integer, got {v!r}")
+    if not isinstance(d["flag"], str) or not d["flag"]:
+        raise SweepError(f"'flag' must be a non-empty string, "
+                         f"got {d['flag']!r}")
+    try:
+        return SweepCell(
+            flag=d["flag"],
+            scenario=int(d["scenario"]),  # type: ignore[arg-type]
+            team_size=int(d["team_size"]),  # type: ignore[arg-type]
+            policy=policy,
+            style=style,
+            copies=int(d["copies"]),  # type: ignore[arg-type]
+            fault_label=str(d["fault_label"]),
+            fault_plan=(None if faults is None
+                        else fault_plan_from_dicts(faults)),
+            rows=d["rows"], cols=d["cols"],  # type: ignore[arg-type]
+        )
+    except (TypeError, ValueError) as exc:
+        raise SweepError(f"bad cell dict: {exc}") from exc
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """A declarative grid of experiment configurations.

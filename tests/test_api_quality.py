@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.classroom",
     "repro.data",
     "repro.depgraph",
+    "repro.fabric",
     "repro.faults",
     "repro.flags",
     "repro.grid",

@@ -21,7 +21,7 @@ class TestParser:
         for cmd in ("flags", "render", "scenario", "activity", "session",
                     "depgraph", "analyze", "dryrun", "grade", "tables",
                     "animate", "slides", "debrief", "report", "chaos",
-                    "sweep", "trace", "serve"):
+                    "sweep", "fabric", "trace", "serve"):
             # Minimal arg sets per command.
             argv = {
                 "flags": ["flags"],
@@ -40,6 +40,7 @@ class TestParser:
                 "report": ["report", "USI"],
                 "chaos": ["chaos", "mauritius"],
                 "sweep": ["sweep"],
+                "fabric": ["fabric"],
                 "trace": ["trace", "mauritius"],
                 "serve": ["serve", "--port", "0"],
             }[cmd]
@@ -203,6 +204,42 @@ class TestCommands:
                      "--trials", "1"]) == 0
         out = capsys.readouterr().out
         assert "scenario1_repeat" in out
+
+    def test_fabric_runs_grid(self, capsys):
+        assert main(["fabric", "--flag", "poland", "--scenario", "3",
+                     "--scenario", "4", "--trials", "2", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario3" in out and "scenario4" in out
+        assert "computed 4, cached 0" in out
+        assert "leases 2" in out and "worker deaths 0" in out
+
+    def test_fabric_chaos_crash_retries(self, capsys):
+        assert main(["fabric", "--flag", "poland", "--scenario", "3",
+                     "--scenario", "4", "--trials", "1", "--seed", "5",
+                     "--chaos", "crash:w0:1", "--hedge-after", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "retries 1" in out and "worker deaths 1" in out
+
+    def test_fabric_warm_cache_shared_with_sweep(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["sweep", "--flag", "poland", "--trials", "2",
+                     "--seed", "5", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["fabric", "--flag", "poland", "--trials", "2",
+                     "--seed", "5", "--cache-dir", cache]) == 0
+        warm = capsys.readouterr().out
+        assert "computed 0, cached 2" in warm
+        assert "leases 0" in warm
+
+    def test_fabric_bad_chaos_spec_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fabric", "--chaos", "meteor:w0:1"])
+        with pytest.raises(SystemExit):
+            main(["fabric", "--chaos", "crash:w0:zero"])
+
+    def test_fabric_bad_remote_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fabric", "--remote", "localhost"])
 
     def test_trace_writes_valid_chrome_json(self, capsys, tmp_path):
         import json

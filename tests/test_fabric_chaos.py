@@ -1,0 +1,93 @@
+"""Tests for repro.fabric.chaos — the scripted-failure vocabulary."""
+
+import pytest
+
+from repro.fabric import (
+    ChaosError,
+    ChaosPlan,
+    DroppedResponse,
+    SlowStart,
+    WorkerCrash,
+    WorkerStall,
+)
+from repro.fabric.worker import (
+    crashes_on,
+    drops_response,
+    stall_before,
+    startup_delay,
+)
+
+
+class TestEventValidation:
+    def test_valid_events_construct(self):
+        WorkerCrash(worker="w0", on_lease=1)
+        WorkerStall(worker="w1", on_lease=2, stall_s=0.5)
+        SlowStart(worker="w2", delay_s=0.0)
+        DroppedResponse(worker="r0", on_lease=3)
+
+    @pytest.mark.parametrize("build", [
+        lambda: WorkerCrash(worker="", on_lease=1),
+        lambda: WorkerCrash(worker="w0", on_lease=0),
+        lambda: WorkerCrash(worker="w0", on_lease=True),
+        lambda: WorkerStall(worker="w0", on_lease=1, stall_s=-1.0),
+        lambda: SlowStart(worker="w0", delay_s=-0.1),
+        lambda: DroppedResponse(worker="w0", on_lease=-2),
+    ])
+    def test_bad_events_rejected(self, build):
+        with pytest.raises(ChaosError):
+            build()
+
+
+class TestChaosPlan:
+    def test_for_worker_filters_by_name(self):
+        plan = ChaosPlan.of([
+            WorkerCrash(worker="w0", on_lease=1),
+            WorkerStall(worker="w1", on_lease=1, stall_s=1.0),
+            SlowStart(worker="w0", delay_s=0.2),
+        ])
+        assert len(plan) == 3
+        mine = plan.for_worker("w0")
+        assert [type(e).__name__ for e in mine] == ["WorkerCrash",
+                                                    "SlowStart"]
+        assert plan.for_worker("w9") == []
+
+    def test_duplicate_events_rejected(self):
+        with pytest.raises(ChaosError, match="duplicate"):
+            ChaosPlan.of([WorkerCrash(worker="w0", on_lease=1),
+                          WorkerCrash(worker="w0", on_lease=1)])
+
+    def test_non_events_rejected(self):
+        with pytest.raises(ChaosError, match="not a chaos event"):
+            ChaosPlan.of(["crash w0"])
+
+    def test_empty_plan_is_fine(self):
+        assert len(ChaosPlan()) == 0
+        assert ChaosPlan().for_worker("w0") == []
+
+
+class TestWorkerScriptHelpers:
+    """The predicates the worker loop keys its chaos off."""
+
+    SCRIPT = [
+        SlowStart(worker="w0", delay_s=0.25),
+        WorkerCrash(worker="w0", on_lease=3),
+        WorkerStall(worker="w0", on_lease=2, stall_s=1.5),
+        DroppedResponse(worker="w0", on_lease=1),
+    ]
+
+    def test_startup_delay_sums_slow_starts(self):
+        assert startup_delay(self.SCRIPT) == pytest.approx(0.25)
+        assert startup_delay([]) == 0.0
+
+    def test_crash_is_ordinal_exact(self):
+        assert not crashes_on(self.SCRIPT, 1)
+        assert not crashes_on(self.SCRIPT, 2)
+        assert crashes_on(self.SCRIPT, 3)
+
+    def test_stall_is_ordinal_exact(self):
+        assert stall_before(self.SCRIPT, 1) == 0.0
+        assert stall_before(self.SCRIPT, 2) == pytest.approx(1.5)
+
+    def test_drop_is_ordinal_exact(self):
+        assert drops_response(self.SCRIPT, 1)
+        assert not drops_response(self.SCRIPT, 2)

@@ -1,0 +1,174 @@
+"""Fault-tolerance acceptance tests: the fabric vs. dying workers.
+
+The scripted chaos harness (crash on lease, stall, dropped response)
+and the real thing — SIGKILL from outside, mid-sweep — all under the
+headline invariant: results stay byte-identical to a clean serial
+``run_sweep``, and recovery bookkeeping (lease counts, retries,
+hedges, duplicates) is exact.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.fabric import (
+    ChaosPlan,
+    DroppedResponse,
+    FabricConfig,
+    FabricCoordinator,
+    FabricError,
+    WorkerCrash,
+    WorkerStall,
+    run_fabric_sweep,
+)
+from repro.obs import MetricsRegistry
+from repro.sweep import SweepSpec, run_sweep
+
+SPEC = SweepSpec(flags=("poland",), scenarios=(3, 4), team_sizes=(4, 5),
+                 n_trials=1, seed=17)
+
+
+def assert_identical(a, b):
+    """Byte-identity: every trial's every run, traces included."""
+    assert len(a.cells) == len(b.cells)
+    for ca, cb in zip(a.cells, b.cells):
+        assert ca.cell == cb.cell
+        assert ca.trials == cb.trials  # frozen dataclasses: trace bytes
+
+
+class TestScriptedChaos:
+    def test_crashed_worker_cell_is_retried_elsewhere(self):
+        registry = MetricsRegistry()
+        chaos = ChaosPlan.of([WorkerCrash(worker="w0", on_lease=1)])
+        coordinator = FabricCoordinator(
+            SPEC,
+            FabricConfig(workers=2, retry_base_s=0.01, retry_cap_s=0.05,
+                         hedge_after_s=None),
+            chaos=chaos, registry=registry)
+        result = coordinator.run()
+        assert_identical(run_sweep(SPEC), result)
+        assert coordinator.stats.worker_deaths == 1
+        assert coordinator.stats.retries == 1
+        assert registry.counter("fabric_retries_total").value() == 1
+        assert registry.counter("fabric_leases_total").value(
+            kind="retry") == 1
+        assert registry.gauge("fabric_worker_state").value(
+            worker="w0") == 0
+
+    def test_stalled_worker_is_hedged_around(self):
+        registry = MetricsRegistry()
+        chaos = ChaosPlan.of([WorkerStall(worker="w0", on_lease=1,
+                                          stall_s=20.0)])
+        coordinator = FabricCoordinator(
+            SPEC,
+            FabricConfig(workers=2, hedge_after_s=0.2,
+                         heartbeat_timeout_s=60.0),
+            chaos=chaos, registry=registry)
+        result = coordinator.run()
+        assert_identical(run_sweep(SPEC), result)
+        assert coordinator.stats.hedges >= 1
+        assert registry.counter("fabric_hedges_total").value() >= 1
+        # The stalled worker never finished; nothing was duplicated.
+        assert coordinator.stats.worker_deaths == 0
+
+    def test_dropped_response_recovered_by_silence_retry(self):
+        # Hedging off: only the heartbeat-silence path can save this.
+        chaos = ChaosPlan.of([DroppedResponse(worker="w0", on_lease=1)])
+        coordinator = FabricCoordinator(
+            SPEC,
+            FabricConfig(workers=2, hedge_after_s=None,
+                         heartbeat_timeout_s=0.4, retry_base_s=0.01,
+                         retry_cap_s=0.05),
+            chaos=chaos)
+        result = coordinator.run()
+        assert_identical(run_sweep(SPEC), result)
+        assert coordinator.stats.retries >= 1
+        assert coordinator.stats.worker_deaths == 0
+
+    def test_dropped_response_recovered_by_hedge(self):
+        chaos = ChaosPlan.of([DroppedResponse(worker="w0", on_lease=1)])
+        coordinator = FabricCoordinator(
+            SPEC,
+            FabricConfig(workers=2, hedge_after_s=0.2,
+                         heartbeat_timeout_s=60.0),
+            chaos=chaos)
+        result = coordinator.run()
+        assert_identical(run_sweep(SPEC), result)
+        assert coordinator.stats.hedges >= 1
+
+    def test_compound_chaos_still_byte_identical(self):
+        chaos = ChaosPlan.of([
+            WorkerCrash(worker="w0", on_lease=1),
+            WorkerStall(worker="w1", on_lease=2, stall_s=10.0),
+            DroppedResponse(worker="w2", on_lease=2),
+        ])
+        result = run_fabric_sweep(
+            SPEC,
+            FabricConfig(workers=3, retry_base_s=0.01, retry_cap_s=0.05,
+                         hedge_after_s=0.25, heartbeat_timeout_s=1.0),
+            chaos=chaos)
+        assert_identical(run_sweep(SPEC), result)
+
+    def test_all_workers_crashing_is_a_fabric_error(self):
+        chaos = ChaosPlan.of([WorkerCrash(worker="w0", on_lease=1),
+                              WorkerCrash(worker="w1", on_lease=1)])
+        with pytest.raises(FabricError, match="died|failed"):
+            run_fabric_sweep(
+                SPEC,
+                FabricConfig(workers=2, retry_base_s=0.01,
+                             retry_cap_s=0.05, max_attempts=3,
+                             hedge_after_s=None),
+                chaos=chaos)
+
+
+class TestSigkillMidSweep:
+    """The real thing: SIGKILL a worker process from outside."""
+
+    def test_sigkill_in_flight_cell_re_leased_exactly_once(self):
+        # A long scripted stall guarantees w0's first lease is still
+        # in flight when the signal lands; hedging is off so lease
+        # accounting stays exact.
+        chaos = ChaosPlan.of([WorkerStall(worker="w0", on_lease=1,
+                                          stall_s=60.0)])
+        coordinator = FabricCoordinator(
+            SPEC,
+            FabricConfig(workers=2, retry_base_s=0.01, retry_cap_s=0.05,
+                         hedge_after_s=None, heartbeat_timeout_s=60.0),
+            chaos=chaos)
+
+        outcome = {}
+
+        def drive():
+            outcome["result"] = coordinator.run()
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        try:
+            deadline = time.time() + 30.0
+            while time.time() < deadline:
+                victim_cell = coordinator.current_cell("w0")
+                if victim_cell is not None:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("w0 never took a lease")
+            time.sleep(0.1)  # let the worker enter its stall
+            os.kill(coordinator.pid("w0"), signal.SIGKILL)
+        finally:
+            thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert "result" in outcome, "fabric run died"
+
+        assert_identical(run_sweep(SPEC), outcome["result"])
+        stats = coordinator.stats
+        assert stats.worker_deaths == 1
+        # The killed worker's in-flight cell was re-leased exactly
+        # once; every other cell needed exactly one lease.
+        assert stats.attempts[victim_cell] == 2
+        others = {k: v for k, v in stats.attempts.items()
+                  if k != victim_cell}
+        assert set(others.values()) == {1}
+        assert stats.duplicates == 0

@@ -21,7 +21,48 @@ from repro.schedule.worksteal import (
     WorkStealError,
     count_steals,
     run_work_stealing,
+    steal_back_half,
 )
+
+
+class TestStealBackHalf:
+    """The pure queue-level primitive shared with repro.fabric."""
+
+    def test_moves_back_half_of_largest_queue(self):
+        from collections import deque
+        queues = {"a": deque([1, 2, 3, 4]), "b": deque(), "c": deque([9])}
+        moved = steal_back_half(queues, "b")
+        assert moved == ("a", [3, 4])
+        assert list(queues["a"]) == [1, 2]
+        assert list(queues["b"]) == [3, 4]
+        assert list(queues["c"]) == [9]
+
+    def test_single_item_queue_gives_its_item(self):
+        from collections import deque
+        queues = {"a": deque(["only"]), "b": deque()}
+        assert steal_back_half(queues, "b") == ("a", ["only"])
+        assert not queues["a"]
+
+    def test_nothing_to_steal_returns_none(self):
+        from collections import deque
+        queues = {"a": deque(), "b": deque([1, 2])}
+        assert steal_back_half(queues, "b") is None
+        assert list(queues["b"]) == [1, 2]  # own queue never raided
+
+    def test_tie_breaks_deterministically(self):
+        from collections import deque
+        build = lambda: {"a": deque([1, 2]), "z": deque([3, 4]),
+                         "thief": deque()}
+        first = steal_back_half(build(), "thief")
+        second = steal_back_half(build(), "thief")
+        assert first == second == ("z", [4])
+
+    def test_preserves_victim_order(self):
+        from collections import deque
+        queues = {"a": deque(list(range(10))), "b": deque()}
+        _, stolen = steal_back_half(queues, "b")
+        assert stolen == [5, 6, 7, 8, 9]
+        assert list(queues["a"]) == [0, 1, 2, 3, 4]
 
 
 def fresh_team(seed, n=4, colors=None, copies=1, slow_last=False):

@@ -1,0 +1,269 @@
+"""Tests for repro.serve.retry — backoff, jitter, deadlines."""
+
+import random
+
+import pytest
+
+from repro.serve import RetryExhausted, RetryPolicy, call_with_retry
+from repro.serve.client import ServeClient, ServeError
+
+
+class FakeClock:
+    """Virtual time: sleeps advance the clock, nothing really waits."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_defaults_are_sane(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 4
+        assert 429 in policy.retry_statuses
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_s": 0.0},
+        {"cap_s": -1.0},
+        {"deadline_s": 0.0},
+    ])
+    def test_bad_limits_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_ceiling_doubles_then_caps(self):
+        policy = RetryPolicy(base_s=0.1, cap_s=0.5)
+        assert policy.backoff_ceiling(0) == pytest.approx(0.1)
+        assert policy.backoff_ceiling(1) == pytest.approx(0.2)
+        assert policy.backoff_ceiling(2) == pytest.approx(0.4)
+        assert policy.backoff_ceiling(3) == pytest.approx(0.5)  # capped
+        assert policy.backoff_ceiling(10) == pytest.approx(0.5)
+
+    def test_should_retry_status(self):
+        policy = RetryPolicy()
+        assert policy.should_retry_status(429)
+        assert policy.should_retry_status(503)
+        assert not policy.should_retry_status(404)
+        assert not policy.should_retry_status(500)
+
+
+class TestCallWithRetry:
+    def _classify_all(self, exc):
+        return True, None
+
+    def test_first_success_needs_no_sleep(self):
+        fake = FakeClock()
+        result = call_with_retry(lambda: 42, RetryPolicy(),
+                                 classify=self._classify_all,
+                                 sleep=fake.sleep, clock=fake.clock)
+        assert result == 42
+        assert fake.sleeps == []
+
+    def test_transient_failures_then_success(self):
+        fake = FakeClock()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("connection reset")
+            return "ok"
+
+        result = call_with_retry(flaky, RetryPolicy(),
+                                 classify=self._classify_all,
+                                 sleep=fake.sleep, clock=fake.clock)
+        assert result == "ok"
+        assert len(calls) == 3
+        assert len(fake.sleeps) == 2
+
+    def test_non_retryable_raises_immediately(self):
+        fake = FakeClock()
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise ValueError("a 404 would classify like this")
+
+        with pytest.raises(RetryExhausted) as err:
+            call_with_retry(bad, RetryPolicy(),
+                            classify=lambda exc: (False, None),
+                            sleep=fake.sleep, clock=fake.clock)
+        assert len(calls) == 1
+        assert err.value.attempts == 1
+        assert isinstance(err.value.last, ValueError)
+        assert err.value.__cause__ is err.value.last
+
+    def test_attempts_exhausted(self):
+        fake = FakeClock()
+        calls = []
+
+        def always_down():
+            calls.append(1)
+            raise OSError("still down")
+
+        with pytest.raises(RetryExhausted) as err:
+            call_with_retry(always_down, RetryPolicy(max_attempts=3),
+                            classify=self._classify_all,
+                            sleep=fake.sleep, clock=fake.clock)
+        assert len(calls) == 3
+        assert err.value.attempts == 3
+        assert len(fake.sleeps) == 2  # no sleep after the final failure
+
+    def test_sleeps_respect_full_jitter_ceilings(self):
+        fake = FakeClock()
+        policy = RetryPolicy(max_attempts=5, base_s=0.1, cap_s=0.3,
+                             deadline_s=100.0)
+
+        def always_down():
+            raise OSError("down")
+
+        with pytest.raises(RetryExhausted):
+            call_with_retry(always_down, policy,
+                            classify=self._classify_all,
+                            sleep=fake.sleep, clock=fake.clock)
+        ceilings = [0.1, 0.2, 0.3, 0.3]
+        assert len(fake.sleeps) == 4
+        for slept, ceiling in zip(fake.sleeps, ceilings):
+            assert 0.0 <= slept <= ceiling
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def run(seed):
+            fake = FakeClock()
+            with pytest.raises(RetryExhausted):
+                call_with_retry(
+                    lambda: (_ for _ in ()).throw(OSError("down")),
+                    RetryPolicy(jitter_seed=seed),
+                    classify=self._classify_all,
+                    sleep=fake.sleep, clock=fake.clock)
+            return fake.sleeps
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_retry_after_hint_floors_the_sleep(self):
+        fake = FakeClock()
+        policy = RetryPolicy(base_s=0.01, cap_s=0.02, deadline_s=100.0)
+
+        def throttled():
+            raise OSError("429-ish")
+
+        with pytest.raises(RetryExhausted):
+            call_with_retry(throttled, policy,
+                            classify=lambda exc: (True, 5.0),
+                            sleep=fake.sleep, clock=fake.clock)
+        # Jitter could draw at most 0.02s; the hint lifts every sleep.
+        assert all(s >= 5.0 for s in fake.sleeps)
+
+    def test_deadline_stops_the_dance(self):
+        fake = FakeClock()
+        policy = RetryPolicy(max_attempts=100, base_s=10.0, cap_s=10.0,
+                             deadline_s=2.0)
+        calls = []
+
+        def always_down():
+            calls.append(1)
+            raise OSError("down")
+
+        with pytest.raises(RetryExhausted) as err:
+            call_with_retry(always_down, policy,
+                            classify=lambda exc: (True, 10.0),
+                            sleep=fake.sleep, clock=fake.clock)
+        # The first 10s floor already crosses the 2s deadline: one
+        # attempt, zero sleeps, fail fast instead of waiting pointlessly.
+        assert len(calls) == 1
+        assert fake.sleeps == []
+        assert err.value.attempts == 1
+
+    def test_injected_rng_is_used(self):
+        fake = FakeClock()
+        rng = random.Random(123)
+        expected_first = random.Random(123).uniform(
+            0.0, RetryPolicy().backoff_ceiling(0))
+        calls = []
+
+        def once_down():
+            calls.append(1)
+            if len(calls) == 1:
+                raise OSError("down")
+            return "ok"
+
+        assert call_with_retry(once_down, RetryPolicy(),
+                               classify=self._classify_all,
+                               sleep=fake.sleep, clock=fake.clock,
+                               rng=rng) == "ok"
+        assert fake.sleeps == [expected_first]
+
+
+class FakeTransport:
+    """Scripted (status, headers, body) replies for ServeClient.request."""
+
+    def __init__(self, replies):
+        self.replies = list(replies)
+        self.calls = 0
+
+    def __call__(self, method, path, body=None):
+        self.calls += 1
+        reply = self.replies.pop(0)
+        if isinstance(reply, Exception):
+            raise reply
+        return reply
+
+
+def _client(policy, replies, monkeypatch):
+    client = ServeClient(retry=policy)
+    transport = FakeTransport(replies)
+    monkeypatch.setattr(client, "request", transport)
+    return client, transport
+
+
+OK = (200, {}, b'{"protocol": 1, "status": "ok"}')
+BUSY = (429, {"retry-after": "0.001"}, b'{"error": {"code": "x"}}')
+DOWN = (503, {}, b'{"error": {"code": "unavailable"}}')
+MISSING = (404, {}, b'{"error": {"code": "flag_not_found"}}')
+
+
+class TestServeClientRetry:
+    def test_no_policy_keeps_fail_fast(self, monkeypatch):
+        client, transport = _client(None, [DOWN], monkeypatch)
+        with pytest.raises(ServeError):
+            client.healthz()
+        assert transport.calls == 1
+
+    def test_transient_statuses_are_retried(self, monkeypatch):
+        policy = RetryPolicy(base_s=0.001, cap_s=0.002, deadline_s=5.0)
+        client, transport = _client(policy, [DOWN, BUSY, OK], monkeypatch)
+        assert client.healthz()["status"] == "ok"
+        assert transport.calls == 3
+
+    def test_connection_errors_are_retried(self, monkeypatch):
+        policy = RetryPolicy(base_s=0.001, cap_s=0.002, deadline_s=5.0)
+        client, transport = _client(
+            policy, [ConnectionRefusedError("nope"), OK], monkeypatch)
+        assert client.healthz()["status"] == "ok"
+        assert transport.calls == 2
+
+    def test_non_retryable_status_raises_at_once(self, monkeypatch):
+        policy = RetryPolicy(base_s=0.001, cap_s=0.002, deadline_s=5.0)
+        client, transport = _client(policy, [MISSING, OK], monkeypatch)
+        with pytest.raises(ServeError) as err:
+            client.run(flag="atlantis")
+        assert err.value.status == 404
+        assert transport.calls == 1
+
+    def test_exhaustion_surfaces_the_last_serve_error(self, monkeypatch):
+        policy = RetryPolicy(max_attempts=2, base_s=0.001, cap_s=0.002,
+                             deadline_s=5.0)
+        client, transport = _client(policy, [BUSY, BUSY, OK], monkeypatch)
+        with pytest.raises(ServeError) as err:
+            client.healthz()
+        assert err.value.status == 429
+        assert isinstance(err.value.__cause__, RetryExhausted)
+        assert transport.calls == 2

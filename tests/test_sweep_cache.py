@@ -34,12 +34,46 @@ class TestResultCache:
         ResultCache(root)
         assert root.is_dir()
 
-    def test_corrupt_entry_raises(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path)
         digest = content_address({"x": 1})
         (tmp_path / f"{digest}.json").write_text("{truncated")
-        with pytest.raises(CacheError):
-            cache.get(digest)
+        assert cache.get(digest) is None
+        assert cache.corruptions == 1
+        assert cache.misses == 1
+        # The bad file was moved aside, so later reads miss cleanly.
+        assert not (tmp_path / f"{digest}.json").exists()
+        assert (tmp_path / f"{digest}.corrupt").exists()
+        assert cache.get(digest) is None
+        assert cache.corruptions == 1  # quarantine happens once
+
+    def test_truncated_entry_recomputes_and_heals(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = content_address({"x": "heal"})
+        cache.put(digest, {"trials": [1, 2, 3]})
+        full = (tmp_path / f"{digest}.json").read_text()
+        (tmp_path / f"{digest}.json").write_text(full[: len(full) // 2])
+        payload = cache.get_or_compute({"x": "heal"},
+                                       lambda: {"trials": [1, 2, 3]})
+        assert payload == {"trials": [1, 2, 3]}
+        assert cache.corruptions == 1
+        # Healed: the fresh entry reads back fine.
+        assert cache.get(digest) == {"trials": [1, 2, 3]}
+
+    def test_non_object_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = content_address({"x": 2})
+        (tmp_path / f"{digest}.json").write_text("[1, 2, 3]")
+        assert cache.get(digest) is None
+        assert cache.corruptions == 1
+
+    def test_quarantined_files_do_not_count_as_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = content_address({"x": 3})
+        (tmp_path / f"{digest}.json").write_text("not json")
+        cache.get(digest)
+        assert len(cache) == 0
+        assert cache.total_bytes() == 0
 
     def test_len_counts_entries(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -132,7 +132,8 @@ class Rule:
 
 
 _SIM_PATHS = ("src/repro/sim/", "src/repro/sweep/", "src/repro/faults/",
-              "src/repro/schedule/", "src/repro/agents/")
+              "src/repro/schedule/", "src/repro/agents/",
+              "src/repro/fabric/")
 
 #: Legitimate np.random attributes that are *not* global-state draws.
 _NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence",
