@@ -1,0 +1,119 @@
+"""Engine throughput: the vector backend vs the reference event loop.
+
+Runs one sweep cell's whole trial batch on both engines and records
+trials/sec to ``BENCH_engine.json`` at the repo root.  Two cells are
+measured: a contention-free cell that takes the vector engine's
+structure-of-arrays path (where the 10-100x win lives), and a
+contended scenario-4 cell that takes the scalar replay path (a smaller
+win — no event logs, traces, or canvas bookkeeping, but still one
+event loop per trial).  Identity is asserted alongside speed: the
+vector payloads must carry bit-identical metrics, so the speedup is
+never bought with drift.
+
+The acceptance shape (>= 10x on the batched SoA cell) holds on a
+single core — the vector engine wins by doing less Python, not by
+using more CPUs.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.agents.student import FillStyle
+from repro.schedule import AcquirePolicy
+from repro.sim.vector import run_vector_cell
+from repro.sweep.executor import run_trial
+from repro.sweep.spec import SweepCell
+
+from conftest import print_comparison
+
+N_TRIALS = 64
+BENCH_PATH = (pathlib.Path(__file__).resolve().parent.parent
+              / "BENCH_engine.json")
+
+METRICS = ("true_makespan", "measured_time", "correct")
+
+
+def _cell(scenario: int) -> SweepCell:
+    return SweepCell(flag="mauritius", scenario=scenario, team_size=6,
+                     policy=AcquirePolicy.HOLD_COLOR_RUN,
+                     style=FillStyle.SCRIBBLE, rows=6, cols=8)
+
+
+def _tasks(cell: SweepCell, backend: str):
+    tasks = [
+        {"cell": cell.key_dict(), "cell_key": cell.key(), "seed": 11,
+         "n_trials": N_TRIALS, "trial": t, "observe": False}
+        for t in range(N_TRIALS)
+    ]
+    if backend != "reference":
+        tasks = [dict(t, backend=backend) for t in tasks]
+    return tasks
+
+
+def _measure(cell: SweepCell):
+    """(reference_s, vector_s, identical?) for one cell's full batch."""
+    ref_tasks = _tasks(cell, "reference")
+    t0 = time.perf_counter()
+    ref = [run_trial(task) for task in ref_tasks]
+    ref_s = time.perf_counter() - t0
+
+    vec_tasks = _tasks(cell, "vector")
+    t0 = time.perf_counter()
+    vec = run_vector_cell(vec_tasks)
+    vec_s = time.perf_counter() - t0
+
+    identical = all(
+        v["runs"][label][m] == r["runs"][label][m]
+        for r, v in zip(ref, vec)
+        for label in r["runs"] for m in METRICS)
+    return ref_s, vec_s, identical
+
+
+def _entry(path: str, ref_s: float, vec_s: float) -> dict:
+    return {
+        "path": path,
+        "n_trials": N_TRIALS,
+        "reference_s": round(ref_s, 4),
+        "vector_s": round(vec_s, 4),
+        "reference_trials_per_s": round(N_TRIALS / ref_s, 1),
+        "vector_trials_per_s": round(N_TRIALS / vec_s, 1),
+        "speedup": round(ref_s / vec_s, 1),
+    }
+
+
+def test_vector_batch_throughput(benchmark):
+    soa_ref_s, soa_vec_s, soa_identical = benchmark.pedantic(
+        lambda: _measure(_cell(3)), rounds=1, iterations=1)
+    replay_ref_s, replay_vec_s, replay_identical = _measure(_cell(4))
+
+    assert soa_identical and replay_identical
+
+    soa = _entry("soa", soa_ref_s, soa_vec_s)
+    replay = _entry("replay", replay_ref_s, replay_vec_s)
+    report = {
+        "bench": "engine_throughput",
+        "cell": "mauritius 6x8, team_size=6, seed=11",
+        "batched_soa_scenario3": soa,
+        "replay_scenario4": replay,
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True)
+                          + "\n")
+
+    print_comparison(
+        f"engine throughput: {N_TRIALS}-trial batch, mauritius 6x8", [
+            ["soa speedup", ">= 10x", f"{soa['speedup']:.1f}x"],
+            ["soa trials/s", "-", f"{soa['vector_trials_per_s']:.0f}"],
+            ["replay speedup", "> 1x", f"{replay['speedup']:.1f}x"],
+            ["replay trials/s", "-",
+             f"{replay['vector_trials_per_s']:.0f}"],
+        ])
+    benchmark.extra_info.update(report)
+
+    # The tentpole acceptance bar: >= 10x on a batched SoA cell.
+    assert soa["speedup"] >= 10.0, (
+        f"vector engine only {soa['speedup']}x over reference on the "
+        f"batched scenario-3 cell")
+    # The replay path must never be a regression.
+    assert replay["speedup"] > 1.0, (
+        f"replay path slower than reference ({replay['speedup']}x)")

@@ -372,7 +372,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     try:
         result = run_sweep(spec, workers=args.workers,
-                           cache_dir=args.cache_dir, observe=args.observe)
+                           cache_dir=args.cache_dir, observe=args.observe,
+                           backend=args.backend)
     except KeyboardInterrupt:
         print("sweep interrupted — worker pool cancelled, partial "
               "results discarded", file=sys.stderr)
@@ -465,7 +466,8 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
     )
     chaos = ChaosPlan.of([_parse_chaos_event(c) for c in args.chaos])
     coordinator = FabricCoordinator(spec, config, cache_dir=args.cache_dir,
-                                    observe=args.observe, chaos=chaos)
+                                    observe=args.observe, chaos=chaos,
+                                    backend=args.backend)
     try:
         result = coordinator.run()
     except KeyboardInterrupt:
@@ -501,7 +503,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_window_s=args.batch_window, batch_max=args.batch_max,
         workers=args.workers, default_timeout_s=args.timeout,
         cache_dir=args.cache_dir, cache_max_entries=args.cache_max_entries,
-        cache_max_bytes=args.cache_max_bytes,
+        cache_max_bytes=args.cache_max_bytes, backend=args.backend,
     )
 
     async def _main() -> bool:
@@ -753,6 +755,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--observe", action="store_true",
                    help="attach the observability layer to every run and "
                         "print per-cell counter roll-ups")
+    p.add_argument("--backend", default="reference",
+                   choices=("reference", "vector", "auto"),
+                   help="trial engine: the reference event loop, the "
+                        "batched vector engine (identical metrics, no "
+                        "traces), or auto per-cell selection")
 
     p = sub.add_parser(
         "fabric",
@@ -799,6 +806,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(shared format with 'repro sweep --cache-dir')")
     p.add_argument("--observe", action="store_true",
                    help="attach the observability layer to every run")
+    p.add_argument("--backend", default="reference",
+                   choices=("reference", "vector", "auto"),
+                   help="trial engine, resolved per cell as in "
+                        "'repro sweep --backend'")
 
     p = sub.add_parser(
         "serve",
@@ -827,6 +838,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-max-bytes", type=int, default=None,
                    dest="cache_max_bytes",
                    help="LRU-prune the cache beyond this many bytes")
+    p.add_argument("--backend", default="reference",
+                   choices=("reference", "vector", "auto"),
+                   help="trial engine for requests that name none "
+                        "(request bodies may override per call)")
 
     p = sub.add_parser(
         "trace",

@@ -54,6 +54,7 @@ from typing import Any, Deque, Dict, List, Optional, Set, Tuple, Union
 
 from ..obs.metrics import MetricsRegistry
 from ..schedule.worksteal import steal_back_half
+from ..sim.backend import resolve_backend
 from ..sweep.cache import ResultCache
 from ..sweep.executor import _make_tasks, cell_address, validate_cells
 from ..sweep.results import CellResult, SweepResult, TrialRecord
@@ -200,7 +201,8 @@ class FabricCoordinator:
                  cache_dir: Optional[Union[str, "os.PathLike"]] = None,
                  observe: bool = False,
                  chaos: Optional[ChaosPlan] = None,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 backend: str = "reference") -> None:
         self.spec = spec
         self.config = config or FabricConfig()
         self.chaos = chaos or ChaosPlan()
@@ -213,6 +215,13 @@ class FabricCoordinator:
 
         self._rng = np.random.default_rng(self.config.jitter_seed)
         self._cells = spec.cells()
+        # Per-cell engine, resolved once up front (auto falls back to
+        # reference for fault plans / observers); a vector lease ships
+        # the whole cell as one batch (see repro.fabric.worker).
+        self._cell_backends = [
+            resolve_backend(backend, cell.key_dict(), observe=observe)
+            for cell in self._cells
+        ]
         self._workers: Dict[str, _Worker] = {}
         self._queues: Dict[str, Deque[int]] = {}
         self._leases: Dict[int, _Lease] = {}
@@ -316,7 +325,8 @@ class FabricCoordinator:
             payload = None
             if self.cache is not None:
                 payload = self.cache.get(
-                    cell_address(cell, self.spec, observe=self.observe))
+                    cell_address(cell, self.spec, observe=self.observe,
+                                 backend=self._cell_backends[i]))
             if payload is not None:
                 trials = [TrialRecord.from_payload(t)
                           for t in payload["trials"]]
@@ -343,7 +353,8 @@ class FabricCoordinator:
             payloads = self._payloads[i]
             if self.cache is not None:
                 self.cache.put(
-                    cell_address(cell, self.spec, observe=self.observe),
+                    cell_address(cell, self.spec, observe=self.observe,
+                                 backend=self._cell_backends[i]),
                     {"cell": cell.key_dict(), "trials": payloads})
             cell_results[i] = CellResult(
                 cell=cell,
@@ -637,7 +648,8 @@ class FabricCoordinator:
         self._next_lease_id += 1
         lease_id = self._next_lease_id
         now = self._now()
-        tasks = _make_tasks(cell, self.spec, self.observe)
+        tasks = _make_tasks(cell, self.spec, self.observe,
+                            backend=self._cell_backends[cell_index])
         try:
             worker.conn.send((MSG_LEASE, lease_id, cell_index, tasks))
         except (BrokenPipeError, OSError):
@@ -697,6 +709,7 @@ def run_fabric_sweep(
     observe: bool = False,
     chaos: Optional[ChaosPlan] = None,
     registry: Optional[MetricsRegistry] = None,
+    backend: str = "reference",
 ) -> SweepResult:
     """Run a sweep on the fault-tolerant fabric (convenience wrapper).
 
@@ -712,6 +725,9 @@ def run_fabric_sweep(
         observe: attach observers per trial (as in ``run_sweep``).
         chaos: a scripted failure plan for the workers themselves.
         registry: a metrics registry to record ``fabric_*`` series in.
+        backend: trial engine (``reference`` / ``vector`` / ``auto``),
+            resolved per cell exactly as in ``run_sweep``; vector cells
+            are computed as whole-cell batches on the worker.
 
     Returns:
         A :class:`~repro.sweep.results.SweepResult` byte-identical to
@@ -719,4 +735,5 @@ def run_fabric_sweep(
     """
     return FabricCoordinator(spec, config, cache=cache,
                              cache_dir=cache_dir, observe=observe,
-                             chaos=chaos, registry=registry).run()
+                             chaos=chaos, registry=registry,
+                             backend=backend).run()

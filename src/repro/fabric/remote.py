@@ -92,7 +92,8 @@ def remote_worker_main(conn, worker: str, host: str, port: int,
                 reply = client.task(task["cell"], seed=task["seed"],
                                     n_trials=task["n_trials"],
                                     trial=task["trial"],
-                                    observe=task["observe"])
+                                    observe=task["observe"],
+                                    backend=task.get("backend"))
                 payloads.append(reply["trial"])
             except (ServeError, OSError) as exc:
                 conn.send((MSG_ERROR, worker, lease_id, cell_index,

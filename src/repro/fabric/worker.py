@@ -88,7 +88,7 @@ def worker_main(conn, worker: str,
         chaos: this worker's slice of the chaos plan, already filtered
             via :meth:`~repro.fabric.chaos.ChaosPlan.for_worker`.
     """
-    from ..sweep.executor import run_trial
+    from ..sweep.executor import run_cell_tasks, run_trial
 
     delay = startup_delay(chaos)
     if delay:
@@ -116,15 +116,30 @@ def worker_main(conn, worker: str,
 
         payloads: List[dict] = []
         failed = False
-        for task in tasks:
+        if tasks and all(t.get("backend", "reference") == "vector"
+                         for t in tasks):
+            # A vector lease is one whole-cell batch: all trials
+            # advance together, so heartbeats arrive in a burst when
+            # the batch lands rather than trial by trial.
             try:
-                payloads.append(run_trial(task))
+                payloads = run_cell_tasks(tasks)
             except Exception as exc:
                 conn.send((MSG_ERROR, worker, lease_id, cell_index,
                            f"{type(exc).__name__}: {exc}"))
                 failed = True
-                break
-            conn.send((MSG_BEAT, worker, lease_id, task["trial"]))
+            else:
+                for task in tasks:
+                    conn.send((MSG_BEAT, worker, lease_id, task["trial"]))
+        else:
+            for task in tasks:
+                try:
+                    payloads.append(run_trial(task))
+                except Exception as exc:
+                    conn.send((MSG_ERROR, worker, lease_id, cell_index,
+                               f"{type(exc).__name__}: {exc}"))
+                    failed = True
+                    break
+                conn.send((MSG_BEAT, worker, lease_id, task["trial"]))
         if failed:
             continue
         if drops_response(chaos, ordinal):

@@ -165,6 +165,7 @@ class ServeClient:
 
     def task(self, cell: Dict[str, Any], *, seed: int, n_trials: int,
              trial: int, observe: bool = False,
+             backend: Optional[str] = None,
              timeout_s: Optional[float] = None) -> Dict[str, Any]:
         """``POST /task`` — one raw executor task (the worker endpoint).
 
@@ -181,6 +182,8 @@ class ServeClient:
         body: Dict[str, Any] = {"protocol": PROTOCOL_VERSION, "cell": cell,
                                 "seed": seed, "n_trials": n_trials,
                                 "trial": trial, "observe": observe}
+        if backend is not None:
+            body["backend"] = backend
         if timeout_s is not None:
             body["timeout_s"] = timeout_s
         return self._json("POST", "/task", body)

@@ -28,6 +28,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..flags import available_flags, get_flag
 from ..obs.metrics import MetricsRegistry
+from ..sim.backend import BackendError, resolve_backend
 from ..sweep.cache import ResultCache
 from .admission import AdmissionFull, AdmissionQueue
 from .batcher import MicroBatcher
@@ -56,13 +57,15 @@ class ServeHandlers:
                  registry: MetricsRegistry,
                  cache: Optional[ResultCache] = None,
                  default_timeout_s: float = 30.0,
-                 sweep_workers: int = 1) -> None:
+                 sweep_workers: int = 1,
+                 default_backend: str = "reference") -> None:
         self.batcher = batcher
         self.admission = admission
         self.registry = registry
         self.cache = cache
         self.default_timeout_s = default_timeout_s
         self.sweep_workers = sweep_workers
+        self.default_backend = default_backend
         self._hits = registry.counter(
             "serve_cache_hits_total", "/run answers served from cache")
         self._misses = registry.counter(
@@ -164,6 +167,23 @@ class ServeHandlers:
                 f"cell {cell.describe()!r} is statically invalid: "
                 f"{issues_summary(failed)}")
 
+    def _backend(self, requested: Optional[str], cell, *,
+                 observe: bool) -> str:
+        """Resolve the request's engine, mapping refusals onto 422.
+
+        ``None`` (no ``"backend"`` field on the wire) means the
+        server's configured default; ``auto`` falls back to reference
+        for cells the vector engine cannot express, and an *explicit*
+        ``vector`` on such a cell is a client error — 422
+        ``backend_unsupported`` with the reason.
+        """
+        try:
+            return resolve_backend(requested or self.default_backend,
+                                   cell.key_dict(), observe=observe)
+        except BackendError as exc:
+            raise ProtocolError(422, "backend_unsupported",
+                                str(exc)) from exc
+
     def _record_lookup(self, hit: bool) -> None:
         (self._hits if hit else self._misses).inc()
         total = self._hits.value() + self._misses.value()
@@ -173,9 +193,11 @@ class ServeHandlers:
         request = RunRequest.from_body(parse_body(body))
         self._resolve_flag(request.flag)
         self._preflight(request.cell())
+        engine = self._backend(request.backend, request.cell(),
+                               observe=request.observe)
         timeout = request.timeout_s or self.default_timeout_s
         with self.admission.slot():
-            address = request.address()
+            address = request.address(backend=engine)
             if self.cache is not None:
                 stored = self.cache.get(address)
                 if stored is not None:
@@ -187,7 +209,8 @@ class ServeHandlers:
             self._record_lookup(hit=False)
             try:
                 payload, batch_size = await asyncio.wait_for(
-                    self.batcher.submit(request.task()), timeout)
+                    self.batcher.submit(request.task(backend=engine)),
+                    timeout)
             except asyncio.TimeoutError:
                 self._timeouts.inc()
                 raise ProtocolError(
@@ -215,11 +238,14 @@ class ServeHandlers:
         request = TaskRequest.from_body(parse_body(body))
         self._resolve_flag(request.cell.flag)
         self._preflight(request.cell)
+        engine = self._backend(request.backend, request.cell,
+                               observe=request.observe)
         timeout = request.timeout_s or self.default_timeout_s
         with self.admission.slot():
             try:
                 payload, batch_size = await asyncio.wait_for(
-                    self.batcher.submit(request.task()), timeout)
+                    self.batcher.submit(request.task(backend=engine)),
+                    timeout)
             except asyncio.TimeoutError:
                 self._timeouts.inc()
                 raise ProtocolError(
@@ -234,8 +260,12 @@ class ServeHandlers:
         request = SweepRequest.from_body(parse_body(body))
         for flag in request.spec.flags:
             self._resolve_flag(flag)
+        backend = request.backend or self.default_backend
         for cell in request.spec.cells():
             self._preflight(cell)
+            # Refuse an unservable explicit backend before taking a
+            # slot; run_sweep repeats the same per-cell resolution.
+            self._backend(backend, cell, observe=request.observe)
         timeout = request.timeout_s or self.default_timeout_s
         with self.admission.slot():
             from ..sweep.executor import run_sweep
@@ -246,7 +276,8 @@ class ServeHandlers:
                         None, lambda: run_sweep(
                             request.spec, workers=self.sweep_workers,
                             cache=self.cache,
-                            observe=request.observe)),
+                            observe=request.observe,
+                            backend=backend)),
                     timeout)
             except asyncio.TimeoutError:
                 self._timeouts.inc()

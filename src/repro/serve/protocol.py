@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..agents.student import FillStyle
 from ..schedule.runner import AcquirePolicy
+from ..sim.backend import BACKEND_CHOICES
 from ..sweep.cache import content_address
 from ..sweep.spec import (
     ACTIVITY,
@@ -168,6 +169,18 @@ def _as_style(value: Any) -> FillStyle:
             f"{sorted(s.name.lower() for s in FillStyle)}") from None
 
 
+def _as_backend(body: Dict[str, Any]) -> Optional[str]:
+    value = body.get("backend")
+    if value is None:
+        return None
+    if not isinstance(value, str) or value not in BACKEND_CHOICES:
+        raise ProtocolError(
+            400, "bad_field",
+            f"'backend' must be one of {sorted(BACKEND_CHOICES)}, "
+            f"got {value!r}")
+    return value
+
+
 def _as_timeout(body: Dict[str, Any]) -> Optional[float]:
     value = body.get("timeout_s")
     if value is None:
@@ -199,10 +212,11 @@ class RunRequest:
     rows: Optional[int] = None
     cols: Optional[int] = None
     observe: bool = False
+    backend: Optional[str] = None
     timeout_s: Optional[float] = None
 
     _FIELDS = ("flag", "scenario", "seed", "team_size", "policy", "style",
-               "copies", "rows", "cols", "observe", "timeout_s")
+               "copies", "rows", "cols", "observe", "backend", "timeout_s")
 
     @classmethod
     def from_body(cls, body: Dict[str, Any]) -> "RunRequest":
@@ -238,6 +252,7 @@ class RunRequest:
                 copies=_as_int(body, "copies", 1, minimum=1),
                 rows=rows, cols=cols,
                 observe=_as_bool(body, "observe", False),
+                backend=_as_backend(body),
                 timeout_s=_as_timeout(body),
             )
         except SweepError as exc:
@@ -250,28 +265,40 @@ class RunRequest:
                          style=self.style, copies=self.copies,
                          rows=self.rows, cols=self.cols)
 
-    def task(self) -> Dict[str, Any]:
+    def task(self, *, backend: str = "reference") -> Dict[str, Any]:
         """The executor task dict: trial 0 of a one-trial batch.
 
         Matches :func:`repro.sweep.executor.run_sweep`'s internal task
         layout exactly (a regression test pins the two together), so
         the served payload is byte-identical to the in-process one.
+        ``backend`` is the *resolved* engine name (the handler applies
+        the server default and ``auto`` fallback first); reference
+        tasks carry no ``"backend"`` key, mirroring the executor.
         """
         cell = self.cell()
-        return {"cell": cell.key_dict(), "cell_key": cell.key(),
+        task = {"cell": cell.key_dict(), "cell_key": cell.key(),
                 "seed": self.seed, "n_trials": 1, "trial": 0,
                 "observe": self.observe}
+        if backend != "reference":
+            task["backend"] = backend
+        return task
 
-    def address(self) -> str:
+    def address(self, *, backend: str = "reference") -> str:
         """The cache address — identical to the sweep layer's.
 
         ``POST /run`` is defined as trial 0 of a one-trial sweep of
         this cell, so the server and ``repro sweep --cache-dir`` read
-        and write the very same entries.
+        and write the very same entries.  Like
+        :func:`repro.sweep.executor.cell_address`, a non-reference
+        ``backend`` folds into the address so metric-only vector
+        payloads never collide with reference ones.
         """
-        return content_address({"cell": self.cell().key_dict(),
-                                "n_trials": 1, "seed": self.seed,
-                                "observe": self.observe})
+        key: Dict[str, Any] = {"cell": self.cell().key_dict(),
+                               "n_trials": 1, "seed": self.seed,
+                               "observe": self.observe}
+        if backend != "reference":
+            key["backend"] = backend
+        return content_address(key)
 
 
 @dataclass(frozen=True)
@@ -297,9 +324,11 @@ class TaskRequest:
     n_trials: int
     trial: int
     observe: bool = False
+    backend: Optional[str] = None
     timeout_s: Optional[float] = None
 
-    _FIELDS = ("cell", "seed", "n_trials", "trial", "observe", "timeout_s")
+    _FIELDS = ("cell", "seed", "n_trials", "trial", "observe", "backend",
+               "timeout_s")
 
     @classmethod
     def from_body(cls, body: Dict[str, Any]) -> "TaskRequest":
@@ -332,19 +361,24 @@ class TaskRequest:
                    n_trials=n_trials,
                    trial=trial,
                    observe=_as_bool(body, "observe", False),
+                   backend=_as_backend(body),
                    timeout_s=_as_timeout(body))
 
-    def task(self) -> Dict[str, Any]:
+    def task(self, *, backend: str = "reference") -> Dict[str, Any]:
         """The executor task dict, identical to ``run_sweep``'s layout.
 
         The cell dict is re-canonicalized through the parsed
         :class:`~repro.sweep.spec.SweepCell` (not echoed from the
         wire), so key order or JSON quirks in the request cannot change
-        the trial's seed stream or cache identity.
+        the trial's seed stream or cache identity.  ``backend`` is the
+        resolved engine; reference tasks carry no ``"backend"`` key.
         """
-        return {"cell": self.cell.key_dict(), "cell_key": self.cell.key(),
+        task = {"cell": self.cell.key_dict(), "cell_key": self.cell.key(),
                 "seed": self.seed, "n_trials": self.n_trials,
                 "trial": self.trial, "observe": self.observe}
+        if backend != "reference":
+            task["backend"] = backend
+        return task
 
 
 def _as_tuple(body: Dict[str, Any], key: str, default: tuple,
@@ -365,11 +399,12 @@ class SweepRequest:
 
     spec: SweepSpec
     observe: bool = False
+    backend: Optional[str] = None
     timeout_s: Optional[float] = None
 
     _FIELDS = ("flags", "scenarios", "team_sizes", "policies", "styles",
                "copies", "n_trials", "seed", "rows", "cols", "observe",
-               "timeout_s")
+               "backend", "timeout_s")
 
     @classmethod
     def from_body(cls, body: Dict[str, Any]) -> "SweepRequest":
@@ -416,6 +451,7 @@ class SweepRequest:
             raise ProtocolError(400, "bad_field", str(exc)) from exc
         return cls(spec=spec,
                    observe=_as_bool(body, "observe", False),
+                   backend=_as_backend(body),
                    timeout_s=_as_timeout(body))
 
 

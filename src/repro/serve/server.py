@@ -71,6 +71,9 @@ class ServeConfig:
             disables caching).
         cache_max_entries / cache_max_bytes: LRU bounds for the
             cache, so a long-lived server cannot fill the disk.
+        backend: the trial engine used when a request body carries no
+            ``"backend"`` field — ``"reference"``, ``"vector"``, or
+            ``"auto"`` (see :mod:`repro.sim.backend`).
     """
 
     host: str = "127.0.0.1"
@@ -85,6 +88,7 @@ class ServeConfig:
     cache_dir: Optional[str] = None
     cache_max_entries: Optional[int] = None
     cache_max_bytes: Optional[int] = None
+    backend: str = "reference"
 
 
 class ServeServer:
@@ -114,7 +118,8 @@ class ServeServer:
         self.handlers = ServeHandlers(
             batcher=self.batcher, admission=self.admission,
             registry=self.registry, cache=self.cache,
-            default_timeout_s=self.config.default_timeout_s)
+            default_timeout_s=self.config.default_timeout_s,
+            default_backend=self.config.backend)
         self._requests = self.registry.counter(
             "serve_requests_total", "Requests answered, by endpoint/status")
         self._latency = self.registry.histogram(

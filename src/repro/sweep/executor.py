@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
+from ..sim.backend import get_backend, resolve_backend
 from .cache import ResultCache, content_address
 from .results import CellResult, SweepResult, TrialRecord
 from .seeding import trial_seed_sequences
@@ -78,7 +79,15 @@ def run_trial(task: Dict[str, Any]) -> Dict[str, Any]:
     importable at module top level (pickle-by-reference) and must touch
     no process-global state, or parallel runs stop being byte-identical
     to serial ones.
+
+    A task may carry a ``"backend"`` key naming a concrete engine (see
+    :mod:`repro.sim.backend`); tasks without one run on the reference
+    event-loop engine, whose path and payloads are byte-for-byte what
+    they were before backends existed.
     """
+    if task.get("backend", "reference") == "vector":
+        from ..sim.vector import run_vector_trial
+        return run_vector_trial(task)
     from ..agents import make_team
     from ..agents.student import FillStyle
     from ..flags import get_flag
@@ -127,24 +136,54 @@ def run_trial(task: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def cell_address(cell: SweepCell, spec: SweepSpec, *,
-                 observe: bool = False) -> str:
-    """The content address of one cell's full trial payload."""
-    return content_address({
+                 observe: bool = False, backend: str = "reference") -> str:
+    """The content address of one cell's full trial payload.
+
+    The backend folds into the address only when it is not the
+    reference engine: reference addresses are byte-identical to what
+    they were before backends existed (warm caches stay warm), while
+    vector payloads — which carry no traces — can never collide with
+    reference ones.
+    """
+    key: Dict[str, Any] = {
         "cell": cell.key_dict(),
         "n_trials": spec.n_trials,
         "seed": spec.seed,
         "observe": observe,
-    })
+    }
+    if backend != "reference":
+        key["backend"] = backend
+    return content_address(key)
 
 
-def _make_tasks(cell: SweepCell, spec: SweepSpec,
-                observe: bool) -> List[Dict[str, Any]]:
+def _make_tasks(cell: SweepCell, spec: SweepSpec, observe: bool,
+                backend: str = "reference") -> List[Dict[str, Any]]:
     key_dict = cell.key_dict()
-    return [
+    tasks = [
         {"cell": key_dict, "cell_key": cell.key(), "seed": spec.seed,
          "n_trials": spec.n_trials, "trial": t, "observe": observe}
         for t in range(spec.n_trials)
     ]
+    if backend != "reference":
+        # Reference task dicts stay byte-identical to the pre-backend
+        # layout (serve pins this); only non-default engines are named.
+        for task in tasks:
+            task["backend"] = backend
+    return tasks
+
+
+def run_cell_tasks(tasks: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Execute all trial tasks of one cell on its engine's batch path.
+
+    The whole-cell unit the executor (and fabric workers) ship when a
+    cell resolved to a batching backend: one call amortizes plan
+    compilation and RNG batching across every trial of the cell.
+    Importable at module top level for pickle-by-reference.
+    """
+    if not tasks:
+        return []
+    engine = get_backend(tasks[0].get("backend", "reference"))
+    return engine.run_cell(tasks)
 
 
 def validate_cells(cells: List[SweepCell]) -> None:
@@ -198,6 +237,7 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     cache_dir: Optional[Union[str, "os.PathLike"]] = None,
     observe: bool = False,
+    backend: str = "reference",
 ) -> SweepResult:
     """Run a whole sweep: expand the grid, fan out trials, cache cells.
 
@@ -213,6 +253,13 @@ def run_sweep(
         observe: attach a fresh :class:`~repro.obs.observer.RunObserver`
             to every run and keep its deterministic digest per trial
             (see :meth:`~repro.sweep.results.CellResult.obs_rollup`).
+        backend: trial engine — ``"reference"``, ``"vector"``, or
+            ``"auto"``, resolved per cell (see
+            :mod:`repro.sim.backend`).  Vector cells execute
+            whole-cell batches (all trials at once, one pool unit per
+            cell) and their metric payloads are bit-identical to the
+            reference engine's; reference cells run the unchanged
+            per-trial path.
 
     Raises:
         SweepError: for fault plans on ACTIVITY cells (a plan targets a
@@ -221,6 +268,9 @@ def run_sweep(
             teams, provable deadlocks, fault plans naming nonexistent
             targets — see :mod:`repro.analyze.preflight`); invalid work
             is refused before any trial is dispatched.
+        BackendError: for an unknown backend name, or an explicit
+            ``"vector"`` request on a cell the vector engine cannot
+            express (fault plan, observers attached).
     """
     if workers < 1:
         raise SweepError(f"workers must be >= 1, got {workers}")
@@ -229,47 +279,69 @@ def run_sweep(
 
     cells = spec.cells()
     validate_cells(cells)
+    engines = [resolve_backend(backend, cell.key_dict(), observe=observe)
+               for cell in cells]
 
     started = time.perf_counter()
     cell_results: List[Optional[CellResult]] = [None] * len(cells)
-    pending: List[tuple] = []  # (cell_index, task)
+    pending: List[tuple] = []  # (cell_index, task) — reference cells
+    batches: List[tuple] = []  # (cell_index, [tasks]) — batching cells
     cached_trials = 0
 
     for i, cell in enumerate(cells):
         payload = None
         if cache is not None:
-            payload = cache.get(cell_address(cell, spec, observe=observe))
+            payload = cache.get(cell_address(cell, spec, observe=observe,
+                                             backend=engines[i]))
         if payload is not None:
             trials = [TrialRecord.from_payload(t) for t in payload["trials"]]
             cell_results[i] = CellResult(cell=cell, trials=trials,
                                          cached=True)
             cached_trials += spec.n_trials
-        else:
+        elif engines[i] == "reference":
             for task in _make_tasks(cell, spec, observe):
                 pending.append((i, task))
+        else:
+            batches.append((i, _make_tasks(cell, spec, observe,
+                                           backend=engines[i])))
 
     # Execute every uncached trial, then reassemble in task order so the
-    # result never depends on completion order.
+    # result never depends on completion order.  Reference cells fan
+    # out per trial; batching backends ship one whole cell per unit.
     trial_payloads: Dict[tuple, Dict[str, Any]] = {}
-    if pending:
-        if workers == 1 or len(pending) == 1:
+
+    def _store_batch(i: int, payloads: List[Dict[str, Any]]) -> None:
+        for p in payloads:
+            trial_payloads[(i, p["trial"])] = p
+
+    if pending or batches:
+        if workers == 1 or len(pending) + len(batches) == 1:
             for i, task in pending:
                 trial_payloads[(i, task["trial"])] = run_trial(task)
+            for i, tasks in batches:
+                _store_batch(i, run_cell_tasks(tasks))
         else:
             with _pool(workers) as pool:
-                futures = {
+                futures: Dict[concurrent.futures.Future, tuple] = {
                     pool.submit(run_trial, task): (i, task["trial"])
                     for i, task in pending
                 }
+                batch_futures = {
+                    pool.submit(run_cell_tasks, tasks): i
+                    for i, tasks in batches
+                }
                 for fut in concurrent.futures.as_completed(futures):
                     trial_payloads[futures[fut]] = fut.result()
+                for fut in concurrent.futures.as_completed(batch_futures):
+                    _store_batch(batch_futures[fut], fut.result())
 
     for i, cell in enumerate(cells):
         if cell_results[i] is not None:
             continue
         payloads = [trial_payloads[(i, t)] for t in range(spec.n_trials)]
         if cache is not None:
-            cache.put(cell_address(cell, spec, observe=observe),
+            cache.put(cell_address(cell, spec, observe=observe,
+                                   backend=engines[i]),
                       {"cell": cell.key_dict(), "trials": payloads})
         cell_results[i] = CellResult(
             cell=cell,
@@ -280,7 +352,8 @@ def run_sweep(
     return SweepResult(
         spec=spec,
         cells=[c for c in cell_results if c is not None],
-        computed_trials=len(pending),
+        computed_trials=(len(pending)
+                         + sum(len(tasks) for _, tasks in batches)),
         cached_trials=cached_trials,
         wall_seconds=time.perf_counter() - started,
         workers=workers,

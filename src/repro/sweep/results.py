@@ -31,8 +31,10 @@ class RunRecord:
     (:mod:`repro.sim.export` format) — byte-comparable across serial /
     parallel / cached executions, and importable via
     :func:`repro.sim.export.import_trace` for full trace analysis.
-    ``obs`` holds the deterministic slice of the run's
-    :class:`~repro.obs.summary.ObsSummary` (event/span counts,
+    Metric-only payloads (the vector backend's, see
+    :mod:`repro.sim.backend`) carry no trace; ``trace`` is ``None``
+    for those runs.  ``obs`` holds the deterministic slice of the
+    run's :class:`~repro.obs.summary.ObsSummary` (event/span counts,
     counters, histograms; host-time profiling is excluded because wall
     time is not reproducible).
     """
@@ -43,7 +45,7 @@ class RunRecord:
     true_makespan: float
     measured_time: float
     correct: bool
-    trace: str
+    trace: Optional[str] = None
     faults: Optional[Dict[str, float]] = None
     obs: Optional[Dict[str, Any]] = None
 
@@ -55,7 +57,7 @@ class RunRecord:
             n_workers=int(d["n_workers"]),
             true_makespan=float(d["true_makespan"]),
             measured_time=float(d["measured_time"]),
-            correct=bool(d["correct"]), trace=d["trace"],
+            correct=bool(d["correct"]), trace=d.get("trace"),
             faults=d.get("faults"), obs=d.get("obs"),
         )
 

@@ -1,0 +1,112 @@
+"""The backend selection contract: names, fallback, refusal, logging.
+
+Pins the rules documented in :mod:`repro.sim.backend` and
+``docs/backends.md``: ``reference`` always works, explicit ``vector``
+errors on cells it cannot express, and ``auto`` falls back to the
+reference engine with a logged reason.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.agents.student import FillStyle
+from repro.faults.plan import FaultPlan, ImplementFailure
+from repro.grid.palette import Color
+from repro.schedule import AcquirePolicy
+from repro.sim.backend import (
+    BACKEND_CHOICES,
+    BACKEND_NAMES,
+    BackendError,
+    get_backend,
+    resolve_backend,
+    vector_unsupported_reason,
+)
+from repro.sweep.spec import SweepCell
+
+
+def _cell(**overrides) -> SweepCell:
+    defaults = dict(flag="mauritius", scenario=3, team_size=6,
+                    policy=AcquirePolicy.HOLD_COLOR_RUN,
+                    style=FillStyle.SCRIBBLE, rows=6, cols=8)
+    defaults.update(overrides)
+    return SweepCell(**defaults)
+
+
+def _fault_cell() -> SweepCell:
+    plan = FaultPlan(faults=(ImplementFailure(at=5.0, color=Color.RED),))
+    return _cell(fault_label="boom", fault_plan=plan)
+
+
+class TestNames:
+    def test_choices_superset_of_names(self):
+        assert set(BACKEND_NAMES) < set(BACKEND_CHOICES)
+        assert "auto" in BACKEND_CHOICES and "auto" not in BACKEND_NAMES
+
+    def test_get_backend_returns_each_engine(self):
+        for name in BACKEND_NAMES:
+            assert get_backend(name).name == name
+
+    def test_get_backend_rejects_auto(self):
+        # Tasks must name a concrete engine; auto is resolved earlier.
+        with pytest.raises(BackendError):
+            get_backend("auto")
+
+    def test_get_backend_rejects_unknown(self):
+        with pytest.raises(BackendError):
+            get_backend("warp")
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(BackendError):
+            resolve_backend("warp", _cell().key_dict())
+
+
+class TestResolution:
+    def test_reference_always_resolves(self):
+        assert resolve_backend("reference", _cell().key_dict()) \
+            == "reference"
+        assert resolve_backend("reference", _fault_cell().key_dict(),
+                               observe=True) == "reference"
+
+    def test_vector_resolves_on_clean_cell(self):
+        assert resolve_backend("vector", _cell().key_dict()) == "vector"
+        assert vector_unsupported_reason(_cell().key_dict()) is None
+
+    def test_explicit_vector_refuses_fault_plan(self):
+        with pytest.raises(BackendError, match="fault plan"):
+            resolve_backend("vector", _fault_cell().key_dict())
+
+    def test_explicit_vector_refuses_observer(self):
+        with pytest.raises(BackendError, match="observer"):
+            resolve_backend("vector", _cell().key_dict(), observe=True)
+
+    def test_auto_picks_vector_when_supported(self):
+        assert resolve_backend("auto", _cell().key_dict()) == "vector"
+
+
+class TestAutoFallbackLogging:
+    def test_fault_plan_falls_back_with_reason(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.sim.backend"):
+            resolved = resolve_backend("auto", _fault_cell().key_dict())
+        assert resolved == "reference"
+        messages = [r.getMessage() for r in caplog.records
+                    if r.name == "repro.sim.backend"]
+        assert any("falling back to reference" in m and "boom" in m
+                   for m in messages), messages
+
+    def test_observer_falls_back_with_reason(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.sim.backend"):
+            resolved = resolve_backend("auto", _cell().key_dict(),
+                                       observe=True)
+        assert resolved == "reference"
+        messages = [r.getMessage() for r in caplog.records
+                    if r.name == "repro.sim.backend"]
+        assert any("observer" in m for m in messages), messages
+
+    def test_clean_auto_logs_nothing(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.sim.backend"):
+            resolve_backend("auto", _cell().key_dict())
+        assert not [r for r in caplog.records
+                    if r.name == "repro.sim.backend"]
