@@ -8,6 +8,7 @@ from .institution import (
 )
 from .session import (
     SessionReport,
+    StoredRun,
     TeamRecord,
     run_all_institutions,
     run_merging_session,
@@ -39,6 +40,7 @@ __all__ = [
     "all_institutions",
     "get_institution",
     "SessionReport",
+    "StoredRun",
     "TeamRecord",
     "run_all_institutions",
     "run_merging_session",

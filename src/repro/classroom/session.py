@@ -25,6 +25,25 @@ from .institution import InstitutionProfile
 
 
 @dataclass
+class StoredRun:
+    """The durable slice of a :class:`~repro.schedule.runner.RunResult`.
+
+    What a classroom session keeps after it is persisted to
+    :mod:`repro.store` and loaded back: the whiteboard-facing metrics
+    (times, worker count, correctness), not the event trace or canvas.
+    Every :class:`SessionReport` aggregate — board, medians, speedups,
+    correctness, per-implement grouping — works identically on these.
+    """
+
+    label: str
+    strategy: str
+    n_workers: int
+    true_makespan: float
+    measured_time: float
+    correct: bool
+
+
+@dataclass
 class TeamRecord:
     """One team's complete activity outcome."""
 
@@ -67,8 +86,19 @@ class SessionReport:
         }
 
     def median_speedups(self, baseline: str = "scenario1") -> Dict[str, float]:
-        """Median speedup per scenario against the chosen baseline."""
+        """Median speedup per scenario against the chosen baseline.
+
+        Raises:
+            ValueError: when ``baseline`` is not a label on this
+                whiteboard (merged sessions and ``repeat_first``
+                variants carry custom labels); the message names the
+                labels that are available.
+        """
         med = self.median_times()
+        if baseline not in med:
+            raise ValueError(
+                f"baseline {baseline!r} is not on this whiteboard; "
+                f"available labels: {sorted(med)}")
         t1 = med[baseline]
         return {label: speedup(t1, t) for label, t in med.items()}
 
@@ -86,6 +116,67 @@ class SessionReport:
                     t.results[scenario].measured_time
                 )
         return out
+
+    def to_payload(self) -> Dict[str, object]:
+        """A JSON-safe dict holding the session's durable slice.
+
+        This is what :meth:`repro.store.ResultStore.put_session`
+        persists: team names, implements, and each run's whiteboard
+        metrics.  Round-trips through :meth:`from_payload` — the loaded
+        report's board, medians, speedups, and correctness are equal to
+        the original's.
+        """
+        return {
+            "institution": self.institution,
+            "flag": self.flag,
+            "teams": [
+                {
+                    "team_name": t.team_name,
+                    "implement": t.implement,
+                    "runs": {
+                        label: {
+                            "label": r.label,
+                            "strategy": r.strategy,
+                            "n_workers": r.n_workers,
+                            "true_makespan": r.true_makespan,
+                            "measured_time": r.measured_time,
+                            "correct": r.correct,
+                        }
+                        for label, r in t.results.items()
+                    },
+                }
+                for t in self.teams
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "SessionReport":
+        """Rebuild a report from :meth:`to_payload` output.
+
+        Runs come back as :class:`StoredRun` records (no traces or
+        canvases — those are not persisted), which every whiteboard
+        aggregate accepts interchangeably with live
+        :class:`~repro.schedule.runner.RunResult` objects.
+        """
+        report = cls(institution=str(payload["institution"]),
+                     flag=str(payload["flag"]))
+        for team in payload["teams"]:  # type: ignore[union-attr]
+            report.teams.append(TeamRecord(
+                team_name=team["team_name"],
+                implement=team["implement"],
+                results={
+                    label: StoredRun(
+                        label=run["label"],
+                        strategy=run["strategy"],
+                        n_workers=int(run["n_workers"]),
+                        true_makespan=float(run["true_makespan"]),
+                        measured_time=float(run["measured_time"]),
+                        correct=bool(run["correct"]),
+                    )
+                    for label, run in team["runs"].items()
+                },
+            ))
+        return report
 
 
 def run_session(
@@ -148,12 +239,7 @@ def run_merging_session(
     Each merged team's record carries the scenario 1-2 times of its first
     constituent (the whiteboard still shows one row per final team).
     """
-    from dataclasses import replace as dc_replace
-
     from ..agents.team import merge_teams
-    from ..flags.compiler import compile_flag
-    from ..flags.decompose import scenario_partition
-    from ..schedule.runner import run_partition
     from ..schedule.scenario import core_scenarios, run_scenario
 
     spec = spec or mauritius()

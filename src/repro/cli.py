@@ -32,7 +32,12 @@ Gives instructors the library's main flows without writing Python:
 - ``serve`` — stand the library up as an async HTTP/JSON service
   (``repro.serve``): micro-batched ``/run`` trials, ``/sweep`` grids,
   backpressure, a read-through result cache, Prometheus ``/metrics``,
-  graceful drain on SIGTERM/SIGINT.
+  graceful drain on SIGTERM/SIGINT — plus, with ``--store``, durable
+  persistence, tenant-scoped Bearer-token auth, and the ``/tenants``
+  and ``/results`` query endpoints.
+- ``store`` — manage the durable multi-tenant result store
+  (``repro.store``): ``init``, ``migrate``, ``tenants``, ``token``,
+  ``results``, ``gc``.
 
 Long-running commands (``sweep``, ``serve``) exit cleanly on Ctrl-C:
 in-flight work is drained or cancelled, the exit status is 130, and no
@@ -370,14 +375,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         n_trials=args.trials,
         seed=args.seed,
     )
+    store = None
+    if args.store is not None:
+        from .store import ResultStore
+        store = ResultStore(args.store)
     try:
         result = run_sweep(spec, workers=args.workers,
-                           cache_dir=args.cache_dir, observe=args.observe,
+                           cache_dir=args.cache_dir,
+                           store=store, store_tenant=args.store_tenant,
+                           observe=args.observe,
                            backend=args.backend)
     except KeyboardInterrupt:
         print("sweep interrupted — worker pool cancelled, partial "
               "results discarded", file=sys.stderr)
         return 130
+    finally:
+        if store is not None:
+            store.close()
     print(format_table(
         ["cell", "run", "trials", "median", "correct", "cache"],
         result.table_rows(),
@@ -465,7 +479,13 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
         heartbeat_timeout_s=args.heartbeat_timeout,
     )
     chaos = ChaosPlan.of([_parse_chaos_event(c) for c in args.chaos])
+    store = None
+    if args.store is not None:
+        from .store import ResultStore
+        store = ResultStore(args.store)
     coordinator = FabricCoordinator(spec, config, cache_dir=args.cache_dir,
+                                    store=store,
+                                    store_tenant=args.store_tenant,
                                     observe=args.observe, chaos=chaos,
                                     backend=args.backend)
     try:
@@ -474,6 +494,9 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
         print("fabric interrupted — workers terminated, partial results "
               "discarded", file=sys.stderr)
         return 130
+    finally:
+        if store is not None:
+            store.close()
     print(format_table(
         ["cell", "run", "trials", "median", "correct", "cache"],
         result.table_rows(),
@@ -498,12 +521,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .serve import ServeConfig, ServeServer
 
+    if args.require_token and args.store is None:
+        print("repro serve: --require-token needs --store PATH",
+              file=sys.stderr)
+        return 2
     config = ServeConfig(
         host=args.host, port=args.port, max_pending=args.max_pending,
         batch_window_s=args.batch_window, batch_max=args.batch_max,
         workers=args.workers, default_timeout_s=args.timeout,
         cache_dir=args.cache_dir, cache_max_entries=args.cache_max_entries,
         cache_max_bytes=args.cache_max_bytes, backend=args.backend,
+        store_path=args.store, store_tenant=args.store_tenant,
+        require_token=args.require_token,
     )
 
     async def _main() -> bool:
@@ -530,7 +559,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"(max_pending={config.max_pending}, "
               f"batch_window={config.batch_window_s:g}s, "
               f"workers={config.workers}, "
-              f"cache={config.cache_dir or 'off'})", flush=True)
+              f"cache={config.cache_dir or 'off'}, "
+              f"store={config.store_path or 'off'})", flush=True)
         await server.serve_forever()
         return server.interrupted
 
@@ -543,6 +573,106 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 130
     print("drained, bye")
     return 130 if interrupted else 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """The ``repro store`` subcommands: init/migrate/tenants/token/results/gc.
+
+    All of them act on one SQLite database path (``--db``), the same
+    file ``repro sweep --store`` / ``repro serve --store`` persist
+    through.  ``init`` migrates to the head schema; ``migrate`` shows
+    or applies pending migrations explicitly; ``tenants`` lists (or
+    creates / quota-sets) tenants; ``token`` issues and revokes Bearer
+    tokens; ``results`` lists stored results; ``gc`` collects stale or
+    over-quota rows.
+    """
+    from .store import HEAD_VERSION, MigrationError, ResultStore, \
+        StoreError, pending
+
+    try:
+        if args.store_command == "init":
+            with ResultStore(args.db) as store:
+                print(f"{args.db}: schema version "
+                      f"{store.schema_version} (head {HEAD_VERSION})")
+            return 0
+
+        if args.store_command == "migrate":
+            with ResultStore(args.db, migrate=False) as store:
+                if args.plan:
+                    todo = pending(store._conn, args.target)
+                    if not todo:
+                        print(f"{args.db}: up to date at version "
+                              f"{store.schema_version}")
+                    for m in todo:
+                        print(f"pending {m.version}: {m.name} "
+                              f"({len(m.statements)} statements)")
+                    return 0
+                applied = store.migrate(target=args.target)
+                for name in applied:
+                    print(f"applied {name}")
+                print(f"{args.db}: schema version "
+                      f"{store.schema_version} (head {HEAD_VERSION})")
+            return 0
+
+        with ResultStore(args.db) as store:
+            if args.store_command == "tenants":
+                if args.add:
+                    tenant = store.ensure_tenant(args.add)
+                    print(f"tenant {tenant.path} ({tenant.kind})")
+                    if (args.max_results is not None
+                            or args.max_bytes is not None):
+                        store.set_quota(args.add,
+                                        max_results=args.max_results,
+                                        max_bytes=args.max_bytes,
+                                        retry_after_s=args.retry_after)
+                        print(f"  quota: max_results={args.max_results} "
+                              f"max_bytes={args.max_bytes} "
+                              f"retry_after={args.retry_after:g}s")
+                    return 0
+                rows = store.tenants()
+                if not rows:
+                    print("no tenants (add one with --add PATH)")
+                for t in rows:
+                    quota = t["quota"]
+                    limits = ("unlimited" if quota is None else
+                              f"max_results={quota['max_results']} "
+                              f"max_bytes={quota['max_bytes']}")
+                    print(f"{t['path']:32s} {t['kind']:11s} "
+                          f"{t['n_results']:5d} results "
+                          f"{t['bytes']:10d} B  "
+                          f"{t['n_sessions']:3d} sessions  {limits}")
+                return 0
+
+            if args.store_command == "token":
+                if args.revoke:
+                    gone = store.revoke_token(args.revoke)
+                    print("revoked" if gone else "no such token")
+                    return 0 if gone else 1
+                store.ensure_tenant(args.issue)
+                token = store.issue_token(args.issue, label=args.label)
+                # The plaintext is shown exactly once; only its hash
+                # is stored.
+                print(token)
+                return 0
+
+            if args.store_command == "results":
+                rows = store.results(tenant=args.tenant, limit=args.limit)
+                for r in rows:
+                    print(f"{r['digest'][:16]:16s} {r['tenant']:24s} "
+                          f"{r['kind']:12s} {r['nbytes']:9d} B "
+                          f"hits={r['hits']}")
+                print(f"{len(rows)} results")
+                return 0
+
+            if args.store_command == "gc":
+                deleted = store.gc(older_than_s=args.older_than,
+                                   tenant=args.tenant)
+                print(f"collected {deleted} results")
+                return 0
+    except (StoreError, MigrationError) as exc:
+        print(f"repro store: {exc}", file=sys.stderr)
+        return 1
+    raise SystemExit(f"unknown store command {args.store_command!r}")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -752,6 +882,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="content-addressed result cache directory; warm "
                         "re-runs recompute nothing")
+    p.add_argument("--store", default=None,
+                   help="durable result store database (repro.store); "
+                        "computed cells persist across restarts and "
+                        "cache deletion")
+    p.add_argument("--store-tenant", default="public", dest="store_tenant",
+                   help="tenant path to persist results under")
     p.add_argument("--observe", action="store_true",
                    help="attach the observability layer to every run and "
                         "print per-cell counter roll-ups")
@@ -804,6 +940,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="content-addressed result cache directory "
                         "(shared format with 'repro sweep --cache-dir')")
+    p.add_argument("--store", default=None,
+                   help="durable result store database (repro.store); "
+                        "leased-cell results persist through it")
+    p.add_argument("--store-tenant", default="public", dest="store_tenant",
+                   help="tenant path to persist results under")
     p.add_argument("--observe", action="store_true",
                    help="attach the observability layer to every run")
     p.add_argument("--backend", default="reference",
@@ -842,6 +983,83 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("reference", "vector", "auto"),
                    help="trial engine for requests that name none "
                         "(request bodies may override per call)")
+    p.add_argument("--store", default=None,
+                   help="durable result store database (repro.store): "
+                        "read-through under the cache, /tenants and "
+                        "/results endpoints, token auth")
+    p.add_argument("--store-tenant", default="public", dest="store_tenant",
+                   help="tenant path unauthenticated requests act as")
+    p.add_argument("--require-token", action="store_true",
+                   dest="require_token",
+                   help="refuse tokenless /run /sweep /task /results "
+                        "/tenants requests with 401 (needs --store)")
+
+    p = sub.add_parser(
+        "store",
+        help="manage the durable result store (init/migrate/tenants/"
+             "token/results/gc)")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    sp = store_sub.add_parser("init",
+                              help="create the database and migrate it "
+                                   "to the head schema")
+    sp.add_argument("db", help="SQLite database path")
+
+    sp = store_sub.add_parser("migrate",
+                              help="apply (or --plan) pending schema "
+                                   "migrations")
+    sp.add_argument("db", help="SQLite database path")
+    sp.add_argument("--target", type=int, default=None,
+                    help="stop at this schema version (default: head)")
+    sp.add_argument("--plan", action="store_true",
+                    help="list pending migrations without applying")
+
+    sp = store_sub.add_parser("tenants",
+                              help="list tenants, or create one with "
+                                   "--add (optionally with a quota)")
+    sp.add_argument("db", help="SQLite database path")
+    sp.add_argument("--add", default=None, metavar="PATH",
+                    help="create a tenant path like usi/cs1/spring26 "
+                         "(institution/class/cohort)")
+    sp.add_argument("--max-results", type=int, default=None,
+                    dest="max_results",
+                    help="with --add: quota on stored result count")
+    sp.add_argument("--max-bytes", type=int, default=None,
+                    dest="max_bytes",
+                    help="with --add: quota on stored payload bytes")
+    sp.add_argument("--retry-after", type=float, default=60.0,
+                    dest="retry_after",
+                    help="Retry-After hint (seconds) on 429 refusals")
+
+    sp = store_sub.add_parser("token",
+                              help="issue (--issue PATH) or revoke "
+                                   "(--revoke TOKEN) a Bearer token")
+    sp.add_argument("db", help="SQLite database path")
+    group = sp.add_mutually_exclusive_group(required=True)
+    group.add_argument("--issue", default=None, metavar="PATH",
+                       help="mint a token for this tenant path; the "
+                            "plaintext is printed exactly once")
+    group.add_argument("--revoke", default=None, metavar="TOKEN",
+                       help="revoke a previously-issued token")
+    sp.add_argument("--label", default=None,
+                    help="with --issue: a human-readable token label")
+
+    sp = store_sub.add_parser("results", help="list stored results")
+    sp.add_argument("db", help="SQLite database path")
+    sp.add_argument("--tenant", default=None,
+                    help="restrict to one tenant path")
+    sp.add_argument("--limit", type=int, default=None,
+                    help="cap the listing length")
+
+    sp = store_sub.add_parser("gc",
+                              help="collect stale and over-quota results")
+    sp.add_argument("db", help="SQLite database path")
+    sp.add_argument("--older-than", type=float, default=None,
+                    dest="older_than",
+                    help="drop results created more than this many "
+                         "seconds ago")
+    sp.add_argument("--tenant", default=None,
+                    help="restrict collection to one tenant path")
 
     p = sub.add_parser(
         "trace",
@@ -879,6 +1097,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "fabric": _cmd_fabric,
     "serve": _cmd_serve,
+    "store": _cmd_store,
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
 }

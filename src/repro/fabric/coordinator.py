@@ -199,6 +199,8 @@ class FabricCoordinator:
                  config: Optional[FabricConfig] = None, *,
                  cache: Optional[ResultCache] = None,
                  cache_dir: Optional[Union[str, "os.PathLike"]] = None,
+                 store: Optional[Any] = None,
+                 store_tenant: str = "public",
                  observe: bool = False,
                  chaos: Optional[ChaosPlan] = None,
                  registry: Optional[MetricsRegistry] = None,
@@ -208,6 +210,12 @@ class FabricCoordinator:
         self.chaos = chaos or ChaosPlan()
         if cache is None and cache_dir is not None:
             cache = ResultCache(cache_dir)
+        if store is not None:
+            # Leased-cell results persist through the durable store as
+            # well as the on-disk cache (read-through both ways), so a
+            # fabric sweep survives process restarts like a local one.
+            from ..store import StoreTier
+            cache = StoreTier(store, cache=cache, tenant=store_tenant)
         self.cache = cache
         self.observe = observe
         self.registry = registry or MetricsRegistry()
@@ -706,6 +714,8 @@ def run_fabric_sweep(
     *,
     cache: Optional[ResultCache] = None,
     cache_dir: Optional[Union[str, "os.PathLike"]] = None,
+    store: Optional[Any] = None,
+    store_tenant: str = "public",
     observe: bool = False,
     chaos: Optional[ChaosPlan] = None,
     registry: Optional[MetricsRegistry] = None,
@@ -722,6 +732,9 @@ def run_fabric_sweep(
         config: worker fleet and retry/hedge tuning.
         cache / cache_dir: the same content-addressed result cache the
             serial executor uses; warm cells are never re-leased.
+        store / store_tenant: a :class:`~repro.store.ResultStore` (and
+            tenant path) to persist leased-cell results through, read-
+            through with the cache exactly as in ``run_sweep``.
         observe: attach observers per trial (as in ``run_sweep``).
         chaos: a scripted failure plan for the workers themselves.
         registry: a metrics registry to record ``fabric_*`` series in.
@@ -734,6 +747,7 @@ def run_fabric_sweep(
         a clean serial ``run_sweep(spec)``.
     """
     return FabricCoordinator(spec, config, cache=cache,
-                             cache_dir=cache_dir, observe=observe,
+                             cache_dir=cache_dir, store=store,
+                             store_tenant=store_tenant, observe=observe,
                              chaos=chaos, registry=registry,
                              backend=backend).run()

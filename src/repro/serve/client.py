@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import urllib.parse
 from typing import Any, Dict, Optional, Tuple
 
 from .protocol import PROTOCOL_VERSION
@@ -67,11 +68,13 @@ class ServeClient:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
                  timeout_s: float = 60.0,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 token: Optional[str] = None) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.retry = retry
+        self.token = token
 
     def request(self, method: str, path: str,
                 body: Optional[Dict[str, Any]] = None
@@ -82,6 +85,8 @@ class ServeClient:
         try:
             payload = None
             headers = {}
+            if self.token is not None:
+                headers["Authorization"] = f"Bearer {self.token}"
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -136,6 +141,40 @@ class ServeClient:
     def flags(self) -> Dict[str, Any]:
         """``GET /flags`` — the servable flag catalog."""
         return self._json("GET", "/flags")
+
+    def tenants(self) -> Dict[str, Any]:
+        """``GET /tenants`` — store tenants with usage and quotas.
+
+        Raises:
+            ServeError: 404 ``store_disabled`` on a server without a
+                durable store; 401/403 under token auth.
+        """
+        return self._json("GET", "/tenants")
+
+    def results(self, *, tenant: Optional[str] = None,
+                limit: Optional[int] = None,
+                digest: Optional[str] = None) -> Dict[str, Any]:
+        """``GET /results`` — durable result listings (or one payload).
+
+        With ``digest`` set, returns that result's full stored payload
+        (the byte-level interop hook); otherwise a newest-first listing,
+        optionally scoped to ``tenant`` and capped at ``limit``.
+
+        Raises:
+            ServeError: 404 for a missing store, tenant, or digest;
+                401/403 under token auth.
+        """
+        params = {}
+        if tenant is not None:
+            params["tenant"] = tenant
+        if limit is not None:
+            params["limit"] = str(limit)
+        if digest is not None:
+            params["digest"] = digest
+        path = "/results"
+        if params:
+            path += "?" + urllib.parse.urlencode(params)
+        return self._json("GET", path)
 
     def metrics(self) -> str:
         """``GET /metrics`` — the Prometheus text exposition dump."""

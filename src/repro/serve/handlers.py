@@ -19,16 +19,29 @@ network.  The flow for ``POST /run``:
 
 ``POST /analyze`` runs only step 1-2 plus the static analyzer and
 returns the full report — the inspection companion to the gate.
+
+With a :class:`~repro.store.ResultStore` configured the cache step
+becomes a two-level read-through (:class:`~repro.store.StoreTier`):
+store hits warm the disk cache, computed payloads persist through
+both, and quota refusals surface as 429 + ``Retry-After``.  Bearer
+tokens (``Authorization: Bearer <token>``) scope requests to their
+tenant; ``require_token`` servers refuse tokenless requests on the
+protected endpoints with 401, revoked tokens with 403.  ``GET
+/tenants`` and ``GET /results`` expose the store's contents.
 """
 
 from __future__ import annotations
 
 import asyncio
+import urllib.parse
+from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from ..flags import available_flags, get_flag
 from ..obs.metrics import MetricsRegistry
 from ..sim.backend import BackendError, resolve_backend
+from ..store import AuthError, QuotaExceeded, ResultStore, StoreError, \
+    StoreTier
 from ..sweep.cache import ResultCache
 from .admission import AdmissionFull, AdmissionQueue
 from .batcher import MicroBatcher
@@ -48,14 +61,37 @@ from .protocol import (
 #: (status, JSON body or text, extra headers)
 Response = Tuple[int, Any, Dict[str, str]]
 
+#: Endpoints that demand a Bearer token when ``require_token`` is on.
+PROTECTED_PATHS = frozenset(
+    {"/run", "/sweep", "/task", "/results", "/tenants"})
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Per-request state the router resolves before a handler runs.
+
+    Attributes:
+        tenant: the tenant path this request acts as — the token's
+            tenant when one authenticated, else the server default.
+        authenticated: whether a Bearer token established the tenant.
+        query: decoded query-string parameters (last value wins).
+    """
+
+    tenant: str
+    authenticated: bool = False
+    query: Dict[str, str] = field(default_factory=dict)
+
 
 class ServeHandlers:
-    """Routes parsed HTTP requests onto the scheduler and cache."""
+    """Routes parsed HTTP requests onto the scheduler, cache, and store."""
 
     def __init__(self, *, batcher: MicroBatcher,
                  admission: AdmissionQueue,
                  registry: MetricsRegistry,
                  cache: Optional[ResultCache] = None,
+                 store: Optional[ResultStore] = None,
+                 default_tenant: str = "public",
+                 require_token: bool = False,
                  default_timeout_s: float = 30.0,
                  sweep_workers: int = 1,
                  default_backend: str = "reference") -> None:
@@ -63,6 +99,10 @@ class ServeHandlers:
         self.admission = admission
         self.registry = registry
         self.cache = cache
+        self.store = store
+        self.default_tenant = default_tenant
+        self.require_token = require_token and store is not None
+        self._tiers: Dict[str, StoreTier] = {}
         self.default_timeout_s = default_timeout_s
         self.sweep_workers = sweep_workers
         self.default_backend = default_backend
@@ -77,28 +117,85 @@ class ServeHandlers:
             "serve_deadline_timeouts_total",
             "Requests that hit their deadline before a result")
 
-    async def dispatch(self, method: str, path: str,
-                       body: bytes) -> Response:
+    async def dispatch(self, method: str, path: str, body: bytes,
+                       headers: Optional[Dict[str, str]] = None
+                       ) -> Response:
         """Answer one request; never raises for client-caused errors."""
         try:
-            return await self._route(method, path, body)
+            return await self._route(method, path, body, headers or {})
         except AdmissionFull as exc:
             return (429,
                     error_body("too_many_requests", str(exc)),
                     {"Retry-After": f"{exc.retry_after:g}"})
+        except QuotaExceeded as exc:
+            return (429,
+                    error_body("quota_exceeded", str(exc)),
+                    {"Retry-After": f"{exc.retry_after_s:g}"})
         except ProtocolError as exc:
-            headers = {}
+            extra = {}
             if exc.retry_after is not None:
-                headers["Retry-After"] = f"{exc.retry_after:g}"
-            return exc.status, error_body(exc.code, exc.message), headers
+                extra["Retry-After"] = f"{exc.retry_after:g}"
+            if exc.status == 401:
+                extra["WWW-Authenticate"] = "Bearer"
+            return exc.status, error_body(exc.code, exc.message), extra
         except Exception as exc:  # structured 500, never a stack trace
             return (500,
                     error_body("internal",
                                f"{type(exc).__name__}: {exc}"),
                     {})
 
-    async def _route(self, method: str, path: str, body: bytes) -> Response:
-        path = path.split("?", 1)[0]
+    def _authenticate(self, path: str,
+                      headers: Dict[str, str]) -> RequestContext:
+        """Resolve the request's tenant from its (optional) Bearer token.
+
+        Without a store every request acts as the default tenant.  With
+        one, a presented token must authenticate — 401
+        ``token_unknown`` for a token the store never issued, 403
+        ``token_revoked`` for a dead one — and when the server requires
+        tokens, protected endpoints refuse tokenless requests with 401
+        ``token_missing``.
+        """
+        token = None
+        auth = headers.get("authorization", "")
+        scheme, _, value = auth.partition(" ")
+        if scheme.lower() == "bearer" and value.strip():
+            token = value.strip()
+        if self.store is None:
+            return RequestContext(tenant=self.default_tenant)
+        if token is None:
+            if self.require_token and path in PROTECTED_PATHS:
+                raise ProtocolError(
+                    401, "token_missing",
+                    f"{path} requires `Authorization: Bearer <token>` "
+                    f"on this server")
+            return RequestContext(tenant=self.default_tenant)
+        try:
+            tenant = self.store.authenticate(token)
+        except AuthError as exc:
+            if exc.reason == "revoked":
+                raise ProtocolError(403, "token_revoked",
+                                    "token has been revoked") from exc
+            raise ProtocolError(401, "token_unknown",
+                                "unknown token") from exc
+        return RequestContext(tenant=tenant.path, authenticated=True)
+
+    def _tier(self, tenant: str) -> Optional[Any]:
+        """The result tier for one tenant: cache alone, or store+cache.
+
+        Tiers are memoized per tenant path so their hit counters
+        accumulate across requests.
+        """
+        if self.store is None:
+            return self.cache
+        tier = self._tiers.get(tenant)
+        if tier is None:
+            tier = StoreTier(self.store, cache=self.cache, tenant=tenant)
+            self._tiers[tenant] = tier
+        return tier
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     headers: Dict[str, str]) -> Response:
+        path, _, query_string = path.partition("?")
         routes = {
             "/healthz": ("GET", self._healthz),
             "/flags": ("GET", self._flags),
@@ -107,6 +204,8 @@ class ServeHandlers:
             "/task": ("POST", self._task),
             "/sweep": ("POST", self._sweep),
             "/analyze": ("POST", self._analyze),
+            "/tenants": ("GET", self._tenants),
+            "/results": ("GET", self._results),
         }
         entry = routes.get(path)
         if entry is None:
@@ -117,16 +216,23 @@ class ServeHandlers:
         if method != expected:
             raise ProtocolError(405, "method_not_allowed",
                                 f"{path} expects {expected}, got {method}")
-        return await handler(body)
+        ctx = self._authenticate(path, headers)
+        if query_string:
+            query = {k: vs[-1] for k, vs in
+                     urllib.parse.parse_qs(query_string).items()}
+            ctx = RequestContext(tenant=ctx.tenant,
+                                 authenticated=ctx.authenticated,
+                                 query=query)
+        return await handler(body, ctx)
 
-    async def _healthz(self, body: bytes) -> Response:
+    async def _healthz(self, body: bytes, ctx: RequestContext) -> Response:
         return (200,
                 {"protocol": PROTOCOL_VERSION, "status": "ok",
                  "queue_depth": self.admission.depth,
                  "queue_limit": self.admission.limit},
                 {})
 
-    async def _flags(self, body: bytes) -> Response:
+    async def _flags(self, body: bytes, ctx: RequestContext) -> Response:
         catalog = {}
         for name, desc in sorted(available_flags().items()):
             spec = get_flag(name)
@@ -136,7 +242,7 @@ class ServeHandlers:
                             "layered": spec.is_layered()}
         return 200, {"protocol": PROTOCOL_VERSION, "flags": catalog}, {}
 
-    async def _metrics(self, body: bytes) -> Response:
+    async def _metrics(self, body: bytes, ctx: RequestContext) -> Response:
         return 200, self.registry.render_prometheus(), {}
 
     def _resolve_flag(self, name: str) -> None:
@@ -189,7 +295,7 @@ class ServeHandlers:
         total = self._hits.value() + self._misses.value()
         self._hit_ratio.set(self._hits.value() / total if total else 0.0)
 
-    async def _run(self, body: bytes) -> Response:
+    async def _run(self, body: bytes, ctx: RequestContext) -> Response:
         request = RunRequest.from_body(parse_body(body))
         self._resolve_flag(request.flag)
         self._preflight(request.cell())
@@ -198,8 +304,9 @@ class ServeHandlers:
         timeout = request.timeout_s or self.default_timeout_s
         with self.admission.slot():
             address = request.address(backend=engine)
-            if self.cache is not None:
-                stored = self.cache.get(address)
+            tier = self._tier(ctx.tenant)
+            if tier is not None:
+                stored = tier.get(address)
                 if stored is not None:
                     self._record_lookup(hit=True)
                     return (200,
@@ -217,16 +324,16 @@ class ServeHandlers:
                     504, "deadline_exceeded",
                     f"no result within {timeout:g}s (the trial keeps "
                     f"computing; a retry may hit the cache)") from None
-            if self.cache is not None:
-                self.cache.put(address,
-                               {"cell": request.cell().key_dict(),
-                                "trials": [payload]})
+            if tier is not None:
+                tier.put(address,
+                         {"cell": request.cell().key_dict(),
+                          "trials": [payload]})
             return (200,
                     run_response(payload, cached=False,
                                  batch_size=batch_size),
                     {})
 
-    async def _task(self, body: bytes) -> Response:
+    async def _task(self, body: bytes, ctx: RequestContext) -> Response:
         """One raw executor task — the fabric's remote-worker endpoint.
 
         Same gate sequence as ``/run`` (validate, resolve, preflight,
@@ -256,7 +363,7 @@ class ServeHandlers:
                                   batch_size=batch_size),
                     {})
 
-    async def _sweep(self, body: bytes) -> Response:
+    async def _sweep(self, body: bytes, ctx: RequestContext) -> Response:
         request = SweepRequest.from_body(parse_body(body))
         for flag in request.spec.flags:
             self._resolve_flag(flag)
@@ -269,13 +376,14 @@ class ServeHandlers:
         timeout = request.timeout_s or self.default_timeout_s
         with self.admission.slot():
             from ..sweep.executor import run_sweep
+            tier = self._tier(ctx.tenant)
             loop = asyncio.get_running_loop()
             try:
                 result = await asyncio.wait_for(
                     loop.run_in_executor(
                         None, lambda: run_sweep(
                             request.spec, workers=self.sweep_workers,
-                            cache=self.cache,
+                            cache=tier,
                             observe=request.observe,
                             backend=backend)),
                     timeout)
@@ -292,7 +400,7 @@ class ServeHandlers:
                                    wall_seconds=result.wall_seconds),
                     {})
 
-    async def _analyze(self, body: bytes) -> Response:
+    async def _analyze(self, body: bytes, ctx: RequestContext) -> Response:
         """Static analysis as a service: the report, no simulation.
 
         Accepts the same body as ``POST /run`` (seed/observe/timeout_s
@@ -314,4 +422,74 @@ class ServeHandlers:
                         and all(r.ok for r in reports)),
                  "failures": [i.to_dict() for i in failures],
                  "reports": [r.to_dict() for r in reports]},
+                {})
+
+    def _require_store(self) -> ResultStore:
+        """The configured store, or 404 ``store_disabled`` without one."""
+        if self.store is None:
+            raise ProtocolError(
+                404, "store_disabled",
+                "this server has no durable store; start it with "
+                "--store PATH")
+        return self.store
+
+    async def _tenants(self, body: bytes, ctx: RequestContext) -> Response:
+        """``GET /tenants`` — every tenant with usage and quota."""
+        store = self._require_store()
+        return (200,
+                {"protocol": PROTOCOL_VERSION,
+                 "tenants": store.tenants()},
+                {})
+
+    async def _results(self, body: bytes, ctx: RequestContext) -> Response:
+        """``GET /results`` — durable result listings and payloads.
+
+        Query parameters:
+
+        - ``tenant``: restrict to one tenant path.  Defaults to the
+          token's tenant on authenticated requests, all tenants
+          otherwise.
+        - ``limit``: cap the listing length (positive integer).
+        - ``digest``: return that single result's full stored payload —
+          the byte-level interop hook (404 ``result_not_found`` when
+          the digest is not stored for the tenant).
+        """
+        store = self._require_store()
+        tenant = ctx.query.get("tenant")
+        if tenant is None and ctx.authenticated:
+            tenant = ctx.tenant
+        digest = ctx.query.get("digest")
+        if digest is not None:
+            payload = store.get_result(digest,
+                                       tenant=tenant or self.default_tenant)
+            if payload is None:
+                raise ProtocolError(
+                    404, "result_not_found",
+                    f"no stored result {digest!r} for tenant "
+                    f"{tenant or self.default_tenant!r}")
+            return (200,
+                    {"protocol": PROTOCOL_VERSION, "digest": digest,
+                     "tenant": tenant or self.default_tenant,
+                     "payload": payload},
+                    {})
+        limit = None
+        if "limit" in ctx.query:
+            try:
+                limit = int(ctx.query["limit"])
+                if limit < 1:
+                    raise ValueError
+            except ValueError:
+                raise ProtocolError(
+                    400, "bad_request",
+                    f"limit must be a positive integer, got "
+                    f"{ctx.query['limit']!r}") from None
+        try:
+            rows = store.results(tenant=tenant, limit=limit)
+        except StoreError as exc:  # unknown tenant path -> client error
+            raise ProtocolError(404, "tenant_not_found",
+                                str(exc)) from exc
+        return (200,
+                {"protocol": PROTOCOL_VERSION,
+                 "results": rows,
+                 "count": len(rows)},
                 {})

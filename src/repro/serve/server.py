@@ -41,9 +41,11 @@ from .protocol import (
 )
 
 _REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
+    200: "OK", 400: "Bad Request", 401: "Unauthorized",
+    403: "Forbidden", 404: "Not Found",
     405: "Method Not Allowed", 411: "Length Required",
-    413: "Payload Too Large", 429: "Too Many Requests",
+    413: "Payload Too Large", 422: "Unprocessable Entity",
+    429: "Too Many Requests",
     500: "Internal Server Error", 504: "Gateway Timeout",
 }
 
@@ -74,6 +76,14 @@ class ServeConfig:
         backend: the trial engine used when a request body carries no
             ``"backend"`` field — ``"reference"``, ``"vector"``, or
             ``"auto"`` (see :mod:`repro.sim.backend`).
+        store_path: SQLite database of a :class:`~repro.store.ResultStore`
+            to persist results through (``None`` disables the store).
+            With both a store and a cache the server reads through the
+            two-level :class:`~repro.store.StoreTier`.
+        store_tenant: tenant path unauthenticated requests act as.
+        require_token: refuse tokenless requests on the protected
+            endpoints (``/run``, ``/sweep``, ``/task``, ``/results``,
+            ``/tenants``) with 401; needs ``store_path``.
     """
 
     host: str = "127.0.0.1"
@@ -89,6 +99,9 @@ class ServeConfig:
     cache_max_entries: Optional[int] = None
     cache_max_bytes: Optional[int] = None
     backend: str = "reference"
+    store_path: Optional[str] = None
+    store_tenant: str = "public"
+    require_token: bool = False
 
 
 class ServeServer:
@@ -96,7 +109,8 @@ class ServeServer:
 
     def __init__(self, config: Optional[ServeConfig] = None, *,
                  registry: Optional[MetricsRegistry] = None,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 store: Optional["ResultStore"] = None) -> None:
         self.config = config or ServeConfig()
         self.registry = registry or MetricsRegistry()
         if cache is None and self.config.cache_dir is not None:
@@ -104,6 +118,12 @@ class ServeServer:
                                 max_entries=self.config.cache_max_entries,
                                 max_bytes=self.config.cache_max_bytes)
         self.cache = cache
+        self._own_store = False
+        if store is None and self.config.store_path is not None:
+            from ..store import ResultStore
+            store = ResultStore(self.config.store_path)
+            self._own_store = True
+        self.store = store
         self.admission = AdmissionQueue(self.config.max_pending,
                                         retry_after_s=self.config.retry_after_s,
                                         registry=self.registry)
@@ -118,6 +138,9 @@ class ServeServer:
         self.handlers = ServeHandlers(
             batcher=self.batcher, admission=self.admission,
             registry=self.registry, cache=self.cache,
+            store=self.store,
+            default_tenant=self.config.store_tenant,
+            require_token=self.config.require_token,
             default_timeout_s=self.config.default_timeout_s,
             default_backend=self.config.backend)
         self._requests = self.registry.counter(
@@ -169,6 +192,8 @@ class ServeServer:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._own_store and self.store is not None:
+            self.store.close()  # the server opened it; the server closes it
         self._stopped.set()
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
@@ -181,10 +206,10 @@ class ServeServer:
                 parsed = await self._read_request(reader)
                 if parsed is None:  # client connected and went away
                     return
-                method, path, body = parsed
+                method, path, body, req_headers = parsed
                 endpoint = path.split("?", 1)[0]
                 status, payload, headers = await self.handlers.dispatch(
-                    method, path, body)
+                    method, path, body, req_headers)
             except ProtocolError as exc:
                 status, payload, headers = (
                     exc.status, error_body(exc.code, exc.message), {})
@@ -239,7 +264,7 @@ class ServeServer:
                     f"body of {length} bytes exceeds the "
                     f"{self.config.max_body_bytes}-byte limit")
             body = await reader.readexactly(length)
-        return method, path, body
+        return method, path, body, headers
 
 
 def _response_bytes(status: int, payload: Any,
@@ -277,8 +302,10 @@ class BackgroundServer:
     def __init__(self, config: Optional[ServeConfig] = None, *,
                  registry: Optional[MetricsRegistry] = None,
                  cache: Optional[ResultCache] = None,
+                 store: Optional["ResultStore"] = None,
                  startup_timeout_s: float = 10.0) -> None:
-        self.server = ServeServer(config, registry=registry, cache=cache)
+        self.server = ServeServer(config, registry=registry, cache=cache,
+                                  store=store)
         self.startup_timeout_s = startup_timeout_s
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None

@@ -1,0 +1,57 @@
+"""Durable multi-tenant result store: SQLite now, Postgres-ready SQL.
+
+The persistence layer under sweeps, serving, the fabric, and classroom
+sessions.  :class:`ResultStore` owns the database (tenants, tokens,
+quotas, content-addressed results, session reports);
+:class:`StoreTier` makes it a drop-in for the on-disk
+:class:`~repro.sweep.cache.ResultCache` so existing call-sites gain
+durability without changing shape; :mod:`repro.store.migrations` owns
+the schema as versioned plain-SQL migrations.
+
+See ``docs/storage.md`` for the schema, the tenancy model, and the
+token flow.
+"""
+
+from .core import (
+    DEFAULT_TENANT,
+    TENANT_KINDS,
+    AuthError,
+    Quota,
+    QuotaExceeded,
+    ResultStore,
+    StoreError,
+    Tenant,
+    canonical_json,
+    token_hash,
+)
+from .migrations import (
+    HEAD_VERSION,
+    MIGRATIONS,
+    Migration,
+    MigrationError,
+    migrate,
+    pending,
+    schema_version,
+)
+from .tier import StoreTier
+
+__all__ = [
+    "AuthError",
+    "DEFAULT_TENANT",
+    "HEAD_VERSION",
+    "MIGRATIONS",
+    "Migration",
+    "MigrationError",
+    "Quota",
+    "QuotaExceeded",
+    "ResultStore",
+    "StoreError",
+    "StoreTier",
+    "TENANT_KINDS",
+    "Tenant",
+    "canonical_json",
+    "migrate",
+    "pending",
+    "schema_version",
+    "token_hash",
+]

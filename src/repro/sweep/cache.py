@@ -103,18 +103,30 @@ class ResultCache:
         truncated write from a crashed process, say) or does not hold a
         JSON object is *quarantined* — renamed to ``<digest>.corrupt``,
         counted in :attr:`corruptions` — and reported as a miss, so one
-        bad file costs a recompute instead of failing the sweep.
+        bad file costs a recompute instead of failing the sweep.  An
+        entry that vanishes between the address lookup and the read (a
+        concurrent prune in another process) is an ordinary miss, not a
+        corruption.
         """
         path = self._path(digest)
-        if not path.exists():
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            # Absent, or pruned by a concurrent process between lookup
+            # and read: either way the entry is simply gone — a plain
+            # miss, never a corruption (there is no file to quarantine).
+            self.misses += 1
+            return None
+        except OSError:
+            self._quarantine(path)
             self.misses += 1
             return None
         try:
-            payload = json.loads(path.read_text())
+            payload = json.loads(text)
             if not isinstance(payload, dict):
                 raise ValueError(
                     f"entry holds {type(payload).__name__}, not an object")
-        except (OSError, json.JSONDecodeError, ValueError):
+        except (json.JSONDecodeError, ValueError):
             self._quarantine(path)
             self.misses += 1
             return None
@@ -148,19 +160,39 @@ class ResultCache:
         if self.max_entries is not None or self.max_bytes is not None:
             self.prune()
 
+    def _files(self):
+        """Every file the cache owns: entries plus quarantined sidecars."""
+        yield from self.root.glob("*.json")
+        yield from self.root.glob("*.corrupt")
+
     def total_bytes(self) -> int:
-        """Bytes currently stored across every entry."""
-        return sum(p.stat().st_size for p in self.root.glob("*.json"))
+        """Bytes currently stored, quarantined sidecars included.
+
+        Sidecars occupy the same disk budget entries do, so they count
+        against ``max_bytes`` — otherwise a bounded cache under
+        recurring corruption would grow without bound.
+        """
+        total = 0
+        for p in self._files():
+            try:
+                total += p.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def prune(self) -> int:
-        """Evict LRU entries until ``max_entries``/``max_bytes`` hold.
+        """Evict LRU files until ``max_entries``/``max_bytes`` hold.
 
-        Returns the number of entries deleted (0 when no limits are
-        set or both budgets already hold).  Entries that vanish midway
-        (another process pruning the same directory) are skipped.
+        Returns the number of files deleted (0 when no limits are
+        set or both budgets already hold).  Quarantined ``.corrupt``
+        sidecars are swept alongside entries — oldest first, never the
+        newest file — and their bytes count against ``max_bytes``, so a
+        bounded cache stays bounded even under recurring corruption.
+        Files that vanish midway (another process pruning the same
+        directory) are skipped.
         """
         entries = []
-        for p in self.root.glob("*.json"):
+        for p in self._files():
             try:
                 st = p.stat()
             except OSError:

@@ -236,6 +236,8 @@ def run_sweep(
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     cache_dir: Optional[Union[str, "os.PathLike"]] = None,
+    store: Optional[Any] = None,
+    store_tenant: str = "public",
     observe: bool = False,
     backend: str = "reference",
 ) -> SweepResult:
@@ -250,6 +252,13 @@ def run_sweep(
             with zero recomputation.
         cache_dir: convenience — build a ``ResultCache`` at this path
             (ignored when ``cache`` is given).  No cache by default.
+        store: a :class:`~repro.store.ResultStore` to persist through —
+            the cache (if any) is wrapped in a read-through
+            :class:`~repro.store.StoreTier`, so computed cells survive
+            process restarts and cache-directory deletion, and a warm
+            store back-fills a cold cache.
+        store_tenant: tenant path the store reads/writes under
+            (created if absent); ignored without ``store``.
         observe: attach a fresh :class:`~repro.obs.observer.RunObserver`
             to every run and keep its deterministic digest per trial
             (see :meth:`~repro.sweep.results.CellResult.obs_rollup`).
@@ -276,6 +285,9 @@ def run_sweep(
         raise SweepError(f"workers must be >= 1, got {workers}")
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
+    if store is not None:
+        from ..store import StoreTier
+        cache = StoreTier(store, cache=cache, tenant=store_tenant)
 
     cells = spec.cells()
     validate_cells(cells)

@@ -36,6 +36,34 @@ class TestRunSession:
         assert sp["scenario1"] == 1.0
         assert sp["scenario3"] > sp["scenario2"] > 1.0
 
+    def test_missing_baseline_is_a_clear_value_error(self, webster_session):
+        """An absent baseline label names the available ones instead of
+        leaking a bare KeyError out of the median dict."""
+        with pytest.raises(ValueError, match="scenario1_repeat"):
+            webster_session.median_speedups(baseline="nope")
+
+    def test_payload_round_trip_preserves_aggregates(self, webster_session):
+        from repro.classroom.session import SessionReport, StoredRun
+        loaded = SessionReport.from_payload(webster_session.to_payload())
+        assert loaded.institution == webster_session.institution
+        assert loaded.flag == webster_session.flag
+        assert loaded.board == webster_session.board
+        assert loaded.median_times() == webster_session.median_times()
+        assert (loaded.median_speedups()
+                == webster_session.median_speedups())
+        assert loaded.all_correct() == webster_session.all_correct()
+        assert (loaded.times_by_implement("scenario1")
+                == webster_session.times_by_implement("scenario1"))
+        run = next(iter(loaded.teams[0].results.values()))
+        assert isinstance(run, StoredRun)
+
+    def test_payload_is_json_safe(self, webster_session):
+        import json
+        text = json.dumps(webster_session.to_payload(), sort_keys=True)
+        from repro.classroom.session import SessionReport
+        loaded = SessionReport.from_payload(json.loads(text))
+        assert loaded.board == webster_session.board
+
     def test_scenario4_slower_than_3(self, webster_session):
         med = webster_session.median_times()
         assert med["scenario4"] > med["scenario3"]

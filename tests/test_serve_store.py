@@ -1,0 +1,204 @@
+"""End-to-end tests for serve + store: token auth, quotas, durability.
+
+A live ``require_token`` server backed by a provisioned
+:class:`~repro.store.ResultStore` exercises the whole matrix — 401
+missing/unknown, 403 revoked, 429 quota with ``Retry-After``, tenant
+scoping of ``/results``, and the restart-survival acceptance pin.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.serve import BackgroundServer, ServeConfig, ServeError
+from repro.store import ResultStore
+
+
+def canon(obj):
+    """Canonical JSON for byte-identity comparisons."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+TOKENS = {
+    "usi": "tok-usi-cs1-0001",
+    "tiny": "tok-tiny-0001",
+    "revoked": "tok-dead-0001",
+}
+
+
+@pytest.fixture(scope="module")
+def store_server(tmp_path_factory):
+    """One live ``require_token`` server over a provisioned store."""
+    root = tmp_path_factory.mktemp("serve-store")
+    db = root / "store.db"
+    with ResultStore(db) as store:
+        store.ensure_tenant("usi/cs1")
+        store.issue_token("usi/cs1", token=TOKENS["usi"], label="ta")
+        store.ensure_tenant("tiny")
+        store.set_quota("tiny", max_results=0, retry_after_s=9.0)
+        store.issue_token("tiny", token=TOKENS["tiny"])
+        store.issue_token("usi/cs1", token=TOKENS["revoked"])
+        store.revoke_token(TOKENS["revoked"])
+    config = ServeConfig(cache_dir=str(root / "cache"),
+                         store_path=str(db),
+                         require_token=True,
+                         batch_window_s=0.01)
+    with BackgroundServer(config) as bg:
+        yield bg
+
+
+class TestTokenAuth:
+    def test_unprotected_paths_stay_open(self, store_server):
+        client = store_server.client()  # no token
+        assert client.healthz()["status"] == "ok"
+        assert "mauritius" in client.flags()["flags"]
+
+    def test_missing_token_is_401(self, store_server):
+        client = store_server.client()
+        with pytest.raises(ServeError) as err:
+            client.run(flag="poland", scenario=3, seed=1)
+        assert err.value.status == 401
+        assert err.value.code == "token_missing"
+
+    def test_401_carries_www_authenticate(self, store_server):
+        status, headers, _ = store_server.client().request(
+            "POST", "/run", {"flag": "poland", "scenario": 3, "seed": 1})
+        assert status == 401
+        assert headers.get("www-authenticate") == "Bearer"
+
+    def test_unknown_token_is_401(self, store_server):
+        client = store_server.client(token="never-issued")
+        with pytest.raises(ServeError) as err:
+            client.run(flag="poland", scenario=3, seed=1)
+        assert err.value.status == 401
+        assert err.value.code == "token_unknown"
+
+    def test_revoked_token_is_403(self, store_server):
+        client = store_server.client(token=TOKENS["revoked"])
+        with pytest.raises(ServeError) as err:
+            client.run(flag="poland", scenario=3, seed=1)
+        assert err.value.status == 403
+        assert err.value.code == "token_revoked"
+
+    def test_every_protected_endpoint_is_gated(self, store_server):
+        client = store_server.client()
+        for method, path in [("POST", "/run"), ("POST", "/sweep"),
+                             ("POST", "/task"), ("GET", "/results"),
+                             ("GET", "/tenants")]:
+            status, _, raw = client.request(method, path, {})
+            body = json.loads(raw)
+            assert status == 401, path
+            assert body["error"]["code"] == "token_missing", path
+
+
+class TestAuthorizedRequests:
+    def test_run_persists_and_caches(self, store_server):
+        client = store_server.client(token=TOKENS["usi"])
+        cold = client.run(flag="poland", scenario=3, seed=7)
+        warm = client.run(flag="poland", scenario=3, seed=7)
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        assert canon(cold["trial"]) == canon(warm["trial"])
+
+    def test_tenants_listing(self, store_server):
+        reply = store_server.client(token=TOKENS["usi"]).tenants()
+        paths = {t["path"] for t in reply["tenants"]}
+        assert {"usi", "usi/cs1", "tiny"} <= paths
+
+    def test_results_default_to_token_tenant(self, store_server):
+        client = store_server.client(token=TOKENS["usi"])
+        client.run(flag="poland", scenario=3, seed=8)
+        reply = client.results()
+        assert reply["count"] >= 1
+        assert all(r["tenant"] == "usi/cs1" for r in reply["results"])
+
+    def test_digest_fetch_round_trips_the_payload(self, store_server):
+        client = store_server.client(token=TOKENS["usi"])
+        reply = client.run(flag="poland", scenario=3, seed=9)
+        digest = client.results()["results"][0]["digest"]
+        listing = client.results(digest=digest)
+        assert listing["tenant"] == "usi/cs1"
+        assert "trials" in listing["payload"]
+        # The first row is the newest — the seed=9 run just stored.
+        assert canon(listing["payload"]["trials"][0]) \
+            == canon(reply["trial"])
+
+    def test_limit_caps_the_listing(self, store_server):
+        client = store_server.client(token=TOKENS["usi"])
+        client.run(flag="poland", scenario=3, seed=10)
+        client.run(flag="poland", scenario=3, seed=11)
+        assert client.results(limit=1)["count"] == 1
+
+    def test_bad_limit_is_400(self, store_server):
+        client = store_server.client(token=TOKENS["usi"])
+        with pytest.raises(ServeError) as err:
+            client.results(limit=0)
+        assert err.value.status == 400
+        assert err.value.code == "bad_request"
+
+    def test_unknown_tenant_listing_is_404(self, store_server):
+        client = store_server.client(token=TOKENS["usi"])
+        with pytest.raises(ServeError) as err:
+            client.results(tenant="ghost")
+        assert err.value.status == 404
+        assert err.value.code == "tenant_not_found"
+
+    def test_missing_digest_is_404(self, store_server):
+        client = store_server.client(token=TOKENS["usi"])
+        with pytest.raises(ServeError) as err:
+            client.results(digest="0" * 64)
+        assert err.value.status == 404
+        assert err.value.code == "result_not_found"
+
+
+class TestQuotas:
+    def test_exhausted_quota_is_429_with_retry_after(self, store_server):
+        client = store_server.client(token=TOKENS["tiny"])
+        with pytest.raises(ServeError) as err:
+            client.run(flag="poland", scenario=3, seed=12)
+        assert err.value.status == 429
+        assert err.value.code == "quota_exceeded"
+        assert err.value.retry_after == 9.0
+
+    def test_other_tenants_are_unaffected(self, store_server):
+        client = store_server.client(token=TOKENS["usi"])
+        reply = client.run(flag="poland", scenario=3, seed=13)
+        assert reply["trial"]["runs"]
+
+
+class TestStoreDisabled:
+    def test_store_endpoints_404_without_a_store(self, tmp_path):
+        config = ServeConfig(cache_dir=str(tmp_path / "cache"),
+                             batch_window_s=0.01)
+        with BackgroundServer(config) as bg:
+            for call in (bg.client().tenants, bg.client().results):
+                with pytest.raises(ServeError) as err:
+                    call()
+                assert err.value.status == 404
+                assert err.value.code == "store_disabled"
+
+
+class TestDurability:
+    def test_served_results_survive_restart_and_cache_loss(self, tmp_path):
+        """The acceptance pin at the HTTP layer: a result computed by
+        one server is served ``cached`` by a fresh server over the same
+        store even after the cache directory is deleted — and the
+        payload bytes are identical."""
+        db = tmp_path / "store.db"
+        cache_dir = tmp_path / "cache"
+        fields = dict(flag="mauritius", scenario=3, seed=21)
+
+        config = ServeConfig(cache_dir=str(cache_dir),
+                             store_path=str(db), batch_window_s=0.01)
+        with BackgroundServer(config) as bg:
+            first = bg.client().run(**fields)
+        assert first["cached"] is False
+        shutil.rmtree(cache_dir)  # the disk cache is gone
+
+        config = ServeConfig(cache_dir=str(tmp_path / "cache2"),
+                             store_path=str(db), batch_window_s=0.01)
+        with BackgroundServer(config) as bg:
+            again = bg.client().run(**fields)
+        assert again["cached"] is True
+        assert canon(again["trial"]) == canon(first["trial"])

@@ -72,8 +72,30 @@ class TestResultCache:
         digest = content_address({"x": 3})
         (tmp_path / f"{digest}.json").write_text("not json")
         cache.get(digest)
-        assert len(cache) == 0
-        assert cache.total_bytes() == 0
+        assert len(cache) == 0  # sidecars are not entries...
+        # ...but their bytes still occupy the disk budget.
+        assert cache.total_bytes() == len("not json")
+
+    def test_entry_vanishing_mid_read_is_plain_miss(self, tmp_path):
+        """A concurrent prune between lookup and read is a miss, not
+        corruption: nothing is quarantined, ``corruptions`` stays 0."""
+        cache = ResultCache(tmp_path)
+        digest = content_address({"x": "race"})
+        cache.put(digest, {"v": 1})
+        real = cache._path(digest)
+
+        class RacingPath:
+            """Loses the race: the file is pruned just before the read."""
+
+            def read_text(self):
+                os.unlink(real)
+                return real.read_text()  # raises FileNotFoundError
+
+        cache._path = lambda d: RacingPath()  # type: ignore[assignment]
+        assert cache.get(digest) is None
+        assert cache.corruptions == 0
+        assert cache.misses == 1
+        assert list(tmp_path.glob("*.corrupt")) == []
 
     def test_len_counts_entries(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -152,6 +174,47 @@ class TestLRUPrune:
             ResultCache(tmp_path, max_entries=0)
         with pytest.raises(CacheError):
             ResultCache(tmp_path, max_bytes=0)
+
+    def test_sidecars_are_swept_by_prune(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        bad = content_address({"bad": 1})
+        (tmp_path / f"{bad}.json").write_text("not json")
+        cache.get(bad)  # -> quarantined sidecar
+        sidecar = tmp_path / f"{bad}.corrupt"
+        assert sidecar.exists()
+        stamp = os.stat(sidecar).st_mtime - 120
+        os.utime(sidecar, (stamp, stamp))
+        cache.put(content_address({"i": 1}), {"v": 1})
+        cache.put(content_address({"i": 2}), {"v": 2})
+        # The sidecar was the oldest of three files against a
+        # two-entry budget: pruned, both real entries kept.
+        assert not sidecar.exists()
+        assert len(cache) == 2
+
+    def test_sidecar_bytes_count_against_max_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=300)
+        sidecar = tmp_path / (content_address({"c": 1}) + ".corrupt")
+        sidecar.write_text("x" * 280)
+        stamp = os.stat(sidecar).st_mtime - 120
+        os.utime(sidecar, (stamp, stamp))
+        cache.put(content_address({"i": 1}), {"pad": "y" * 80})
+        # Entry (~95 B) + sidecar (280 B) bust the 300-byte budget;
+        # the oldest file — the sidecar — is evicted.
+        assert not sidecar.exists()
+        assert cache.total_bytes() <= 300
+
+    def test_recurring_corruption_stays_bounded(self, tmp_path):
+        """The bug this pins: sidecars invisible to prune() meant a
+        bounded cache grew without bound under recurring corruption."""
+        cache = ResultCache(tmp_path, max_entries=3)
+        for i in range(20):
+            digest = content_address({"corrupt": i})
+            (tmp_path / f"{digest}.json").write_text("not json")
+            cache.get(digest)  # quarantine
+            cache.put(content_address({"ok": i}), {"i": i})  # prunes
+        assert cache.corruptions == 20
+        files = list(tmp_path.glob("*.json")) + list(tmp_path.glob("*.corrupt"))
+        assert len(files) <= 3
 
 
 class TestGetOrCompute:
