@@ -27,7 +27,10 @@ both, and quota refusals surface as 429 + ``Retry-After``.  Bearer
 tokens (``Authorization: Bearer <token>``) scope requests to their
 tenant; ``require_token`` servers refuse tokenless requests on the
 protected endpoints with 401, revoked tokens with 403.  ``GET
-/tenants`` and ``GET /results`` expose the store's contents.
+/tenants`` and ``GET /results`` expose the store's contents — scoped:
+a request reads only its own tenant subtree (the token's tenant when
+authenticated, the server default otherwise), and naming any other
+tenant is a 403 ``tenant_forbidden``.
 """
 
 from __future__ import annotations
@@ -179,6 +182,52 @@ class ServeHandlers:
                                 "unknown token") from exc
         return RequestContext(tenant=tenant.path, authenticated=True)
 
+    async def _offload(self, fn):
+        """Run a store-touching callable off the event loop.
+
+        Store calls serialize on the ``ResultStore``'s process-wide
+        lock, which ``/sweep`` holds from executor threads during bulk
+        persists; calling into the store inline would stall every
+        connection on the loop behind that lock.  Without a store the
+        tier is the plain in-memory-indexed disk cache and runs inline.
+        """
+        if self.store is None:
+            return fn()
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, fn)
+
+    def _scope(self, ctx: RequestContext) -> str:
+        """The tenant subtree this request may read.
+
+        The token's tenant when one authenticated, else the server's
+        default tenant — an unauthenticated caller never sees other
+        tenants' data, even on a server that does not require tokens.
+        """
+        return ctx.tenant if ctx.authenticated else self.default_tenant
+
+    @staticmethod
+    def _in_scope(path: str, scope: str) -> bool:
+        """Whether a tenant path is ``scope`` itself or a descendant."""
+        return path == scope or path.startswith(scope + "/")
+
+    def _scoped_tenant(self, ctx: RequestContext) -> str:
+        """The tenant a read acts on, holding ``?tenant=`` to scope.
+
+        Raises:
+            ProtocolError: 403 ``tenant_forbidden`` when the query
+                names a tenant outside the request's subtree.
+        """
+        scope = self._scope(ctx)
+        requested = ctx.query.get("tenant")
+        if requested is None:
+            return scope
+        if not self._in_scope(requested, scope):
+            raise ProtocolError(
+                403, "tenant_forbidden",
+                f"this request may only read tenant {scope!r} and its "
+                f"sub-tenants, not {requested!r}")
+        return requested
+
     def _tier(self, tenant: str) -> Optional[Any]:
         """The result tier for one tenant: cache alone, or store+cache.
 
@@ -304,9 +353,9 @@ class ServeHandlers:
         timeout = request.timeout_s or self.default_timeout_s
         with self.admission.slot():
             address = request.address(backend=engine)
-            tier = self._tier(ctx.tenant)
+            tier = await self._offload(lambda: self._tier(ctx.tenant))
             if tier is not None:
-                stored = tier.get(address)
+                stored = await self._offload(lambda: tier.get(address))
                 if stored is not None:
                     self._record_lookup(hit=True)
                     return (200,
@@ -325,9 +374,9 @@ class ServeHandlers:
                     f"no result within {timeout:g}s (the trial keeps "
                     f"computing; a retry may hit the cache)") from None
             if tier is not None:
-                tier.put(address,
-                         {"cell": request.cell().key_dict(),
-                          "trials": [payload]})
+                await self._offload(lambda: tier.put(
+                    address, {"cell": request.cell().key_dict(),
+                              "trials": [payload]}))
             return (200,
                     run_response(payload, cached=False,
                                  batch_size=batch_size),
@@ -376,7 +425,7 @@ class ServeHandlers:
         timeout = request.timeout_s or self.default_timeout_s
         with self.admission.slot():
             from ..sweep.executor import run_sweep
-            tier = self._tier(ctx.tenant)
+            tier = await self._offload(lambda: self._tier(ctx.tenant))
             loop = asyncio.get_running_loop()
             try:
                 result = await asyncio.wait_for(
@@ -434,42 +483,52 @@ class ServeHandlers:
         return self.store
 
     async def _tenants(self, body: bytes, ctx: RequestContext) -> Response:
-        """``GET /tenants`` — every tenant with usage and quota."""
+        """``GET /tenants`` — usage and quota, scoped to the caller.
+
+        Authenticated requests see the token's tenant and its
+        descendants; unauthenticated requests see only the server's
+        default tenant.  Nobody enumerates anyone else's tenants.
+        """
         store = self._require_store()
+        scope = self._scope(ctx)
+        tenants = await self._offload(store.tenants)
         return (200,
                 {"protocol": PROTOCOL_VERSION,
-                 "tenants": store.tenants()},
+                 "tenants": [t for t in tenants
+                             if self._in_scope(t["path"], scope)]},
                 {})
 
     async def _results(self, body: bytes, ctx: RequestContext) -> Response:
         """``GET /results`` — durable result listings and payloads.
 
+        Reads are scoped: the request acts as its token's tenant (or
+        the server default without one), and ``?tenant=`` may only
+        narrow *within* that subtree — anything else is a 403
+        ``tenant_forbidden``.
+
         Query parameters:
 
-        - ``tenant``: restrict to one tenant path.  Defaults to the
-          token's tenant on authenticated requests, all tenants
-          otherwise.
+        - ``tenant``: restrict to one tenant path inside the caller's
+          subtree.  Defaults to the caller's own tenant.
         - ``limit``: cap the listing length (positive integer).
         - ``digest``: return that single result's full stored payload —
           the byte-level interop hook (404 ``result_not_found`` when
           the digest is not stored for the tenant).
         """
         store = self._require_store()
-        tenant = ctx.query.get("tenant")
-        if tenant is None and ctx.authenticated:
-            tenant = ctx.tenant
+        tenant = self._scoped_tenant(ctx)
         digest = ctx.query.get("digest")
         if digest is not None:
-            payload = store.get_result(digest,
-                                       tenant=tenant or self.default_tenant)
+            payload = await self._offload(
+                lambda: store.get_result(digest, tenant=tenant))
             if payload is None:
                 raise ProtocolError(
                     404, "result_not_found",
                     f"no stored result {digest!r} for tenant "
-                    f"{tenant or self.default_tenant!r}")
+                    f"{tenant!r}")
             return (200,
                     {"protocol": PROTOCOL_VERSION, "digest": digest,
-                     "tenant": tenant or self.default_tenant,
+                     "tenant": tenant,
                      "payload": payload},
                     {})
         limit = None
@@ -484,10 +543,13 @@ class ServeHandlers:
                     f"limit must be a positive integer, got "
                     f"{ctx.query['limit']!r}") from None
         try:
-            rows = store.results(tenant=tenant, limit=limit)
-        except StoreError as exc:  # unknown tenant path -> client error
-            raise ProtocolError(404, "tenant_not_found",
-                                str(exc)) from exc
+            rows = await self._offload(
+                lambda: store.results(tenant=tenant, limit=limit))
+        except StoreError as exc:
+            if "tenant" in ctx.query:  # unknown path named -> 404
+                raise ProtocolError(404, "tenant_not_found",
+                                    str(exc)) from exc
+            rows = []  # caller's own tenant has no rows yet
         return (200,
                 {"protocol": PROTOCOL_VERSION,
                  "results": rows,

@@ -309,18 +309,32 @@ class ResultStore:
         The database stores only the token's SHA-256.  Pass ``token``
         to install a caller-chosen plaintext (tests, provisioning
         scripts); by default a 32-hex-char secret is generated.
+
+        A plaintext the store already knows — live *or* revoked — is
+        refused: re-issuing must never rebind a credential to another
+        tenant or resurrect one that was revoked.
+
+        Raises:
+            StoreError: when the token hash is already on file.
         """
         if token is None:
             import secrets
             token = secrets.token_hex(16)
         with self._lock:
             tenant_id = self._tenant_id(tenant)
-            with self._conn:
-                self._conn.execute(
-                    "INSERT OR REPLACE INTO tokens "
-                    "(token_hash, tenant_id, label, revoked, created_at) "
-                    "VALUES (?, ?, ?, 0, ?)",
-                    (token_hash(token), tenant_id, label, self._clock()))
+            try:
+                with self._conn:
+                    self._conn.execute(
+                        "INSERT INTO tokens "
+                        "(token_hash, tenant_id, label, revoked, "
+                        " created_at) VALUES (?, ?, ?, 0, ?)",
+                        (token_hash(token), tenant_id, label,
+                         self._clock()))
+            except sqlite3.IntegrityError:
+                raise StoreError(
+                    "refusing to re-issue an already-known token "
+                    "(live or revoked); mint a fresh secret instead"
+                ) from None
         return token
 
     def revoke_token(self, token: str) -> bool:
@@ -401,27 +415,38 @@ class ResultStore:
                 ``retry_after_s`` hint.
         """
         with self._lock:
-            tenant_id = self._tenant_id(tenant)
-            quota = self._quota(tenant_id)
-            if quota is None:
-                return
-            usage = self._conn.execute(
-                "SELECT COUNT(*), COALESCE(SUM(nbytes), 0) "
-                "FROM results WHERE tenant_id = ?",
-                (tenant_id,)).fetchone()
-            n_results, n_bytes = int(usage[0]), int(usage[1])
-            if (quota.max_results is not None
-                    and n_results + add_results > quota.max_results):
-                raise QuotaExceeded(
-                    f"tenant {tenant!r} is at {n_results} of "
-                    f"{quota.max_results} results",
-                    tenant=tenant, retry_after_s=quota.retry_after_s)
-            if (quota.max_bytes is not None
-                    and n_bytes + add_bytes > quota.max_bytes):
-                raise QuotaExceeded(
-                    f"tenant {tenant!r} is at {n_bytes} of "
-                    f"{quota.max_bytes} bytes",
-                    tenant=tenant, retry_after_s=quota.retry_after_s)
+            self._check_quota_row(self._tenant_id(tenant), tenant,
+                                  add_results=add_results,
+                                  add_bytes=add_bytes)
+
+    def _check_quota_row(self, tenant_id: int, tenant: str, *,
+                         add_results: int, add_bytes: int) -> None:
+        """The quota gate itself: no locking, no transaction management.
+
+        ``put_result`` calls this inside its ``BEGIN IMMEDIATE``
+        transaction so the usage read and the subsequent insert are one
+        atomic unit even when another *process* shares the database.
+        """
+        quota = self._quota(tenant_id)
+        if quota is None:
+            return
+        usage = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(nbytes), 0) "
+            "FROM results WHERE tenant_id = ?",
+            (tenant_id,)).fetchone()
+        n_results, n_bytes = int(usage[0]), int(usage[1])
+        if (quota.max_results is not None
+                and n_results + add_results > quota.max_results):
+            raise QuotaExceeded(
+                f"tenant {tenant!r} is at {n_results} of "
+                f"{quota.max_results} results",
+                tenant=tenant, retry_after_s=quota.retry_after_s)
+        if (quota.max_bytes is not None
+                and n_bytes + add_bytes > quota.max_bytes):
+            raise QuotaExceeded(
+                f"tenant {tenant!r} is at {n_bytes} of "
+                f"{quota.max_bytes} bytes",
+                tenant=tenant, retry_after_s=quota.retry_after_s)
 
     # -- results ---------------------------------------------------------
 
@@ -431,8 +456,13 @@ class ResultStore:
                    enforce_quota: bool = True) -> None:
         """Persist one content-addressed payload under a tenant.
 
-        Re-putting an existing digest replaces it (same bytes in, same
-        bytes out — the address already covers every identity knob).
+        Re-putting an existing digest replaces its payload but keeps
+        the row's ``created_at``/``accessed_at``/``hits`` — a re-put
+        must not jump the queue in :meth:`gc`'s oldest-first eviction
+        or erase its access history.  The quota check and the insert
+        run in one ``BEGIN IMMEDIATE`` transaction, so concurrent
+        writers — including other *processes* sharing the database
+        file — cannot interleave past the gate.
 
         Raises:
             QuotaExceeded: when the write would bust the tenant's
@@ -443,20 +473,33 @@ class ResultStore:
         with self._lock:
             self._require_head()
             tenant_id = self._tenant_id(tenant)
-            exists = self._conn.execute(
-                "SELECT 1 FROM results WHERE tenant_id = ? AND digest = ?",
-                (tenant_id, digest)).fetchone()
-            if enforce_quota and exists is None:
-                self.check_quota(tenant, add_results=1,
-                                 add_bytes=len(text))
-            with self._conn:
-                self._conn.execute(
-                    "INSERT OR REPLACE INTO results "
-                    "(digest, tenant_id, kind, payload, nbytes, "
-                    " created_at, accessed_at, hits) "
-                    "VALUES (?, ?, ?, ?, ?, ?, NULL, 0)",
-                    (digest, tenant_id, kind, text, len(text),
-                     self._clock()))
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                exists = self._conn.execute(
+                    "SELECT 1 FROM results "
+                    "WHERE tenant_id = ? AND digest = ?",
+                    (tenant_id, digest)).fetchone()
+                if exists is not None:
+                    self._conn.execute(
+                        "UPDATE results SET kind = ?, payload = ?, "
+                        "nbytes = ? WHERE tenant_id = ? AND digest = ?",
+                        (kind, text, len(text), tenant_id, digest))
+                else:
+                    if enforce_quota:
+                        self._check_quota_row(tenant_id, tenant,
+                                              add_results=1,
+                                              add_bytes=len(text))
+                    self._conn.execute(
+                        "INSERT INTO results "
+                        "(digest, tenant_id, kind, payload, nbytes, "
+                        " created_at, accessed_at, hits) "
+                        "VALUES (?, ?, ?, ?, ?, ?, NULL, 0)",
+                        (digest, tenant_id, kind, text, len(text),
+                         self._clock()))
+            except BaseException:
+                self._conn.rollback()
+                raise
+            self._conn.commit()
 
     def get_result(self, digest: str, *,
                    tenant: str = DEFAULT_TENANT) -> Optional[Dict[str, Any]]:

@@ -101,10 +101,10 @@ class TestAuthorizedRequests:
         assert warm["cached"] is True
         assert canon(cold["trial"]) == canon(warm["trial"])
 
-    def test_tenants_listing(self, store_server):
+    def test_tenants_listing_is_scoped_to_the_token(self, store_server):
         reply = store_server.client(token=TOKENS["usi"]).tenants()
         paths = {t["path"] for t in reply["tenants"]}
-        assert {"usi", "usi/cs1", "tiny"} <= paths
+        assert paths == {"usi/cs1"}  # not the parent, not "tiny"
 
     def test_results_default_to_token_tenant(self, store_server):
         client = store_server.client(token=TOKENS["usi"])
@@ -137,12 +137,32 @@ class TestAuthorizedRequests:
         assert err.value.status == 400
         assert err.value.code == "bad_request"
 
-    def test_unknown_tenant_listing_is_404(self, store_server):
+    def test_unknown_tenant_inside_scope_is_404(self, store_server):
         client = store_server.client(token=TOKENS["usi"])
         with pytest.raises(ServeError) as err:
-            client.results(tenant="ghost")
+            client.results(tenant="usi/cs1/ghost")
         assert err.value.status == 404
         assert err.value.code == "tenant_not_found"
+
+    def test_foreign_tenant_listing_is_403(self, store_server):
+        client = store_server.client(token=TOKENS["usi"])
+        for outside in ("tiny", "usi", "ghost"):
+            with pytest.raises(ServeError) as err:
+                client.results(tenant=outside)
+            assert err.value.status == 403, outside
+            assert err.value.code == "tenant_forbidden", outside
+
+    def test_foreign_digest_fetch_is_403(self, store_server):
+        """A ?tenant= override cannot reach another tenant's payloads,
+        not even with a known digest."""
+        usi = store_server.client(token=TOKENS["usi"])
+        usi.run(flag="poland", scenario=3, seed=14)
+        digest = usi.results()["results"][0]["digest"]
+        tiny = store_server.client(token=TOKENS["tiny"])
+        with pytest.raises(ServeError) as err:
+            tiny.results(tenant="usi/cs1", digest=digest)
+        assert err.value.status == 403
+        assert err.value.code == "tenant_forbidden"
 
     def test_missing_digest_is_404(self, store_server):
         client = store_server.client(token=TOKENS["usi"])
@@ -165,6 +185,46 @@ class TestQuotas:
         client = store_server.client(token=TOKENS["usi"])
         reply = client.run(flag="poland", scenario=3, seed=13)
         assert reply["trial"]["runs"]
+
+
+class TestAnonymousScoping:
+    """A store-enabled server *without* --require-token still refuses
+    cross-tenant reads: tokenless callers see the default tenant only."""
+
+    @pytest.fixture(scope="class")
+    def open_server(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("serve-open")
+        db = root / "store.db"
+        with ResultStore(db) as store:
+            store.ensure_tenant("usi/cs1")
+            store.put_result("secret", {"v": 1}, tenant="usi/cs1")
+        config = ServeConfig(cache_dir=str(root / "cache"),
+                             store_path=str(db),
+                             batch_window_s=0.01)
+        with BackgroundServer(config) as bg:
+            yield bg
+
+    def test_anonymous_results_stay_in_default_tenant(self, open_server):
+        client = open_server.client()
+        client.run(flag="poland", scenario=3, seed=31)
+        reply = client.results()
+        assert reply["count"] >= 1
+        assert all(r["tenant"] == "public" for r in reply["results"])
+
+    def test_anonymous_tenant_override_is_403(self, open_server):
+        client = open_server.client()
+        with pytest.raises(ServeError) as err:
+            client.results(tenant="usi/cs1")
+        assert err.value.status == 403
+        assert err.value.code == "tenant_forbidden"
+        with pytest.raises(ServeError) as err:
+            client.results(tenant="usi/cs1", digest="secret")
+        assert err.value.status == 403
+
+    def test_anonymous_tenants_listing_shows_default_only(
+            self, open_server):
+        reply = open_server.client().tenants()
+        assert {t["path"] for t in reply["tenants"]} <= {"public"}
 
 
 class TestStoreDisabled:

@@ -158,6 +158,27 @@ class TestTokens:
         with ResultStore(tmp_path / "s.db") as store:
             assert not store.revoke_token("never-issued")
 
+    def test_reissuing_a_known_token_is_refused(self, tmp_path):
+        """A known plaintext can never be rebound to another tenant."""
+        with ResultStore(tmp_path / "s.db") as store:
+            store.ensure_tenant("usi")
+            store.ensure_tenant("hpu")
+            store.issue_token("usi", token="shared-secret")
+            with pytest.raises(StoreError, match="re-issue"):
+                store.issue_token("hpu", token="shared-secret")
+            assert store.authenticate("shared-secret").path == "usi"
+
+    def test_revoked_token_cannot_be_resurrected(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            store.ensure_tenant("usi")
+            store.issue_token("usi", token="dead-secret")
+            store.revoke_token("dead-secret")
+            with pytest.raises(StoreError, match="re-issue"):
+                store.issue_token("usi", token="dead-secret")
+            with pytest.raises(AuthError) as err:
+                store.authenticate("dead-secret")
+            assert err.value.reason == "revoked"
+
 
 class TestQuotas:
     def test_result_count_quota(self, tmp_path):
@@ -186,6 +207,33 @@ class TestQuotas:
             store.put_result("a", {"v": 1}, tenant="usi")
             with pytest.raises(QuotaExceeded):
                 store.put_result("b", {"pad": "x" * 100}, tenant="usi")
+
+    def test_quota_gate_is_atomic_across_connections(self, tmp_path):
+        """Two handles on one database file (the `repro serve --store`
+        plus `repro sweep --store` shape) cannot interleave past the
+        check-then-insert gate: the final count respects the quota."""
+        import threading
+        db = tmp_path / "s.db"
+        with ResultStore(db) as a, ResultStore(db) as b:
+            a.ensure_tenant("usi")
+            a.set_quota("usi", max_results=5)
+
+            def hammer(store, worker):
+                for i in range(15):
+                    try:
+                        store.put_result(f"d{worker}-{i}", {"i": i},
+                                         tenant="usi")
+                    except QuotaExceeded:
+                        pass
+
+            threads = [threading.Thread(target=hammer,
+                                        args=(store, worker))
+                       for worker, store in enumerate([a, b, a, b])]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(a.results(tenant="usi")) <= 5
 
     def test_quotas_are_per_tenant(self, tmp_path):
         with ResultStore(tmp_path / "s.db") as store:
@@ -244,6 +292,30 @@ class TestResults:
             assert store.gc(older_than_s=500.0) == 1
             assert store.get_result("old", tenant="usi") is None
             assert store.get_result("new", tenant="usi") == {"v": 2}
+
+    def test_replacement_keeps_age_and_access_history(self, tmp_path):
+        """A re-put digest keeps created_at/hits, so it cannot dodge
+        gc's oldest-first eviction or erase its recency stats."""
+        clock = {"now": 1.0}
+        with ResultStore(tmp_path / "s.db",
+                         clock=lambda: clock["now"]) as store:
+            store.ensure_tenant("usi")
+            store.put_result("old", {"v": 1}, tenant="usi")
+            store.get_result("old", tenant="usi")
+            store.get_result("old", tenant="usi")
+            clock["now"] = 50.0
+            store.put_result("young", {"v": 2}, tenant="usi")
+            clock["now"] = 100.0
+            store.put_result("old", {"v": 3}, tenant="usi")  # replace
+            rows = {r["digest"]: r for r in store.results(tenant="usi")}
+            assert rows["old"]["created_at"] == 1.0
+            assert rows["old"]["hits"] == 2
+            # Quota-trimming still evicts the re-put digest first.
+            store.set_quota("usi", max_results=1)
+            store.gc()
+            kept = [r["digest"] for r in store.results(tenant="usi")]
+            assert kept == ["young"]
+            assert store.get_result("old", tenant="usi") is None
 
     def test_gc_trims_over_quota_oldest_first(self, tmp_path):
         clock = {"now": 0.0}
