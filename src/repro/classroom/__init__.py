@@ -22,6 +22,7 @@ from .materials import (
     scenario_slide,
 )
 from .discussion import (
+    LESSON_INTROS,
     Lesson,
     discussion_script,
     Observation,
@@ -45,6 +46,7 @@ __all__ = [
     "run_all_institutions",
     "run_merging_session",
     "run_session",
+    "LESSON_INTROS",
     "Lesson",
     "Observation",
     "debrief_session",

@@ -35,6 +35,27 @@ class Lesson(enum.Enum):
     PIPELINING = "pipelining"
 
 
+#: One-line instructor framings per lesson — how the debrief opens the
+#: topic before the evidence lands.  The tutor mode (``repro tutor``)
+#: narrates live runs with these; :func:`discussion_script` and the
+#: session reports stay evidence-first.
+LESSON_INTROS: Dict[Lesson, str] = {
+    Lesson.SPEEDUP: ("More hands make lighter work — watch how much "
+                     "lighter, exactly."),
+    Lesson.SUBLINEAR_SPEEDUP: ("Four workers never finish four times "
+                               "faster; find where the time goes."),
+    Lesson.WARMUP: ("Run it again: the second attempt is faster "
+                    "because the team already knows the drill."),
+    Lesson.HARDWARE_DIFFERENCES: ("Identical assignments, different "
+                                  "finish times — hardware varies."),
+    Lesson.CONTENTION: ("Two crayons, four workers: somebody is "
+                        "always waiting."),
+    Lesson.PIPELINING: ("Nobody can start until the stripe beside "
+                        "them is underway — watch the start times "
+                        "staircase."),
+}
+
+
 @dataclass(frozen=True)
 class Observation:
     """One detected lesson with its evidence.

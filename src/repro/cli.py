@@ -38,6 +38,10 @@ Gives instructors the library's main flows without writing Python:
 - ``store`` — manage the durable multi-tenant result store
   (``repro.store``): ``init``, ``migrate``, ``tenants``, ``token``,
   ``results``, ``gc``.
+- ``tutor`` — guided interactive lessons (``repro.stream.tutor``):
+  stream a real seeded activity run live — locally or over a
+  ``repro serve`` SSE endpoint — and narrate speedup, warmup,
+  contention, or pipelining against the terminal Gantt as it unfolds.
 
 Long-running commands (``sweep``, ``serve``) exit cleanly on Ctrl-C:
 in-flight work is drained or cancelled, the exit status is 130, and no
@@ -649,7 +653,8 @@ def _cmd_store(args: argparse.Namespace) -> int:
                     print("revoked" if gone else "no such token")
                     return 0 if gone else 1
                 store.ensure_tenant(args.issue)
-                token = store.issue_token(args.issue, label=args.label)
+                token = store.issue_token(args.issue, label=args.label,
+                                          expires_days=args.expires_days)
                 # The plaintext is shown exactly once; only its hash
                 # is stored.
                 print(token)
@@ -740,6 +745,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if summary_text:
         print(summary_text)
     json.loads(out.read_text())  # self-check: the file is valid JSON
+    return 0
+
+
+def _cmd_tutor(args: argparse.Namespace) -> int:
+    """The ``repro tutor`` command: guided live-streamed lessons.
+
+    Each lesson drives one real seeded engine run through the
+    ``repro.stream`` bus and narrates a PDC concept — speedup, warmup,
+    contention, pipelining — against the numbers as they arrive.  With
+    ``--serve HOST:PORT`` the frames come over a live SSE connection
+    instead of an in-process bus, so the terminal session doubles as
+    an end-to-end check of a running ``repro serve`` endpoint.
+    """
+    from .stream.tutor import TutorError, lesson_catalog, run_lesson
+
+    if args.list:
+        print(lesson_catalog())
+        return 0
+    if args.lesson is None:
+        print("repro tutor: pick a lesson with --lesson "
+              "(or see --list)", file=sys.stderr)
+        return 2
+    serve = None
+    if args.serve is not None:
+        host, sep, port = args.serve.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            print(f"repro tutor: --serve wants HOST:PORT, "
+                  f"got {args.serve!r}", file=sys.stderr)
+            return 2
+        serve = (host, int(port))
+    try:
+        run_lesson(args.lesson, flag=args.flag, seed=args.seed,
+                   team_size=args.team_size, serve=serve,
+                   token=args.token, width=args.width, out=print)
+    except TutorError as exc:
+        print(f"repro tutor: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -1043,6 +1085,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="revoke a previously-issued token")
     sp.add_argument("--label", default=None,
                     help="with --issue: a human-readable token label")
+    sp.add_argument("--expires-days", type=float, default=None,
+                    dest="expires_days", metavar="N",
+                    help="with --issue: the token expires N days from "
+                         "now (default: never); an expired token gets "
+                         "401 token_expired from repro serve")
 
     sp = store_sub.add_parser("results", help="list stored results")
     sp.add_argument("db", help="SQLite database path")
@@ -1076,6 +1123,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", default=None,
                    help="also write a Prometheus-style metrics dump here")
 
+    p = sub.add_parser(
+        "tutor",
+        help="guided live-streamed PDC lessons (repro.stream.tutor)")
+    # Literal choices keep parser construction import-free; a test
+    # pins them to repro.stream.tutor.LESSONS.
+    p.add_argument("--lesson", default=None,
+                   choices=("contention", "pipelining", "speedup",
+                            "warmup"),
+                   help="which lesson to run (see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="print the lesson catalog and exit")
+    p.add_argument("--flag", default="mauritius",
+                   help="flag to color during the lesson")
+    p.add_argument("--seed", type=int, default=7,
+                   help="seed for the lesson's engine runs")
+    p.add_argument("--team-size", type=int, default=6,
+                   dest="team_size",
+                   help="students on the concurrent-scenario team")
+    p.add_argument("--serve", default=None, metavar="HOST:PORT",
+                   help="stream the lesson from a live repro serve "
+                        "endpoint over SSE instead of in-process")
+    p.add_argument("--token", default=None,
+                   help="Bearer token for a --require-token server")
+    p.add_argument("--width", type=int, default=64,
+                   help="terminal Gantt width in characters")
+
     return parser
 
 
@@ -1100,6 +1173,7 @@ _COMMANDS = {
     "store": _cmd_store,
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
+    "tutor": _cmd_tutor,
 }
 
 

@@ -40,7 +40,8 @@ from .chrome import (
     to_chrome_trace,
 )
 from .summary import ObsSummary
-from .observer import NullObserver, Observer, RunObserver
+from .observer import NullObserver, Observer, RunObserver, \
+    TeeObserver
 
 __all__ = [
     "Span",
@@ -65,4 +66,5 @@ __all__ = [
     "NullObserver",
     "Observer",
     "RunObserver",
+    "TeeObserver",
 ]

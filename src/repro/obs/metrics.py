@@ -182,7 +182,10 @@ class Histogram:
         for le, c in zip(self.buckets, counts):
             if c >= rank:
                 width = c - prev
-                frac = 1.0 if width == 0 else (rank - prev) / width
+                # An empty bucket crossing the rank (q=0, or sparse
+                # low buckets) holds no mass: the estimate stays at its
+                # lower bound instead of jumping to the bucket ceiling.
+                frac = 0.0 if width == 0 else (rank - prev) / width
                 return lo + (le - lo) * frac
             lo, prev = le, c
         return self.buckets[-1]

@@ -21,6 +21,12 @@ patterns:
   drain on SIGTERM, and :class:`BackgroundServer` for in-process use;
 - :mod:`~repro.serve.client` — a small synchronous client.
 
+``POST /run`` with ``stream: true`` returns a stream token instead of
+a payload, and ``GET /stream?run=<token>`` follows the trial live over
+Server-Sent Events (see :mod:`repro.stream`) — heartbeats while quiet,
+``Last-Event-ID`` resume after a drop, and a terminal frame on every
+path, graceful drain included.
+
 Served results are byte-identical to in-process
 :func:`repro.sweep.executor.run_sweep` results — cold, batched, or
 cached — and the server's cache interoperates with
@@ -38,7 +44,7 @@ Quickstart::
 from .admission import AdmissionFull, AdmissionQueue
 from .batcher import MicroBatcher, run_batch
 from .client import ServeClient, ServeError
-from .handlers import ServeHandlers
+from .handlers import ServeHandlers, StreamHandle
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -66,6 +72,7 @@ __all__ = [
     "ServeError",
     "ServeHandlers",
     "ServeServer",
+    "StreamHandle",
     "SweepRequest",
     "TaskRequest",
     "call_with_retry",

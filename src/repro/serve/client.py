@@ -27,8 +27,9 @@ from __future__ import annotations
 import http.client
 import json
 import urllib.parse
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
+from ..stream import StreamEvent, StreamProtocolError, decode_sse_lines
 from .protocol import PROTOCOL_VERSION
 from .retry import RetryExhausted, RetryPolicy, call_with_retry
 
@@ -153,16 +154,24 @@ class ServeClient:
 
     def results(self, *, tenant: Optional[str] = None,
                 limit: Optional[int] = None,
-                digest: Optional[str] = None) -> Dict[str, Any]:
+                digest: Optional[str] = None,
+                after: Optional[str] = None) -> Dict[str, Any]:
         """``GET /results`` — durable result listings (or one payload).
 
         With ``digest`` set, returns that result's full stored payload
         (the byte-level interop hook); otherwise a newest-first listing,
         optionally scoped to ``tenant`` and capped at ``limit``.
 
+        Pagination is cursor-based: pass ``after=<digest>`` (the
+        ``"next"`` cursor of the previous page) to continue a listing
+        past its last row; a reply without ``"next"`` is the final
+        page.  Cursors are stable under concurrent inserts — new rows
+        land on page one, never shift later pages.
+
         Raises:
             ServeError: 404 for a missing store, tenant, or digest;
-                401/403 under token auth.
+                400 for an unknown ``after`` cursor; 401/403 under
+                token auth.
         """
         params = {}
         if tenant is not None:
@@ -171,6 +180,8 @@ class ServeClient:
             params["limit"] = str(limit)
         if digest is not None:
             params["digest"] = digest
+        if after is not None:
+            params["after"] = after
         path = "/results"
         if params:
             path += "?" + urllib.parse.urlencode(params)
@@ -186,12 +197,108 @@ class ServeClient:
     def run(self, **fields: Any) -> Dict[str, Any]:
         """``POST /run`` — one trial; kwargs become the request body.
 
+        Pass ``stream=True`` and the reply carries a ``"stream"``
+        token instead of a trial payload; feed it to :meth:`stream`
+        to watch the run live.
+
         Raises:
             ServeError: on any non-2xx response (429 carries
                 ``retry_after``; 504 means the deadline passed).
         """
         fields.setdefault("protocol", PROTOCOL_VERSION)
         return self._json("POST", "/run", fields)
+
+    def _stream_once(self, token: str,
+                     cursor: int) -> Iterator[StreamEvent]:
+        """One SSE connection's worth of envelopes (until it drops)."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            headers = {"Accept": "text/event-stream"}
+            if self.token is not None:
+                headers["Authorization"] = f"Bearer {self.token}"
+            if cursor:
+                headers["Last-Event-ID"] = str(cursor)
+            conn.request("GET",
+                         "/stream?" + urllib.parse.urlencode(
+                             {"run": token}),
+                         headers=headers)
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    decoded = json.loads(raw.decode("utf-8")) \
+                        if raw else {}
+                except json.JSONDecodeError:
+                    decoded = {}
+                raise ServeError(response.status, decoded)
+
+            def lines() -> Iterator[str]:
+                while True:
+                    raw_line = response.readline()
+                    if not raw_line:
+                        return
+                    yield raw_line.decode("utf-8")
+
+            for event in decode_sse_lines(lines()):
+                yield event
+        finally:
+            conn.close()
+
+    def stream(self, token: str, *, after: int = 0,
+               max_reconnects: int = 5) -> Iterator[StreamEvent]:
+        """``GET /stream?run=<token>`` — yield a feed's typed envelopes.
+
+        Generates :class:`~repro.stream.protocol.StreamEvent` frames
+        live, ending after the feed's terminal frame (``end``,
+        ``bye``, or ``error`` — inspect ``kind``/``data`` to tell a
+        clean finish from a failure).  Heartbeat comments are consumed
+        silently.
+
+        A dropped connection resumes automatically: the client
+        reconnects with ``Last-Event-ID`` set to the last seen cursor,
+        and the server replays the missed frames from history, so the
+        yielded sequence stays gap-free.  The same resume covers
+        server-side drops — when this subscriber fell behind and its
+        bounded queue shed frames (a hole in ``seq``), the client
+        abandons the connection and re-reads the missed frames from
+        history instead of yielding a gapped feed.  Up to
+        ``max_reconnects`` consecutive *fruitless* attempts are
+        absorbed; progress resets the budget.
+
+        Raises:
+            ServeError: on a non-2xx response (404
+                ``stream_not_found`` once a finished feed ages out).
+            OSError: when reconnecting stopped making progress.
+        """
+        cursor = after
+        failures = 0
+        while True:
+            progressed = False
+            try:
+                source = self._stream_once(token, cursor)
+                for event in source:
+                    if event.seq <= cursor:
+                        continue  # replayed overlap after a reconnect
+                    if event.seq > cursor + 1:
+                        # Our bounded queue overflowed server-side;
+                        # resume from the cursor to fill the hole.
+                        progressed = True
+                        source.close()
+                        break
+                    cursor = event.seq
+                    progressed = True
+                    yield event
+                    if event.terminal:
+                        return
+                else:
+                    raise ConnectionError(
+                        "stream closed before its terminal frame")
+            except (OSError, http.client.HTTPException,
+                    StreamProtocolError):
+                failures = 0 if progressed else failures + 1
+                if failures > max_reconnects:
+                    raise
 
     def sweep(self, **fields: Any) -> Dict[str, Any]:
         """``POST /sweep`` — a cell grid; kwargs become the body.

@@ -31,11 +31,20 @@ protected endpoints with 401, revoked tokens with 403.  ``GET
 a request reads only its own tenant subtree (the token's tenant when
 authenticated, the server default otherwise), and naming any other
 tenant is a 403 ``tenant_forbidden``.
+
+``POST /run`` with ``stream: true`` forks the flow at step 5: instead
+of a buffered trial payload the response carries an unguessable
+*stream token*, the trial executes (or cache-replays) in the
+background publishing onto a :class:`~repro.stream.bus.RunStream`,
+and ``GET /stream?run=<token>`` subscribes to the live SSE feed —
+capability-authorized by the token itself.  Vector-backend requests
+cannot stream (no event traces) and get 422 ``stream_unsupported``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import secrets
 import urllib.parse
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
@@ -44,7 +53,19 @@ from ..flags import available_flags, get_flag
 from ..obs.metrics import MetricsRegistry
 from ..sim.backend import BackendError, resolve_backend
 from ..store import AuthError, QuotaExceeded, ResultStore, StoreError, \
-    StoreTier
+    StoreTier, UnknownCursor
+from ..stream import (
+    DEFAULT_QUEUE_FRAMES,
+    StreamHub,
+    StreamUnsupported,
+    Subscription,
+    check_streamable,
+    expected_run_labels,
+    fail_stream,
+    finish_stream,
+    replay_payload,
+    run_streamed_trial,
+)
 from ..sweep.cache import ResultCache
 from .admission import AdmissionFull, AdmissionQueue
 from .batcher import MicroBatcher
@@ -57,6 +78,7 @@ from .protocol import (
     error_body,
     parse_body,
     run_response,
+    stream_response,
     sweep_response,
     task_response,
 )
@@ -78,11 +100,27 @@ class RequestContext:
             tenant when one authenticated, else the server default.
         authenticated: whether a Bearer token established the tenant.
         query: decoded query-string parameters (last value wins).
+        headers: the request headers, lower-cased names.
     """
 
     tenant: str
     authenticated: bool = False
     query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class StreamHandle:
+    """A live SSE subscription the socket layer must finish writing.
+
+    ``GET /stream`` returns one of these as its response payload in
+    place of a JSON body; :class:`~repro.serve.server.ServeServer`
+    recognizes it and switches the connection into a
+    ``text/event-stream`` write loop (frames, heartbeats, graceful
+    ``bye`` on drain).  Handlers stay socket-free.
+    """
+
+    subscription: Subscription
 
 
 class ServeHandlers:
@@ -97,7 +135,9 @@ class ServeHandlers:
                  require_token: bool = False,
                  default_timeout_s: float = 30.0,
                  sweep_workers: int = 1,
-                 default_backend: str = "reference") -> None:
+                 default_backend: str = "reference",
+                 stream_queue: int = DEFAULT_QUEUE_FRAMES,
+                 stream_keep: int = 64) -> None:
         self.batcher = batcher
         self.admission = admission
         self.registry = registry
@@ -109,6 +149,9 @@ class ServeHandlers:
         self.default_timeout_s = default_timeout_s
         self.sweep_workers = sweep_workers
         self.default_backend = default_backend
+        self.hub = StreamHub(keep_finished=stream_keep,
+                             max_queue=stream_queue, registry=registry)
+        self._drives: set = set()  # in-flight background stream tasks
         self._hits = registry.counter(
             "serve_cache_hits_total", "/run answers served from cache")
         self._misses = registry.counter(
@@ -119,6 +162,9 @@ class ServeHandlers:
         self._timeouts = registry.counter(
             "serve_deadline_timeouts_total",
             "Requests that hit their deadline before a result")
+        self._streams = registry.counter(
+            "serve_streams_total",
+            "Streamed /run feeds started, by cache state")
 
     async def dispatch(self, method: str, path: str, body: bytes,
                        headers: Optional[Dict[str, str]] = None
@@ -153,7 +199,9 @@ class ServeHandlers:
 
         Without a store every request acts as the default tenant.  With
         one, a presented token must authenticate — 401
-        ``token_unknown`` for a token the store never issued, 403
+        ``token_unknown`` for a token the store never issued, 401
+        ``token_expired`` for one past its deadline (distinct, so the
+        client knows to renew rather than re-check the secret), 403
         ``token_revoked`` for a dead one — and when the server requires
         tokens, protected endpoints refuse tokenless requests with 401
         ``token_missing``.
@@ -178,6 +226,10 @@ class ServeHandlers:
             if exc.reason == "revoked":
                 raise ProtocolError(403, "token_revoked",
                                     "token has been revoked") from exc
+            if exc.reason == "expired":
+                raise ProtocolError(
+                    401, "token_expired",
+                    "token has expired; ask for a fresh one") from exc
             raise ProtocolError(401, "token_unknown",
                                 "unknown token") from exc
         return RequestContext(tenant=tenant.path, authenticated=True)
@@ -255,6 +307,7 @@ class ServeHandlers:
             "/analyze": ("POST", self._analyze),
             "/tenants": ("GET", self._tenants),
             "/results": ("GET", self._results),
+            "/stream": ("GET", self._stream),
         }
         entry = routes.get(path)
         if entry is None:
@@ -266,12 +319,13 @@ class ServeHandlers:
             raise ProtocolError(405, "method_not_allowed",
                                 f"{path} expects {expected}, got {method}")
         ctx = self._authenticate(path, headers)
+        query: Dict[str, str] = {}
         if query_string:
             query = {k: vs[-1] for k, vs in
                      urllib.parse.parse_qs(query_string).items()}
-            ctx = RequestContext(tenant=ctx.tenant,
-                                 authenticated=ctx.authenticated,
-                                 query=query)
+        ctx = RequestContext(tenant=ctx.tenant,
+                             authenticated=ctx.authenticated,
+                             query=query, headers=headers)
         return await handler(body, ctx)
 
     async def _healthz(self, body: bytes, ctx: RequestContext) -> Response:
@@ -348,6 +402,8 @@ class ServeHandlers:
         request = RunRequest.from_body(parse_body(body))
         self._resolve_flag(request.flag)
         self._preflight(request.cell())
+        if request.stream:
+            return await self._run_streamed(request, ctx)
         engine = self._backend(request.backend, request.cell(),
                                observe=request.observe)
         timeout = request.timeout_s or self.default_timeout_s
@@ -381,6 +437,133 @@ class ServeHandlers:
                     run_response(payload, cached=False,
                                  batch_size=batch_size),
                     {})
+
+    async def _run_streamed(self, request: RunRequest,
+                            ctx: RequestContext) -> Response:
+        """``POST /run`` with ``stream: true`` — start a feed, hand back
+        its token.
+
+        The response returns immediately; the trial executes (cache
+        miss) or replays its archived payload (hit — frame-identical
+        to the live feed it archives) in the background, publishing
+        onto a :class:`~repro.stream.bus.RunStream` that ``GET
+        /stream?run=<token>`` subscribes to.  The feed holds one
+        admission slot until its terminal frame, so graceful drain
+        waits for streamed runs exactly like buffered ones.
+        ``timeout_s`` does not bound the feed: a streaming client
+        watches progress live and can simply disconnect.
+
+        Streaming needs the reference engine's event traces.  A bare
+        request streams on reference regardless of the server's
+        default backend; an *explicit* non-reference backend is a 422
+        ``stream_unsupported``.
+        """
+        engine = "reference"
+        if request.backend is not None:
+            engine = self._backend(request.backend, request.cell(),
+                                   observe=request.observe)
+        task = request.task(backend=engine)
+        try:
+            check_streamable(task)
+        except StreamUnsupported as exc:
+            raise ProtocolError(422, "stream_unsupported",
+                                str(exc)) from exc
+        address = request.address(backend=engine)
+        self.admission.acquire()  # released when the feed terminates
+        try:
+            tier = await self._offload(lambda: self._tier(ctx.tenant))
+            stored = None
+            if tier is not None:
+                stored = await self._offload(lambda: tier.get(address))
+            self._record_lookup(hit=stored is not None)
+            cached = stored is not None
+            self._streams.inc(cached=str(cached).lower())
+            token = secrets.token_hex(16)
+            stream = self.hub.create(token)
+        except BaseException:
+            self.admission.release()
+            raise
+        drive = asyncio.get_running_loop().create_task(
+            self._drive_stream(
+                stream, task, address, tier,
+                stored["trials"][0] if cached else None,
+                cell_key_dict=request.cell().key_dict()))
+        self._drives.add(drive)
+        drive.add_done_callback(self._drives.discard)
+        return (200,
+                stream_response(token, cached=cached,
+                                runs=expected_run_labels(task["cell"])),
+                {})
+
+    async def _drive_stream(self, stream, task: Dict[str, Any],
+                            address: str, tier: Optional[Any],
+                            cached_payload: Optional[Dict[str, Any]], *,
+                            cell_key_dict: Dict[str, Any]) -> None:
+        """Feed one stream to its terminal frame off the event loop.
+
+        Success ends the feed with ``end``; any failure with ``error``
+        (subscribers always see a terminal frame).  The admission slot
+        taken by :meth:`_run_streamed` is released here, whatever
+        happens, so drain accounting stays balanced.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            if cached_payload is not None:
+                await loop.run_in_executor(
+                    None, lambda: replay_payload(cached_payload, stream))
+                finish_stream(stream, cached=True,
+                              runs=list(cached_payload["runs"]))
+            else:
+                payload = await loop.run_in_executor(
+                    None, lambda: run_streamed_trial(task, stream))
+                if tier is not None:
+                    await self._offload(lambda: tier.put(
+                        address, {"cell": cell_key_dict,
+                                  "trials": [payload]}))
+                finish_stream(stream, cached=False,
+                              runs=list(payload["runs"]))
+        except Exception as exc:
+            fail_stream(stream, f"{type(exc).__name__}: {exc}")
+        finally:
+            self.admission.release()
+
+    async def _stream(self, body: bytes, ctx: RequestContext) -> Response:
+        """``GET /stream?run=<token>`` — subscribe to a feed over SSE.
+
+        Authorization is capability-style: the unguessable token
+        minted by the streamed ``/run`` *is* the credential (tokens
+        never appear in listings), so tutors without Bearer tokens can
+        still watch feeds their teacher's server started for them.
+
+        Resume: a ``Last-Event-ID: <seq>`` header (what an SSE client
+        sends automatically on reconnect) or ``?after=<seq>`` replays
+        history past the cursor — gap-free — before splicing onto the
+        live feed.  The socket layer turns the returned
+        :class:`StreamHandle` into the actual ``text/event-stream``
+        response; this handler never touches the socket.
+        """
+        token = ctx.query.get("run")
+        if not token:
+            raise ProtocolError(400, "bad_request",
+                                "GET /stream requires ?run=<stream token>")
+        stream = self.hub.get(token)
+        if stream is None:
+            raise ProtocolError(
+                404, "stream_not_found",
+                "no live or recently finished stream under that token")
+        raw = ctx.headers.get("last-event-id", ctx.query.get("after"))
+        after = 0
+        if raw is not None:
+            try:
+                after = int(raw)
+                if after < 0:
+                    raise ValueError
+            except ValueError:
+                raise ProtocolError(
+                    400, "bad_request",
+                    f"resume cursor must be a non-negative integer, "
+                    f"got {raw!r}") from None
+        return 200, StreamHandle(stream.subscribe(after=after)), {}
 
     async def _task(self, body: bytes, ctx: RequestContext) -> Response:
         """One raw executor task — the fabric's remote-worker endpoint.
@@ -511,6 +694,11 @@ class ServeHandlers:
         - ``tenant``: restrict to one tenant path inside the caller's
           subtree.  Defaults to the caller's own tenant.
         - ``limit``: cap the listing length (positive integer).
+        - ``after``: cursor pagination — the ``"next"`` digest of the
+          previous page; the listing resumes strictly past it.  A
+          stale cursor is a 400 ``bad_cursor``.  When a full page came
+          back the reply carries ``"next"`` (the last row's digest);
+          its absence marks the final page.
         - ``digest``: return that single result's full stored payload —
           the byte-level interop hook (404 ``result_not_found`` when
           the digest is not stored for the tenant).
@@ -542,16 +730,21 @@ class ServeHandlers:
                     400, "bad_request",
                     f"limit must be a positive integer, got "
                     f"{ctx.query['limit']!r}") from None
+        after = ctx.query.get("after")
         try:
             rows = await self._offload(
-                lambda: store.results(tenant=tenant, limit=limit))
+                lambda: store.results(tenant=tenant, limit=limit,
+                                      after=after))
+        except UnknownCursor as exc:
+            raise ProtocolError(400, "bad_cursor", str(exc)) from exc
         except StoreError as exc:
             if "tenant" in ctx.query:  # unknown path named -> 404
                 raise ProtocolError(404, "tenant_not_found",
                                     str(exc)) from exc
             rows = []  # caller's own tenant has no rows yet
-        return (200,
-                {"protocol": PROTOCOL_VERSION,
-                 "results": rows,
-                 "count": len(rows)},
-                {})
+        body_out = {"protocol": PROTOCOL_VERSION,
+                    "results": rows,
+                    "count": len(rows)}
+        if limit is not None and len(rows) == limit:
+            body_out["next"] = rows[-1]["digest"]
+        return 200, body_out, {}

@@ -214,9 +214,11 @@ class RunRequest:
     observe: bool = False
     backend: Optional[str] = None
     timeout_s: Optional[float] = None
+    stream: bool = False
 
     _FIELDS = ("flag", "scenario", "seed", "team_size", "policy", "style",
-               "copies", "rows", "cols", "observe", "backend", "timeout_s")
+               "copies", "rows", "cols", "observe", "backend", "timeout_s",
+               "stream")
 
     @classmethod
     def from_body(cls, body: Dict[str, Any]) -> "RunRequest":
@@ -254,6 +256,7 @@ class RunRequest:
                 observe=_as_bool(body, "observe", False),
                 backend=_as_backend(body),
                 timeout_s=_as_timeout(body),
+                stream=_as_bool(body, "stream", False),
             )
         except SweepError as exc:
             raise ProtocolError(400, "bad_field", str(exc)) from exc
@@ -460,6 +463,19 @@ def run_response(payload: Dict[str, Any], *, cached: bool,
     """The ``POST /run`` response envelope around one trial payload."""
     return {"protocol": PROTOCOL_VERSION, "cached": cached,
             "batch_size": batch_size, "trial": payload}
+
+
+def stream_response(token: str, *, cached: bool,
+                    runs: List[str]) -> Dict[str, Any]:
+    """The ``POST /run`` (``stream=true``) envelope: a stream token.
+
+    The token names a live feed on ``GET /stream?run=<token>``;
+    ``runs`` lists the run labels the feed will carry, in order, and
+    ``cached`` says whether the feed replays an archived payload
+    (frame-identical to the live run it archives) or executes fresh.
+    """
+    return {"protocol": PROTOCOL_VERSION, "stream": token,
+            "cached": cached, "runs": runs}
 
 
 def task_response(payload: Dict[str, Any], *, trial: int,

@@ -29,10 +29,16 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from ..obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from ..stream import (
+    DEFAULT_QUEUE_FRAMES,
+    StreamEvent,
+    encode_sse,
+    heartbeat_comment,
+)
 from ..sweep.cache import ResultCache
 from .admission import AdmissionQueue
 from .batcher import MicroBatcher
-from .handlers import ServeHandlers
+from .handlers import ServeHandlers, StreamHandle
 from .protocol import (
     DEFAULT_MAX_BODY_BYTES,
     ProtocolError,
@@ -84,6 +90,15 @@ class ServeConfig:
         require_token: refuse tokenless requests on the protected
             endpoints (``/run``, ``/sweep``, ``/task``, ``/results``,
             ``/tenants``) with 401; needs ``store_path``.
+        stream_queue: bound on one SSE subscriber's undelivered live
+            frames; a lagging consumer loses its oldest frames
+            (counted, resumable from history) instead of slowing the
+            engine.
+        stream_heartbeat_s: idle seconds between SSE keepalive
+            comments, so proxies and clients can tell a quiet feed
+            from a dead connection.
+        stream_keep: finished feeds kept around for late or resumed
+            subscribers before the oldest are dropped.
     """
 
     host: str = "127.0.0.1"
@@ -102,6 +117,9 @@ class ServeConfig:
     store_path: Optional[str] = None
     store_tenant: str = "public"
     require_token: bool = False
+    stream_queue: int = DEFAULT_QUEUE_FRAMES
+    stream_heartbeat_s: float = 10.0
+    stream_keep: int = 64
 
 
 class ServeServer:
@@ -142,7 +160,9 @@ class ServeServer:
             default_tenant=self.config.store_tenant,
             require_token=self.config.require_token,
             default_timeout_s=self.config.default_timeout_s,
-            default_backend=self.config.backend)
+            default_backend=self.config.backend,
+            stream_queue=self.config.stream_queue,
+            stream_keep=self.config.stream_keep)
         self._requests = self.registry.counter(
             "serve_requests_total", "Requests answered, by endpoint/status")
         self._latency = self.registry.histogram(
@@ -151,6 +171,8 @@ class ServeServer:
             buckets=LATENCY_BUCKETS)
         self._server: Optional[asyncio.base_events.Server] = None
         self._stopped: Optional[asyncio.Event] = None
+        self._stream_wakers: set = set()  # active SSE writers' wake events
+        self._draining = False
         self.interrupted = False
 
     @property
@@ -188,6 +210,16 @@ class ServeServer:
         await self._server.wait_closed()
         while self.admission.depth > 0:  # admitted work drains out
             await asyncio.sleep(0.01)
+        # Streamed runs held admission slots, so every feed now carries
+        # its terminal frame; wake any still-attached SSE writers so
+        # they flush it (or say ``bye``) and let them finish.
+        self._draining = True
+        for waker in list(self._stream_wakers):
+            waker.set()
+        for _ in range(500):  # bounded: writers exit promptly after bye
+            if not self._stream_wakers:
+                break
+            await asyncio.sleep(0.01)
         await self.batcher.stop()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -216,6 +248,9 @@ class ServeServer:
             self._requests.inc(endpoint=endpoint, status=str(status))
             self._latency.observe(time.perf_counter() - started,
                                   endpoint=endpoint)
+            if isinstance(payload, StreamHandle):
+                await self._write_stream(writer, payload)
+                return
             writer.write(_response_bytes(status, payload, headers))
             await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -226,6 +261,61 @@ class ServeServer:
                 await writer.wait_closed()
             except ConnectionError:  # pragma: no cover - race on close
                 pass
+
+    async def _write_stream(self, writer: asyncio.StreamWriter,
+                            handle: StreamHandle) -> None:
+        """Pump one SSE subscription down its socket until terminal.
+
+        The loop: flush everything deliverable, then sleep on an
+        asyncio event the bus wakes from the engine thread (via
+        ``call_soon_threadsafe``); an idle ``stream_heartbeat_s``
+        window emits a keepalive comment instead.  A terminal frame
+        ends the feed; a server drain ends it with a synthetic ``bye``
+        frame (its ``seq`` continues the cursor, so reassembly on the
+        client stays gap-free).  SSE connections hold no admission
+        slot — drain never waits on a watcher, only on work.
+        """
+        sub = handle.subscription
+        loop = asyncio.get_running_loop()
+        wake = asyncio.Event()
+        sub.add_waker(lambda: loop.call_soon_threadsafe(wake.set))
+        self._stream_wakers.add(wake)
+        heartbeats = 0
+        last_seq = 0
+        try:
+            writer.write(b"HTTP/1.1 200 OK\r\n"
+                         b"Content-Type: text/event-stream\r\n"
+                         b"Cache-Control: no-cache\r\n"
+                         b"Connection: close\r\n\r\n")
+            await writer.drain()
+            while True:
+                wake.clear()
+                frames = sub.pop_ready()
+                while frames:
+                    for frame in frames:
+                        writer.write(encode_sse(frame))
+                        last_seq = frame.seq
+                    await writer.drain()
+                    if frames[-1].terminal:
+                        return
+                    frames = sub.pop_ready()
+                if self._draining:
+                    bye = StreamEvent(seq=last_seq + 1, time=0.0,
+                                      kind="bye", run=None,
+                                      data={"reason": "server draining"})
+                    writer.write(encode_sse(bye))
+                    await writer.drain()
+                    return
+                try:
+                    await asyncio.wait_for(
+                        wake.wait(), self.config.stream_heartbeat_s)
+                except asyncio.TimeoutError:
+                    writer.write(heartbeat_comment(heartbeats))
+                    heartbeats += 1
+                    await writer.drain()
+        finally:
+            self._stream_wakers.discard(wake)
+            sub.close()
 
     async def _read_request(self, reader: asyncio.StreamReader):
         try:

@@ -21,6 +21,7 @@ from .core import (
     ResultStore,
     StoreError,
     Tenant,
+    UnknownCursor,
     canonical_json,
     token_hash,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "StoreTier",
     "TENANT_KINDS",
     "Tenant",
+    "UnknownCursor",
     "canonical_json",
     "migrate",
     "pending",

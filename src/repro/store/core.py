@@ -62,12 +62,17 @@ class AuthError(StoreError):
     """A token the store refuses.
 
     Attributes:
-        reason: ``"unknown"`` (no such token) or ``"revoked"``.
+        reason: ``"unknown"`` (no such token), ``"revoked"``, or
+            ``"expired"`` (its ``expires_at`` deadline passed).
     """
 
     def __init__(self, message: str, *, reason: str) -> None:
         super().__init__(message)
         self.reason = reason
+
+
+class UnknownCursor(StoreError):
+    """A results-listing cursor that names no stored digest."""
 
 
 class QuotaExceeded(StoreError):
@@ -303,20 +308,39 @@ class ResultStore:
     # -- tokens ----------------------------------------------------------
 
     def issue_token(self, tenant: str, *, label: Optional[str] = None,
-                    token: Optional[str] = None) -> str:
+                    token: Optional[str] = None,
+                    expires_days: Optional[float] = None,
+                    expires_at: Optional[float] = None) -> str:
         """Mint an auth token for a tenant; returns the plaintext once.
 
         The database stores only the token's SHA-256.  Pass ``token``
         to install a caller-chosen plaintext (tests, provisioning
         scripts); by default a 32-hex-char secret is generated.
 
+        Tokens live forever by default; ``expires_days`` sets a
+        deadline that many days out on the store's clock (the idiom
+        for term-length classroom credentials), and ``expires_at``
+        pins an absolute unix-seconds deadline instead.  Expired
+        tokens authenticate as ``reason="expired"`` refusals — kept
+        distinct from ``"unknown"`` so a student sees "renew your
+        token", not "no such token".
+
         A plaintext the store already knows — live *or* revoked — is
         refused: re-issuing must never rebind a credential to another
         tenant or resurrect one that was revoked.
 
         Raises:
-            StoreError: when the token hash is already on file.
+            StoreError: when the token hash is already on file, or
+                both expiry forms are given.
         """
+        if expires_days is not None and expires_at is not None:
+            raise StoreError(
+                "pass expires_days or expires_at, not both")
+        if expires_days is not None:
+            if expires_days <= 0:
+                raise StoreError(
+                    f"expires_days must be positive, got {expires_days}")
+            expires_at = self._clock() + expires_days * 86400.0
         if token is None:
             import secrets
             token = secrets.token_hex(16)
@@ -327,9 +351,9 @@ class ResultStore:
                     self._conn.execute(
                         "INSERT INTO tokens "
                         "(token_hash, tenant_id, label, revoked, "
-                        " created_at) VALUES (?, ?, ?, 0, ?)",
+                        " created_at, expires_at) VALUES (?, ?, ?, 0, ?, ?)",
                         (token_hash(token), tenant_id, label,
-                         self._clock()))
+                         self._clock(), expires_at))
             except sqlite3.IntegrityError:
                 raise StoreError(
                     "refusing to re-issue an already-known token "
@@ -351,18 +375,22 @@ class ResultStore:
 
         Raises:
             AuthError: ``reason="unknown"`` for a token the store never
-                issued, ``reason="revoked"`` for one that was revoked.
+                issued, ``reason="revoked"`` for one that was revoked,
+                ``reason="expired"`` for one past its ``expires_at``
+                deadline.
         """
         with self._lock:
             self._require_head()
             row = self._conn.execute(
-                "SELECT tenant_id, revoked FROM tokens "
+                "SELECT tenant_id, revoked, expires_at FROM tokens "
                 "WHERE token_hash = ?", (token_hash(token),)).fetchone()
             if row is None:
                 raise AuthError("unknown token", reason="unknown")
             if int(row[1]):
                 raise AuthError("token has been revoked",
                                 reason="revoked")
+            if row[2] is not None and self._clock() >= float(row[2]):
+                raise AuthError("token has expired", reason="expired")
             tenant_id = int(row[0])
             trow = self._conn.execute(
                 "SELECT name, kind, parent_id FROM tenants WHERE id = ?",
@@ -528,21 +556,57 @@ class ResultStore:
             return json.loads(row[0])
 
     def results(self, *, tenant: Optional[str] = None,
-                limit: Optional[int] = None) -> List[Dict[str, Any]]:
+                limit: Optional[int] = None,
+                after: Optional[str] = None) -> List[Dict[str, Any]]:
         """Result summaries (no payloads), newest first.
+
+        Pagination is keyset-based on the listing order
+        ``(created_at DESC, digest ASC)``: pass the last digest of the
+        previous page as ``after`` and the next page starts strictly
+        past that row.  Unlike OFFSET paging, the cursor is stable
+        under concurrent inserts — new rows land on page one and never
+        shift or duplicate later pages.
 
         Args:
             tenant: restrict to one tenant path (default: all tenants).
-            limit: cap the listing length.
+            limit: cap the listing length (page size when paginating).
+            after: digest of the last row already seen; the listing
+                resumes after it.
+
+        Raises:
+            UnknownCursor: when ``after`` names no stored digest in
+                scope — a caller holding a stale cursor should restart
+                from the first page.
         """
         with self._lock:
             self._require_head()
-            query = ("SELECT digest, tenant_id, kind, nbytes, created_at, "
-                     "hits FROM results")
+            where: List[str] = []
             params: List[Any] = []
             if tenant is not None:
-                query += " WHERE tenant_id = ?"
+                where.append("tenant_id = ?")
                 params.append(self._tenant_id(tenant))
+            if after is not None:
+                cursor_query = ("SELECT created_at, digest FROM results "
+                                "WHERE digest = ?")
+                cursor_params: List[Any] = [after]
+                if tenant is not None:
+                    cursor_query += " AND tenant_id = ?"
+                    cursor_params.append(params[0])
+                cursor_query += " ORDER BY created_at DESC, digest LIMIT 1"
+                cursor = self._conn.execute(
+                    cursor_query, cursor_params).fetchone()
+                if cursor is None:
+                    raise UnknownCursor(
+                        f"cursor {after!r} names no stored result; "
+                        f"restart the listing from its first page")
+                where.append("(created_at < ? OR "
+                             "(created_at = ? AND digest > ?))")
+                params.extend([float(cursor[0]), float(cursor[0]),
+                               str(cursor[1])])
+            query = ("SELECT digest, tenant_id, kind, nbytes, created_at, "
+                     "hits FROM results")
+            if where:
+                query += " WHERE " + " AND ".join(where)
             query += " ORDER BY created_at DESC, digest"
             if limit is not None:
                 query += " LIMIT ?"

@@ -25,6 +25,9 @@ Version history:
 3. ``sessions_access`` — durable classroom session reports, plus
    access stamps (``accessed_at``/``hits``) on results so ``gc`` can
    reason about recency.
+4. ``token_expiry`` — an optional ``expires_at`` deadline on tokens,
+   so classroom credentials can be issued for the term instead of
+   forever (``NULL`` keeps the pre-4 never-expires behavior).
 """
 
 from __future__ import annotations
@@ -124,6 +127,13 @@ MIGRATIONS: Tuple[Migration, ...] = (
             """,
             "ALTER TABLE results ADD COLUMN accessed_at DOUBLE PRECISION",
             "ALTER TABLE results ADD COLUMN hits INTEGER NOT NULL DEFAULT 0",
+        ),
+    ),
+    Migration(
+        version=4,
+        name="token_expiry",
+        statements=(
+            "ALTER TABLE tokens ADD COLUMN expires_at DOUBLE PRECISION",
         ),
     ),
 )

@@ -1,0 +1,111 @@
+"""Live event streaming: watch a simulation run while it runs.
+
+Where :mod:`repro.serve` made experiments *servable* and
+:mod:`repro.store` made their results *durable*, this package makes a
+running experiment *watchable*: engine events flow out of the
+simulation as they happen, over an async-safe bus, onto SSE
+connections and terminal tutor views — the infrastructure form of the
+paper's "watch the parallelism happen" classroom moment.
+
+- :mod:`~repro.stream.protocol` — the versioned wire schema: envelope
+  frames (``seq`` / sim-time / kind / payload), SSE framing, and the
+  reassembly helper that proves a feed byte-identical to the archived
+  event log;
+- :mod:`~repro.stream.bus` — a thread-safe fan-out bus with bounded
+  per-subscriber queues (drop-oldest, counted, never blocking the
+  engine) and gap-free replay-from-seq resume;
+- :mod:`~repro.stream.observer` — the :class:`StreamObserver` engine
+  tap (PR 2 Observer protocol) publishing archived-form event lines;
+- :mod:`~repro.stream.runner` — execute (or cache-replay) one sweep
+  trial through a stream, payloads byte-identical to unstreamed runs;
+- :mod:`~repro.stream.tutor` — guided lessons (speedup, warmup,
+  contention, pipelining) narrating a live feed with terminal Gantt
+  and agents-waiting views, locally or against a remote server.
+
+The headline invariant, pinned by tier-1 tests: for any seeded run,
+the concatenated streamed feed — including one resumed mid-run from an
+arbitrary cursor — reassembles to *exactly* the archived event log of
+the same run.  Streaming is a tap, never a fork.
+"""
+
+from .bus import (
+    DEFAULT_QUEUE_FRAMES,
+    RunStream,
+    StreamClosed,
+    StreamHub,
+    Subscription,
+)
+from .observer import StreamObserver, event_line, label_sequence_factory
+from .protocol import (
+    FRAME_KINDS,
+    STREAM_PROTOCOL_VERSION,
+    TERMINAL_KINDS,
+    StreamEvent,
+    StreamProtocolError,
+    decode_sse_lines,
+    dumps_frame,
+    encode_sse,
+    feed_makespans,
+    heartbeat_comment,
+    loads_frame,
+    reassemble_feed,
+    split_runs,
+)
+from .runner import (
+    ACTIVITY_RUN_LABELS,
+    StreamUnsupported,
+    check_streamable,
+    expected_run_labels,
+    fail_stream,
+    finish_stream,
+    replay_payload,
+    run_streamed_trial,
+)
+from .tutor import (
+    LESSONS,
+    LessonReport,
+    TutorError,
+    TutorLesson,
+    available_lessons,
+    lesson_catalog,
+    run_lesson,
+)
+
+__all__ = [
+    "ACTIVITY_RUN_LABELS",
+    "DEFAULT_QUEUE_FRAMES",
+    "FRAME_KINDS",
+    "LESSONS",
+    "LessonReport",
+    "RunStream",
+    "STREAM_PROTOCOL_VERSION",
+    "StreamClosed",
+    "StreamEvent",
+    "StreamHub",
+    "StreamObserver",
+    "StreamProtocolError",
+    "StreamUnsupported",
+    "Subscription",
+    "TERMINAL_KINDS",
+    "TutorError",
+    "TutorLesson",
+    "available_lessons",
+    "check_streamable",
+    "decode_sse_lines",
+    "dumps_frame",
+    "encode_sse",
+    "event_line",
+    "expected_run_labels",
+    "fail_stream",
+    "feed_makespans",
+    "finish_stream",
+    "heartbeat_comment",
+    "label_sequence_factory",
+    "lesson_catalog",
+    "loads_frame",
+    "reassemble_feed",
+    "replay_payload",
+    "run_lesson",
+    "run_streamed_trial",
+    "split_runs",
+]

@@ -1,0 +1,287 @@
+"""The stream bus: thread-safe fan-out with bounded subscriber queues.
+
+The publisher is an engine thread (a :class:`~repro.stream.observer.
+StreamObserver` hook running inside the simulation loop); consumers
+are SSE connections on the serve event loop, tutor renderers, or
+tests.  The contract, in priority order:
+
+1. **Publishing never blocks and never fails.**  The engine must not
+   notice observers; a slow or stuck subscriber costs it nothing.
+   Publish does O(subscribers) bounded work under a lock and returns.
+2. **Per-subscriber queues are bounded, drop-oldest.**  A subscriber
+   that cannot keep up loses its *oldest* undelivered frames; every
+   loss increments the subscription's ``dropped`` count and the bus's
+   ``stream_dropped_frames_total`` counter (surfaced on ``/metrics``).
+   The feed's envelope ``seq`` stays contiguous in the history, so a
+   dropped-on client re-resumes from its last seen cursor and reads
+   the missed frames back out of the replay history.
+3. **Replay-from-seq has no gaps.**  The stream retains its full
+   envelope history (runs are finite; a trial is a few thousand
+   frames), so ``subscribe(after=n)`` first replays ``n+1..`` from
+   history — pulled by the consumer, *not* pushed through the bounded
+   queue — then splices onto the live feed.
+
+:class:`StreamHub` maps opaque stream tokens to their
+:class:`RunStream`, keeping a bounded LRU of finished streams around
+so late subscribers (and resumed ones) can still replay a completed
+feed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from ..obs.metrics import MetricsRegistry
+from .protocol import StreamEvent
+
+#: Default bound on one subscriber's undelivered live frames.
+DEFAULT_QUEUE_FRAMES = 1024
+
+
+class StreamClosed(Exception):
+    """Raised when publishing into a stream that already terminated."""
+
+
+class Subscription:
+    """One consumer's bounded cursor into a :class:`RunStream`.
+
+    Use :meth:`pop_ready` to drain everything currently deliverable
+    (replay backlog first, then live frames) and :meth:`wait` /
+    :meth:`add_waker` to sleep until more arrives.  ``wait`` works for
+    plain threads; an asyncio consumer registers a waker that is safe
+    to call from any thread (e.g. wrapping
+    ``loop.call_soon_threadsafe``).
+    """
+
+    def __init__(self, stream: "RunStream", *, after: int,
+                 max_queue: int) -> None:
+        self._stream = stream
+        self._max_queue = max_queue
+        self._live: Deque[StreamEvent] = deque()
+        self._replay_next = after + 1
+        self._live_from = stream.last_seq + 1
+        self.dropped = 0
+        self.delivered = 0
+        self._event = threading.Event()
+        self._wakers: List[Callable[[], None]] = []
+        self._detached = False
+        if self._replay_next < self._live_from or stream.finished:
+            self._event.set()  # backlog (or the terminal) is waiting
+
+    # -- publisher side (called by RunStream under its lock) ---------------
+    def _offer(self, event: StreamEvent) -> int:
+        """Queue one live frame; returns how many frames were dropped."""
+        dropped = 0
+        if len(self._live) >= self._max_queue:
+            self._live.popleft()
+            self.dropped += 1
+            dropped = 1
+        self._live.append(event)
+        return dropped
+
+    def _wake(self) -> None:
+        self._event.set()
+        for waker in self._wakers:
+            waker()
+
+    # -- consumer side -----------------------------------------------------
+    def add_waker(self, waker: Callable[[], None]) -> None:
+        """Register a thread-safe callback fired on every publish."""
+        with self._stream._lock:
+            self._wakers.append(waker)
+
+    def pop_ready(self, max_frames: int = 1024) -> List[StreamEvent]:
+        """Everything deliverable right now, oldest first.
+
+        Replayed history comes before live frames; at most
+        ``max_frames`` are returned per call so one huge backlog cannot
+        monopolize a writer loop.
+        """
+        out: List[StreamEvent] = []
+        with self._stream._lock:
+            history = self._stream._history
+            while (self._replay_next < self._live_from
+                   and len(out) < max_frames):
+                out.append(history[self._replay_next - 1])
+                self._replay_next += 1
+            if self._replay_next >= self._live_from:
+                while self._live and len(out) < max_frames:
+                    ev = self._live.popleft()
+                    # A drop may have advanced the queue past frames the
+                    # replay cursor already delivered; skip duplicates.
+                    if ev.seq >= self._replay_next:
+                        out.append(ev)
+                        self._replay_next = ev.seq + 1
+            if not self._live and self._replay_next >= self._live_from:
+                self._event.clear()
+        self.delivered += len(out)
+        return out
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block (thread-style) until frames may be ready."""
+        return self._event.wait(timeout)
+
+    def close(self) -> None:
+        """Detach from the stream; idempotent."""
+        self._stream._unsubscribe(self)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class RunStream:
+    """The ordered envelope history + live fan-out for one streamed run."""
+
+    def __init__(self, token: str, *,
+                 max_queue: int = DEFAULT_QUEUE_FRAMES,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.token = token
+        self.max_queue = max_queue
+        self._lock = threading.Lock()
+        self._history: List[StreamEvent] = []
+        self._subs: List[Subscription] = []
+        self._finished = False
+        self._gone_dropped = 0  # drops from since-closed subscriptions
+        self._registry = registry
+        if registry is not None:
+            self._published = registry.counter(
+                "stream_frames_published_total",
+                "Envelope frames published across all streams")
+            self._dropped = registry.counter(
+                "stream_dropped_frames_total",
+                "Frames dropped from slow subscribers' bounded queues")
+        else:
+            self._published = None
+            self._dropped = None
+
+    @property
+    def last_seq(self) -> int:
+        """The newest published cursor (0 before the first frame)."""
+        return len(self._history)
+
+    @property
+    def finished(self) -> bool:
+        """Whether a terminal frame has been published."""
+        return self._finished
+
+    @property
+    def dropped(self) -> int:
+        """Total frames dropped across this stream's subscribers."""
+        with self._lock:
+            return sum(s.dropped for s in self._subs) + self._gone_dropped
+
+    def publish(self, kind: str, *, run: Optional[str], time: float,
+                data: Optional[Dict[str, Any]] = None) -> StreamEvent:
+        """Append one frame and wake every subscriber.  Never blocks.
+
+        Raises:
+            StreamClosed: when the stream already carried a terminal
+                frame — feeds are append-only and end exactly once.
+        """
+        wake: List[Subscription]
+        with self._lock:
+            if self._finished:
+                raise StreamClosed(
+                    f"stream {self.token!r} already ended")
+            event = StreamEvent(seq=len(self._history) + 1, time=time,
+                                kind=kind, run=run, data=data or {})
+            self._history.append(event)
+            if event.terminal:
+                self._finished = True
+            dropped = 0
+            for sub in self._subs:
+                dropped += sub._offer(event)
+            wake = list(self._subs)
+        if self._published is not None:
+            self._published.inc()
+        if dropped and self._dropped is not None:
+            self._dropped.inc(float(dropped))
+        for sub in wake:
+            sub._wake()
+        return event
+
+    def subscribe(self, *, after: int = 0,
+                  max_queue: Optional[int] = None) -> Subscription:
+        """Attach a consumer, replaying history after cursor ``after``."""
+        with self._lock:
+            sub = Subscription(self, after=max(0, after),
+                               max_queue=max_queue or self.max_queue)
+            self._subs.append(sub)
+            return sub
+
+    def _unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            if not sub._detached:
+                sub._detached = True
+                self._gone_dropped += sub.dropped
+                try:
+                    self._subs.remove(sub)
+                except ValueError:  # pragma: no cover - double close race
+                    pass
+
+    @property
+    def subscriber_count(self) -> int:
+        """How many subscriptions are currently attached."""
+        with self._lock:
+            return len(self._subs)
+
+    def history(self) -> List[StreamEvent]:
+        """A snapshot of every frame published so far."""
+        with self._lock:
+            return list(self._history)
+
+
+class StreamHub:
+    """Token → :class:`RunStream` registry with finished-stream LRU.
+
+    Active (unfinished) streams are never evicted; finished ones are
+    kept — newest last — up to ``keep_finished`` so resumed clients can
+    still replay a completed feed, then dropped oldest-first.
+    """
+
+    def __init__(self, *, keep_finished: int = 64,
+                 max_queue: int = DEFAULT_QUEUE_FRAMES,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.keep_finished = keep_finished
+        self.max_queue = max_queue
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._streams: "OrderedDict[str, RunStream]" = OrderedDict()
+
+    def create(self, token: str) -> RunStream:
+        """Register a new stream under ``token``.
+
+        Raises:
+            ValueError: when the token is already registered.
+        """
+        with self._lock:
+            if token in self._streams:
+                raise ValueError(f"stream token {token!r} already exists")
+            stream = RunStream(token, max_queue=self.max_queue,
+                               registry=self._registry)
+            self._streams[token] = stream
+            self._evict_locked()
+            return stream
+
+    def get(self, token: str) -> Optional[RunStream]:
+        """The stream for ``token``, or None (expired or never issued)."""
+        with self._lock:
+            stream = self._streams.get(token)
+            if stream is not None:
+                self._streams.move_to_end(token)
+            return stream
+
+    def _evict_locked(self) -> None:
+        finished = [t for t, s in self._streams.items() if s.finished]
+        excess = len(finished) - self.keep_finished
+        for token in finished[:max(0, excess)]:
+            del self._streams[token]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._streams)

@@ -1,0 +1,124 @@
+"""Drive one sweep trial through the stream bus — live or replayed.
+
+Two ways a feed gets produced, both yielding **identical frames**:
+
+- :func:`run_streamed_trial` executes the trial in-process via
+  :func:`repro.sweep.executor.run_trial` with a
+  :class:`~repro.stream.observer.StreamObserver` tee'd onto each run,
+  so frames are published *while the engine runs*.  Observers are
+  read-only, so the returned payload is byte-identical to an
+  unstreamed execution of the same task.
+- :func:`replay_payload` re-publishes the archived event log out of a
+  stored/cached trial payload (``payload["runs"][label]["trace"]`` is
+  the verbatim :func:`repro.sim.export.export_trace` text).  Because a
+  live ``event`` frame's payload *is* the archived line, a replayed
+  feed is frame-for-frame what the live feed was — warm-cache streams
+  and cold streams are indistinguishable to a subscriber.
+
+Either way the caller finishes the feed with :func:`finish_stream`
+(terminal ``end`` frame) or :func:`fail_stream` (terminal ``error``).
+
+The vector backend advances trials as structure-of-arrays draws and
+never materializes an event log, so there is nothing to stream;
+:func:`check_streamable` refuses those tasks up front with
+:class:`StreamUnsupported` — the error the serve layer maps onto a 422
+``stream_unsupported``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..sweep.spec import ACTIVITY
+from .bus import RunStream
+from .observer import StreamObserver, label_sequence_factory
+
+#: Run labels of one whole-activity trial, in classroom execution
+#: order (see :func:`repro.schedule.scenario.run_core_activity`).
+ACTIVITY_RUN_LABELS = ("scenario1", "scenario1_repeat", "scenario2",
+                      "scenario3", "scenario4")
+
+
+class StreamUnsupported(Exception):
+    """Raised for tasks whose execution produces no event log."""
+
+
+def expected_run_labels(cell: Dict[str, Any]) -> List[str]:
+    """The run labels one trial of ``cell`` will produce, in order."""
+    if cell["scenario"] == ACTIVITY:
+        return list(ACTIVITY_RUN_LABELS)
+    return [f"scenario{cell['scenario']}"]
+
+
+def check_streamable(task: Dict[str, Any]) -> None:
+    """Refuse tasks that cannot carry a stream.
+
+    Raises:
+        StreamUnsupported: for vector-backend tasks — the vectorized
+            engine carries no traces, so there are no events to feed.
+    """
+    backend = task.get("backend", "reference")
+    if backend != "reference":
+        raise StreamUnsupported(
+            f"the {backend!r} backend carries no event traces; "
+            f"streaming needs the reference engine")
+
+
+def run_streamed_trial(task: Dict[str, Any],
+                       stream: RunStream) -> Dict[str, Any]:
+    """Execute one trial live through ``stream``; returns its payload.
+
+    The payload is byte-identical to ``run_trial(task)`` — streaming
+    is a tap, not a fork.  The feed is left *open*: the caller decides
+    whether ``end`` (normal) or ``error`` closes it, after persisting
+    the payload.
+
+    Raises:
+        StreamUnsupported: for tasks with nothing to stream (vector).
+    """
+    from ..sweep.executor import run_trial
+
+    check_streamable(task)
+    factory = label_sequence_factory(
+        stream, expected_run_labels(task["cell"]))
+    return run_trial(task, observer_factory=factory)
+
+
+def replay_payload(payload: Dict[str, Any], stream: RunStream) -> None:
+    """Publish an archived trial payload's event log as a live feed.
+
+    Every ``event`` frame is identical to what a live run of the same
+    task published — archived lines are re-emitted verbatim — so the
+    reassembled log of a cache-hit feed equals the cold feed's byte
+    for byte.  Run boundaries are re-derived from the log (``run_end``
+    makespan = last event time).  The feed is left open, same as
+    :func:`run_streamed_trial`.
+    """
+    import json
+
+    for label, run in payload["runs"].items():
+        lines = [ln for ln in run["trace"].split("\n") if ln]
+        stream.publish("run_start", run=label, time=0.0)
+        makespan = 0.0
+        for line in lines:
+            time = float(json.loads(line)["time"])
+            makespan = max(makespan, time)
+            stream.publish("event", run=label, time=time,
+                           data={"line": line})
+        stream.publish("run_end", run=label, time=makespan,
+                       data={"makespan": makespan,
+                             "events": len(lines)})
+
+
+def finish_stream(stream: RunStream, *, cached: bool,
+                  runs: List[str]) -> None:
+    """Publish the terminal ``end`` frame of a successful feed."""
+    stream.publish("end", run=None, time=0.0,
+                   data={"status": "ok", "cached": cached,
+                         "runs": runs})
+
+
+def fail_stream(stream: RunStream, message: str) -> None:
+    """Publish the terminal ``error`` frame of a failed feed."""
+    stream.publish("error", run=None, time=0.0,
+                   data={"status": "error", "message": message})

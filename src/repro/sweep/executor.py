@@ -72,7 +72,16 @@ def _run_payload(result) -> Dict[str, Any]:
     return payload
 
 
-def run_trial(task: Dict[str, Any]) -> Dict[str, Any]:
+def _tee_factory(first, second):
+    """Compose two observer factories into one that tees their products."""
+    def make():
+        from ..obs import TeeObserver
+        return TeeObserver(first(), second())
+    return make
+
+
+def run_trial(task: Dict[str, Any],
+              observer_factory: Optional[Any] = None) -> Dict[str, Any]:
     """Execute one (cell, trial) task; pure function of the task dict.
 
     This is the unit the process pool ships across cores.  It must stay
@@ -84,6 +93,14 @@ def run_trial(task: Dict[str, Any]) -> Dict[str, Any]:
     :mod:`repro.sim.backend`); tasks without one run on the reference
     event-loop engine, whose path and payloads are byte-for-byte what
     they were before backends existed.
+
+    ``observer_factory`` attaches an extra read-only tap to every run
+    (one fresh observer per run, tee'd with the ``observe`` digest when
+    both are requested).  Observers never perturb the engine, so the
+    returned payload stays byte-identical with or without one — this is
+    how :mod:`repro.stream` watches a trial live without forking the
+    execution path.  In-process callers only: the pool path always
+    ships bare tasks.
     """
     if task.get("backend", "reference") == "vector":
         from ..sim.vector import run_vector_trial
@@ -119,6 +136,9 @@ def run_trial(task: Dict[str, Any]) -> Dict[str, Any]:
         if observe:
             from ..obs import RunObserver
             factory = RunObserver
+        if observer_factory is not None:
+            factory = (observer_factory if factory is None
+                       else _tee_factory(factory, observer_factory))
         results = run_core_activity(spec, team, rng, style=style,
                                     policy=policy, observer_factory=factory)
         runs = {label: _run_payload(r) for label, r in results.items()}
@@ -127,6 +147,13 @@ def run_trial(task: Dict[str, Any]) -> Dict[str, Any]:
         if observe:
             from ..obs import RunObserver
             observer = RunObserver()
+        if observer_factory is not None:
+            extra = observer_factory()
+            if observer is None:
+                observer = extra
+            else:
+                from ..obs import TeeObserver
+                observer = TeeObserver(observer, extra)
         r = run_scenario(get_scenario(cell["scenario"]), spec, team, rng,
                          rows=cell["rows"], cols=cell["cols"], style=style,
                          policy=policy, fault_plan=fault_plan,

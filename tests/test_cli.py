@@ -21,7 +21,7 @@ class TestParser:
         for cmd in ("flags", "render", "scenario", "activity", "session",
                     "depgraph", "analyze", "dryrun", "grade", "tables",
                     "animate", "slides", "debrief", "report", "chaos",
-                    "sweep", "fabric", "trace", "serve"):
+                    "sweep", "fabric", "trace", "serve", "tutor"):
             # Minimal arg sets per command.
             argv = {
                 "flags": ["flags"],
@@ -43,6 +43,7 @@ class TestParser:
                 "fabric": ["fabric"],
                 "trace": ["trace", "mauritius"],
                 "serve": ["serve", "--port", "0"],
+                "tutor": ["tutor", "--lesson", "speedup"],
             }[cmd]
             args = parser.parse_args(argv)
             assert args.command == cmd
@@ -370,3 +371,50 @@ class TestInterruptHardening:
         assert "SIGINT received" in out
         assert "drained, bye" in out
         assert "Traceback" not in out
+
+
+class TestTutorCommand:
+    def test_list_prints_the_catalog(self, capsys):
+        assert main(["tutor", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("speedup", "warmup", "contention", "pipelining"):
+            assert name in out
+
+    def test_missing_lesson_is_usage_error(self, capsys):
+        assert main(["tutor"]) == 2
+        assert "--lesson" in capsys.readouterr().err
+
+    def test_bad_serve_address_is_usage_error(self, capsys):
+        assert main(["tutor", "--lesson", "speedup",
+                     "--serve", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_speedup_lesson_runs_headless(self, capsys):
+        # The CI acceptance criterion: a full lesson, no terminal.
+        assert main(["tutor", "--lesson", "speedup", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "lesson: speedup" in out
+        assert "timeline:" in out
+
+
+class TestStoreTokenExpiry:
+    def test_issue_with_expiry_and_authenticate(self, tmp_path, capsys):
+        db = str(tmp_path / "s.db")
+        assert main(["store", "init", db]) == 0
+        capsys.readouterr()
+        assert main(["store", "token", db, "--issue", "usi/cs1",
+                     "--expires-days", "2"]) == 0
+        token = capsys.readouterr().out.strip()
+        from repro.store import ResultStore
+        with ResultStore(db) as store:
+            assert store.authenticate(token).path == "usi/cs1"
+            row = store._conn.execute(
+                "SELECT expires_at FROM tokens").fetchone()
+            assert row[0] is not None
+
+    def test_bad_expiry_is_a_store_error(self, tmp_path, capsys):
+        db = str(tmp_path / "s.db")
+        assert main(["store", "init", db]) == 0
+        assert main(["store", "token", db, "--issue", "usi",
+                     "--expires-days", "-1"]) == 1
+        assert "repro store:" in capsys.readouterr().err

@@ -93,6 +93,19 @@ class TestHistogram:
         assert h.quantile(1.0, endpoint="/run") <= 1.0
         assert h.quantile(1.0, endpoint="/sweep") > 1.0
 
+    def test_quantile_zero_with_empty_low_buckets_stays_at_floor(self):
+        # Regression: every observation lands in the (2, 4] bucket, so
+        # the first crossing bucket for q=0 is (0, 1] with zero mass.
+        # The estimate must stay at that bucket's floor (0.0), not jump
+        # to its ceiling.
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for _ in range(5):
+            h.observe(3.0)
+        assert h.quantile(0.0) == 0.0
+        # A sparse low quantile crossing the same empty bucket behaves
+        # identically: rank 0.0 < count 0 never interpolates upward.
+        assert h.quantile(0.0) <= h.quantile(0.2) <= h.quantile(1.0)
+
     def test_quantile_out_of_range_raises(self):
         h = Histogram("lat", buckets=(1.0,))
         with pytest.raises(MetricsError):

@@ -24,6 +24,7 @@ TOKENS = {
     "usi": "tok-usi-cs1-0001",
     "tiny": "tok-tiny-0001",
     "revoked": "tok-dead-0001",
+    "expired": "tok-stale-0001",
 }
 
 
@@ -40,6 +41,8 @@ def store_server(tmp_path_factory):
         store.issue_token("tiny", token=TOKENS["tiny"])
         store.issue_token("usi/cs1", token=TOKENS["revoked"])
         store.revoke_token(TOKENS["revoked"])
+        store.issue_token("usi/cs1", token=TOKENS["expired"],
+                          expires_at=1.0)  # long past, on any clock
     config = ServeConfig(cache_dir=str(root / "cache"),
                          store_path=str(db),
                          require_token=True,
@@ -73,6 +76,15 @@ class TestTokenAuth:
             client.run(flag="poland", scenario=3, seed=1)
         assert err.value.status == 401
         assert err.value.code == "token_unknown"
+
+    def test_expired_token_is_401_token_expired(self, store_server):
+        # Distinct from token_unknown: the caller learns their
+        # credential *was* real and just needs reissuing.
+        client = store_server.client(token=TOKENS["expired"])
+        with pytest.raises(ServeError) as err:
+            client.run(flag="poland", scenario=3, seed=1)
+        assert err.value.status == 401
+        assert err.value.code == "token_expired"
 
     def test_revoked_token_is_403(self, store_server):
         client = store_server.client(token=TOKENS["revoked"])
@@ -170,6 +182,47 @@ class TestAuthorizedRequests:
             client.results(digest="0" * 64)
         assert err.value.status == 404
         assert err.value.code == "result_not_found"
+
+
+class TestResultsPaging:
+    def test_cursor_walk_covers_the_listing(self, store_server):
+        client = store_server.client(token=TOKENS["usi"])
+        for seed in (41, 42, 43, 44, 45):
+            client.run(flag="poland", scenario=3, seed=seed)
+        full = [r["digest"] for r in client.results()["results"]]
+        assert len(full) >= 5
+        paged, cursor = [], None
+        while True:
+            reply = client.results(limit=2, after=cursor)
+            paged.extend(r["digest"] for r in reply["results"])
+            cursor = reply.get("next")
+            if cursor is None:
+                break
+        assert paged == full
+
+    def test_final_page_has_no_next_cursor(self, store_server):
+        client = store_server.client(token=TOKENS["usi"])
+        client.run(flag="poland", scenario=3, seed=46)
+        big = client.results(limit=10_000)
+        assert "next" not in big
+
+    def test_unknown_cursor_is_400_bad_cursor(self, store_server):
+        client = store_server.client(token=TOKENS["usi"])
+        with pytest.raises(ServeError) as err:
+            client.results(after="f" * 64)
+        assert err.value.status == 400
+        assert err.value.code == "bad_cursor"
+
+    def test_foreign_digest_is_not_a_valid_cursor(self, store_server):
+        # tiny's listing cannot use a usi digest as its cursor.
+        usi = store_server.client(token=TOKENS["usi"])
+        usi.run(flag="poland", scenario=3, seed=47)
+        digest = usi.results()["results"][0]["digest"]
+        tiny = store_server.client(token=TOKENS["tiny"])
+        with pytest.raises(ServeError) as err:
+            tiny.results(after=digest)
+        assert err.value.status == 400
+        assert err.value.code == "bad_cursor"
 
 
 class TestQuotas:

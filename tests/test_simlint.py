@@ -156,6 +156,30 @@ class TestAsyncRules:
                        "    return load\n")
         assert out == []
 
+    def test_async003_flags_awaited_queue_put(self):
+        out = run_rule(simlint.AsyncQueuePutRule(),
+                       "async def h(q, item):\n"
+                       "    await q.put(item)\n")
+        assert [v[2] for v in out] == ["ASYNC003"]
+        assert "drop-oldest" in out[0][4]
+
+    def test_async003_ignores_sync_puts_and_other_awaits(self):
+        # put_nowait on a bounded deque path and unrelated awaits are
+        # exactly the sanctioned alternatives.
+        assert run_rule(simlint.AsyncQueuePutRule(),
+                        "def h(q, item):\n"
+                        "    q.put(item)\n") == []
+        assert run_rule(simlint.AsyncQueuePutRule(),
+                        "async def h(q, item):\n"
+                        "    q.put_nowait(item)\n"
+                        "    await q.get()\n") == []
+
+    def test_async003_scopes_to_serve_and_stream(self):
+        rule = simlint.AsyncQueuePutRule()
+        assert rule.applies("src/repro/serve/handlers.py")
+        assert rule.applies("src/repro/stream/bus.py")
+        assert not rule.applies("src/repro/sim/engine.py")
+
 
 class TestHygieneRules:
     def test_hyg001_flags_mutable_defaults(self):

@@ -332,6 +332,139 @@ class TestResults:
             assert sorted(kept) == ["d3", "d4"]
 
 
+class TestTokenExpiry:
+    def test_expired_token_is_refused_with_reason(self, tmp_path):
+        clock = {"now": 1000.0}
+        with ResultStore(tmp_path / "s.db",
+                         clock=lambda: clock["now"]) as store:
+            store.ensure_tenant("usi")
+            token = store.issue_token("usi", expires_days=2)
+            assert store.authenticate(token).path == "usi"
+            clock["now"] = 1000.0 + 2 * 86400.0 - 1.0
+            assert store.authenticate(token).path == "usi"
+            clock["now"] = 1000.0 + 2 * 86400.0  # the deadline itself
+            with pytest.raises(AuthError) as err:
+                store.authenticate(token)
+            assert err.value.reason == "expired"
+
+    def test_tokens_without_expiry_never_expire(self, tmp_path):
+        clock = {"now": 0.0}
+        with ResultStore(tmp_path / "s.db",
+                         clock=lambda: clock["now"]) as store:
+            store.ensure_tenant("usi")
+            token = store.issue_token("usi")
+            clock["now"] = 1e12
+            assert store.authenticate(token).path == "usi"
+
+    def test_explicit_expires_at(self, tmp_path):
+        clock = {"now": 10.0}
+        with ResultStore(tmp_path / "s.db",
+                         clock=lambda: clock["now"]) as store:
+            store.ensure_tenant("usi")
+            token = store.issue_token("usi", expires_at=20.0)
+            assert store.authenticate(token).path == "usi"
+            clock["now"] = 25.0
+            with pytest.raises(AuthError) as err:
+                store.authenticate(token)
+            assert err.value.reason == "expired"
+
+    def test_expiry_param_misuse_is_refused(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            store.ensure_tenant("usi")
+            with pytest.raises(StoreError):
+                store.issue_token("usi", expires_days=1,
+                                  expires_at=99.0)
+            with pytest.raises(StoreError):
+                store.issue_token("usi", expires_days=0)
+            with pytest.raises(StoreError):
+                store.issue_token("usi", expires_days=-3)
+
+    def test_expiry_beats_revocation_check_order_is_stable(self,
+                                                           tmp_path):
+        # A token both revoked and expired reports "revoked" — the
+        # stronger, permanent condition.
+        clock = {"now": 0.0}
+        with ResultStore(tmp_path / "s.db",
+                         clock=lambda: clock["now"]) as store:
+            store.ensure_tenant("usi")
+            token = store.issue_token("usi", expires_days=1)
+            store.revoke_token(token)
+            clock["now"] = 2 * 86400.0
+            with pytest.raises(AuthError) as err:
+                store.authenticate(token)
+            assert err.value.reason == "revoked"
+
+
+class TestResultsPagination:
+    def seed_results(self, store, clock, n=7):
+        store.ensure_tenant("usi")
+        for i in range(n):
+            clock["now"] += 1.0
+            store.put_result(f"d{i}", {"i": i}, tenant="usi")
+
+    def test_cursor_walk_covers_everything_once(self, tmp_path):
+        clock = {"now": 0.0}
+        with ResultStore(tmp_path / "s.db",
+                         clock=lambda: clock["now"]) as store:
+            self.seed_results(store, clock)
+            full = [r["digest"] for r in store.results()]
+            assert full == [f"d{i}" for i in reversed(range(7))]
+            paged, cursor = [], None
+            while True:
+                page = store.results(limit=3, after=cursor)
+                if not page:
+                    break
+                paged.extend(r["digest"] for r in page)
+                cursor = page[-1]["digest"]
+            assert paged == full
+
+    def test_cursor_is_stable_under_inserts(self, tmp_path):
+        # Keyset cursors never skip or repeat rows when newer results
+        # arrive between pages — the failure mode OFFSET paging has.
+        clock = {"now": 0.0}
+        with ResultStore(tmp_path / "s.db",
+                         clock=lambda: clock["now"]) as store:
+            self.seed_results(store, clock, n=4)
+            first = store.results(limit=2)
+            clock["now"] += 1.0
+            store.put_result("newer", {"v": 9}, tenant="usi")
+            rest = store.results(after=first[-1]["digest"])
+            assert [r["digest"] for r in first + rest] == [
+                "d3", "d2", "d1", "d0"]
+
+    def test_ties_on_created_at_break_by_digest(self, tmp_path):
+        clock = {"now": 5.0}
+        with ResultStore(tmp_path / "s.db",
+                         clock=lambda: clock["now"]) as store:
+            store.ensure_tenant("usi")
+            for digest in ("b", "a", "c"):
+                store.put_result(digest, {}, tenant="usi")
+            page1 = store.results(limit=2)
+            page2 = store.results(after=page1[-1]["digest"])
+            assert [r["digest"] for r in page1 + page2] == [
+                "a", "b", "c"]
+
+    def test_unknown_cursor_is_refused(self, tmp_path):
+        from repro.store import UnknownCursor
+        with ResultStore(tmp_path / "s.db") as store:
+            store.ensure_tenant("usi")
+            store.put_result("d", {}, tenant="usi")
+            with pytest.raises(UnknownCursor):
+                store.results(after="no-such-digest")
+
+    def test_cursor_is_tenant_scoped(self, tmp_path):
+        # A digest another tenant owns is not a valid cursor for a
+        # scoped listing (it would leak ordering information).
+        from repro.store import UnknownCursor
+        with ResultStore(tmp_path / "s.db") as store:
+            store.ensure_tenant("usi")
+            store.ensure_tenant("hpu")
+            store.put_result("mine", {}, tenant="usi")
+            store.put_result("theirs", {}, tenant="hpu")
+            with pytest.raises(UnknownCursor):
+                store.results(tenant="usi", after="theirs")
+
+
 class TestSessions:
     def test_session_round_trip(self, tmp_path):
         from repro.classroom import SessionReport, get_institution

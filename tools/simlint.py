@@ -19,10 +19,15 @@ DET — determinism (``repro`` sim/sweep/faults/schedule/agents paths):
           ``src/repro`` except the one module whose job is seeding
           (``sweep/seeding.py``).
 
-ASYNC — event-loop safety (``repro/serve``):
+ASYNC — event-loop safety (``repro/serve`` and ``repro/stream``):
   ASYNC001  blocking ``time.sleep`` inside an ``async def`` body.
   ASYNC002  synchronous file I/O (``open``, ``Path.read_text`` ...)
             inside an ``async def`` body.
+  ASYNC003  ``await <queue>.put(...)`` inside an ``async def`` body —
+            an awaited put either blocks the coroutine (bounded queue)
+            or hides unbounded growth (infinite queue); the streaming
+            layer's contract is bounded per-subscriber buffers with
+            explicit drop-oldest accounting instead.
 
 HYG — hygiene (everywhere linted):
   HYG001  mutable default argument values.
@@ -133,7 +138,7 @@ class Rule:
 
 _SIM_PATHS = ("src/repro/sim/", "src/repro/sweep/", "src/repro/faults/",
               "src/repro/schedule/", "src/repro/agents/",
-              "src/repro/fabric/")
+              "src/repro/fabric/", "src/repro/stream/")
 
 #: Legitimate np.random attributes that are *not* global-state draws.
 _NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence",
@@ -286,6 +291,39 @@ class AsyncFileIoRule(Rule):
         return out
 
 
+class AsyncQueuePutRule(Rule):
+    """ASYNC003: no awaited queue puts in the serving/streaming layers.
+
+    ``await q.put(...)`` is how an ``asyncio.Queue`` applies
+    backpressure — which is exactly what the streaming contract rules
+    out: a slow subscriber must *drop* (counted) rather than stall the
+    publisher, and an unbounded queue just defers the failure to
+    memory.  Fan-out buffers here are bounded deques with explicit
+    drop-oldest accounting (``repro.stream.bus``); anything else is a
+    design smell worth a loud flag.
+    """
+
+    code = "ASYNC003"
+    description = "awaited Queue.put inside async def"
+    scopes = ("src/repro/serve/", "src/repro/stream/")
+
+    def check(self, path, tree, scoped):
+        """Flag ``await <expr>.put(...)`` where the function is async."""
+        out = []
+        for node, symbol, in_async in scoped:
+            if (in_async and isinstance(node, ast.Await)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr == "put"):
+                out.append(self.violation(
+                    path, node, symbol,
+                    "await .put() stalls the publisher (bounded) or "
+                    "grows without limit (unbounded); use a bounded "
+                    "buffer with counted drop-oldest "
+                    "(repro.stream.bus)"))
+        return out
+
+
 class MutableDefaultRule(Rule):
     """HYG001: default argument values must be immutable."""
 
@@ -339,6 +377,7 @@ RULES: List[Rule] = [
     UnseededRngRule(),
     AsyncSleepRule(),
     AsyncFileIoRule(),
+    AsyncQueuePutRule(),
     MutableDefaultRule(),
     BareExceptRule(),
 ]
