@@ -11,6 +11,10 @@ Gives instructors the library's main flows without writing Python:
 - ``analyze FLAG`` — static scenario verification: deadlock cycles,
   work-span speedup ceilings, load and contention bounds, without
   running the engine (``repro.analyze``).
+- ``racecheck PATH...`` — static lockset race detection over Python
+  sources (``repro.races``): infer which ``self._x`` attributes each
+  class guards with ``with self._lock:``, flag accesses that skip the
+  lock, honor the justified allowlist in ``tools/races_allow.txt``.
 - ``dryrun FLAG`` — Section IV's pre-class checklist.
 - ``animate FLAG N`` — frame-by-frame scenario animation (Webster [34]).
 - ``slides FLAG N`` — the numbered-cell SVG instruction slide (Fig 1).
@@ -197,6 +201,38 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         for report in reports:
             print(report.format())
     return 0 if all(r.ok for r in reports) else 1
+
+
+def _cmd_racecheck(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .races import RaceError, load_allowlist, lockset_report
+    allow = {}
+    allow_path = (pathlib.Path(args.allowlist)
+                  if args.allowlist is not None
+                  else pathlib.Path("tools/races_allow.txt"))
+    if allow_path.exists():
+        try:
+            allow = load_allowlist(allow_path)
+        except RaceError as exc:
+            print(f"repro racecheck: {exc}", file=sys.stderr)
+            return 2
+    elif args.allowlist is not None:
+        print(f"repro racecheck: allowlist not found: {allow_path}",
+              file=sys.stderr)
+        return 2
+    report, unused = lockset_report(args.paths, allow)
+    if args.json:
+        print(report.to_json().decode("utf-8"))
+    else:
+        print(report.format())
+    severity = "error" if args.strict_unused else "warning"
+    for key in unused:
+        print(f"repro racecheck: {severity}: unused allowlist entry: {key}",
+              file=sys.stderr)
+    if not report.ok:
+        return 1
+    return 1 if (args.strict_unused and unused) else 0
 
 
 def _cmd_dryrun(args: argparse.Namespace) -> int:
@@ -849,6 +885,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit canonical-JSON reports, one per line")
 
+    p = sub.add_parser(
+        "racecheck",
+        help="static lockset race detection over Python sources")
+    p.add_argument("paths", nargs="+",
+                   help="files or directories to analyze")
+    p.add_argument("--allowlist", default=None,
+                   help="justified suppressions (default "
+                        "tools/races_allow.txt when present)")
+    p.add_argument("--strict-unused", action="store_true",
+                   dest="strict_unused",
+                   help="stale allowlist entries are a hard failure")
+    p.add_argument("--json", action="store_true",
+                   help="emit the canonical RaceReport JSON")
+
     p = sub.add_parser("dryrun", help="pre-class checklist (Section IV)")
     p.add_argument("flag")
     p.add_argument("--implement", default="thick_marker")
@@ -1160,6 +1210,7 @@ _COMMANDS = {
     "session": _cmd_session,
     "depgraph": _cmd_depgraph,
     "analyze": _cmd_analyze,
+    "racecheck": _cmd_racecheck,
     "dryrun": _cmd_dryrun,
     "animate": _cmd_animate,
     "slides": _cmd_slides,

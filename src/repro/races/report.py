@@ -1,0 +1,147 @@
+"""Race reports: the canonical-JSON envelope both detector layers emit.
+
+:class:`RaceReport` is the :class:`repro.analyze.report.AnalysisReport`
+house style applied to concurrency findings: typed :class:`Issue`
+entries, a version stamp, canonical JSON (sorted keys, compact
+separators) so reports are byte-comparable in tests, and a multi-line
+``format()`` for the CLI.
+
+One envelope serves both layers:
+
+* ``layer="lockset"`` — the static analysis (:mod:`repro.races.lockset`)
+  fills ``classes`` with per-class lockset summaries and ``targets``
+  with the files analyzed.
+* ``layer="sanitizer"`` — the dynamic happens-before sanitizer
+  (:mod:`repro.races.sanitizer`) fills ``targets`` with the registered
+  shared-state names; ``classes`` stays empty.
+
+Findings suppressed by an allowlist entry are retained under
+``suppressed`` with their mandatory justification, so an exit-0 report
+still shows *what* was waved through and *why*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..analyze.report import Issue, Severity, canonical_dumps
+
+#: Version stamp carried by every serialized race report; bump on
+#: breaking changes to the field structure.
+RACES_VERSION = 1
+
+
+class RaceError(Exception):
+    """Raised for malformed reports or allowlist entries."""
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Everything one detector layer concluded about its targets.
+
+    Attributes:
+        layer: ``"lockset"`` (static) or ``"sanitizer"`` (dynamic).
+        targets: what was examined — file paths for the lockset layer,
+            registered shared-state names for the sanitizer.
+        classes: lockset layer only — one dict per analyzed class:
+            ``file``, ``name``, ``locks`` (declared lock attributes),
+            ``guarded`` (attribute → guarding lock names), ``accesses``
+            (tracked attribute access count).
+        findings: surviving :class:`~repro.analyze.report.Issue`
+            entries, sorted by ``(subject, code, message)``.
+        suppressed: allowlisted findings: dicts with ``key`` (the
+            allowlist key that matched) and ``justification``.
+        stats: small deterministic counters (thread/state counts for
+            the sanitizer; file/class counts for the lockset layer).
+    """
+
+    layer: str
+    targets: Tuple[str, ...] = ()
+    classes: Tuple[Dict[str, Any], ...] = ()
+    findings: Tuple[Issue, ...] = ()
+    suppressed: Tuple[Dict[str, str], ...] = ()
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> List[Issue]:
+        """Findings that make the code statically or dynamically racy."""
+        return [i for i in self.findings
+                if i.severity is Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the targets came out clean (no ERROR findings)."""
+        return not self.errors
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form, stable field set, version-stamped."""
+        return {
+            "races_version": RACES_VERSION,
+            "layer": self.layer,
+            "targets": list(self.targets),
+            "classes": [dict(c) for c in self.classes],
+            "ok": self.ok,
+            "findings": [i.to_dict() for i in self.findings],
+            "suppressed": [dict(s) for s in self.suppressed],
+            "stats": dict(self.stats),
+        }
+
+    def to_json(self) -> bytes:
+        """Canonical JSON bytes of :meth:`to_dict` (byte-stable)."""
+        return canonical_dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RaceReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Raises:
+            RaceError: on a version mismatch or missing fields.
+        """
+        version = d.get("races_version")
+        if version != RACES_VERSION:
+            raise RaceError(
+                f"report version {version!r} != {RACES_VERSION}")
+        try:
+            findings = tuple(
+                Issue(code=i["code"], severity=Severity(i["severity"]),
+                      message=i["message"], subject=i.get("subject", ""))
+                for i in d["findings"])
+            return cls(
+                layer=d["layer"], targets=tuple(d["targets"]),
+                classes=tuple(dict(c) for c in d["classes"]),
+                findings=findings,
+                suppressed=tuple(dict(s) for s in d["suppressed"]),
+                stats=dict(d["stats"]),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise RaceError(f"malformed report dict: {exc}") from exc
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering (CLI text output)."""
+        head = (f"racecheck [{self.layer}]: "
+                f"{'clean' if self.ok else 'RACY'} "
+                f"({len(self.targets)} target(s), "
+                f"{len(self.findings)} finding(s), "
+                f"{len(self.suppressed)} allowlisted)")
+        lines = [head]
+        for c in self.classes:
+            guarded = ", ".join(
+                f"{attr}<-{'/'.join(locks)}"
+                for attr, locks in sorted(c["guarded"].items()))
+            lines.append(f"  {c['file']}::{c['name']}: "
+                         f"locks [{', '.join(c['locks'])}] "
+                         f"guarded {{{guarded}}}")
+        for issue in self.findings:
+            lines.append(f"  [{issue.severity.value}] {issue.code} "
+                         f"{issue.subject}: {issue.message}")
+        for s in self.suppressed:
+            lines.append(f"  [allowed] {s['key']} -- "
+                         f"{s['justification']}")
+        return "\n".join(lines)
+
+
+def sort_findings(findings: List[Issue]) -> Tuple[Issue, ...]:
+    """Deterministic finding order: by subject, then code, then text."""
+    return tuple(sorted(findings,
+                        key=lambda i: (i.subject, i.code, i.message)))

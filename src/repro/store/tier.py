@@ -19,6 +19,7 @@ vice versa on reads.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Optional
 
 from .core import DEFAULT_TENANT, ResultStore
@@ -35,6 +36,10 @@ class StoreTier:
     Attributes:
         store_hits: reads the cache missed but the store answered.
         store_puts: payloads persisted to the store by :meth:`put`.
+
+    Both counters are incremented under a private lock: a tier is
+    shared by serve's batcher threads, so lost updates would skew the
+    hit-rate arithmetic the smoke tests pin.
     """
 
     def __init__(self, store: ResultStore, *,
@@ -45,6 +50,7 @@ class StoreTier:
         self.cache = cache
         self.tenant = tenant
         self.kind = kind
+        self._stats_lock = threading.Lock()
         self.store_hits = 0
         self.store_puts = 0
         store.ensure_tenant(tenant)
@@ -58,7 +64,8 @@ class StoreTier:
         payload = self.store.get_result(digest, tenant=self.tenant)
         if payload is None:
             return None
-        self.store_hits += 1
+        with self._stats_lock:
+            self.store_hits += 1
         if self.cache is not None:
             self.cache.put(digest, payload)
         return payload
@@ -73,6 +80,7 @@ class StoreTier:
         """
         self.store.put_result(digest, payload, tenant=self.tenant,
                               kind=self.kind)
-        self.store_puts += 1
+        with self._stats_lock:
+            self.store_puts += 1
         if self.cache is not None:
             self.cache.put(digest, payload)

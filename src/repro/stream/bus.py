@@ -71,7 +71,7 @@ class Subscription:
             self._event.set()  # backlog (or the terminal) is waiting
 
     # -- publisher side (called by RunStream under its lock) ---------------
-    def _offer(self, event: StreamEvent) -> int:
+    def _offer_locked(self, event: StreamEvent) -> int:
         """Queue one live frame; returns how many frames were dropped."""
         dropped = 0
         if len(self._live) >= self._max_queue:
@@ -195,7 +195,7 @@ class RunStream:
                 self._finished = True
             dropped = 0
             for sub in self._subs:
-                dropped += sub._offer(event)
+                dropped += sub._offer_locked(event)
             wake = list(self._subs)
         if self._published is not None:
             self._published.inc()

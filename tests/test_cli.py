@@ -19,9 +19,9 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for cmd in ("flags", "render", "scenario", "activity", "session",
-                    "depgraph", "analyze", "dryrun", "grade", "tables",
-                    "animate", "slides", "debrief", "report", "chaos",
-                    "sweep", "fabric", "trace", "serve", "tutor"):
+                    "depgraph", "analyze", "racecheck", "dryrun", "grade",
+                    "tables", "animate", "slides", "debrief", "report",
+                    "chaos", "sweep", "fabric", "trace", "serve", "tutor"):
             # Minimal arg sets per command.
             argv = {
                 "flags": ["flags"],
@@ -31,6 +31,7 @@ class TestParser:
                 "session": ["session", "USI"],
                 "depgraph": ["depgraph", "jordan"],
                 "analyze": ["analyze", "mauritius"],
+                "racecheck": ["racecheck", "src/repro"],
                 "dryrun": ["dryrun", "mauritius"],
                 "grade": ["grade"],
                 "tables": ["tables"],
@@ -122,6 +123,48 @@ class TestCommands:
         report = json.loads(capsys.readouterr().out)
         assert report["ok"] is True
         assert report["speedup_bound"] == 4.0
+
+    def test_racecheck_repo_is_clean(self, capsys, monkeypatch):
+        # The ISSUE acceptance gate, in-process: the shipped tree plus
+        # the shipped allowlist come out clean.
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["racecheck", "src/repro"]) == 0
+        assert "racecheck [lockset]: clean" in capsys.readouterr().out
+
+    def test_racecheck_json(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["racecheck", "src/repro", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["layer"] == "lockset"
+        assert report["stats"]["guarded_attrs"] >= 1
+
+    def test_racecheck_planted_race_exits_nonzero(
+            self, capsys, monkeypatch, tmp_path):
+        (tmp_path / "racy.py").write_text(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._n = 0\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._n += 1\n"
+            "    def peek(self):\n"
+            "        return self._n\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["racecheck", "racy.py"]) == 1
+        out = capsys.readouterr().out
+        assert "RACY" in out and "unguarded_read" in out
+
+    def test_racecheck_bad_allowlist_is_usage_error(
+            self, capsys, monkeypatch, tmp_path):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        (tmp_path / "allow.txt").write_text("code x.py::C._n\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["racecheck", "clean.py",
+                     "--allowlist", "allow.txt"]) == 2
+        assert "repro racecheck:" in capsys.readouterr().err
 
     def test_dryrun_ok(self, capsys):
         assert main(["dryrun", "mauritius"]) == 0

@@ -1,0 +1,120 @@
+"""The planted-race acceptance test for the race detector.
+
+One known bug — a counter incremented outside the lock that guards the
+rest of the class — must be caught by *both* layers: statically by the
+lockset analysis (and the simlint LOCK001 rule), and dynamically by the
+happens-before sanitizer, with byte-identical reports across repeated
+runs.  The repo itself must come out clean through the same pipeline.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+import threading
+
+from repro.races import RaceSanitizer, analyze_source
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import simlint  # noqa: E402
+
+# The planted bug: _published has a locked write (reset) *and* a bare
+# increment in publish() — the classic lost-update beside the very lock
+# that should cover it.  Modeled on the stream bus's counter shape.
+LEAKY_BUS = (
+    "import threading\n"
+    "class LeakyBus:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._events = []\n"
+    "        self._published = 0\n"
+    "    def publish(self, event):\n"
+    "        with self._lock:\n"
+    "            self._events.append(event)\n"
+    "        self._published += 1\n"
+    "    def reset(self):\n"
+    "        with self._lock:\n"
+    "            self._events.clear()\n"
+    "            self._published = 0\n")
+
+
+class TestStaticLayer:
+    def test_lockset_catches_the_planted_race(self):
+        (cls,) = analyze_source(LEAKY_BUS)
+        assert cls.guarded == {"_events": ("_lock",)}
+        codes = sorted(i.code for i in cls.findings)
+        assert codes == ["mixed_guard"]
+        issue = cls.findings[0]
+        assert issue.subject == "<snippet>::LeakyBus._published"
+        assert "publish" in issue.message
+
+    def test_simlint_lock001_catches_it_too(self):
+        tree = simlint.ast.parse(LEAKY_BUS)
+        scoped = list(simlint.iter_scoped(tree))
+        violations = simlint.MixedGuardRule().check(
+            pathlib.Path("snippet.py"), tree, scoped)
+        assert [v[3] for v in violations] == ["LeakyBus._published"]
+        assert "bare (line 10)" in violations[0][4]
+
+    def test_fixed_twin_is_clean(self):
+        fixed = LEAKY_BUS.replace(
+            "        self._published += 1\n",
+            "        with self._lock:\n"
+            "            self._published += 1\n")
+        (cls,) = analyze_source(fixed)
+        assert cls.findings == ()
+        assert cls.guarded == {"_events": ("_lock",),
+                               "_published": ("_lock",)}
+
+
+def run_leaky_bus(locked):
+    """Runtime twin of LEAKY_BUS under the sanitizer; returns JSON."""
+    san = RaceSanitizer()
+    with san.patched():
+        published = san.state("LeakyBus._published")
+        published.write(0)
+        lock = threading.Lock()
+
+        def publish():
+            with lock:
+                pass  # the guarded _events mutation
+            if locked:
+                with lock:
+                    published.write(published.read() + 1)
+            else:
+                published.write(published.read() + 1)
+
+        threads = [threading.Thread(target=publish) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    return san.report().to_json()
+
+
+class TestDynamicLayer:
+    def test_sanitizer_catches_it_deterministically(self):
+        reports = {run_leaky_bus(locked=False) for _ in range(3)}
+        assert len(reports) == 1  # byte-identical across runs
+        body = reports.pop().decode("utf-8")
+        assert '"ok":false' in body
+        assert "LeakyBus._published" in body
+        assert "read/write" in body or "write/write" in body
+
+    def test_locked_twin_is_clean_deterministically(self):
+        reports = {run_leaky_bus(locked=True) for _ in range(3)}
+        assert len(reports) == 1
+        assert '"ok":true' in reports.pop().decode("utf-8")
+
+
+class TestRepoIsClean:
+    def test_racecheck_src_repro_exits_zero(self):
+        # The ISSUE acceptance command, verbatim.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "racecheck", "src/repro"],
+            cwd=REPO, env=env, capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr

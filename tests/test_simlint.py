@@ -86,6 +86,20 @@ class TestRuleScoping:
             assert rule.applies("tools/anything.py")
             assert rule.applies("src/repro/grid/canvas.py")
 
+    def test_lock_rules_scope_to_threaded_paths(self):
+        for rule in (simlint.MixedGuardRule(),
+                     simlint.ThreadLifecycleRule()):
+            assert rule.applies("src/repro/stream/bus.py")
+            assert rule.applies("src/repro/store/core.py")
+            assert rule.applies("src/repro/fabric/coordinator.py")
+            assert rule.applies("src/repro/serve/server.py")
+            assert not rule.applies("src/repro/sim/engine.py")
+            assert not rule.applies("tools/simlint.py")
+
+    def test_det001_covers_benchmarks(self):
+        rule = simlint.WallClockRule()
+        assert rule.applies("benchmarks/test_stream_fanout.py")
+
 
 class TestDeterminismRules:
     @pytest.mark.parametrize("call", ["time.time()", "time.perf_counter()",
@@ -202,6 +216,115 @@ class TestHygieneRules:
                         "    pass\n") == []
 
 
+class TestLockRules:
+    def test_lock001_flags_mixed_guard(self):
+        violations = run_rule(
+            simlint.MixedGuardRule(),
+            "import threading\n"
+            "class C:\n"
+            "    def locked_bump(self):\n"
+            "        with self._lock:\n"
+            "            self._n += 1\n"
+            "    def bare_bump(self):\n"
+            "        self._n += 1\n")
+        assert [(v[2], v[3]) for v in violations] == [
+            ("LOCK001", "C._n")]
+
+    def test_lock001_exempts_init_and_locked_methods(self):
+        violations = run_rule(
+            simlint.MixedGuardRule(),
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._n = 0\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._n += 1\n"
+            "    def _bump_locked(self):\n"
+            "        self._n += 1\n")
+        assert violations == []
+
+    def test_lock001_borrowed_lock_counts_as_locked(self):
+        # `with self._owner._lock:` — a borrowed lock still guards.
+        violations = run_rule(
+            simlint.MixedGuardRule(),
+            "class C:\n"
+            "    def a(self):\n"
+            "        with self._owner._lock:\n"
+            "            self._n = 1\n"
+            "    def b(self):\n"
+            "        self._n = 2\n")
+        assert [v[3] for v in violations] == ["C._n"]
+
+    def test_lock001_nested_defs_are_out_of_scope(self):
+        # The linter twin skips closure bodies entirely (they run
+        # later, with unknown locks); the full-depth analysis in
+        # repro.races.lockset is the layer that flags this shape.
+        violations = run_rule(
+            simlint.MixedGuardRule(),
+            "class C:\n"
+            "    def a(self):\n"
+            "        with self._lock:\n"
+            "            self._n = 1\n"
+            "    def b(self):\n"
+            "        with self._lock:\n"
+            "            def later():\n"
+            "                self._n = 2\n"
+            "            return later\n")
+        assert violations == []
+
+    def test_lock001_consistent_discipline_is_clean(self):
+        violations = run_rule(
+            simlint.MixedGuardRule(),
+            "class C:\n"
+            "    def a(self):\n"
+            "        with self._lock:\n"
+            "            self._n = 1\n"
+            "    def b(self):\n"
+            "        with self._lock:\n"
+            "            self._n = 2\n"
+            "    def c(self):\n"
+            "        self._m = 3\n"
+            "    def d(self):\n"
+            "        self._m = 4\n")
+        assert violations == []
+
+    def test_lock002_flags_unmanaged_thread(self):
+        violations = run_rule(
+            simlint.ThreadLifecycleRule(),
+            "import threading\n"
+            "def spawn():\n"
+            "    t = threading.Thread(target=work)\n"
+            "    t.start()\n")
+        assert [v[2] for v in violations] == ["LOCK002"]
+
+    def test_lock002_daemon_or_join_is_fine(self):
+        violations = run_rule(
+            simlint.ThreadLifecycleRule(),
+            "import threading\n"
+            "def daemonized():\n"
+            "    threading.Thread(target=work, daemon=True).start()\n"
+            "def joined():\n"
+            "    t = threading.Thread(target=work)\n"
+            "    t.start()\n"
+            "    t.join()\n")
+        assert violations == []
+
+    def test_lock002_join_elsewhere_in_module_counts(self):
+        # The join lives in another function (start/stop pairs): the
+        # handle name is what ties them together.
+        violations = run_rule(
+            simlint.ThreadLifecycleRule(),
+            "import threading\n"
+            "class Server:\n"
+            "    def start(self):\n"
+            "        self._thread = threading.Thread(target=self.run)\n"
+            "        self._thread.start()\n"
+            "    def stop(self):\n"
+            "        self._thread.join()\n")
+        assert violations == []
+
+
 class TestAllowlist:
     def test_load_parses_entries(self, tmp_path):
         f = tmp_path / "allow.txt"
@@ -230,9 +353,10 @@ class TestAllowlist:
 
 class TestCli:
     def test_repo_is_clean(self):
-        # The satellite guarantee: the shipped tree lints clean with
-        # the shipped allowlist — exactly what the CI lint job runs.
-        proc = run_cli("src", "tools")
+        # The satellite guarantee: the shipped tree (benchmarks
+        # included) lints clean with the shipped allowlist and no
+        # stale entries — exactly what the CI lint job runs.
+        proc = run_cli("--strict-unused", "src", "tools", "benchmarks")
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "clean" in proc.stdout
 
@@ -268,6 +392,18 @@ class TestCli:
             cwd=tmp_path, capture_output=True, text=True)
         assert proc.returncode == 0
         assert "unused allowlist entry" in proc.stderr
+
+    def test_strict_unused_makes_stale_entries_fatal(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        allow = tmp_path / "allow.txt"
+        allow.write_text("DET001 nowhere.py::f -- obsolete\n")
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "simlint.py"),
+             "--strict-unused", "--allowlist", str(allow), str(clean)],
+            cwd=tmp_path, capture_output=True, text=True)
+        assert proc.returncode == 1
+        assert "error: unused allowlist entry" in proc.stderr
 
     def test_malformed_allowlist_is_usage_error(self, tmp_path):
         allow = tmp_path / "allow.txt"

@@ -15,6 +15,7 @@ import time
 import pytest
 
 from repro.obs import MetricsRegistry
+from repro.races import maybe_sanitized
 from repro.stream import (
     ACTIVITY_RUN_LABELS,
     RunStream,
@@ -150,24 +151,26 @@ class TestOverflow:
         assert per_frame < 1e-3
 
     def test_concurrent_publish_and_drain_delivers_exactly_once(self):
-        stream = RunStream("t", max_queue=2048)
-        sub = stream.subscribe()
-        seen = []
+        # Runs on happens-before shims when REPRO_SAN=1 (CI race job).
+        with maybe_sanitized():
+            stream = RunStream("t", max_queue=2048)
+            sub = stream.subscribe()
+            seen = []
 
-        def consume():
-            while True:
-                sub.wait(1.0)
-                batch = sub.pop_ready()
-                seen.extend(batch)
-                if any(ev.terminal for ev in batch):
-                    return
+            def consume():
+                while True:
+                    sub.wait(1.0)
+                    batch = sub.pop_ready()
+                    seen.extend(batch)
+                    if any(ev.terminal for ev in batch):
+                        return
 
-        consumer = threading.Thread(target=consume)
-        consumer.start()
-        publish_n(stream, 2000)
-        finish_stream(stream, cached=False, runs=["scenario3"])
-        consumer.join(timeout=10.0)
-        assert not consumer.is_alive()
+            consumer = threading.Thread(target=consume)
+            consumer.start()
+            publish_n(stream, 2000)
+            finish_stream(stream, cached=False, runs=["scenario3"])
+            consumer.join(timeout=10.0)
+            assert not consumer.is_alive()
         assert [ev.seq for ev in seen] == list(range(1, 2002))
 
 
@@ -191,6 +194,61 @@ class TestStreamHub:
         assert hub.get("done0") is None       # oldest finished: gone
         assert hub.get("done1") is None
         assert hub.get("done3") is not None   # newest finished: kept
+
+    def test_get_refreshes_lru_order(self):
+        # A touched finished feed moves to the back of the eviction
+        # queue: resumed clients keep their replay window alive.
+        hub = StreamHub(keep_finished=2)
+        for i in range(2):
+            finish_stream(hub.create(f"done{i}"), cached=False, runs=[])
+        assert hub.get("done0") is not None   # refresh: now newest
+        finish_stream(hub.create("done2"), cached=False, runs=[])
+        hub.create("pad")                     # trigger eviction
+        assert hub.get("done1") is None       # stale one went instead
+        assert hub.get("done0") is not None
+        assert hub.get("done2") is not None
+
+    def test_live_feed_pinned_under_eviction_pressure(self):
+        # keep_finished=0 is maximum pressure: every finished feed is
+        # dropped at the next create, the live one survives them all.
+        hub = StreamHub(keep_finished=0)
+        live = hub.create("live")
+        publish_n(live, 3)
+        for i in range(5):
+            finish_stream(hub.create(f"done{i}"), cached=False, runs=[])
+            hub.create(f"pad{i}")
+            assert hub.get(f"done{i}") is None
+        assert hub.get("live") is live
+        assert len(live.history()) == 3       # feed intact, not reset
+        finish_stream(live, cached=False, runs=["scenario3"])
+        hub.create("after")                   # now it is evictable
+        assert hub.get("live") is None
+
+    def test_subscriber_attach_races_eviction(self):
+        # A subscriber that attached through hub.get() keeps a working
+        # handle even when eviction drops the hub's reference while
+        # another thread is churning the registry.  Sanitized in CI.
+        with maybe_sanitized():
+            hub = StreamHub(keep_finished=1)
+            feed = hub.create("feed")
+            publish_n(feed, 4)
+            finish_stream(feed, cached=False, runs=["scenario3"])
+
+            def churn():
+                for i in range(16):
+                    finish_stream(hub.create(f"churn{i}"),
+                                  cached=False, runs=[])
+
+            stream = hub.get("feed")
+            sub = stream.subscribe(after=0)
+            churner = threading.Thread(target=churn)
+            churner.start()
+            churner.join(timeout=10.0)
+            assert not churner.is_alive()
+            assert hub.get("feed") is None    # evicted from the hub...
+            events = sub.pop_ready()          # ...but the handle works
+        assert [ev.seq for ev in events] == list(range(1, 6))
+        assert events[-1].terminal
 
 
 class TestRunner:

@@ -29,19 +29,33 @@ ASYNC — event-loop safety (``repro/serve`` and ``repro/stream``):
             layer's contract is bounded per-subscriber buffers with
             explicit drop-oldest accounting instead.
 
-HYG — hygiene (everywhere linted):
-  HYG001  mutable default argument values.
-  HYG002  bare ``except:`` clauses.
+LOCK — lock discipline (the threaded ``repro`` subsystems: stream,
+store, fabric, serve — the deep analysis lives in
+``repro.races.lockset``; these are the linter-grade twins):
+  LOCK001  mixed guarded/unguarded mutation: within one class, some
+           assignments to ``self._x`` sit inside ``with self._lock:``
+           and some do not — the lock protects nothing.  ``__init__``
+           and ``*_locked`` methods (caller holds the lock, by house
+           convention) are exempt.
+  LOCK002  ``threading.Thread(...)`` constructed without ``daemon=``
+           and without a visible ``.join()`` on the assigned name —
+           a leak-on-exit thread with no shutdown path.
+
+DET rules also police ``benchmarks/``: benchmark *measurement* needs
+the wall clock, so those timers are allowlisted by name; everything
+else in a benchmark must stay seed-deterministic like the library.
 
 Findings can be suppressed via an allowlist file (default
 ``tools/simlint_allow.txt``): one entry per line,
 ``CODE path::symbol -- justification``, justification mandatory.
 Unused entries are reported to stderr (exit status unaffected) so the
-allowlist cannot rot silently.
+allowlist cannot rot silently; with ``--strict-unused`` (the CI lint
+job) a stale entry is a hard failure.
 
 Usage::
 
-    python tools/simlint.py src tools
+    python tools/simlint.py src tools benchmarks
+    python tools/simlint.py --strict-unused src tools benchmarks
     python tools/simlint.py --allowlist my_allow.txt src/repro/serve
 
 Exit status 0 when clean (after allowlisting), 1 with a per-violation
@@ -138,7 +152,12 @@ class Rule:
 
 _SIM_PATHS = ("src/repro/sim/", "src/repro/sweep/", "src/repro/faults/",
               "src/repro/schedule/", "src/repro/agents/",
-              "src/repro/fabric/", "src/repro/stream/")
+              "src/repro/fabric/", "src/repro/stream/",
+              "src/repro/races/", "benchmarks/")
+
+#: The hand-locked threaded subsystems the LOCK rules police.
+_THREADED_PATHS = ("src/repro/stream/", "src/repro/store/",
+                   "src/repro/fabric/", "src/repro/serve/")
 
 #: Legitimate np.random attributes that are *not* global-state draws.
 _NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence",
@@ -212,7 +231,7 @@ class UnseededRngRule(Rule):
 
     code = "DET003"
     description = "unseeded RNG construction outside sweep/seeding.py"
-    scopes = ("src/repro/",)
+    scopes = ("src/repro/", "benchmarks/")
     excludes = ("src/repro/sweep/seeding.py",)
 
     def check(self, path, tree, scoped):
@@ -324,6 +343,164 @@ class AsyncQueuePutRule(Rule):
         return out
 
 
+def _self_attr_chain(node: ast.expr) -> Optional[str]:
+    """``self``-rooted attribute chain without the root, or None.
+
+    ``self._stream._lock`` → ``"_stream._lock"``.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self" and parts:
+        return ".".join(reversed(parts))
+    return None
+
+
+_LOCKISH_FRAGMENTS = ("lock", "mutex", "cond", "cv")
+
+
+def _is_lockish_chain(chain: str) -> bool:
+    """Whether a ``with self...:`` context expression names a lock."""
+    last = chain.split(".")[-1].lower()
+    return any(frag in last for frag in _LOCKISH_FRAGMENTS)
+
+
+class MixedGuardRule(Rule):
+    """LOCK001: an attribute is either always locked or never locked.
+
+    Within one class, assignments to ``self._x`` that sometimes sit
+    inside ``with self._lock:`` and sometimes do not mean the lock
+    protects nothing — every unguarded writer can interleave with the
+    guarded ones.  ``__init__`` (construction happens-before
+    publication) and ``*_locked`` methods (the caller holds the lock,
+    per the house naming convention) are exempt.  The full-depth
+    version of this analysis — container mutators, read sites, guard
+    inference — lives in ``repro.races.lockset``; this rule is the
+    dependency-free linter twin covering binding-level writes.
+    """
+
+    code = "LOCK001"
+    description = "mixed guarded/unguarded mutation of one attribute"
+    scopes = _THREADED_PATHS
+
+    def _method_writes(self, method: ast.AST
+                       ) -> List[Tuple[str, bool, ast.AST]]:
+        """``(attr, under_lock, node)`` for binding writes in a method."""
+        out: List[Tuple[str, bool, ast.AST]] = []
+
+        def visit(node: ast.AST, held: bool) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                lockish = any(
+                    (chain := _self_attr_chain(item.context_expr))
+                    and _is_lockish_chain(chain)
+                    for item in node.items)
+                for stmt in node.body:
+                    visit(stmt, held or lockish)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                return  # nested defs run later, with unknown locks
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                chain = _self_attr_chain(target)
+                if chain and "." not in chain:
+                    out.append((chain, held, node))
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+        for stmt in ast.iter_child_nodes(method):
+            visit(stmt, False)
+        return out
+
+    def check(self, path, tree, scoped):
+        """Flag attributes written both under a lock and bare."""
+        out = []
+        for node, symbol, _ in scoped:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            locked: Dict[str, ast.AST] = {}
+            bare: Dict[str, ast.AST] = {}
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                if (item.name == "__init__"
+                        or item.name.endswith("_locked")):
+                    continue
+                for attr, held, site in self._method_writes(item):
+                    (locked if held else bare).setdefault(attr, site)
+            for attr in sorted(set(locked) & set(bare)):
+                out.append(self.violation(
+                    path, bare[attr], f"{symbol}.{attr}",
+                    f"self.{attr} is written under a lock (line "
+                    f"{getattr(locked[attr], 'lineno', 0)}) and bare "
+                    f"(line {getattr(bare[attr], 'lineno', 0)}); the "
+                    f"lock protects nothing"))
+        return out
+
+
+class ThreadLifecycleRule(Rule):
+    """LOCK002: every thread needs a shutdown story.
+
+    A ``threading.Thread`` that is neither ``daemon=`` nor joined
+    anywhere in its module outlives shutdown silently: interpreter
+    exit blocks on it, or it keeps mutating state during teardown.
+    Either mark the intent (``daemon=True`` plus whatever drain the
+    design needs) or keep a handle and ``.join()`` it.
+    """
+
+    code = "LOCK002"
+    description = "Thread without daemon= or a visible join path"
+    scopes = _THREADED_PATHS
+
+    @staticmethod
+    def _is_thread_call(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and dotted_name(node.func) in ("threading.Thread",
+                                               "Thread"))
+
+    def check(self, path, tree, scoped):
+        """Flag un-daemoned Thread constructions with no join path."""
+        joined: Set[str] = set()
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"):
+                base = dotted_name(node.func.value)
+                if base:
+                    joined.add(base.split(".")[-1])
+        assigned: Dict[int, List[str]] = {}
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Assign)
+                    and self._is_thread_call(node.value)):
+                names = []
+                for target in node.targets:
+                    name = dotted_name(target)
+                    if name:
+                        names.append(name.split(".")[-1])
+                assigned[id(node.value)] = names
+        out = []
+        for node, symbol, _ in scoped:
+            if not self._is_thread_call(node):
+                continue
+            if any(kw.arg == "daemon" for kw in node.keywords):
+                continue
+            if any(name in joined
+                   for name in assigned.get(id(node), [])):
+                continue
+            out.append(self.violation(
+                path, node, symbol,
+                "Thread() without daemon= or a .join() on its handle "
+                "has no shutdown path; mark it daemon (plus a drain) "
+                "or join it"))
+        return out
+
+
 class MutableDefaultRule(Rule):
     """HYG001: default argument values must be immutable."""
 
@@ -378,6 +555,8 @@ RULES: List[Rule] = [
     AsyncSleepRule(),
     AsyncFileIoRule(),
     AsyncQueuePutRule(),
+    MixedGuardRule(),
+    ThreadLifecycleRule(),
     MutableDefaultRule(),
     BareExceptRule(),
 ]
@@ -483,6 +662,7 @@ def apply_allowlist(
 def main(argv: List[str]) -> int:
     """CLI entry point: lint the given paths, report, set exit status."""
     allow_path = pathlib.Path(__file__).parent / "simlint_allow.txt"
+    strict_unused = False
     args: List[str] = []
     it = iter(argv)
     for arg in it:
@@ -492,11 +672,13 @@ def main(argv: List[str]) -> int:
                 print("simlint: --allowlist needs a path", file=sys.stderr)
                 return 2
             allow_path = pathlib.Path(raw)
+        elif arg == "--strict-unused":
+            strict_unused = True
         else:
             args.append(arg)
     if not args:
-        print("usage: simlint.py [--allowlist FILE] PATH [PATH ...]",
-              file=sys.stderr)
+        print("usage: simlint.py [--allowlist FILE] [--strict-unused] "
+              "PATH [PATH ...]", file=sys.stderr)
         return 2
 
     allow: Dict[str, str] = {}
@@ -510,11 +692,17 @@ def main(argv: List[str]) -> int:
     violations, unused = apply_allowlist(lint(args), allow)
     for path, line, code, symbol, message in violations:
         print(f"{_relpath(path)}:{line}: {code} [{symbol}] {message}")
+    severity = "error" if strict_unused else "warning"
     for key in unused:
-        print(f"simlint: warning: unused allowlist entry: {key}",
+        print(f"simlint: {severity}: unused allowlist entry: {key}",
               file=sys.stderr)
     if violations:
         print(f"simlint: {len(violations)} violation(s)")
+        return 1
+    if strict_unused and unused:
+        print(f"simlint: {len(unused)} stale allowlist entr"
+              f"{'y' if len(unused) == 1 else 'ies'} "
+              f"(--strict-unused)")
         return 1
     print(f"simlint: clean ({len(args)} target(s), "
           f"{len(allow)} allowlisted)")
